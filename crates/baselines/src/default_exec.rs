@@ -1,0 +1,73 @@
+//! The `default` baseline: one classic single-GEMM kernel per GEMM,
+//! launched serially (§3 "in default execution mode, each GEMM
+//! corresponds to a kernel and they execute one by one").
+
+use crate::run::{functional_plan, gemm_tiles, BaselineRun};
+use ctb_batching::TileTask;
+use ctb_core::lowering::block_work;
+use ctb_gpu_specs::ArchSpec;
+use ctb_matrix::GemmShape;
+use ctb_sim::{KernelDesc, LaunchSequence};
+use ctb_tiling::select_single_gemm;
+
+/// Build the per-GEMM kernels with their individually optimal Table 1
+/// strategies.
+pub(crate) fn per_gemm_kernels(
+    arch: &ArchSpec,
+    shapes: &[GemmShape],
+) -> (Vec<KernelDesc>, Vec<TileTask>) {
+    let mut kernels = Vec::with_capacity(shapes.len());
+    let mut all_tiles = Vec::new();
+    for (g, shape) in shapes.iter().enumerate() {
+        let st = select_single_gemm(shape, arch);
+        let tiles = gemm_tiles(g, shape, st);
+        let blocks = tiles
+            .iter()
+            .map(|t| block_work(std::slice::from_ref(t), st.threads, shapes))
+            .collect();
+        kernels.push(KernelDesc::new(
+            format!("default_gemm_{g}_{shape}"),
+            st.footprint(),
+            blocks,
+        ));
+        all_tiles.extend(tiles);
+    }
+    (kernels, all_tiles)
+}
+
+/// The default serial execution of a batch.
+pub fn default_serial(arch: &ArchSpec, shapes: &[GemmShape]) -> BaselineRun {
+    let (kernels, tiles) = per_gemm_kernels(arch, shapes);
+    BaselineRun {
+        name: "default",
+        seq: LaunchSequence::Serial(kernels),
+        functional: functional_plan(&tiles),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run::execute_baseline;
+    use ctb_matrix::{assert_all_close, GemmBatch};
+
+    #[test]
+    fn one_kernel_per_gemm() {
+        let arch = ArchSpec::volta_v100();
+        let shapes = vec![GemmShape::new(64, 64, 32), GemmShape::new(128, 96, 64)];
+        let run = default_serial(&arch, &shapes);
+        assert_eq!(run.seq.kernels().len(), 2);
+    }
+
+    #[test]
+    fn results_match_reference() {
+        let arch = ArchSpec::volta_v100();
+        let shapes = vec![GemmShape::new(48, 80, 96), GemmShape::new(17, 33, 41)];
+        let batch = GemmBatch::random(&shapes, 1.0, 0.5, 77);
+        let run = default_serial(&arch, &shapes);
+        let (results, report) = execute_baseline(&arch, &batch, &run);
+        assert_all_close(&batch.reference_result(), &results, 2e-4);
+        // Serial launches: at least 2 launch overheads.
+        assert!(report.total_us >= 2.0 * arch.kernel_launch_overhead_us);
+    }
+}

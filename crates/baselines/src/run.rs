@@ -1,0 +1,93 @@
+//! Shared plumbing for the baselines: the run descriptor, the
+//! functional-plan construction, and the execute/simulate entry points.
+
+use ctb_batching::{BatchPlan, TileTask};
+use ctb_core::interface::execute_plan;
+use ctb_gpu_specs::ArchSpec;
+use ctb_matrix::{GemmBatch, GemmShape, MatF32};
+use ctb_sim::{simulate, LaunchSequence, SimReport};
+use ctb_tiling::strategy::{batched, ThreadCount};
+use ctb_tiling::TilingStrategy;
+
+/// One baseline execution: how it reaches the device, plus an equivalent
+/// functional plan for correctness checking.
+#[derive(Debug, Clone)]
+pub struct BaselineRun {
+    /// Short name, e.g. `"magma_vbatch"`.
+    pub name: &'static str,
+    /// Launch structure consumed by the timing simulator.
+    pub seq: LaunchSequence,
+    /// One-tile-per-block functional plan covering the same tiles (tile
+    /// geometry identical; only the thread mapping differs, which cannot
+    /// change the numerics).
+    pub functional: BatchPlan,
+}
+
+/// Map a Table 1 strategy to the Table 2 strategy with the same tile
+/// geometry (`BY`, `BX`, `BK` are equal kind-for-kind across tables), so
+/// baseline tiles can ride the framework's functional interpreter.
+pub fn functional_equivalent(st: &TilingStrategy) -> TilingStrategy {
+    let eq = batched(st.kind, ThreadCount::T256);
+    debug_assert_eq!((eq.by, eq.bx, eq.bk), (st.by, st.bx, st.bk));
+    eq
+}
+
+/// Build the one-tile-per-block functional plan for baseline tiles.
+pub fn functional_plan(tiles: &[TileTask]) -> BatchPlan {
+    let blocks: Vec<Vec<TileTask>> = tiles
+        .iter()
+        .map(|t| vec![TileTask { strategy: functional_equivalent(&t.strategy), ..*t }])
+        .collect();
+    BatchPlan::from_blocks(&blocks, 256)
+}
+
+/// Enumerate the tile grid of one GEMM under a (Table 1) strategy.
+pub fn gemm_tiles(gemm: usize, shape: &GemmShape, st: TilingStrategy) -> Vec<TileTask> {
+    let gy = shape.m.div_ceil(st.by);
+    let gx = shape.n.div_ceil(st.bx);
+    let mut tiles = Vec::with_capacity(gy * gx);
+    for y in 0..gy {
+        for x in 0..gx {
+            tiles.push(TileTask { gemm, y, x, k: shape.k, strategy: st });
+        }
+    }
+    tiles
+}
+
+/// Functionally execute a baseline and simulate its timing.
+pub fn execute_baseline(
+    arch: &ArchSpec,
+    batch: &GemmBatch,
+    run: &BaselineRun,
+) -> (Vec<MatF32>, SimReport) {
+    let results = execute_plan(batch, &run.functional);
+    let report = simulate(arch, &run.seq);
+    (results, report)
+}
+
+/// Timing only.
+pub fn simulate_baseline(arch: &ArchSpec, run: &BaselineRun) -> SimReport {
+    simulate(arch, &run.seq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctb_tiling::strategy::SINGLE_GEMM_STRATEGIES;
+
+    #[test]
+    fn every_table1_strategy_has_a_geometry_equivalent() {
+        for st in SINGLE_GEMM_STRATEGIES {
+            let eq = functional_equivalent(&st);
+            assert_eq!((eq.by, eq.bx, eq.bk), (st.by, st.bx, st.bk));
+        }
+    }
+
+    #[test]
+    fn gemm_tiles_cover_the_grid() {
+        let st = SINGLE_GEMM_STRATEGIES[0]; // small 16x16
+        let tiles = gemm_tiles(3, &GemmShape::new(20, 40, 8), st);
+        assert_eq!(tiles.len(), 2 * 3);
+        assert!(tiles.iter().all(|t| t.gemm == 3 && t.k == 8));
+    }
+}

@@ -1,0 +1,239 @@
+//! The batching heuristics of §5: threshold batching (TLP priority) and
+//! binary batching (ILP priority).
+
+use crate::tile::TileTask;
+use ctb_gpu_specs::Thresholds;
+use serde::{Deserialize, Serialize};
+
+/// Which batching policy assigns tiles to thread blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BatchingHeuristic {
+    /// One tile per block — the classic design; used to evaluate the
+    /// tiling engine alone (Fig 8) and as MAGMA's implicit policy.
+    OneTilePerBlock,
+    /// §5 "Threshold Batching": guarantee TLP first, then deepen blocks
+    /// along K up to θ while TLP headroom remains.
+    Threshold,
+    /// §5 "Binary Batching": pair at most two tiles per block,
+    /// min-K with max-K, minimising `|K_i + K_j − θ|` (Eq 5).
+    Binary,
+}
+
+impl std::fmt::Display for BatchingHeuristic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BatchingHeuristic::OneTilePerBlock => write!(f, "one-tile-per-block"),
+            BatchingHeuristic::Threshold => write!(f, "threshold"),
+            BatchingHeuristic::Binary => write!(f, "binary"),
+        }
+    }
+}
+
+/// Assign tiles to thread blocks under the chosen heuristic.
+///
+/// `threads` is the unified block size from the tiling solution; it
+/// enters the TLP computation of threshold batching.
+pub fn assign_blocks(
+    tiles: &[TileTask],
+    heuristic: BatchingHeuristic,
+    thresholds: &Thresholds,
+    threads: u32,
+) -> Vec<Vec<TileTask>> {
+    match heuristic {
+        BatchingHeuristic::OneTilePerBlock => tiles.iter().map(|t| vec![*t]).collect(),
+        BatchingHeuristic::Threshold => threshold_batching(tiles, thresholds, threads),
+        BatchingHeuristic::Binary => binary_batching(tiles, thresholds),
+    }
+}
+
+/// Threshold batching (§5): guarantee TLP first, then deepen blocks.
+///
+/// The paper re-checks the prospective TLP, i.e. (remaining unassigned
+/// tiles plus blocks already formed) × T, against *half* the tiling
+/// engine's TLP threshold before each new block, and with headroom fills
+/// the block until its accumulated K exceeds θ. A literal greedy reading
+/// front-loads depth into a few straggler blocks; we keep the same two
+/// constraints (final TLP stays at or above half the threshold, per-block
+/// K depth bounded by θ) but bound every block's tile count by the
+/// even-distribution cap, so the depth the TLP budget allows is spread
+/// uniformly (see DESIGN.md §6).
+fn threshold_batching(
+    tiles: &[TileTask],
+    thresholds: &Thresholds,
+    threads: u32,
+) -> Vec<Vec<TileTask>> {
+    if tiles.is_empty() {
+        return Vec::new();
+    }
+    let half = thresholds.tlp_threshold / 2;
+    let total_tlp = tiles.len() as u64 * threads as u64;
+    if total_tlp <= half {
+        // No TLP headroom: one tile per block maximises parallelism.
+        return tiles.iter().map(|t| vec![*t]).collect();
+    }
+    // Fewest blocks that keep TLP at or above half the threshold, and
+    // the per-block tile cap that spreads the depth evenly.
+    let blocks_floor = (half / threads as u64).max(1) as usize;
+    let depth_cap = tiles.len().div_ceil(blocks_floor).max(1);
+
+    let mut blocks: Vec<Vec<TileTask>> = Vec::new();
+    let mut block: Vec<TileTask> = Vec::new();
+    let mut depth = 0usize;
+    for &t in tiles {
+        if !block.is_empty() && (depth > thresholds.theta as usize || block.len() >= depth_cap) {
+            blocks.push(std::mem::take(&mut block));
+            depth = 0;
+        }
+        depth += t.k;
+        block.push(t);
+    }
+    if !block.is_empty() {
+        blocks.push(block);
+    }
+    blocks
+}
+
+/// Binary batching (§5): sort tiles by ascending K and pair the smallest
+/// with the largest (two pointers). At most two tiles per block; an odd
+/// tile stays alone. This greedily minimises `Σ |K_i + K_j − θ|` for the
+/// paper's Eq 5 under the pair-the-extremes policy the paper states.
+fn binary_batching(tiles: &[TileTask], _thresholds: &Thresholds) -> Vec<Vec<TileTask>> {
+    let mut sorted: Vec<TileTask> = tiles.to_vec();
+    sorted.sort_by_key(|t| t.k);
+    let mut blocks = Vec::with_capacity(sorted.len().div_ceil(2));
+    let (mut lo, mut hi) = (0usize, sorted.len());
+    while lo + 1 < hi {
+        blocks.push(vec![sorted[lo], sorted[hi - 1]]);
+        lo += 1;
+        hi -= 1;
+    }
+    if lo + 1 == hi {
+        blocks.push(vec![sorted[lo]]);
+    }
+    blocks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctb_tiling::strategy::{batched, StrategyKind, ThreadCount};
+
+    fn tile(gemm: usize, idx: usize, k: usize) -> TileTask {
+        TileTask {
+            gemm,
+            y: idx,
+            x: 0,
+            k,
+            strategy: batched(StrategyKind::Small, ThreadCount::T256),
+        }
+    }
+
+    fn tiles_with_k(count: usize, k: usize) -> Vec<TileTask> {
+        (0..count).map(|i| tile(0, i, k)).collect()
+    }
+
+    fn v100() -> Thresholds {
+        Thresholds::paper_v100()
+    }
+
+    fn flatten(blocks: &[Vec<TileTask>]) -> Vec<TileTask> {
+        let mut all: Vec<TileTask> = blocks.iter().flatten().copied().collect();
+        all.sort_by_key(|t| (t.gemm, t.y, t.x));
+        all
+    }
+
+    #[test]
+    fn one_tile_per_block_is_identity() {
+        let tiles = tiles_with_k(10, 64);
+        let blocks = assign_blocks(&tiles, BatchingHeuristic::OneTilePerBlock, &v100(), 256);
+        assert_eq!(blocks.len(), 10);
+        assert!(blocks.iter().all(|b| b.len() == 1));
+    }
+
+    #[test]
+    fn threshold_batches_deeply_when_tlp_is_plentiful() {
+        // 512 tiles x 256 threads = 131072 TLP >> 32768: blocks are
+        // filled until K depth exceeds theta = 256.
+        let tiles = tiles_with_k(512, 64);
+        let blocks = assign_blocks(&tiles, BatchingHeuristic::Threshold, &v100(), 256);
+        assert_eq!(flatten(&blocks).len(), 512, "every tile assigned once");
+        // The even-distribution cap spreads depth uniformly: 128 blocks
+        // of 4 tiles, keeping TLP exactly at half the threshold.
+        assert_eq!(blocks.len(), 128);
+        assert!(blocks.iter().all(|b| b.len() == 4));
+        // θ would have allowed 5 tiles (64*5 = 320 > 256); the TLP
+        // budget binds first here.
+        let tlp = blocks.len() as u64 * 256;
+        assert!(tlp >= v100().tlp_threshold / 2);
+    }
+
+    #[test]
+    fn threshold_keeps_one_to_one_when_tlp_is_scarce() {
+        // 16 tiles: prospective TLP = 4096 < 32768 from the start.
+        let tiles = tiles_with_k(16, 32);
+        let blocks = assign_blocks(&tiles, BatchingHeuristic::Threshold, &v100(), 256);
+        assert_eq!(blocks.len(), 16);
+        assert!(blocks.iter().all(|b| b.len() == 1));
+    }
+
+    #[test]
+    fn threshold_respects_theta_for_large_k() {
+        // Tiles with K = 512 > theta: one tile already exceeds theta, so
+        // blocks never take a second tile.
+        let tiles = tiles_with_k(400, 512);
+        let blocks = assign_blocks(&tiles, BatchingHeuristic::Threshold, &v100(), 256);
+        assert!(blocks.iter().all(|b| b.len() == 1), "K >= theta must not batch");
+    }
+
+    #[test]
+    fn binary_pairs_min_with_max() {
+        let ks = [16usize, 32, 64, 128, 256, 512];
+        let tiles: Vec<TileTask> = ks.iter().enumerate().map(|(i, &k)| tile(0, i, k)).collect();
+        let blocks = assign_blocks(&tiles, BatchingHeuristic::Binary, &v100(), 256);
+        assert_eq!(blocks.len(), 3);
+        let mut pair_ks: Vec<Vec<usize>> =
+            blocks.iter().map(|b| b.iter().map(|t| t.k).collect()).collect();
+        for p in &mut pair_ks {
+            p.sort_unstable();
+        }
+        pair_ks.sort();
+        assert_eq!(pair_ks, vec![vec![16, 512], vec![32, 256], vec![64, 128]]);
+    }
+
+    #[test]
+    fn binary_leaves_odd_tile_alone() {
+        let tiles = tiles_with_k(7, 64);
+        let blocks = assign_blocks(&tiles, BatchingHeuristic::Binary, &v100(), 256);
+        assert_eq!(blocks.len(), 4);
+        assert_eq!(blocks.iter().filter(|b| b.len() == 1).count(), 1);
+        assert_eq!(flatten(&blocks).len(), 7);
+    }
+
+    #[test]
+    fn every_heuristic_preserves_the_tile_set() {
+        let tiles: Vec<TileTask> =
+            (0..257).map(|i| tile(i % 3, i / 3, 16 << (i % 5))).collect();
+        for h in [
+            BatchingHeuristic::OneTilePerBlock,
+            BatchingHeuristic::Threshold,
+            BatchingHeuristic::Binary,
+        ] {
+            let blocks = assign_blocks(&tiles, h, &v100(), 256);
+            let mut expect = tiles.clone();
+            expect.sort_by_key(|t| (t.gemm, t.y, t.x));
+            assert_eq!(flatten(&blocks), expect, "heuristic {h} lost tiles");
+            assert!(blocks.iter().all(|b| !b.is_empty()), "no empty blocks");
+        }
+    }
+
+    #[test]
+    fn empty_tile_list_yields_no_blocks() {
+        for h in [
+            BatchingHeuristic::OneTilePerBlock,
+            BatchingHeuristic::Threshold,
+            BatchingHeuristic::Binary,
+        ] {
+            assert!(assign_blocks(&[], h, &v100(), 256).is_empty());
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! The paper's **batching engine** (§5) and batching-scheme data
+//! structures (§6).
+//!
+//! After the tiling engine has turned the batch of GEMMs into a batch of
+//! tiles, the batching engine assigns tiles to thread blocks. A block
+//! may execute several tiles one after the other (persistent-threads
+//! style) to improve instruction-level parallelism when K is small. Two
+//! heuristics are provided — *threshold batching* (TLP priority) and
+//! *binary batching* (ILP priority) — plus the trivial one-tile-per-block
+//! assignment used when only the tiling engine is evaluated (Fig 8).
+//!
+//! The result is a [`BatchPlan`]: the five auxiliary arrays of Fig 6
+//! (`Tile`, `GEMM`, `Tiling strategy`, `Y_Coordinate`, `X_Coordinate`)
+//! that can describe *any* batching scheme.
+
+pub mod heuristics;
+pub mod order;
+pub mod plan;
+pub mod tile;
+
+pub use heuristics::{assign_blocks, BatchingHeuristic};
+pub use order::{order_tiles, TileOrder};
+pub use plan::BatchPlan;
+pub use tile::{tiles_for, TileTask};

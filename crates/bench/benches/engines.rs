@@ -1,0 +1,67 @@
+//! Criterion microbenches for the framework's host-side components: the
+//! tiling-selection algorithm (Table 2 machinery), the batching
+//! heuristics, plan lowering, and the random-forest selector (whose
+//! "negligible overhead" the paper claims in §5).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ctb_batching::{assign_blocks, tiles_for, BatchPlan, BatchingHeuristic};
+use ctb_core::{lowering::lower_plan, OnlineSelector};
+use ctb_gpu_specs::{ArchSpec, Thresholds};
+use ctb_matrix::gen::{random_case, random_cases};
+use ctb_tiling::select_tiling;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_tiling_engine(c: &mut Criterion) {
+    let th = Thresholds::paper_v100();
+    let shapes = random_case(3);
+    let mut g = c.benchmark_group("tiling_engine");
+    g.sample_size(20).measurement_time(Duration::from_millis(500));
+    g.bench_function("select_tiling_random_batch", |b| {
+        b.iter(|| black_box(select_tiling(&shapes, &th)))
+    });
+    g.finish();
+}
+
+fn bench_batching_engine(c: &mut Criterion) {
+    let th = Thresholds::paper_v100();
+    let shapes = random_case(3);
+    let sol = select_tiling(&shapes, &th);
+    let tiles = tiles_for(&shapes, &sol);
+    let mut g = c.benchmark_group("batching_engine");
+    g.sample_size(20).measurement_time(Duration::from_millis(500));
+    for h in [
+        BatchingHeuristic::OneTilePerBlock,
+        BatchingHeuristic::Threshold,
+        BatchingHeuristic::Binary,
+    ] {
+        g.bench_function(h.to_string(), |b| {
+            b.iter(|| black_box(assign_blocks(&tiles, h, &th, sol.thread_count.threads())))
+        });
+    }
+    g.bench_function("plan_and_lower", |b| {
+        b.iter(|| {
+            let blocks =
+                assign_blocks(&tiles, BatchingHeuristic::Threshold, &th, sol.thread_count.threads());
+            let plan = BatchPlan::from_blocks(&blocks, sol.thread_count.threads());
+            black_box(lower_plan("bench", &plan, &shapes))
+        })
+    });
+    g.finish();
+}
+
+fn bench_forest_selector(c: &mut Criterion) {
+    let arch = ArchSpec::volta_v100();
+    let th = Thresholds::for_arch(&arch);
+    let selector = OnlineSelector::train(&arch, &th, &random_cases(60, 9));
+    let shapes = random_case(21);
+    let mut g = c.benchmark_group("forest_selector");
+    g.sample_size(20).measurement_time(Duration::from_millis(500));
+    g.bench_function("select_shapes", |b| {
+        b.iter(|| black_box(selector.select_shapes(&shapes)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tiling_engine, bench_batching_engine, bench_forest_selector);
+criterion_main!(benches);

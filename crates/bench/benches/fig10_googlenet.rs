@@ -1,0 +1,44 @@
+//! Criterion benches for the GoogleNet experiments (Fig 10, §7.3).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ctb_baselines::magma_vbatch;
+use ctb_convnet::googlenet_v1;
+use ctb_core::Framework;
+use ctb_gpu_specs::ArchSpec;
+use ctb_sim::simulate;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_inception_layers(c: &mut Criterion) {
+    let arch = ArchSpec::volta_v100();
+    let fw = Framework::new(arch.clone());
+    let net = googlenet_v1();
+    let mut g = c.benchmark_group("fig10_layer");
+    g.sample_size(10).measurement_time(Duration::from_millis(500));
+    for m in [&net.modules[0], &net.modules[2], &net.modules[8]] {
+        let shapes = m.stage1_shapes(4);
+        g.bench_function(format!("{}_coordinated", m.name), |bench| {
+            bench.iter(|| black_box(fw.simulate_only(&shapes).expect("plannable").total_us))
+        });
+        g.bench_function(format!("{}_magma", m.name), |bench| {
+            bench.iter(|| {
+                let run = magma_vbatch(&arch, &shapes);
+                black_box(simulate(&arch, &run.seq).total_us)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_googlenet_end_to_end(c: &mut Criterion) {
+    let arch = ArchSpec::volta_v100();
+    let mut g = c.benchmark_group("googlenet_e2e");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    g.bench_function("three_variants_batch1", |bench| {
+        bench.iter(|| black_box(ctb_convnet::pipeline::googlenet_times(&arch, 1)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_inception_layers, bench_googlenet_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion bench for the Fig 11 portability experiment: one random
+//! batched-GEMM case evaluated (framework vs MAGMA) on every device
+//! preset.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ctb_baselines::magma_vbatch;
+use ctb_core::Framework;
+use ctb_gpu_specs::ArchSpec;
+use ctb_matrix::gen::random_case;
+use ctb_sim::simulate;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_portability(c: &mut Criterion) {
+    let shapes = random_case(11);
+    let mut g = c.benchmark_group("fig11_case");
+    g.sample_size(10).measurement_time(Duration::from_millis(500));
+    for arch in ArchSpec::all_presets() {
+        let fw = Framework::new(arch.clone());
+        g.bench_function(arch.name.replace(' ', "_"), |bench| {
+            bench.iter(|| {
+                let ours = fw.simulate_only(&shapes).expect("plannable").total_us;
+                let magma = simulate(&arch, &magma_vbatch(&arch, &shapes).seq).total_us;
+                black_box(magma / ours)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_portability);
+criterion_main!(benches);

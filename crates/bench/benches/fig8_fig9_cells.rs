@@ -1,0 +1,73 @@
+//! Criterion benches for the Fig 8 / Fig 9 grids (Tables of §7.1–§7.2).
+//!
+//! Each benchmark measures the host-side cost of producing one grid
+//! cell: planning (tiling + batching) plus the timing simulation for
+//! both the framework and the MAGMA baseline. Representative corner
+//! cells of the paper's histogram array are used rather than all 96, so
+//! `cargo bench` stays quick.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ctb_baselines::{magma_vbatch, simulate_baseline};
+use ctb_batching::BatchingHeuristic;
+use ctb_core::{BatchingPolicy, Framework, FrameworkConfig};
+use ctb_gpu_specs::ArchSpec;
+use ctb_matrix::gen::uniform_case;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn corner_cells() -> Vec<(usize, usize, usize)> {
+    vec![(4, 64, 16), (4, 256, 2048), (32, 64, 16), (32, 256, 2048), (16, 128, 256)]
+}
+
+fn bench_fig8_cells(c: &mut Criterion) {
+    let arch = ArchSpec::volta_v100();
+    let fw = Framework::with_config(
+        arch.clone(),
+        FrameworkConfig {
+            batching: BatchingPolicy::Fixed(BatchingHeuristic::OneTilePerBlock),
+            thresholds: None,
+        },
+    );
+    let mut g = c.benchmark_group("fig8_cell");
+    g.sample_size(10).measurement_time(Duration::from_millis(500));
+    for (b, mn, k) in corner_cells() {
+        let shapes = uniform_case(b, mn, mn, k);
+        g.bench_function(format!("B{b}_MN{mn}_K{k}"), |bench| {
+            bench.iter_batched(
+                || shapes.clone(),
+                |shapes| {
+                    let ours = fw.simulate_only(&shapes).expect("plannable").total_us;
+                    let magma = simulate_baseline(&arch, &magma_vbatch(&arch, &shapes)).total_us;
+                    black_box(magma / ours)
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig9_cells(c: &mut Criterion) {
+    let arch = ArchSpec::volta_v100();
+    let fw = Framework::new(arch.clone());
+    let mut g = c.benchmark_group("fig9_cell");
+    g.sample_size(10).measurement_time(Duration::from_millis(500));
+    for (b, mn, k) in corner_cells() {
+        let shapes = uniform_case(b, mn, mn, k);
+        g.bench_function(format!("B{b}_MN{mn}_K{k}"), |bench| {
+            bench.iter_batched(
+                || shapes.clone(),
+                |shapes| {
+                    let ours = fw.simulate_only(&shapes).expect("plannable").total_us;
+                    let magma = simulate_baseline(&arch, &magma_vbatch(&arch, &shapes)).total_us;
+                    black_box(magma / ours)
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig8_cells, bench_fig9_cells);
+criterion_main!(benches);

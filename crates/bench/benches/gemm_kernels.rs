@@ -1,0 +1,57 @@
+//! Criterion benches for the functional substrate: the reference GEMM
+//! kernels and the persistent-threads plan interpreter.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ctb_core::execute_plan;
+use ctb_core::Framework;
+use ctb_gpu_specs::ArchSpec;
+use ctb_matrix::{gemm_blocked, gemm_par, gemm_ref, GemmBatch, GemmShape, MatF32};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_reference_gemms(c: &mut Criterion) {
+    let n = 256;
+    let a = MatF32::random(n, n, 1);
+    let b = MatF32::random(n, n, 2);
+    let mut g = c.benchmark_group("reference_gemm_256");
+    g.sample_size(10).measurement_time(Duration::from_secs(1));
+    g.bench_function("naive", |bench| {
+        bench.iter(|| {
+            let mut cm = MatF32::zeros(n, n);
+            gemm_ref(1.0, &a, &b, 0.0, &mut cm);
+            black_box(cm)
+        })
+    });
+    g.bench_function("blocked", |bench| {
+        bench.iter(|| {
+            let mut cm = MatF32::zeros(n, n);
+            gemm_blocked(1.0, &a, &b, 0.0, &mut cm);
+            black_box(cm)
+        })
+    });
+    g.bench_function("rayon_parallel", |bench| {
+        bench.iter(|| {
+            let mut cm = MatF32::zeros(n, n);
+            gemm_par(1.0, &a, &b, 0.0, &mut cm);
+            black_box(cm)
+        })
+    });
+    g.finish();
+}
+
+fn bench_plan_interpreter(c: &mut Criterion) {
+    let arch = ArchSpec::volta_v100();
+    let fw = Framework::new(arch);
+    let shapes = vec![GemmShape::new(128, 128, 64); 8];
+    let batch = GemmBatch::random(&shapes, 1.0, 0.0, 3);
+    let plan = fw.plan(&shapes).expect("plannable");
+    let mut g = c.benchmark_group("plan_interpreter");
+    g.sample_size(10).measurement_time(Duration::from_secs(1));
+    g.bench_function("execute_plan_8x128x128x64", |bench| {
+        bench.iter(|| black_box(execute_plan(&batch, &plan.plan)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_reference_gemms, bench_plan_interpreter);
+criterion_main!(benches);

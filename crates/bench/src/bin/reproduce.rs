@@ -1,0 +1,394 @@
+//! Regenerate every table and figure of the paper.
+//!
+//! ```text
+//! cargo run -p ctb-bench --bin reproduce --release -- all
+//! cargo run -p ctb-bench --bin reproduce --release -- fig9
+//! ```
+//!
+//! Sub-commands: `tables`, `motivation`, `fig8`, `fig9`, `fig10`,
+//! `fig11`, `googlenet`, `calibrate`, `all`. Output is printed in the
+//! paper's row/series layout and mirrored as CSV under
+//! `target/experiments/`.
+
+use ctb_bench::figures::{fig11_portability, fig8_grid, fig9_grid, mean_speedup, CellResult};
+use ctb_bench::{ablations, calibrate, fans, googlenet_exp, motivation, tables, write_csv};
+use ctb_gpu_specs::{ArchSpec, Thresholds};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let what = args.first().map(String::as_str).unwrap_or("all");
+    let arch = ArchSpec::volta_v100();
+    match what {
+        "tables" => run_tables(),
+        "motivation" => run_motivation(&arch),
+        "fig8" => run_grid(&arch, 8),
+        "fig9" => run_grid(&arch, 9),
+        "fig10" => run_fig10(&arch),
+        "googlenet" => run_googlenet(&arch),
+        "fig11" => run_fig11(),
+        "calibrate" => run_calibrate(),
+        "ablate" => run_ablations(&arch),
+        "plan" => run_plan_explain(&arch, args.get(1).map(String::as_str)),
+        "custom" => run_custom(&arch, args.get(1).map(String::as_str)),
+        "fans" => run_fans(&arch),
+        "splitk" => run_splitk_demo(&arch),
+        "all" => {
+            run_tables();
+            run_motivation(&arch);
+            run_grid(&arch, 8);
+            run_grid(&arch, 9);
+            run_fig10(&arch);
+            run_googlenet(&arch);
+            run_fig11();
+            run_calibrate();
+            run_ablations(&arch);
+            run_fans(&arch);
+            run_splitk_demo(&arch);
+        }
+        other => {
+            eprintln!(
+                "unknown experiment '{other}'; expected one of: tables, motivation, \
+                 fig8, fig9, fig10, googlenet, fig11, calibrate, ablate, fans, splitk, \
+                 plan <MxNxK,...>, custom <csv-file>, all"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+fn run_tables() {
+    println!("== Table 1: tiling strategies for the single-GEMM scenario ==");
+    print!("{}", tables::table1());
+    println!("\n== Table 2: tiling strategies for the batched-GEMM scenario ==");
+    print!("{}", tables::table2());
+    println!("\n== 4.2.3 worked example ==");
+    print!("{}", tables::worked_example());
+    println!();
+}
+
+fn run_motivation(arch: &ArchSpec) {
+    println!("== Motivation (paper 1): single-GEMM efficiency on {} ==", arch.name);
+    let rows = motivation::motivation_rows(arch);
+    let mut csv = Vec::new();
+    for r in &rows {
+        println!(
+            "{:>24} {:>16}: {:>9.1} GFLOP/s  ({:.2}% of peak)",
+            r.label,
+            r.shape.to_string(),
+            r.gflops,
+            100.0 * r.fraction_of_peak
+        );
+        csv.push(format!("{},{},{},{}", r.label, r.shape, r.gflops, r.fraction_of_peak));
+    }
+    let path = write_csv("motivation", "label,shape,gflops,fraction_of_peak", &csv);
+    println!("(csv: {})\n", path.display());
+}
+
+fn run_grid(arch: &ArchSpec, which: u8) {
+    let (cells, label) = if which == 8 {
+        (fig8_grid(arch), "Fig 8: tiling engine vs MAGMA vbatch")
+    } else {
+        (fig9_grid(arch), "Fig 9: coordinated tiling + batching vs MAGMA vbatch")
+    };
+    println!("== {label} ({}) ==", arch.name);
+    print_grid(&cells);
+    println!(
+        "geometric-mean speedup over the grid: {:.2}x (paper: {})",
+        mean_speedup(&cells),
+        if which == 8 { "~1.20x" } else { "~1.40x" }
+    );
+    let rows: Vec<String> = cells
+        .iter()
+        .map(|c| format!("{},{},{},{},{},{}", c.batch, c.mn, c.k, c.magma_us, c.ours_us, c.speedup()))
+        .collect();
+    let path = write_csv(
+        &format!("fig{which}"),
+        "batch,mn,k,magma_us,ours_us,speedup",
+        &rows,
+    );
+    println!("(csv: {})\n", path.display());
+}
+
+fn print_grid(cells: &[CellResult]) {
+    // The paper's 2-D histogram array: rows by (batch, mn), X axis K.
+    let ks: Vec<usize> = ctb_matrix::gen::k_sweep();
+    print!("{:>6} {:>5} |", "batch", "M=N");
+    for k in &ks {
+        print!(" K={k:<5}");
+    }
+    println!();
+    for b in ctb_matrix::gen::fig_batch_sizes() {
+        for mn in ctb_matrix::gen::fig_mn_sizes() {
+            print!("{b:>6} {mn:>5} |");
+            for k in &ks {
+                let cell = cells
+                    .iter()
+                    .find(|c| c.batch == b && c.mn == mn && c.k == *k)
+                    .expect("cell present");
+                print!(" {:<7.2}", cell.speedup());
+            }
+            println!();
+        }
+    }
+}
+
+fn run_fig10(arch: &ArchSpec) {
+    println!(
+        "== Fig 10: GoogleNet inception-layer speedup vs MAGMA ({}; image batch {}) ==",
+        arch.name,
+        googlenet_exp::FIG10_IMAGE_BATCH
+    );
+    let rows = googlenet_exp::fig10_rows(arch);
+    let mut csv = Vec::new();
+    for (name, s) in &rows {
+        println!("{name:>14}: {s:.2}x");
+        csv.push(format!("{name},{s}"));
+    }
+    let mean = ctb_bench::geomean(&rows.iter().map(|(_, s)| *s).collect::<Vec<_>>());
+    println!("mean: {mean:.2}x (paper: up to 1.40x on 3a/4a, ~1.25x elsewhere)");
+    let path = write_csv("fig10", "layer,speedup", &csv);
+    println!("(csv: {})\n", path.display());
+}
+
+fn run_googlenet(arch: &ArchSpec) {
+    println!("== GoogleNet end-to-end inference, paper 7.3 ({}; image batch 1) ==", arch.name);
+    let t = googlenet_exp::googlenet_summary(arch);
+    println!("cuDNN-like serial     : {:.2} ms   (paper: 3.18 ms)", t.cudnn_like_ms);
+    println!("  + stream concurrency: {:.2} ms   (paper: 2.41 ms)", t.cudnn_streams_ms);
+    println!("coordinated batching  : {:.2} ms   (paper: 2.01 ms)", t.coordinated_ms);
+    println!(
+        "speedup vs serial: {:.2}x (paper 1.58x); vs streams: {:.2}x (paper 1.20x)",
+        t.speedup_vs_baseline(),
+        t.speedup_vs_streams()
+    );
+    let path = write_csv(
+        "googlenet",
+        "variant,ms",
+        &[
+            format!("cudnn_like,{}", t.cudnn_like_ms),
+            format!("cudnn_streams,{}", t.cudnn_streams_ms),
+            format!("coordinated,{}", t.coordinated_ms),
+        ],
+    );
+    println!("(csv: {})\n", path.display());
+}
+
+fn run_fig11() {
+    println!("== Fig 11: sensitivity across GPU architectures (100 random cases each) ==");
+    let paper = [
+        ("Tesla P100", 1.54),
+        ("GTX 1080 Ti", 1.38),
+        ("Titan Xp", 1.52),
+        ("Tesla M60", 1.46),
+        ("GTX Titan X", 1.43),
+    ];
+    let results = fig11_portability(100, 2024);
+    let mut csv = Vec::new();
+    for r in &results {
+        let paper_x = paper
+            .iter()
+            .find(|(n, _)| *n == r.arch_name)
+            .map(|(_, x)| *x)
+            .unwrap_or(f64::NAN);
+        println!("{:>12}: {:.2}x  (paper: {paper_x:.2}x)", r.arch_name, r.mean_speedup);
+        csv.push(format!("{},{},{}", r.arch_name, r.mean_speedup, paper_x));
+    }
+    let path = write_csv("fig11", "arch,mean_speedup,paper_speedup", &csv);
+    println!("(csv: {})\n", path.display());
+}
+
+fn run_calibrate() {
+    println!("== Offline TLP-threshold calibration (papers 4.2.3 / 7) ==");
+    let mut csv = Vec::new();
+    for arch in ArchSpec::all_presets() {
+        let sweep = calibrate::calibration_sweep(&arch);
+        let t = calibrate::calibrate_tlp_threshold(&arch, 0.9);
+        let used = Thresholds::for_arch(&arch).tlp_threshold;
+        let pts: Vec<String> = sweep
+            .iter()
+            .map(|p| format!("{}:{:.0}GF@TLP{}", p.strategy, p.gflops, p.tlp))
+            .collect();
+        println!("{:>12}: calibrated {t} (framework uses {used})", arch.name);
+        println!("              sweep: {}", pts.join("  "));
+        csv.push(format!("{},{t},{used}", arch.name));
+    }
+    let path = write_csv("calibration", "arch,calibrated_threshold,used_threshold", &csv);
+    println!("(csv: {})\n", path.display());
+}
+
+fn run_ablations(arch: &ArchSpec) {
+    println!("== Ablations (DESIGN.md design choices; geometric-mean simulated us) ==");
+    let suites: Vec<(&str, Vec<ablations::AblationPoint>)> = vec![
+        ("tiling adaptivity", ablations::ablate_tiling_adaptivity(arch)),
+        ("TLP threshold", ablations::ablate_tlp_threshold(arch)),
+        ("theta", ablations::ablate_theta(arch)),
+        ("cross-tile prefetch", ablations::ablate_cross_tile_prefetch(arch)),
+        ("heuristic vs autotune", ablations::ablate_heuristic_vs_autotune(arch)),
+        ("tile order", ablations::ablate_tile_order(arch)),
+        ("dynamic queue", ablations::ablate_dynamic_queue(arch)),
+    ];
+    let mut csv = Vec::new();
+    for (suite, points) in &suites {
+        println!("-- {suite}");
+        let best = points.iter().map(|p| p.mean_us).fold(f64::INFINITY, f64::min);
+        for p in points {
+            println!("   {:<28} {:>9.1} us  ({:+.1}% vs best)", p.label, p.mean_us, 100.0 * (p.mean_us / best - 1.0));
+            csv.push(format!("{suite},{},{}", p.label, p.mean_us));
+        }
+    }
+    let path = write_csv("ablations", "suite,config,mean_us", &csv);
+    println!("(csv: {})\n", path.display());
+}
+
+fn run_fans(arch: &ArchSpec) {
+    println!("== Fan-structure extensions: SqueezeNet / ResNet / training backward ==");
+    let t = ctb_convnet::pipeline::squeezenet_times(arch, 1);
+    println!(
+        "squeezenet end-to-end (batch 1): serial {:.2} ms | +streams {:.2} ms | coordinated {:.2} ms",
+        t.cudnn_like_ms, t.cudnn_streams_ms, t.coordinated_ms
+    );
+    let mut csv = Vec::new();
+    for (label, rows) in [
+        ("squeezenet expand fans (batch 4)", fans::squeezenet_fan_rows(arch, 4)),
+        ("resnet projection fans (batch 4)", fans::resnet_fan_rows(arch, 4)),
+        ("googlenet backward fans (batch 1)", fans::backward_fan_rows(arch, 1)),
+    ] {
+        println!("-- {label}");
+        for (name, s) in &rows {
+            println!("   {name:>22}: {s:.2}x vs MAGMA");
+            csv.push(format!("{label},{name},{s}"));
+        }
+        let mean = ctb_bench::geomean(&rows.iter().map(|(_, s)| *s).collect::<Vec<_>>());
+        println!("   mean: {mean:.2}x");
+    }
+    let path = write_csv("fans", "suite,workload,speedup", &csv);
+    println!("(csv: {})\n", path.display());
+}
+
+fn run_splitk_demo(arch: &ArchSpec) {
+    use ctb_core::plan_splitk;
+    use ctb_matrix::GemmShape;
+    use ctb_sim::simulate;
+    println!("== Split-K extension: TLP-starved large-K GEMMs ==");
+    let th = Thresholds::for_arch(arch);
+    let mut csv = Vec::new();
+    for shapes in [
+        vec![GemmShape::new(64, 64, 8192)],
+        vec![GemmShape::new(128, 64, 4096); 2],
+        vec![GemmShape::new(64, 128, 2048); 4],
+    ] {
+        let label: Vec<String> = shapes.iter().map(|s| s.to_string()).collect();
+        print!("   {:<38}", format!("B={} {}", shapes.len(), label[0]));
+        let mut row = vec![format!("B={} {}", shapes.len(), label[0])];
+        for split in [1usize, 2, 4, 8] {
+            let plan = plan_splitk(arch, &shapes, &th, split).expect("plannable");
+            let us = simulate(arch, &plan.sequence).total_us;
+            print!(" s{split}={us:>7.1}us");
+            row.push(format!("{us}"));
+        }
+        println!();
+        csv.push(row.join(","));
+    }
+    let path = write_csv("splitk", "workload,split1_us,split2_us,split4_us,split8_us", &csv);
+    println!("(csv: {})\n", path.display());
+}
+
+fn run_plan_explain(arch: &ArchSpec, spec: Option<&str>) {
+    use ctb_core::Framework;
+    use ctb_matrix::GemmShape;
+    use ctb_tiling::select_tiling_traced;
+
+    let spec = spec.unwrap_or("16x32x128,64x64x64,256x256x64");
+    let shapes: Vec<GemmShape> = spec
+        .split(',')
+        .map(|s| {
+            let dims: Vec<usize> = s
+                .trim()
+                .split('x')
+                .map(|d| d.parse().unwrap_or_else(|_| panic!("bad dimension in '{s}'")))
+                .collect();
+            assert_eq!(dims.len(), 3, "expected MxNxK, got '{s}'");
+            GemmShape::new(dims[0], dims[1], dims[2])
+        })
+        .collect();
+
+    println!("== plan explainer on {} ==", arch.name);
+    let th = Thresholds::for_arch(arch);
+    let (solution, trace) = select_tiling_traced(&shapes, &th);
+    print!("{}", trace.render(&shapes));
+    println!("\nchosen strategies ({}-thread unified blocks):", solution.thread_count.threads());
+    for (s, st) in shapes.iter().zip(&solution.per_gemm) {
+        println!("  {s:>16} -> {st}");
+    }
+
+    let fw = Framework::new(arch.clone());
+    let plan = fw.plan(&shapes).expect("plannable");
+    println!(
+        "\nbatching: {} -> {} tiles in {} blocks (max {} tiles/block)",
+        plan.heuristic,
+        plan.plan.num_tiles(),
+        plan.plan.num_blocks(),
+        plan.plan.max_tiles_per_block()
+    );
+    let report = fw.simulate_only(&shapes).expect("plannable");
+    let k = &report.kernels[0];
+    println!(
+        "simulated: {:.1} us | occupancy {} blocks/SM | avg active warps {:.1} | \
+         bound: {:.0}% throughput / {:.0}% latency / {:.0}% dependency / {:.0}% overhead",
+        report.total_us,
+        k.occupancy.blocks_per_sm,
+        k.avg_active_warps,
+        100.0 * k.bound_breakdown.throughput,
+        100.0 * k.bound_breakdown.memory_latency,
+        100.0 * k.bound_breakdown.dependency,
+        100.0 * k.bound_breakdown.overhead,
+    );
+    println!();
+}
+
+/// Run every executor on a user-supplied workload file (one `M,N,K` or
+/// `MxNxK` triple per line; `#` comments allowed).
+fn run_custom(arch: &ArchSpec, path: Option<&str>) {
+    use ctb_baselines::{cke, cublas_like, default_serial, magma_vbatch, simulate_baseline};
+    use ctb_core::Framework;
+    use ctb_matrix::GemmShape;
+
+    let Some(path) = path else {
+        eprintln!("usage: reproduce custom <file> — one M,N,K (or MxNxK) per line");
+        std::process::exit(2);
+    };
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read workload file {path}: {e}"));
+    let shapes: Vec<GemmShape> = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(|l| {
+            let dims: Vec<usize> = l
+                .split(|c: char| c == ',' || c == 'x')
+                .map(|d| d.trim().parse().unwrap_or_else(|_| panic!("bad line '{l}'")))
+                .collect();
+            assert_eq!(dims.len(), 3, "expected three dimensions in '{l}'");
+            GemmShape::new(dims[0], dims[1], dims[2])
+        })
+        .collect();
+    assert!(!shapes.is_empty(), "workload file {path} has no shapes");
+
+    println!("== custom workload: {} GEMMs from {path} on {} ==", shapes.len(), arch.name);
+    let fw = Framework::new(arch.clone());
+    let ours = fw.simulate_only(&shapes).expect("plannable").total_us;
+    let mut rows = vec![("coordinated (ours)".to_string(), ours)];
+    for run in [
+        default_serial(arch, &shapes),
+        cke(arch, &shapes),
+        cublas_like(arch, &shapes),
+        magma_vbatch(arch, &shapes),
+    ] {
+        rows.push((run.name.to_string(), simulate_baseline(arch, &run).total_us));
+    }
+    let best = rows.iter().map(|(_, us)| *us).fold(f64::INFINITY, f64::min);
+    for (name, us) in &rows {
+        println!("   {name:<20} {us:>10.1} us   ({:.2}x of best)", us / best);
+    }
+    println!();
+}

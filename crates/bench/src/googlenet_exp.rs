@@ -1,0 +1,49 @@
+//! The GoogleNet experiments: §7.3's end-to-end times and Fig 10's
+//! per-inception-layer speedups.
+
+use ctb_convnet::pipeline::{googlenet_times, inception_layer_speedups, GoogleNetTimes};
+use ctb_gpu_specs::ArchSpec;
+
+/// Image batch used for the Fig 10 per-layer comparison. N in the GEMM
+/// mapping is "feature map and batch size" (§1); batch 4 keeps the
+/// inception GEMMs in the small-matrix regime the paper targets while
+/// avoiding the degenerate N = 49 tail of the 7×7 modules.
+pub const FIG10_IMAGE_BATCH: usize = 4;
+
+/// End-to-end §7.3 numbers (image batch 1: "a inference pass").
+pub fn googlenet_summary(arch: &ArchSpec) -> GoogleNetTimes {
+    googlenet_times(arch, 1)
+}
+
+/// Fig 10 rows: (inception layer, speedup over MAGMA).
+pub fn fig10_rows(arch: &ArchSpec) -> Vec<(String, f64)> {
+    inception_layer_speedups(arch, FIG10_IMAGE_BATCH)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geomean;
+
+    #[test]
+    fn fig10_rows_are_the_nine_inception_layers() {
+        let rows = fig10_rows(&ArchSpec::volta_v100());
+        assert_eq!(rows.len(), 9);
+        assert!(rows[0].0.contains("3a"));
+        assert!(rows[8].0.contains("5b"));
+        // The paper's Fig 10 band: every layer above 1x, the mean near
+        // 1.25-1.40x.
+        let mean = geomean(&rows.iter().map(|(_, s)| *s).collect::<Vec<_>>());
+        assert!((1.05..=1.9).contains(&mean), "fig10 mean {mean}");
+        for (name, s) in &rows {
+            assert!(*s > 0.95, "{name} regressed: {s}");
+        }
+    }
+
+    #[test]
+    fn summary_matches_paper_ordering() {
+        let t = googlenet_summary(&ArchSpec::volta_v100());
+        assert!(t.cudnn_like_ms > t.cudnn_streams_ms);
+        assert!(t.cudnn_streams_ms > t.coordinated_ms);
+    }
+}

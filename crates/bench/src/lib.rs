@@ -1,0 +1,59 @@
+//! Experiment drivers regenerating every table and figure of the paper
+//! (see `DESIGN.md` §4 for the index).
+//!
+//! Each driver returns plain data; the `reproduce` binary formats it the
+//! way the paper reports it and writes CSV copies under
+//! `target/experiments/`.
+
+pub mod ablations;
+pub mod calibrate;
+pub mod fans;
+pub mod figures;
+pub mod googlenet_exp;
+pub mod motivation;
+pub mod tables;
+
+pub use calibrate::{calibrate_tlp_threshold, CalibrationPoint};
+pub use figures::{fig11_portability, fig8_grid, fig9_grid, CellResult, PortabilityResult};
+pub use googlenet_exp::{fig10_rows, googlenet_summary};
+pub use motivation::{motivation_rows, MotivationRow};
+
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// Directory where drivers drop CSV copies of their output.
+pub fn experiments_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/experiments");
+    std::fs::create_dir_all(&dir).expect("create target/experiments");
+    dir
+}
+
+/// Write `rows` (with a header) to `target/experiments/<name>.csv`.
+pub fn write_csv(name: &str, header: &str, rows: &[String]) -> PathBuf {
+    let path = experiments_dir().join(format!("{name}.csv"));
+    let mut f = std::fs::File::create(&path).expect("create csv");
+    writeln!(f, "{header}").expect("write header");
+    for r in rows {
+        writeln!(f, "{r}").expect("write row");
+    }
+    path
+}
+
+/// Geometric mean of a non-empty slice of positive values.
+pub fn geomean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "geomean of empty slice");
+    let log_sum: f64 = xs.iter().map(|&x| x.max(1e-12).ln()).sum();
+    (log_sum / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[1.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geomean(&[1.4]) - 1.4).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,50 @@
+//! §1's motivation numbers: large GEMMs run near peak, small GEMMs run
+//! far below 1% … a few percent of peak.
+
+use ctb_baselines::{default_serial, simulate_baseline};
+use ctb_gpu_specs::ArchSpec;
+use ctb_matrix::GemmShape;
+
+/// Efficiency of one GEMM executed as a single classic kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MotivationRow {
+    pub label: &'static str,
+    pub shape: GemmShape,
+    pub gflops: f64,
+    /// Fraction of the device's peak FP32 throughput.
+    pub fraction_of_peak: f64,
+}
+
+/// The two §1 data points: 5120³ (≈93 % of peak in cuBLAS) and the
+/// inception3a/5x5_reduce GEMM 16×784×192 (<1 % of peak).
+pub fn motivation_rows(arch: &ArchSpec) -> Vec<MotivationRow> {
+    [
+        ("large 5120^3", GemmShape::new(5120, 5120, 5120)),
+        ("inception3a/5x5_reduce", GemmShape::new(16, 784, 192)),
+    ]
+    .into_iter()
+    .map(|(label, shape)| {
+        let report = simulate_baseline(arch, &default_serial(arch, &[shape]));
+        let gflops = report.gflops(shape.flops());
+        MotivationRow { label, shape, gflops, fraction_of_peak: gflops / arch.peak_gflops() }
+    })
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn large_gemm_is_efficient_small_gemm_is_not() {
+        let rows = motivation_rows(&ArchSpec::volta_v100());
+        let large = &rows[0];
+        let small = &rows[1];
+        // The paper: 93% of peak for 5120^3; <1% for the small GEMM. Our
+        // simulator should show a dramatic gap (>= 10x) with the large
+        // case above 50% of peak and the small one below 10%.
+        assert!(large.fraction_of_peak > 0.5, "large at {}", large.fraction_of_peak);
+        assert!(small.fraction_of_peak < 0.1, "small at {}", small.fraction_of_peak);
+        assert!(large.fraction_of_peak / small.fraction_of_peak > 10.0);
+    }
+}

@@ -1,0 +1,99 @@
+//! Convolution descriptors and their GEMM shapes.
+
+use ctb_matrix::GemmShape;
+
+/// One 2-D convolution layer (square or rectangular kernels, symmetric
+/// stride/padding), described over its input feature map.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Conv2dDesc {
+    /// Layer name, e.g. `"inception3a/5x5_reduce"`.
+    pub name: String,
+    /// Input channels.
+    pub in_c: usize,
+    /// Input spatial height.
+    pub in_h: usize,
+    /// Input spatial width.
+    pub in_w: usize,
+    /// Output channels (number of filters — the GEMM's `M`).
+    pub out_c: usize,
+    /// Kernel height.
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+    /// Stride (same in both dimensions).
+    pub stride: usize,
+    /// Zero padding (same on all sides).
+    pub pad: usize,
+}
+
+impl Conv2dDesc {
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: &str,
+        in_c: usize,
+        in_h: usize,
+        in_w: usize,
+        out_c: usize,
+        kh: usize,
+        kw: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Self {
+        Conv2dDesc { name: name.into(), in_c, in_h, in_w, out_c, kh, kw, stride, pad }
+    }
+
+    /// Output spatial height.
+    pub fn out_h(&self) -> usize {
+        (self.in_h + 2 * self.pad - self.kh) / self.stride + 1
+    }
+
+    /// Output spatial width.
+    pub fn out_w(&self) -> usize {
+        (self.in_w + 2 * self.pad - self.kw) / self.stride + 1
+    }
+
+    /// The im2col GEMM shape for an image batch of `batch` (§1: "M
+    /// refers to the number of filters, K refers to the size of filter
+    /// and the number of channels, and N refers to the feature map and
+    /// batch size").
+    pub fn gemm_shape(&self, batch: usize) -> GemmShape {
+        GemmShape::new(
+            self.out_c,
+            self.out_h() * self.out_w() * batch,
+            self.in_c * self.kh * self.kw,
+        )
+    }
+
+    /// Multiply–accumulate count for one image.
+    pub fn macs(&self) -> u64 {
+        (self.out_c * self.out_h() * self.out_w() * self.in_c * self.kh * self.kw) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_dims_follow_the_conv_formula() {
+        // GoogleNet conv1: 224x224, 7x7 stride 2 pad 3 -> 112x112.
+        let c = Conv2dDesc::new("conv1", 3, 224, 224, 64, 7, 7, 2, 3);
+        assert_eq!((c.out_h(), c.out_w()), (112, 112));
+        // 3x3 pad 1 stride 1 preserves size.
+        let c = Conv2dDesc::new("c", 64, 56, 56, 192, 3, 3, 1, 1);
+        assert_eq!((c.out_h(), c.out_w()), (56, 56));
+        // 1x1 keeps size.
+        let c = Conv2dDesc::new("c", 192, 28, 28, 64, 1, 1, 1, 0);
+        assert_eq!((c.out_h(), c.out_w()), (28, 28));
+    }
+
+    #[test]
+    fn paper_motivating_gemm_shape() {
+        // §1: inception3a/5x5_reduce maps to 16 x 784 x 192 at image
+        // batch 1.
+        let c = Conv2dDesc::new("inception3a/5x5_reduce", 192, 28, 28, 16, 1, 1, 1, 0);
+        assert_eq!(c.gemm_shape(1), GemmShape::new(16, 784, 192));
+        // Batch scales N only.
+        assert_eq!(c.gemm_shape(4), GemmShape::new(16, 4 * 784, 192));
+    }
+}

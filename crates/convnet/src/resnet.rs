@@ -1,0 +1,141 @@
+//! ResNet bottleneck blocks — the third fan-structure workload the paper
+//! names (§7.3).
+//!
+//! A bottleneck block runs 1×1 → 3×3 → 1×1 on the main path; when the
+//! block changes channel count or stride, a parallel 1×1 *projection*
+//! convolution transforms the shortcut. The projection and the main
+//! path's first 1×1 read the same input, so their GEMMs batch exactly
+//! like inception branch heads.
+
+use crate::conv::Conv2dDesc;
+use ctb_matrix::GemmShape;
+
+/// One bottleneck residual block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BottleneckBlock {
+    pub name: String,
+    pub reduce1x1: Conv2dDesc,
+    pub conv3x3: Conv2dDesc,
+    pub expand1x1: Conv2dDesc,
+    /// Projection shortcut, present when shape changes.
+    pub projection: Option<Conv2dDesc>,
+}
+
+impl BottleneckBlock {
+    /// Build a block at input spatial size `s`, `in_c` input channels,
+    /// `mid` bottleneck width, `out_c` output channels and `stride`.
+    pub fn new(name: &str, s: usize, in_c: usize, mid: usize, out_c: usize, stride: usize) -> Self {
+        let so = s.div_ceil(stride);
+        let projection = if in_c != out_c || stride != 1 {
+            Some(Conv2dDesc::new(&format!("{name}/proj"), in_c, s, s, out_c, 1, 1, stride, 0))
+        } else {
+            None
+        };
+        BottleneckBlock {
+            name: name.into(),
+            reduce1x1: Conv2dDesc::new(&format!("{name}/1x1a"), in_c, s, s, mid, 1, 1, stride, 0),
+            conv3x3: Conv2dDesc::new(&format!("{name}/3x3"), mid, so, so, mid, 3, 3, 1, 1),
+            expand1x1: Conv2dDesc::new(&format!("{name}/1x1b"), mid, so, so, out_c, 1, 1, 1, 0),
+            projection,
+        }
+    }
+
+    /// Stage-1 fan: the GEMMs that read the block input in parallel
+    /// (main-path reduce + projection when present).
+    pub fn fan_shapes(&self, batch: usize) -> Vec<GemmShape> {
+        let mut v = vec![self.reduce1x1.gemm_shape(batch)];
+        if let Some(p) = &self.projection {
+            v.push(p.gemm_shape(batch));
+        }
+        v
+    }
+
+    /// All convolutions in dependency order.
+    pub fn convs(&self) -> Vec<&Conv2dDesc> {
+        let mut v = vec![&self.reduce1x1, &self.conv3x3, &self.expand1x1];
+        if let Some(p) = &self.projection {
+            v.push(p);
+        }
+        v
+    }
+}
+
+/// The four bottleneck stages of ResNet-50 (blocks per stage 3, 4, 6,
+/// 3), for 224×224 inputs — 53 convolutions in total (plus the 7×7
+/// stem, which has no fan).
+pub fn resnet50_blocks() -> Vec<BottleneckBlock> {
+    let mut blocks = Vec::new();
+    let stages: [(usize, usize, usize, usize, usize); 4] = [
+        // (spatial in, in_c, mid, out_c, count)
+        (56, 64, 64, 256, 3),
+        (56, 256, 128, 512, 4),
+        (28, 512, 256, 1024, 6),
+        (14, 1024, 512, 2048, 3),
+    ];
+    for (stage, (s_in, in_c, mid, out_c, count)) in stages.into_iter().enumerate() {
+        for i in 0..count {
+            let first = i == 0;
+            // Stage 2+ downsample in their first block.
+            let stride = if first && stage > 0 { 2 } else { 1 };
+            let (s, c_in) = if first { (s_in, in_c) } else { (s_in.div_ceil(stride), out_c) };
+            let s = if !first && stage > 0 { s_in / 2 } else { s };
+            blocks.push(BottleneckBlock::new(
+                &format!("res{}_{}", stage + 2, i),
+                s,
+                c_in,
+                mid,
+                out_c,
+                stride,
+            ));
+        }
+    }
+    blocks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet50_block_count() {
+        let blocks = resnet50_blocks();
+        assert_eq!(blocks.len(), 3 + 4 + 6 + 3);
+        // 3 convs per block + 4 projection shortcuts.
+        let convs: usize = blocks.iter().map(|b| b.convs().len()).sum();
+        assert_eq!(convs, 16 * 3 + 4);
+    }
+
+    #[test]
+    fn first_block_of_each_stage_has_a_projection_fan() {
+        let blocks = resnet50_blocks();
+        for b in &blocks {
+            let is_first = b.name.ends_with("_0");
+            assert_eq!(b.projection.is_some(), is_first, "{}", b.name);
+            assert_eq!(b.fan_shapes(1).len(), if is_first { 2 } else { 1 });
+        }
+    }
+
+    #[test]
+    fn channel_plumbing_within_a_block() {
+        for b in resnet50_blocks() {
+            assert_eq!(b.conv3x3.in_c, b.reduce1x1.out_c, "{}", b.name);
+            assert_eq!(b.expand1x1.in_c, b.conv3x3.out_c, "{}", b.name);
+            if let Some(p) = &b.projection {
+                assert_eq!(p.out_c, b.expand1x1.out_c, "{}", b.name);
+                // Projection output spatial size must match the main
+                // path's.
+                assert_eq!(p.out_h(), b.expand1x1.out_h(), "{}", b.name);
+            }
+        }
+    }
+
+    #[test]
+    fn fan_gemms_are_batchable_sizes() {
+        // res3_0's fan at batch 1: (128, 784, 256) and (512, 784, 256).
+        let blocks = resnet50_blocks();
+        let res3_0 = blocks.iter().find(|b| b.name == "res3_0").unwrap();
+        let fan = res3_0.fan_shapes(1);
+        assert_eq!(fan[0], GemmShape::new(128, 28 * 28, 256));
+        assert_eq!(fan[1], GemmShape::new(512, 28 * 28, 256));
+    }
+}

@@ -1,0 +1,126 @@
+//! SqueezeNet v1.0 — a second fan-structure network (§7.3: "The
+//! fan-structure is popular in other state-of-the-art CNN models such as
+//! Squeeze-Net and ResNet").
+//!
+//! Each *fire module* squeezes with a 1×1 convolution and then expands
+//! through two parallel branches (1×1 and 3×3) whose GEMMs can be
+//! batched exactly like the inception branch heads.
+
+use crate::conv::Conv2dDesc;
+use ctb_matrix::GemmShape;
+
+/// One fire module: squeeze 1×1 → {expand 1×1 ∥ expand 3×3}.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FireModule {
+    pub name: String,
+    pub squeeze1x1: Conv2dDesc,
+    pub expand1x1: Conv2dDesc,
+    pub expand3x3: Conv2dDesc,
+}
+
+impl FireModule {
+    /// The two parallel expand GEMMs (the batchable fan).
+    pub fn expand_shapes(&self, batch: usize) -> Vec<GemmShape> {
+        vec![self.expand1x1.gemm_shape(batch), self.expand3x3.gemm_shape(batch)]
+    }
+
+    /// All three convolutions in dependency order.
+    pub fn convs(&self) -> [&Conv2dDesc; 3] {
+        [&self.squeeze1x1, &self.expand1x1, &self.expand3x3]
+    }
+
+    /// Concatenated output channels of the expand branches.
+    pub fn out_channels(&self) -> usize {
+        self.expand1x1.out_c + self.expand3x3.out_c
+    }
+}
+
+/// The network: stem conv, eight fire modules, classifier conv.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SqueezeNet {
+    pub conv1: Conv2dDesc,
+    pub fires: Vec<FireModule>,
+    pub conv10: Conv2dDesc,
+}
+
+impl SqueezeNet {
+    /// Every convolution in forward order (2 + 3 per fire = 26 total).
+    pub fn all_convs(&self) -> Vec<&Conv2dDesc> {
+        let mut v = vec![&self.conv1];
+        for f in &self.fires {
+            v.extend(f.convs());
+        }
+        v.push(&self.conv10);
+        v
+    }
+}
+
+fn fire(name: &str, s: usize, in_c: usize, sq: usize, e1: usize, e3: usize) -> FireModule {
+    FireModule {
+        name: name.into(),
+        squeeze1x1: Conv2dDesc::new(&format!("{name}/squeeze1x1"), in_c, s, s, sq, 1, 1, 1, 0),
+        expand1x1: Conv2dDesc::new(&format!("{name}/expand1x1"), sq, s, s, e1, 1, 1, 1, 0),
+        expand3x3: Conv2dDesc::new(&format!("{name}/expand3x3"), sq, s, s, e3, 3, 3, 1, 1),
+    }
+}
+
+/// SqueezeNet v1.0 (Iandola et al. 2016) for 224×224 inputs: spatial
+/// sizes 54 (fire2–4), 27 (fire5–8), 13 (fire9, conv10), as in the
+/// reference implementation (7×7/2 stem, ceil-mode 3×3/2 max-pools).
+pub fn squeezenet_v1() -> SqueezeNet {
+    SqueezeNet {
+        conv1: Conv2dDesc::new("conv1", 3, 224, 224, 96, 7, 7, 2, 0),
+        fires: vec![
+            fire("fire2", 54, 96, 16, 64, 64),
+            fire("fire3", 54, 128, 16, 64, 64),
+            fire("fire4", 54, 128, 32, 128, 128),
+            fire("fire5", 27, 256, 32, 128, 128),
+            fire("fire6", 27, 256, 48, 192, 192),
+            fire("fire7", 27, 384, 48, 192, 192),
+            fire("fire8", 27, 384, 64, 256, 256),
+            fire("fire9", 13, 512, 64, 256, 256),
+        ],
+        conv10: Conv2dDesc::new("conv10", 512, 13, 13, 1000, 1, 1, 1, 0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_26_convolutions() {
+        assert_eq!(squeezenet_v1().all_convs().len(), 26);
+    }
+
+    #[test]
+    fn fire_channel_plumbing() {
+        let net = squeezenet_v1();
+        // Expand branches read the squeeze output; next fire reads the
+        // concatenated expands (across pool boundaries the channel count
+        // carries over).
+        for f in &net.fires {
+            assert_eq!(f.expand1x1.in_c, f.squeeze1x1.out_c, "{}", f.name);
+            assert_eq!(f.expand3x3.in_c, f.squeeze1x1.out_c, "{}", f.name);
+        }
+        let outs: Vec<usize> = net.fires.iter().map(FireModule::out_channels).collect();
+        assert_eq!(outs, vec![128, 128, 256, 256, 384, 384, 512, 512]);
+        for w in net.fires.windows(2) {
+            assert_eq!(w[1].squeeze1x1.in_c, w[0].out_channels());
+        }
+        assert_eq!(net.conv10.in_c, net.fires.last().unwrap().out_channels());
+    }
+
+    #[test]
+    fn expand_shapes_are_small_gemms() {
+        // The fan GEMMs are squarely in the paper's small-matrix regime.
+        let net = squeezenet_v1();
+        for f in &net.fires {
+            for s in f.expand_shapes(1) {
+                assert!(s.m <= 256 && s.k < 1000, "{}: {s}", f.name);
+            }
+        }
+        // fire2/expand1x1 at batch 1: 64 x (54*54) x 16.
+        assert_eq!(net.fires[0].expand_shapes(1)[0], GemmShape::new(64, 54 * 54, 16));
+    }
+}

@@ -1,0 +1,206 @@
+//! Minimal CHW feature-map tensors and the non-GEMM layers a CNN
+//! forward pass needs (ReLU, max/average pooling, channel concat).
+//!
+//! These are the glue around the batched-GEMM framework in
+//! [`crate::forward`]; everything here is verified against naive
+//! definitions.
+
+use ctb_matrix::MatF32;
+
+/// A `C × H × W` feature map, stored as a `C × (H·W)` row-major matrix —
+/// exactly the `B` operand layout the im2col GEMM consumes for 1×1
+/// convolutions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    pub c: usize,
+    pub h: usize,
+    pub w: usize,
+    pub data: MatF32,
+}
+
+impl Tensor {
+    /// Zero-filled tensor.
+    pub fn zeros(c: usize, h: usize, w: usize) -> Self {
+        Tensor { c, h, w, data: MatF32::zeros(c, h * w) }
+    }
+
+    /// Deterministic random tensor in `[-1, 1)`.
+    pub fn random(c: usize, h: usize, w: usize, seed: u64) -> Self {
+        Tensor { c, h, w, data: MatF32::random(c, h * w, seed) }
+    }
+
+    /// Wrap an existing `C × (H·W)` matrix.
+    pub fn from_mat(c: usize, h: usize, w: usize, data: MatF32) -> Self {
+        assert_eq!(data.rows(), c, "channel count");
+        assert_eq!(data.cols(), h * w, "spatial size");
+        Tensor { c, h, w, data }
+    }
+
+    #[inline]
+    pub fn get(&self, c: usize, y: usize, x: usize) -> f32 {
+        self.data.get(c, y * self.w + x)
+    }
+
+    #[inline]
+    pub fn set(&mut self, c: usize, y: usize, x: usize, v: f32) {
+        self.data.set(c, y * self.w + x, v);
+    }
+
+    /// In-place ReLU.
+    pub fn relu(mut self) -> Self {
+        for v in self.data.as_mut_slice() {
+            *v = v.max(0.0);
+        }
+        self
+    }
+}
+
+/// Output spatial size of a pooling window with optional ceil mode.
+fn pool_out(input: usize, k: usize, stride: usize, ceil_mode: bool) -> usize {
+    let num = input.saturating_sub(k);
+    if ceil_mode {
+        num.div_ceil(stride) + 1
+    } else {
+        num / stride + 1
+    }
+}
+
+/// Max pooling with a `k × k` window, `stride`, symmetric `pad`, and
+/// optional ceil mode (GoogleNet's 3×3/2 pools use ceil mode; its
+/// inception pool branch uses 3×3 stride 1 pad 1). Padding contributes
+/// `-inf` (never wins).
+pub fn maxpool(t: &Tensor, k: usize, stride: usize, pad: usize, ceil_mode: bool) -> Tensor {
+    let oh = pool_out(t.h + 2 * pad, k, stride, ceil_mode);
+    let ow = pool_out(t.w + 2 * pad, k, stride, ceil_mode);
+    let mut out = Tensor::zeros(t.c, oh, ow);
+    for c in 0..t.c {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut m = f32::NEG_INFINITY;
+                for ky in 0..k {
+                    let iy = (oy * stride + ky) as isize - pad as isize;
+                    if iy < 0 || iy as usize >= t.h {
+                        continue;
+                    }
+                    for kx in 0..k {
+                        let ix = (ox * stride + kx) as isize - pad as isize;
+                        if ix < 0 || ix as usize >= t.w {
+                            continue;
+                        }
+                        m = m.max(t.get(c, iy as usize, ix as usize));
+                    }
+                }
+                // A window that is entirely padding (possible only in
+                // extreme ceil-mode corners) yields 0.
+                out.set(c, oy, ox, if m.is_finite() { m } else { 0.0 });
+            }
+        }
+    }
+    out
+}
+
+/// Global average pooling: `C × H × W` → `C × 1 × 1`.
+pub fn global_avgpool(t: &Tensor) -> Tensor {
+    let mut out = Tensor::zeros(t.c, 1, 1);
+    let n = (t.h * t.w) as f32;
+    for c in 0..t.c {
+        let sum: f32 = t.data.row(c).iter().sum();
+        out.set(c, 0, 0, sum / n);
+    }
+    out
+}
+
+/// Concatenate along the channel axis; all inputs must share H × W.
+pub fn concat_channels(parts: &[Tensor]) -> Tensor {
+    assert!(!parts.is_empty(), "nothing to concatenate");
+    let (h, w) = (parts[0].h, parts[0].w);
+    assert!(parts.iter().all(|p| p.h == h && p.w == w), "spatial mismatch");
+    let c_total: usize = parts.iter().map(|p| p.c).sum();
+    let mut data = Vec::with_capacity(c_total * h * w);
+    for p in parts {
+        data.extend_from_slice(p.data.as_slice());
+    }
+    Tensor::from_mat(c_total, h, w, MatF32::from_vec(c_total, h * w, data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexing_round_trips() {
+        let mut t = Tensor::zeros(2, 3, 4);
+        t.set(1, 2, 3, 7.5);
+        assert_eq!(t.get(1, 2, 3), 7.5);
+        assert_eq!(t.data.get(1, 2 * 4 + 3), 7.5);
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let t = Tensor::from_mat(1, 1, 4, MatF32::from_vec(1, 4, vec![-1.0, 0.0, 2.0, -0.5]));
+        assert_eq!(t.relu().data.as_slice(), &[0.0, 0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn maxpool_2x2_stride2() {
+        let t = Tensor::from_mat(
+            1,
+            2,
+            4,
+            MatF32::from_vec(1, 8, vec![1.0, 2.0, 5.0, 0.0, 3.0, 4.0, 1.0, 6.0]),
+        );
+        let p = maxpool(&t, 2, 2, 0, false);
+        assert_eq!((p.h, p.w), (1, 2));
+        assert_eq!(p.data.as_slice(), &[4.0, 6.0]);
+    }
+
+    #[test]
+    fn googlenet_pool_chain_dimensions() {
+        // ceil-mode 3x3/2 pools: 112 -> 56 -> (conv) -> 28 -> 14 -> 7.
+        for (i, o) in [(112usize, 56usize), (56, 28), (28, 14), (14, 7)] {
+            let t = Tensor::random(1, i, i, 3);
+            let p = maxpool(&t, 3, 2, 0, true);
+            assert_eq!((p.h, p.w), (o, o), "{i} -> {o}");
+        }
+    }
+
+    #[test]
+    fn stride1_pad1_pool_preserves_size() {
+        let t = Tensor::random(3, 5, 7, 9);
+        let p = maxpool(&t, 3, 1, 1, false);
+        assert_eq!((p.c, p.h, p.w), (3, 5, 7));
+        // Every output dominates the corresponding input pixel.
+        for c in 0..3 {
+            for y in 0..5 {
+                for x in 0..7 {
+                    assert!(p.get(c, y, x) >= t.get(c, y, x));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn global_avgpool_averages() {
+        let t = Tensor::from_mat(2, 1, 2, MatF32::from_vec(2, 2, vec![1.0, 3.0, -2.0, 2.0]));
+        let g = global_avgpool(&t);
+        assert_eq!(g.data.as_slice(), &[2.0, 0.0]);
+    }
+
+    #[test]
+    fn concat_stacks_channels() {
+        let a = Tensor::random(2, 3, 3, 1);
+        let b = Tensor::random(1, 3, 3, 2);
+        let c = concat_channels(&[a.clone(), b.clone()]);
+        assert_eq!(c.c, 3);
+        assert_eq!(c.data.row(0), a.data.row(0));
+        assert_eq!(c.data.row(2), b.data.row(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "spatial mismatch")]
+    fn concat_rejects_mismatched_shapes() {
+        let a = Tensor::zeros(1, 2, 2);
+        let b = Tensor::zeros(1, 3, 3);
+        let _ = concat_channels(&[a, b]);
+    }
+}

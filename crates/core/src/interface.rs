@@ -1,0 +1,169 @@
+//! The functional persistent-threads interpreter — the Fig 7
+//! programming interface.
+//!
+//! Each thread block walks its `[Tile[b], Tile[b+1])` range, parses the
+//! GEMM and tile information from the auxiliary arrays, and executes the
+//! Fig 2 main loop for that tile: accumulate over K in `BK` chunks, then
+//! write back `alpha * acc + beta * C`. Blocks run in parallel on the
+//! rayon pool — they own disjoint C tiles by construction (validated by
+//! [`ctb_batching::BatchPlan::validate`]), mirroring the CUDA execution
+//! model where each tile is produced by exactly one block.
+
+use ctb_batching::BatchPlan;
+use ctb_matrix::{GemmBatch, MatF32};
+use ctb_tiling::TilingStrategy;
+use rayon::prelude::*;
+
+/// One computed C tile, ready to scatter.
+struct TileResult {
+    gemm: usize,
+    y0: usize,
+    x0: usize,
+    rows: usize,
+    cols: usize,
+    /// Row-major `rows × cols` values.
+    data: Vec<f32>,
+}
+
+/// Execute the Fig 2 main loop for one tile, returning its C values.
+fn run_tile(
+    batch: &GemmBatch,
+    gemm: usize,
+    strategy: &TilingStrategy,
+    ty: usize,
+    tx: usize,
+) -> TileResult {
+    let shape = batch.shapes[gemm];
+    let (a, b, c) = (&batch.a[gemm], &batch.b[gemm], &batch.c[gemm]);
+    let y0 = ty * strategy.by;
+    let x0 = tx * strategy.bx;
+    let rows = (shape.m - y0).min(strategy.by);
+    let cols = (shape.n - x0).min(strategy.bx);
+
+    // reg_C accumulators for the whole tile (each simulated thread owns
+    // a sub_y x sub_x sub-tile of this buffer).
+    let mut acc = vec![0.0f32; rows * cols];
+    let bk = strategy.bk;
+    // Main loop along the K dimension, one BK chunk per iteration.
+    let mut k0 = 0;
+    while k0 < shape.k {
+        let k1 = (k0 + bk).min(shape.k);
+        for i in 0..rows {
+            for p in k0..k1 {
+                let av = a.get(y0 + i, p);
+                let brow = &b.as_slice()[p * shape.n + x0..p * shape.n + x0 + cols];
+                let arow = &mut acc[i * cols..(i + 1) * cols];
+                for (dst, &bv) in arow.iter_mut().zip(brow) {
+                    *dst += av * bv;
+                }
+            }
+        }
+        k0 = k1;
+    }
+
+    // Epilogue: C = alpha * acc + beta * C.
+    let mut data = vec![0.0f32; rows * cols];
+    for i in 0..rows {
+        for j in 0..cols {
+            data[i * cols + j] = batch.alpha * acc[i * cols + j] + batch.beta * c.get(y0 + i, x0 + j);
+        }
+    }
+    TileResult { gemm, y0, x0, rows, cols, data }
+}
+
+/// Execute a batch plan functionally: every block processes its tiles
+/// (Fig 7), and the computed tiles are scattered into fresh copies of
+/// the C matrices.
+pub fn execute_plan(batch: &GemmBatch, plan: &BatchPlan) -> Vec<MatF32> {
+    // The Fig 7 outer structure: parallel over thread blocks, serial
+    // over the tiles of a block.
+    let results: Vec<TileResult> = (0..plan.num_blocks())
+        .into_par_iter()
+        .flat_map_iter(|blk| {
+            let begin = plan.tile[blk];
+            let end = plan.tile[blk + 1];
+            (begin..end).map(|t| {
+                let gemm = plan.gemm[t];
+                let strategy = TilingStrategy::from_id(plan.tiling[t]);
+                run_tile(batch, gemm, &strategy, plan.y_coord[t], plan.x_coord[t])
+            })
+        })
+        .collect();
+
+    let mut out: Vec<MatF32> = batch.c.clone();
+    for r in results {
+        let n = out[r.gemm].cols();
+        let buf = out[r.gemm].as_mut_slice();
+        for i in 0..r.rows {
+            let dst = &mut buf[(r.y0 + i) * n + r.x0..(r.y0 + i) * n + r.x0 + r.cols];
+            dst.copy_from_slice(&r.data[i * r.cols..(i + 1) * r.cols]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctb_batching::{assign_blocks, tiles_for, BatchingHeuristic};
+    use ctb_gpu_specs::Thresholds;
+    use ctb_matrix::{assert_all_close, GemmShape};
+    use ctb_tiling::select_tiling;
+
+    fn run_case(shapes: &[GemmShape], heuristic: BatchingHeuristic, alpha: f32, beta: f32) {
+        let th = Thresholds::paper_v100();
+        let batch = GemmBatch::random(shapes, alpha, beta, 42);
+        let sol = select_tiling(shapes, &th);
+        let tiles = tiles_for(shapes, &sol);
+        let blocks = assign_blocks(&tiles, heuristic, &th, sol.thread_count.threads());
+        let plan = BatchPlan::from_blocks(&blocks, sol.thread_count.threads());
+        plan.validate(shapes, &sol).expect("valid plan");
+        let got = execute_plan(&batch, &plan);
+        let expect = batch.reference_result();
+        assert_all_close(&expect, &got, 2e-4);
+    }
+
+    #[test]
+    fn worked_example_computes_correct_results() {
+        let shapes = [
+            GemmShape::new(16, 32, 128),
+            GemmShape::new(64, 64, 64),
+            GemmShape::new(256, 256, 64),
+        ];
+        for h in [
+            BatchingHeuristic::OneTilePerBlock,
+            BatchingHeuristic::Threshold,
+            BatchingHeuristic::Binary,
+        ] {
+            run_case(&shapes, h, 1.0, 0.0);
+        }
+    }
+
+    #[test]
+    fn alpha_beta_are_honoured() {
+        run_case(&[GemmShape::new(48, 80, 96)], BatchingHeuristic::Threshold, 0.75, -1.5);
+    }
+
+    #[test]
+    fn non_divisible_sizes_compute_boundary_tiles() {
+        run_case(
+            &[GemmShape::new(17, 33, 41), GemmShape::new(100, 50, 23)],
+            BatchingHeuristic::Binary,
+            1.0,
+            1.0,
+        );
+    }
+
+    #[test]
+    fn random_variable_batches_match_reference() {
+        use ctb_matrix::gen::random_case;
+        // Keep it small: correctness, not throughput.
+        let shapes: Vec<GemmShape> = random_case(3)
+            .into_iter()
+            .take(6)
+            .map(|s| GemmShape::new(s.m.min(128), s.n.min(128), s.k.min(128)))
+            .collect();
+        run_case(&shapes, BatchingHeuristic::Threshold, 1.0, 0.5);
+        run_case(&shapes, BatchingHeuristic::Binary, 1.0, 0.5);
+    }
+}

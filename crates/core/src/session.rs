@@ -1,0 +1,164 @@
+//! Plan-caching execution sessions.
+//!
+//! The paper's prime deployment scenario is neural-network training:
+//! "the batch size and the size of each matrix are fixed", so the
+//! expensive part of the framework — tiling selection, batching,
+//! best-of-both simulation — needs to run *once* per distinct shape set,
+//! after which every training step reuses the plan. [`Session`] provides
+//! exactly that: a concurrent plan cache keyed by the batch's shape
+//! signature.
+
+use crate::framework::{ExecutionPlan, Framework, RunOutcome};
+use ctb_matrix::{GemmBatch, GemmShape};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Cache statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    pub hits: usize,
+    pub misses: usize,
+}
+
+/// A long-lived execution session with a plan cache.
+///
+/// ```
+/// use ctb_core::{Framework, Session};
+/// use ctb_gpu_specs::ArchSpec;
+/// use ctb_matrix::{GemmBatch, GemmShape};
+///
+/// let session = Session::new(Framework::new(ArchSpec::volta_v100()));
+/// let shapes = vec![GemmShape::new(32, 32, 32); 4];
+/// for step in 0..3 {
+///     let batch = GemmBatch::random(&shapes, 1.0, 0.0, step);
+///     session.run(&batch).unwrap();
+/// }
+/// assert_eq!(session.stats().misses, 1); // planned once, reused twice
+/// ```
+pub struct Session {
+    framework: Framework,
+    cache: Mutex<HashMap<Vec<GemmShape>, Arc<ExecutionPlan>>>,
+    stats: Mutex<CacheStats>,
+}
+
+impl Session {
+    pub fn new(framework: Framework) -> Self {
+        Session { framework, cache: Mutex::new(HashMap::new()), stats: Mutex::new(CacheStats::default()) }
+    }
+
+    /// The plan for `shapes`, computed on first use and cached.
+    pub fn plan(&self, shapes: &[GemmShape]) -> Result<Arc<ExecutionPlan>, String> {
+        if let Some(plan) = self.cache.lock().get(shapes) {
+            self.stats.lock().hits += 1;
+            return Ok(Arc::clone(plan));
+        }
+        // Plan outside the lock: planning simulates candidate schemes
+        // and can take a while; concurrent first-callers may race and
+        // plan twice, but the result is deterministic so either wins.
+        let plan = Arc::new(self.framework.plan(shapes)?);
+        let mut cache = self.cache.lock();
+        let entry = cache.entry(shapes.to_vec()).or_insert_with(|| Arc::clone(&plan));
+        self.stats.lock().misses += 1;
+        Ok(Arc::clone(entry))
+    }
+
+    /// Execute a batch through the cached plan (planning it on first
+    /// sight of its shape signature).
+    pub fn run(&self, batch: &GemmBatch) -> Result<RunOutcome, String> {
+        batch.validate()?;
+        let plan = self.plan(&batch.shapes)?;
+        let (results, report) = self.framework.execute(batch, &plan);
+        Ok(RunOutcome { results, report, plan: (*plan).clone() })
+    }
+
+    /// Cache statistics so far.
+    pub fn stats(&self) -> CacheStats {
+        *self.stats.lock()
+    }
+
+    /// Number of distinct shape signatures cached.
+    pub fn cached_plans(&self) -> usize {
+        self.cache.lock().len()
+    }
+
+    /// Drop every cached plan (e.g. after retuning thresholds).
+    pub fn clear(&self) {
+        self.cache.lock().clear();
+    }
+
+    pub fn framework(&self) -> &Framework {
+        &self.framework
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctb_gpu_specs::ArchSpec;
+    use ctb_matrix::assert_all_close;
+
+    fn session() -> Session {
+        Session::new(Framework::new(ArchSpec::volta_v100()))
+    }
+
+    fn shapes() -> Vec<GemmShape> {
+        vec![GemmShape::new(48, 64, 96), GemmShape::new(16, 32, 128)]
+    }
+
+    #[test]
+    fn repeated_runs_hit_the_cache() {
+        let s = session();
+        for step in 0..5u64 {
+            let batch = GemmBatch::random(&shapes(), 1.0, 0.0, step);
+            let out = s.run(&batch).expect("runs");
+            assert_all_close(&batch.reference_result(), &out.results, 2e-4);
+        }
+        let stats = s.stats();
+        assert_eq!(stats.misses, 1, "one planning event");
+        assert_eq!(stats.hits, 4);
+        assert_eq!(s.cached_plans(), 1);
+    }
+
+    #[test]
+    fn distinct_shape_sets_get_distinct_plans() {
+        let s = session();
+        s.plan(&shapes()).unwrap();
+        s.plan(&[GemmShape::new(128, 128, 64)]).unwrap();
+        assert_eq!(s.cached_plans(), 2);
+        // Same shapes in a different order are a different signature
+        // (tile enumeration is order-dependent).
+        let mut rev = shapes();
+        rev.reverse();
+        s.plan(&rev).unwrap();
+        assert_eq!(s.cached_plans(), 3);
+    }
+
+    #[test]
+    fn clear_resets_the_cache() {
+        let s = session();
+        s.plan(&shapes()).unwrap();
+        s.clear();
+        assert_eq!(s.cached_plans(), 0);
+        s.plan(&shapes()).unwrap();
+        assert_eq!(s.stats().misses, 2);
+    }
+
+    #[test]
+    fn sessions_are_shareable_across_threads() {
+        let s = std::sync::Arc::new(session());
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let s = std::sync::Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                let batch = GemmBatch::random(&shapes(), 1.0, 0.0, t);
+                let out = s.run(&batch).expect("runs");
+                assert_all_close(&batch.reference_result(), &out.results, 2e-4);
+            }));
+        }
+        for h in handles {
+            h.join().expect("thread ok");
+        }
+        assert_eq!(s.cached_plans(), 1);
+    }
+}

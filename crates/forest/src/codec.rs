@@ -1,0 +1,157 @@
+//! Compact text (de)serialisation for trained forests.
+//!
+//! Dependency policy (DESIGN.md §5) keeps the external crate list to the
+//! allowed set, so instead of pulling in a serde format crate this module
+//! hand-rolls a line-oriented codec:
+//!
+//! ```text
+//! forest <n_trees> <n_classes>
+//! tree <n_nodes>
+//! s <feature> <threshold> <left> <right>
+//! l <p0> <p1> ...
+//! ```
+
+use crate::forest::RandomForest;
+use crate::tree::{DecisionTree, Node};
+
+/// Serialise a forest to the text format.
+pub fn encode(forest: &RandomForest) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("forest {} {}\n", forest.trees.len(), forest.n_classes));
+    for tree in &forest.trees {
+        out.push_str(&format!("tree {}\n", tree.nodes().len()));
+        for node in tree.nodes() {
+            match node {
+                Node::Split { feature, threshold, left, right } => {
+                    out.push_str(&format!("s {feature} {threshold:e} {left} {right}\n"));
+                }
+                Node::Leaf { probs } => {
+                    out.push('l');
+                    for p in probs {
+                        out.push_str(&format!(" {p:e}"));
+                    }
+                    out.push('\n');
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Parse a forest from the text format.
+pub fn decode(text: &str) -> Result<RandomForest, String> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header = lines.next().ok_or("empty input")?;
+    let mut hp = header.split_whitespace();
+    if hp.next() != Some("forest") {
+        return Err("missing 'forest' header".into());
+    }
+    let n_trees: usize = hp
+        .next()
+        .ok_or("missing tree count")?
+        .parse()
+        .map_err(|e| format!("bad tree count: {e}"))?;
+    let n_classes: usize = hp
+        .next()
+        .ok_or("missing class count")?
+        .parse()
+        .map_err(|e| format!("bad class count: {e}"))?;
+
+    let mut trees = Vec::with_capacity(n_trees);
+    for t in 0..n_trees {
+        let th = lines.next().ok_or_else(|| format!("missing tree {t} header"))?;
+        let mut tp = th.split_whitespace();
+        if tp.next() != Some("tree") {
+            return Err(format!("tree {t}: missing 'tree' header"));
+        }
+        let n_nodes: usize = tp
+            .next()
+            .ok_or("missing node count")?
+            .parse()
+            .map_err(|e| format!("bad node count: {e}"))?;
+        let mut nodes = Vec::with_capacity(n_nodes);
+        for n in 0..n_nodes {
+            let line = lines.next().ok_or_else(|| format!("tree {t}: missing node {n}"))?;
+            let mut parts = line.split_whitespace();
+            match parts.next() {
+                Some("s") => {
+                    let mut next_num = || -> Result<f64, String> {
+                        parts
+                            .next()
+                            .ok_or_else(|| format!("tree {t} node {n}: truncated split"))?
+                            .parse::<f64>()
+                            .map_err(|e| format!("tree {t} node {n}: {e}"))
+                    };
+                    let feature = next_num()? as usize;
+                    let threshold = next_num()?;
+                    let left = next_num()? as usize;
+                    let right = next_num()? as usize;
+                    if left >= n_nodes || right >= n_nodes {
+                        return Err(format!("tree {t} node {n}: child out of range"));
+                    }
+                    nodes.push(Node::Split { feature, threshold, left, right });
+                }
+                Some("l") => {
+                    let probs: Result<Vec<f64>, _> = parts.map(str::parse::<f64>).collect();
+                    let probs = probs.map_err(|e| format!("tree {t} node {n}: {e}"))?;
+                    if probs.len() != n_classes {
+                        return Err(format!(
+                            "tree {t} node {n}: {} probs, expected {n_classes}",
+                            probs.len()
+                        ));
+                    }
+                    nodes.push(Node::Leaf { probs });
+                }
+                other => return Err(format!("tree {t} node {n}: bad tag {other:?}")),
+            }
+        }
+        trees.push(DecisionTree::from_nodes(nodes, n_classes));
+    }
+    Ok(RandomForest { trees, n_classes })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forest::ForestConfig;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn trained() -> (RandomForest, Vec<Vec<f64>>) {
+        let mut rng = StdRng::seed_from_u64(11);
+        let samples: Vec<Vec<f64>> =
+            (0..200).map(|_| vec![rng.random_range(0.0..100.0), rng.random_range(0.0..100.0)]).collect();
+        let labels: Vec<usize> = samples.iter().map(|s| usize::from(s[0] + s[1] > 100.0)).collect();
+        (RandomForest::fit(&samples, &labels, 2, &ForestConfig::default()), samples)
+    }
+
+    #[test]
+    fn round_trip_preserves_predictions() {
+        let (forest, samples) = trained();
+        let text = encode(&forest);
+        let back = decode(&text).expect("decodes");
+        assert_eq!(back, forest);
+        for s in samples.iter().take(50) {
+            assert_eq!(forest.predict(s), back.predict(s));
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(decode("").is_err());
+        assert!(decode("florest 1 2").is_err());
+        assert!(decode("forest 1 2\ntree 1\nx 1 2 3").is_err());
+        // Truncated tree.
+        assert!(decode("forest 1 2\ntree 2\nl 0.5 0.5\n").is_err());
+        // Wrong class arity in a leaf.
+        assert!(decode("forest 1 2\ntree 1\nl 1.0\n").is_err());
+        // Child index out of range.
+        assert!(decode("forest 1 2\ntree 1\ns 0 1.0 5 6\n").is_err());
+    }
+
+    #[test]
+    fn encoding_is_stable() {
+        let (forest, _) = trained();
+        assert_eq!(encode(&forest), encode(&decode(&encode(&forest)).unwrap()));
+    }
+}

@@ -1,0 +1,407 @@
+//! Architecture descriptions for the GPUs evaluated in the paper.
+//!
+//! Every parameter is taken from the public NVIDIA datasheets /
+//! whitepapers for the respective device. The timing simulator in
+//! `ctb-sim` consumes these numbers; nothing in the framework itself is
+//! hard-coded to a device, which is how the paper's §7.4 portability
+//! experiment (Fig 11) is reproduced.
+
+use serde::{Deserialize, Serialize};
+
+/// GPU micro-architecture generation. Maxwell/Pascal/Volta are the
+/// paper's platforms; Turing and Ampere are post-paper extension
+/// presets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ArchFamily {
+    Maxwell,
+    Pascal,
+    Volta,
+    Turing,
+    Ampere,
+}
+
+impl std::fmt::Display for ArchFamily {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArchFamily::Maxwell => write!(f, "Maxwell"),
+            ArchFamily::Pascal => write!(f, "Pascal"),
+            ArchFamily::Volta => write!(f, "Volta"),
+            ArchFamily::Turing => write!(f, "Turing"),
+            ArchFamily::Ampere => write!(f, "Ampere"),
+        }
+    }
+}
+
+/// Parameters of one GPU device, as consumed by the timing simulator.
+///
+/// Latency/overhead values are representative micro-benchmark figures for
+/// the generation (e.g. ~400–600 cycle DRAM latency, ~5 µs kernel-launch
+/// overhead); the paper's qualitative results depend on their order of
+/// magnitude, not their exact value — see `DESIGN.md` §3.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArchSpec {
+    /// Human-readable device name, e.g. `"Tesla V100"`.
+    pub name: &'static str,
+    /// Micro-architecture generation.
+    pub family: ArchFamily,
+    /// Number of streaming multiprocessors.
+    pub sms: u32,
+    /// FP32 FMA lanes per SM (one FMA per lane per cycle).
+    pub fp32_lanes_per_sm: u32,
+    /// Core clock in GHz used to convert cycles to wall time.
+    pub clock_ghz: f64,
+    /// 32-bit registers per SM.
+    pub regfile_per_sm: u32,
+    /// Maximum registers addressable by one thread.
+    pub max_regs_per_thread: u32,
+    /// Shared memory per SM in bytes (maximum configurable).
+    pub smem_per_sm: u32,
+    /// Shared memory addressable by one block in bytes.
+    pub max_smem_per_block: u32,
+    /// Maximum resident threads per SM.
+    pub max_threads_per_sm: u32,
+    /// Maximum resident blocks per SM.
+    pub max_blocks_per_sm: u32,
+    /// Maximum threads in one block.
+    pub max_threads_per_block: u32,
+    /// Warp width in threads.
+    pub warp_size: u32,
+    /// Aggregate DRAM bandwidth in GB/s.
+    pub mem_bandwidth_gbps: f64,
+    /// Average global-memory (DRAM) load latency in core cycles.
+    pub global_mem_latency: u32,
+    /// Shared-memory load latency in core cycles.
+    pub shared_mem_latency: u32,
+    /// Host-side overhead of launching one kernel, in microseconds.
+    pub kernel_launch_overhead_us: f64,
+    /// Cycles to dispatch one thread block to an SM (rasteriser +
+    /// block-level setup; also the cost a *bubble block* pays).
+    pub block_dispatch_cycles: u32,
+    /// Warp-instruction issue slots per SM per cycle (warp schedulers).
+    pub issue_width: u32,
+}
+
+impl ArchSpec {
+    /// Peak FP32 throughput in GFLOP/s (2 flops per FMA).
+    pub fn peak_gflops(&self) -> f64 {
+        2.0 * self.sms as f64 * self.fp32_lanes_per_sm as f64 * self.clock_ghz
+    }
+
+    /// DRAM bandwidth available to one SM per core cycle, in bytes.
+    pub fn bytes_per_cycle_per_sm(&self) -> f64 {
+        self.mem_bandwidth_gbps * 1.0e9 / (self.sms as f64 * self.clock_ghz * 1.0e9)
+    }
+
+    /// Convert core cycles to microseconds.
+    pub fn cycles_to_us(&self, cycles: f64) -> f64 {
+        cycles / (self.clock_ghz * 1000.0)
+    }
+
+    /// Convert microseconds to core cycles.
+    pub fn us_to_cycles(&self, us: f64) -> f64 {
+        us * self.clock_ghz * 1000.0
+    }
+
+    /// Maximum warps resident on one SM.
+    pub fn max_warps_per_sm(&self) -> u32 {
+        self.max_threads_per_sm / self.warp_size
+    }
+
+    /// Total resident-thread capacity of the device.
+    pub fn max_resident_threads(&self) -> u64 {
+        self.sms as u64 * self.max_threads_per_sm as u64
+    }
+
+    /// Tesla V100 (Volta, SXM2 16 GB): the paper's primary platform.
+    pub fn volta_v100() -> Self {
+        ArchSpec {
+            name: "Tesla V100",
+            family: ArchFamily::Volta,
+            sms: 80,
+            fp32_lanes_per_sm: 64,
+            clock_ghz: 1.38,
+            regfile_per_sm: 65_536,
+            max_regs_per_thread: 255,
+            smem_per_sm: 96 * 1024,
+            max_smem_per_block: 96 * 1024,
+            max_threads_per_sm: 2048,
+            max_blocks_per_sm: 32,
+            max_threads_per_block: 1024,
+            warp_size: 32,
+            mem_bandwidth_gbps: 900.0,
+            global_mem_latency: 400,
+            shared_mem_latency: 19,
+            kernel_launch_overhead_us: 5.0,
+            block_dispatch_cycles: 200,
+            issue_width: 4,
+        }
+    }
+
+    /// Tesla P100 (Pascal, SXM2).
+    pub fn pascal_p100() -> Self {
+        ArchSpec {
+            name: "Tesla P100",
+            family: ArchFamily::Pascal,
+            sms: 56,
+            fp32_lanes_per_sm: 64,
+            clock_ghz: 1.30,
+            regfile_per_sm: 65_536,
+            max_regs_per_thread: 255,
+            smem_per_sm: 64 * 1024,
+            max_smem_per_block: 48 * 1024,
+            max_threads_per_sm: 2048,
+            max_blocks_per_sm: 32,
+            max_threads_per_block: 1024,
+            warp_size: 32,
+            mem_bandwidth_gbps: 732.0,
+            global_mem_latency: 450,
+            shared_mem_latency: 24,
+            kernel_launch_overhead_us: 5.5,
+            block_dispatch_cycles: 220,
+            issue_width: 4,
+        }
+    }
+
+    /// GeForce GTX 1080 Ti (Pascal, GDDR5X).
+    pub fn pascal_gtx1080ti() -> Self {
+        ArchSpec {
+            name: "GTX 1080 Ti",
+            family: ArchFamily::Pascal,
+            sms: 28,
+            fp32_lanes_per_sm: 128,
+            clock_ghz: 1.58,
+            regfile_per_sm: 65_536,
+            max_regs_per_thread: 255,
+            smem_per_sm: 96 * 1024,
+            max_smem_per_block: 48 * 1024,
+            max_threads_per_sm: 2048,
+            max_blocks_per_sm: 32,
+            max_threads_per_block: 1024,
+            warp_size: 32,
+            mem_bandwidth_gbps: 484.0,
+            global_mem_latency: 470,
+            shared_mem_latency: 24,
+            kernel_launch_overhead_us: 5.5,
+            block_dispatch_cycles: 220,
+            issue_width: 4,
+        }
+    }
+
+    /// NVIDIA Titan Xp (Pascal).
+    pub fn pascal_titan_xp() -> Self {
+        ArchSpec {
+            name: "Titan Xp",
+            family: ArchFamily::Pascal,
+            sms: 30,
+            fp32_lanes_per_sm: 128,
+            clock_ghz: 1.58,
+            regfile_per_sm: 65_536,
+            max_regs_per_thread: 255,
+            smem_per_sm: 96 * 1024,
+            max_smem_per_block: 48 * 1024,
+            max_threads_per_sm: 2048,
+            max_blocks_per_sm: 32,
+            max_threads_per_block: 1024,
+            warp_size: 32,
+            mem_bandwidth_gbps: 548.0,
+            global_mem_latency: 470,
+            shared_mem_latency: 24,
+            kernel_launch_overhead_us: 5.5,
+            block_dispatch_cycles: 220,
+            issue_width: 4,
+        }
+    }
+
+    /// Tesla M60 (Maxwell; parameters for one of the two on-board GPUs).
+    pub fn maxwell_m60() -> Self {
+        ArchSpec {
+            name: "Tesla M60",
+            family: ArchFamily::Maxwell,
+            sms: 16,
+            fp32_lanes_per_sm: 128,
+            clock_ghz: 1.18,
+            regfile_per_sm: 65_536,
+            max_regs_per_thread: 255,
+            smem_per_sm: 96 * 1024,
+            max_smem_per_block: 48 * 1024,
+            max_threads_per_sm: 2048,
+            max_blocks_per_sm: 32,
+            max_threads_per_block: 1024,
+            warp_size: 32,
+            mem_bandwidth_gbps: 160.0,
+            global_mem_latency: 500,
+            shared_mem_latency: 28,
+            kernel_launch_overhead_us: 6.0,
+            block_dispatch_cycles: 240,
+            issue_width: 4,
+        }
+    }
+
+    /// GeForce GTX Titan X (Maxwell).
+    pub fn maxwell_titan_x() -> Self {
+        ArchSpec {
+            name: "GTX Titan X",
+            family: ArchFamily::Maxwell,
+            sms: 24,
+            fp32_lanes_per_sm: 128,
+            clock_ghz: 1.00,
+            regfile_per_sm: 65_536,
+            max_regs_per_thread: 255,
+            smem_per_sm: 96 * 1024,
+            max_smem_per_block: 48 * 1024,
+            max_threads_per_sm: 2048,
+            max_blocks_per_sm: 32,
+            max_threads_per_block: 1024,
+            warp_size: 32,
+            mem_bandwidth_gbps: 336.0,
+            global_mem_latency: 500,
+            shared_mem_latency: 28,
+            kernel_launch_overhead_us: 6.0,
+            block_dispatch_cycles: 240,
+            issue_width: 4,
+        }
+    }
+
+    /// Tesla T4 (Turing) — a post-paper extension preset, not part of
+    /// the paper's evaluation set.
+    pub fn turing_t4() -> Self {
+        ArchSpec {
+            name: "Tesla T4",
+            family: ArchFamily::Turing,
+            sms: 40,
+            fp32_lanes_per_sm: 64,
+            clock_ghz: 1.35,
+            regfile_per_sm: 65_536,
+            max_regs_per_thread: 255,
+            smem_per_sm: 64 * 1024,
+            max_smem_per_block: 64 * 1024,
+            max_threads_per_sm: 1024,
+            max_blocks_per_sm: 16,
+            max_threads_per_block: 1024,
+            warp_size: 32,
+            mem_bandwidth_gbps: 320.0,
+            global_mem_latency: 430,
+            shared_mem_latency: 20,
+            kernel_launch_overhead_us: 5.0,
+            block_dispatch_cycles: 200,
+            issue_width: 4,
+        }
+    }
+
+    /// A100 (Ampere, SXM 40 GB) — a post-paper extension preset.
+    pub fn ampere_a100() -> Self {
+        ArchSpec {
+            name: "A100",
+            family: ArchFamily::Ampere,
+            sms: 108,
+            fp32_lanes_per_sm: 64,
+            clock_ghz: 1.41,
+            regfile_per_sm: 65_536,
+            max_regs_per_thread: 255,
+            smem_per_sm: 164 * 1024,
+            max_smem_per_block: 160 * 1024,
+            max_threads_per_sm: 2048,
+            max_blocks_per_sm: 32,
+            max_threads_per_block: 1024,
+            warp_size: 32,
+            mem_bandwidth_gbps: 1555.0,
+            global_mem_latency: 390,
+            shared_mem_latency: 18,
+            kernel_launch_overhead_us: 4.0,
+            block_dispatch_cycles: 180,
+            issue_width: 4,
+        }
+    }
+
+    /// Post-paper extension presets (Turing, Ampere) — usable with the
+    /// full framework but excluded from the paper-reproduction figures.
+    pub fn extension_presets() -> Vec<ArchSpec> {
+        vec![ArchSpec::turing_t4(), ArchSpec::ampere_a100()]
+    }
+
+    /// All device presets, V100 first (the paper's main platform).
+    pub fn all_presets() -> Vec<ArchSpec> {
+        vec![
+            ArchSpec::volta_v100(),
+            ArchSpec::pascal_p100(),
+            ArchSpec::pascal_gtx1080ti(),
+            ArchSpec::pascal_titan_xp(),
+            ArchSpec::maxwell_m60(),
+            ArchSpec::maxwell_titan_x(),
+        ]
+    }
+
+    /// The five portability targets of Fig 11 (everything except V100).
+    pub fn fig11_presets() -> Vec<ArchSpec> {
+        ArchSpec::all_presets()
+            .into_iter()
+            .filter(|a| a.name != "Tesla V100")
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v100_peak_is_about_14_tflops() {
+        // The paper quotes ~15 TFlops peak and 14 TFlops measured for
+        // cuBLAS at 5120^3; our spec puts the analytical peak in range.
+        let v100 = ArchSpec::volta_v100();
+        let peak = v100.peak_gflops();
+        assert!((14_000.0..15_500.0).contains(&peak), "peak = {peak}");
+    }
+
+    #[test]
+    fn cycle_time_round_trips() {
+        let a = ArchSpec::volta_v100();
+        let us = a.cycles_to_us(1_380_000.0);
+        assert!((us - 1000.0).abs() < 1e-9);
+        assert!((a.us_to_cycles(us) - 1_380_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn presets_have_distinct_names_and_sane_values() {
+        let all = ArchSpec::all_presets();
+        assert_eq!(all.len(), 6);
+        let mut names: Vec<_> = all.iter().map(|a| a.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 6, "duplicate preset names");
+        for a in &all {
+            assert!(a.sms > 0 && a.clock_ghz > 0.5);
+            assert!(a.max_threads_per_sm % a.warp_size == 0);
+            assert!(a.max_warps_per_sm() >= 32);
+            assert!(a.bytes_per_cycle_per_sm() > 0.5);
+        }
+    }
+
+    #[test]
+    fn extension_presets_are_sane_and_plannable() {
+        for a in ArchSpec::extension_presets() {
+            assert!(a.sms > 0 && a.clock_ghz > 0.5);
+            assert!(a.max_warps_per_sm() >= 32);
+            assert!(matches!(a.family, ArchFamily::Turing | ArchFamily::Ampere));
+        }
+        // Extension presets never leak into the paper's figure set.
+        let fig11: Vec<_> = ArchSpec::fig11_presets().iter().map(|a| a.name).collect();
+        assert!(!fig11.contains(&"Tesla T4"));
+        assert!(!fig11.contains(&"A100"));
+    }
+
+    #[test]
+    fn fig11_excludes_v100() {
+        let f = ArchSpec::fig11_presets();
+        assert_eq!(f.len(), 5);
+        assert!(f.iter().all(|a| a.name != "Tesla V100"));
+    }
+
+    #[test]
+    fn v100_resident_thread_capacity() {
+        // 80 SMs x 2048 threads: the denominator behind the paper's
+        // TLP threshold discussion (65536 = 40% of capacity).
+        let v100 = ArchSpec::volta_v100();
+        assert_eq!(v100.max_resident_threads(), 163_840);
+    }
+}

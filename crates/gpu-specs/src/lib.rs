@@ -1,0 +1,20 @@
+//! GPU architecture descriptions and the occupancy model used by the
+//! `ctb-gemm` timing simulator.
+//!
+//! The paper evaluates on six NVIDIA GPUs (Volta V100, Pascal P100 /
+//! GTX 1080 Ti / Titan Xp, Maxwell Tesla M60 / GTX Titan X). Because this
+//! reproduction cannot author CUDA kernels, each device is described by
+//! the architectural parameters that drive the paper's performance
+//! arguments: SM count, FP32 lane count, clock, register file, shared
+//! memory, residency limits, DRAM bandwidth, global-memory latency and
+//! kernel-launch overhead. The [`occupancy`] module computes how many
+//! thread blocks of a given resource footprint can be resident on one SM,
+//! exactly as the CUDA occupancy calculator does.
+
+pub mod arch;
+pub mod occupancy;
+pub mod thresholds;
+
+pub use arch::{ArchFamily, ArchSpec};
+pub use occupancy::{BlockFootprint, Occupancy};
+pub use thresholds::Thresholds;

@@ -1,0 +1,187 @@
+//! Batched-GEMM problem descriptions: shapes plus host buffers.
+
+use crate::gemm::gemm_blocked;
+use crate::mat::MatF32;
+
+/// The size of one GEMM: `C (M×N) = alpha * A (M×K) * B (K×N) + beta * C`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GemmShape {
+    pub m: usize,
+    pub n: usize,
+    pub k: usize,
+}
+
+impl GemmShape {
+    pub const fn new(m: usize, n: usize, k: usize) -> Self {
+        GemmShape { m, n, k }
+    }
+
+    /// Floating-point operations of this GEMM (2·M·N·K, the usual count).
+    pub fn flops(&self) -> u64 {
+        2 * self.m as u64 * self.n as u64 * self.k as u64
+    }
+
+    /// Bytes of A, B and C (f32).
+    pub fn bytes(&self) -> u64 {
+        4 * (self.m * self.k + self.k * self.n + self.m * self.n) as u64
+    }
+}
+
+impl std::fmt::Display for GemmShape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}x{}x{}", self.m, self.n, self.k)
+    }
+}
+
+/// A batch of independent GEMMs sharing one `alpha`/`beta` pair, with the
+/// host-side `A`, `B` and (initial) `C` buffers.
+///
+/// The shapes may all differ — this is the variable-size batched-GEMM
+/// problem the paper targets (MAGMA `vbatch` territory); same-size
+/// batches are the special case `cublasSgemmBatched` supports.
+#[derive(Debug, Clone)]
+pub struct GemmBatch {
+    pub shapes: Vec<GemmShape>,
+    pub a: Vec<MatF32>,
+    pub b: Vec<MatF32>,
+    pub c: Vec<MatF32>,
+    pub alpha: f32,
+    pub beta: f32,
+}
+
+impl GemmBatch {
+    /// A batch with deterministic random `A`/`B`/`C` contents.
+    pub fn random(shapes: &[GemmShape], alpha: f32, beta: f32, seed: u64) -> Self {
+        let mut a = Vec::with_capacity(shapes.len());
+        let mut b = Vec::with_capacity(shapes.len());
+        let mut c = Vec::with_capacity(shapes.len());
+        for (i, s) in shapes.iter().enumerate() {
+            let s0 = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(i as u64 * 3);
+            a.push(MatF32::random(s.m, s.k, s0));
+            b.push(MatF32::random(s.k, s.n, s0 + 1));
+            c.push(MatF32::random(s.m, s.n, s0 + 2));
+        }
+        GemmBatch { shapes: shapes.to_vec(), a, b, c, alpha, beta }
+    }
+
+    /// A batch whose `C` matrices start at zero (beta irrelevant then).
+    pub fn random_zero_c(shapes: &[GemmShape], alpha: f32, seed: u64) -> Self {
+        let mut batch = GemmBatch::random(shapes, alpha, 0.0, seed);
+        for c in &mut batch.c {
+            *c = MatF32::zeros(c.rows(), c.cols());
+        }
+        batch
+    }
+
+    /// Number of GEMMs in the batch (the paper's `B`).
+    pub fn len(&self) -> usize {
+        self.shapes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.shapes.is_empty()
+    }
+
+    /// Total FLOPs of the batch.
+    pub fn total_flops(&self) -> u64 {
+        self.shapes.iter().map(GemmShape::flops).sum()
+    }
+
+    /// `(avg M, avg N, avg K, B)` — the random-forest feature vector of §5.
+    pub fn avg_features(&self) -> (f64, f64, f64, usize) {
+        let b = self.len().max(1) as f64;
+        let m = self.shapes.iter().map(|s| s.m as f64).sum::<f64>() / b;
+        let n = self.shapes.iter().map(|s| s.n as f64).sum::<f64>() / b;
+        let k = self.shapes.iter().map(|s| s.k as f64).sum::<f64>() / b;
+        (m, n, k, self.len())
+    }
+
+    /// True iff every GEMM has the same (M, N, K).
+    pub fn is_uniform(&self) -> bool {
+        self.shapes.windows(2).all(|w| w[0] == w[1])
+    }
+
+    /// Compute the expected `C` matrices with the reference kernel.
+    pub fn reference_result(&self) -> Vec<MatF32> {
+        self.shapes
+            .iter()
+            .enumerate()
+            .map(|(i, _)| {
+                let mut c = self.c[i].clone();
+                gemm_blocked(self.alpha, &self.a[i], &self.b[i], self.beta, &mut c);
+                c
+            })
+            .collect()
+    }
+
+    /// Validate internal consistency (buffer shapes match `shapes`).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.a.len() != self.len() || self.b.len() != self.len() || self.c.len() != self.len() {
+            return Err("buffer count mismatch".into());
+        }
+        for (i, s) in self.shapes.iter().enumerate() {
+            if (self.a[i].rows(), self.a[i].cols()) != (s.m, s.k) {
+                return Err(format!("A[{i}] shape mismatch"));
+            }
+            if (self.b[i].rows(), self.b[i].cols()) != (s.k, s.n) {
+                return Err(format!("B[{i}] shape mismatch"));
+            }
+            if (self.c[i].rows(), self.c[i].cols()) != (s.m, s.n) {
+                return Err(format!("C[{i}] shape mismatch"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_flops_and_bytes() {
+        let s = GemmShape::new(16, 784, 192);
+        assert_eq!(s.flops(), 2 * 16 * 784 * 192);
+        assert_eq!(s.bytes(), 4 * (16 * 192 + 192 * 784 + 16 * 784) as u64);
+        assert_eq!(s.to_string(), "16x784x192");
+    }
+
+    #[test]
+    fn batch_construction_is_consistent() {
+        let shapes =
+            vec![GemmShape::new(16, 32, 128), GemmShape::new(64, 64, 64), GemmShape::new(256, 256, 64)];
+        let b = GemmBatch::random(&shapes, 1.0, 0.5, 9);
+        b.validate().expect("valid");
+        assert_eq!(b.len(), 3);
+        assert!(!b.is_uniform());
+        let (m, n, k, cnt) = b.avg_features();
+        assert_eq!(cnt, 3);
+        assert!((m - (16.0 + 64.0 + 256.0) / 3.0).abs() < 1e-12);
+        assert!((n - (32.0 + 64.0 + 256.0) / 3.0).abs() < 1e-12);
+        assert!((k - (128.0 + 64.0 + 64.0) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_batch_detected() {
+        let shapes = vec![GemmShape::new(32, 32, 32); 4];
+        assert!(GemmBatch::random(&shapes, 1.0, 0.0, 1).is_uniform());
+    }
+
+    #[test]
+    fn reference_result_matches_manual_ref() {
+        use crate::compare::max_abs_diff;
+        use crate::gemm::gemm_ref;
+        let shapes = vec![GemmShape::new(17, 9, 23)];
+        let b = GemmBatch::random(&shapes, 0.7, 1.3, 11);
+        let refs = b.reference_result();
+        let mut c = b.c[0].clone();
+        gemm_ref(b.alpha, &b.a[0], &b.b[0], b.beta, &mut c);
+        assert!(max_abs_diff(&refs[0], &c) < 1e-4);
+    }
+
+    #[test]
+    fn zero_c_batch_has_zero_c() {
+        let b = GemmBatch::random_zero_c(&[GemmShape::new(4, 4, 4)], 1.0, 5);
+        assert!(b.c[0].as_slice().iter().all(|&v| v == 0.0));
+    }
+}

@@ -1,0 +1,102 @@
+//! Approximate numerical comparison between matrices.
+
+use crate::mat::MatF32;
+
+/// Maximum absolute element-wise difference between two same-shaped
+/// matrices.
+pub fn max_abs_diff(a: &MatF32, b: &MatF32) -> f32 {
+    assert_eq!((a.rows(), a.cols()), (b.rows(), b.cols()), "shape mismatch");
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(&x, &y)| (x - y).abs())
+        .fold(0.0f32, f32::max)
+}
+
+/// Summary of a comparison across a batch of matrices.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatchReport {
+    /// Largest absolute difference over every element of every pair.
+    pub max_abs: f32,
+    /// Largest relative difference (`|x-y| / max(1, |x|)`).
+    pub max_rel: f32,
+    /// Total elements compared.
+    pub elements: usize,
+}
+
+impl MatchReport {
+    /// Compare two equally sized batches of matrices.
+    pub fn compare(expected: &[MatF32], actual: &[MatF32]) -> MatchReport {
+        assert_eq!(expected.len(), actual.len(), "batch length mismatch");
+        let mut r = MatchReport { max_abs: 0.0, max_rel: 0.0, elements: 0 };
+        for (e, a) in expected.iter().zip(actual) {
+            assert_eq!((e.rows(), e.cols()), (a.rows(), a.cols()), "shape mismatch");
+            for (&x, &y) in e.as_slice().iter().zip(a.as_slice()) {
+                let d = (x - y).abs();
+                r.max_abs = r.max_abs.max(d);
+                r.max_rel = r.max_rel.max(d / x.abs().max(1.0));
+                r.elements += 1;
+            }
+        }
+        r
+    }
+
+    /// True when all differences are within `tol` relative tolerance.
+    pub fn within(&self, tol: f32) -> bool {
+        self.max_rel <= tol
+    }
+}
+
+/// Panic with a helpful message unless `actual` matches `expected` within
+/// `tol` (relative, with absolute floor 1.0 — suitable for accumulations
+/// of order-1 random values).
+pub fn assert_all_close(expected: &[MatF32], actual: &[MatF32], tol: f32) {
+    let r = MatchReport::compare(expected, actual);
+    assert!(
+        r.within(tol),
+        "matrices differ: max_abs={} max_rel={} over {} elements (tol {tol})",
+        r.max_abs,
+        r.max_rel,
+        r.elements
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_matrices_have_zero_diff() {
+        let a = MatF32::random(8, 8, 1);
+        assert_eq!(max_abs_diff(&a, &a), 0.0);
+        let r = MatchReport::compare(std::slice::from_ref(&a), std::slice::from_ref(&a));
+        assert_eq!(r.max_abs, 0.0);
+        assert!(r.within(0.0));
+    }
+
+    #[test]
+    fn detects_perturbation() {
+        let a = MatF32::zeros(4, 4);
+        let mut b = a.clone();
+        b.set(2, 3, 0.5);
+        assert_eq!(max_abs_diff(&a, &b), 0.5);
+        assert!(!MatchReport::compare(&[a], &[b]).within(0.1));
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn shape_mismatch_panics() {
+        let _ = max_abs_diff(&MatF32::zeros(2, 2), &MatF32::zeros(2, 3));
+    }
+
+    #[test]
+    fn relative_tolerance_uses_magnitude_floor() {
+        let e = MatF32::filled(1, 1, 1000.0);
+        let mut a = e.clone();
+        a.set(0, 0, 1000.5);
+        let r = MatchReport::compare(&[e], &[a]);
+        // 0.5 / 1000 = 5e-4 relative.
+        assert!(r.within(1e-3));
+        assert!(!r.within(1e-4));
+    }
+}

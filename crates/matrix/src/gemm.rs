@@ -1,0 +1,186 @@
+//! Reference GEMM implementations.
+//!
+//! `C = alpha * A * B + beta * C` in three flavours: a naive triple loop
+//! (the oracle for correctness tests), a cache-blocked single-thread
+//! version, and a rayon-parallel blocked version used by the functional
+//! executor's comparison path when matrices get large.
+
+use crate::mat::MatF32;
+use rayon::prelude::*;
+
+/// Naive triple-loop GEMM. The correctness oracle for every other
+/// implementation in this repository.
+pub fn gemm_ref(alpha: f32, a: &MatF32, b: &MatF32, beta: f32, c: &mut MatF32) {
+    let (m, k) = (a.rows(), a.cols());
+    let n = b.cols();
+    assert_eq!(b.rows(), k, "inner dimensions must agree");
+    assert_eq!(c.rows(), m, "C rows");
+    assert_eq!(c.cols(), n, "C cols");
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                acc += a.get(i, p) * b.get(p, j);
+            }
+            let v = alpha * acc + beta * c.get(i, j);
+            c.set(i, j, v);
+        }
+    }
+}
+
+/// Cache-blocked GEMM with a fixed 64×64×64 blocking. Single-threaded.
+pub fn gemm_blocked(alpha: f32, a: &MatF32, b: &MatF32, beta: f32, c: &mut MatF32) {
+    const BS: usize = 64;
+    let (m, k) = (a.rows(), a.cols());
+    let n = b.cols();
+    assert_eq!(b.rows(), k, "inner dimensions must agree");
+    assert_eq!((c.rows(), c.cols()), (m, n), "C shape");
+
+    // Scale C by beta once up front, then accumulate alpha * A*B.
+    for v in c.as_mut_slice() {
+        *v *= beta;
+    }
+    let (as_, bs, cs) = (a.as_slice(), b.as_slice(), c.as_mut_slice());
+    for i0 in (0..m).step_by(BS) {
+        let i1 = (i0 + BS).min(m);
+        for p0 in (0..k).step_by(BS) {
+            let p1 = (p0 + BS).min(k);
+            for j0 in (0..n).step_by(BS) {
+                let j1 = (j0 + BS).min(n);
+                for i in i0..i1 {
+                    for p in p0..p1 {
+                        let av = alpha * as_[i * k + p];
+                        let brow = &bs[p * n + j0..p * n + j1];
+                        let crow = &mut cs[i * n + j0..i * n + j1];
+                        for (cv, &bv) in crow.iter_mut().zip(brow) {
+                            *cv += av * bv;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Rayon-parallel blocked GEMM: rows of `C` are partitioned across the
+/// thread pool; each band is computed with the blocked kernel.
+pub fn gemm_par(alpha: f32, a: &MatF32, b: &MatF32, beta: f32, c: &mut MatF32) {
+    let (m, k) = (a.rows(), a.cols());
+    let n = b.cols();
+    assert_eq!(b.rows(), k, "inner dimensions must agree");
+    assert_eq!((c.rows(), c.cols()), (m, n), "C shape");
+    if m == 0 || n == 0 {
+        return;
+    }
+
+    let as_ = a.as_slice();
+    let bs = b.as_slice();
+    // Band size: a few rows per task keeps tasks balanced without
+    // oversplitting tiny matrices.
+    let band = (m / (4 * rayon::current_num_threads().max(1))).max(8);
+    c.as_mut_slice()
+        .par_chunks_mut(band * n)
+        .enumerate()
+        .for_each(|(bi, cband)| {
+            let i0 = bi * band;
+            let rows = cband.len() / n;
+            for v in cband.iter_mut() {
+                *v *= beta;
+            }
+            for (ri, crow) in cband.chunks_mut(n).enumerate() {
+                let i = i0 + ri;
+                debug_assert!(ri < rows);
+                for p in 0..k {
+                    let av = alpha * as_[i * k + p];
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let brow = &bs[p * n..p * n + n];
+                    for (cv, &bv) in crow.iter_mut().zip(brow) {
+                        *cv += av * bv;
+                    }
+                }
+            }
+        });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compare::max_abs_diff;
+
+    fn check_against_ref(m: usize, n: usize, k: usize, alpha: f32, beta: f32, seed: u64) {
+        let a = MatF32::random(m, k, seed);
+        let b = MatF32::random(k, n, seed + 1);
+        let c0 = MatF32::random(m, n, seed + 2);
+
+        let mut c_ref = c0.clone();
+        gemm_ref(alpha, &a, &b, beta, &mut c_ref);
+
+        let mut c_blk = c0.clone();
+        gemm_blocked(alpha, &a, &b, beta, &mut c_blk);
+        assert!(max_abs_diff(&c_ref, &c_blk) < 1e-3, "blocked deviates");
+
+        let mut c_par = c0.clone();
+        gemm_par(alpha, &a, &b, beta, &mut c_par);
+        assert!(max_abs_diff(&c_ref, &c_par) < 1e-3, "parallel deviates");
+    }
+
+    #[test]
+    fn small_square() {
+        check_against_ref(8, 8, 8, 1.0, 0.0, 1);
+    }
+
+    #[test]
+    fn rectangular_with_alpha_beta() {
+        check_against_ref(33, 17, 65, 0.5, -1.25, 2);
+    }
+
+    #[test]
+    fn larger_than_blocking() {
+        check_against_ref(130, 70, 200, 1.0, 1.0, 3);
+    }
+
+    #[test]
+    fn identity_times_matrix_is_matrix() {
+        let b = MatF32::random(6, 9, 5);
+        let a = MatF32::eye(6, 6);
+        let mut c = MatF32::zeros(6, 9);
+        gemm_ref(1.0, &a, &b, 0.0, &mut c);
+        assert!(max_abs_diff(&b, &c) < 1e-7);
+    }
+
+    #[test]
+    fn beta_only_scales_c_when_alpha_zero() {
+        let a = MatF32::random(4, 4, 1);
+        let b = MatF32::random(4, 4, 2);
+        let mut c = MatF32::filled(4, 4, 2.0);
+        gemm_ref(0.0, &a, &b, 0.5, &mut c);
+        assert!(c.as_slice().iter().all(|&v| (v - 1.0).abs() < 1e-7));
+    }
+
+    #[test]
+    fn degenerate_dimensions() {
+        // K = 0: C should just be scaled by beta.
+        let a = MatF32::zeros(3, 0);
+        let b = MatF32::zeros(0, 2);
+        let mut c = MatF32::filled(3, 2, 4.0);
+        gemm_ref(1.0, &a, &b, 0.25, &mut c);
+        assert!(c.as_slice().iter().all(|&v| (v - 1.0).abs() < 1e-7));
+
+        // M = 0 / N = 0 must not panic.
+        let a = MatF32::zeros(0, 5);
+        let b = MatF32::random(5, 2, 3);
+        let mut c = MatF32::zeros(0, 2);
+        gemm_par(1.0, &a, &b, 0.0, &mut c);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn mismatched_inner_dims_panic() {
+        let a = MatF32::zeros(2, 3);
+        let b = MatF32::zeros(4, 2);
+        let mut c = MatF32::zeros(2, 2);
+        gemm_ref(1.0, &a, &b, 0.0, &mut c);
+    }
+}

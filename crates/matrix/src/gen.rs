@@ -1,0 +1,148 @@
+//! Synthetic batched-GEMM workload generators for the paper's
+//! experiments.
+//!
+//! * Fig 8 / Fig 9 use a grid of cases: batch size × (M = N) × K, with K
+//!   swept logarithmically from 16 to 2048.
+//! * Fig 11 uses 100 randomly generated batched-GEMM cases per device.
+//! * The random-forest selector is trained on >400 random cases.
+
+use crate::batch::GemmShape;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// The paper's K sweep for the Fig 8 / Fig 9 histograms: 16 … 2048 in
+/// logarithmic (power-of-two) steps.
+pub fn k_sweep() -> Vec<usize> {
+    (4..=11).map(|e| 1usize << e).collect()
+}
+
+/// Batch sizes used for the histogram columns.
+pub fn fig_batch_sizes() -> Vec<usize> {
+    vec![4, 8, 16, 32]
+}
+
+/// M = N values used for the histogram rows.
+pub fn fig_mn_sizes() -> Vec<usize> {
+    vec![64, 128, 256]
+}
+
+/// A same-size batch: `b` GEMMs of `m × n × k`.
+pub fn uniform_case(b: usize, m: usize, n: usize, k: usize) -> Vec<GemmShape> {
+    vec![GemmShape::new(m, n, k); b]
+}
+
+/// A variable-size batch centred on `m × n × k`: each GEMM's dimensions
+/// are independently scaled by a factor in `[1 - jitter, 1 + jitter]`
+/// (floored at 1). This is the "matrix sizes may vary hugely" scenario
+/// that motivates MAGMA `vbatch` and this paper.
+pub fn jittered_case(
+    b: usize,
+    m: usize,
+    n: usize,
+    k: usize,
+    jitter: f64,
+    seed: u64,
+) -> Vec<GemmShape> {
+    assert!((0.0..1.0).contains(&jitter), "jitter must be in [0, 1)");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut scale = |base: usize| -> usize {
+        let f = rng.random_range(1.0 - jitter..=1.0 + jitter);
+        ((base as f64 * f).round() as usize).max(1)
+    };
+    (0..b).map(|_| GemmShape::new(scale(m), scale(n), scale(k))).collect()
+}
+
+/// One of Fig 11's random batched-GEMM cases: batch size in `[4, 32]`,
+/// M and N log-uniform in `[16, 512]`, K log-uniform in `[16, 1024]` —
+/// "small matrices", per the paper's motivation, with sizes that vary
+/// hugely within one batch.
+pub fn random_case(seed: u64) -> Vec<GemmShape> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let b = rng.random_range(4..=32);
+    let log_dim = |rng: &mut StdRng, lo: f64, hi: f64| -> usize {
+        let e = rng.random_range(lo.log2()..=hi.log2());
+        (2f64.powf(e).round() as usize).max(1)
+    };
+    (0..b)
+        .map(|_| {
+            GemmShape::new(
+                log_dim(&mut rng, 16.0, 512.0),
+                log_dim(&mut rng, 16.0, 512.0),
+                log_dim(&mut rng, 16.0, 1024.0),
+            )
+        })
+        .collect()
+}
+
+/// `count` random cases with distinct derived seeds (Fig 11 uses 100).
+pub fn random_cases(count: usize, seed: u64) -> Vec<Vec<GemmShape>> {
+    (0..count).map(|i| random_case(seed.wrapping_add(i as u64 * 0x9E37))).collect()
+}
+
+/// Training corpus for the random-forest selector: >400 cases spanning
+/// the same distribution as [`random_case`] plus the figure grids.
+pub fn training_cases(seed: u64) -> Vec<Vec<GemmShape>> {
+    let mut cases = random_cases(320, seed);
+    for &b in &fig_batch_sizes() {
+        for &mn in &fig_mn_sizes() {
+            for &k in &k_sweep() {
+                cases.push(uniform_case(b, mn, mn, k));
+            }
+        }
+    }
+    cases
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k_sweep_is_the_paper_range() {
+        let ks = k_sweep();
+        assert_eq!(ks.first(), Some(&16));
+        assert_eq!(ks.last(), Some(&2048));
+        assert_eq!(ks.len(), 8);
+        assert!(ks.windows(2).all(|w| w[1] == w[0] * 2));
+    }
+
+    #[test]
+    fn uniform_case_is_uniform() {
+        let c = uniform_case(8, 64, 64, 32);
+        assert_eq!(c.len(), 8);
+        assert!(c.iter().all(|s| *s == GemmShape::new(64, 64, 32)));
+    }
+
+    #[test]
+    fn jittered_case_stays_near_centre_and_is_deterministic() {
+        let a = jittered_case(16, 128, 128, 64, 0.5, 3);
+        let b = jittered_case(16, 128, 128, 64, 0.5, 3);
+        assert_eq!(a, b);
+        for s in &a {
+            assert!((64..=192).contains(&s.m), "m = {}", s.m);
+            assert!((64..=192).contains(&s.n));
+            assert!((32..=96).contains(&s.k));
+        }
+        // With 50% jitter, at least one GEMM should deviate from centre.
+        assert!(a.iter().any(|s| s.m != 128 || s.n != 128 || s.k != 64));
+    }
+
+    #[test]
+    fn random_case_respects_bounds() {
+        for seed in 0..50 {
+            let c = random_case(seed);
+            assert!((4..=32).contains(&c.len()));
+            for s in &c {
+                assert!((16..=512).contains(&s.m));
+                assert!((16..=512).contains(&s.n));
+                assert!((16..=1024).contains(&s.k));
+            }
+        }
+    }
+
+    #[test]
+    fn training_corpus_exceeds_400_samples() {
+        // Matches the paper's "training set with more than 400 samples".
+        assert!(training_cases(1).len() > 400);
+    }
+}

@@ -1,0 +1,23 @@
+//! Matrices, reference GEMM implementations, and synthetic batched-GEMM
+//! workload generators.
+//!
+//! Everything in the reproduction is checked against [`gemm::gemm_ref`]:
+//! the framework, all four baselines and the convolution lowering produce
+//! numerically comparable `C` matrices for the same inputs.
+//!
+//! Matrices are dense row-major `f32` ([`MatF32`]); GEMM semantics follow
+//! the paper: `C = alpha * A * B + beta * C` with `A: M×K`, `B: K×N`,
+//! `C: M×N`.
+
+pub mod batch;
+pub mod compare;
+pub mod gemm;
+pub mod gen;
+pub mod mat;
+pub mod micro;
+
+pub use batch::{GemmBatch, GemmShape};
+pub use compare::{assert_all_close, max_abs_diff, MatchReport};
+pub use gemm::{gemm_blocked, gemm_par, gemm_ref};
+pub use micro::{gemm_auto, gemm_micro};
+pub use mat::MatF32;

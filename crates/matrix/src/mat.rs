@@ -1,0 +1,161 @@
+//! Dense row-major `f32` matrix.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A dense row-major matrix of `f32`.
+///
+/// Element `(r, c)` lives at `data[r * cols + c]`. Row-major layout is
+/// used throughout the reproduction; GEMM is layout-symmetric so nothing
+/// in the paper's argument depends on the BLAS column-major convention.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatF32 {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl MatF32 {
+    /// An all-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        MatF32 { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Build from an existing buffer; `data.len()` must equal `rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer size mismatch");
+        MatF32 { rows, cols, data }
+    }
+
+    /// Deterministically random matrix with entries in `[-1, 1)`.
+    pub fn random(rows: usize, cols: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data = (0..rows * cols).map(|_| rng.random_range(-1.0f32..1.0)).collect();
+        MatF32 { rows, cols, data }
+    }
+
+    /// Matrix filled with `v`.
+    pub fn filled(rows: usize, cols: usize, v: f32) -> Self {
+        MatF32 { rows, cols, data: vec![v; rows * cols] }
+    }
+
+    /// Identity-like matrix (1.0 on the diagonal), not necessarily square.
+    pub fn eye(rows: usize, cols: usize) -> Self {
+        let mut m = MatF32::zeros(rows, cols);
+        for i in 0..rows.min(cols) {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow the backing buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutably borrow the backing buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Row `r` as a slice.
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Consume into the backing buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Transposed copy.
+    pub fn transposed(&self) -> MatF32 {
+        let mut t = MatF32::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                t.set(c, r, self.get(r, c));
+            }
+        }
+        t
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius(&self) -> f64 {
+        self.data.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexing_is_row_major() {
+        let m = MatF32::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(0, 2), 3.0);
+        assert_eq!(m.get(1, 0), 4.0);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn random_is_deterministic_and_bounded() {
+        let a = MatF32::random(16, 16, 7);
+        let b = MatF32::random(16, 16, 7);
+        let c = MatF32::random(16, 16, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.as_slice().iter().all(|&x| (-1.0..1.0).contains(&x)));
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let m = MatF32::random(5, 9, 3);
+        assert_eq!(m.transposed().transposed(), m);
+    }
+
+    #[test]
+    fn eye_diagonal() {
+        let e = MatF32::eye(3, 5);
+        for r in 0..3 {
+            for c in 0..5 {
+                assert_eq!(e.get(r, c), if r == c { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer size mismatch")]
+    fn from_vec_checks_size() {
+        let _ = MatF32::from_vec(2, 2, vec![0.0; 3]);
+    }
+}

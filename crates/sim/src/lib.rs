@@ -1,0 +1,38 @@
+//! Block-level GPU timing simulator.
+//!
+//! This crate is the substitute for the NVIDIA hardware the paper
+//! evaluates on (see `DESIGN.md` §1/§3). A kernel is described as a set
+//! of thread blocks, each executing one or more *tile passes* — the
+//! main-loop structure of the paper's Fig 2 code skeleton. The simulator
+//! computes kernel wall time from the mechanisms the paper reasons
+//! about:
+//!
+//! * **TLP** — blocks are dispatched to SM residency slots (an
+//!   event-driven greedy scheduler over `SMs × occupancy` slots); too few
+//!   blocks leave SMs idle, and a slot serialises the blocks it hosts.
+//! * **ILP** — a warp's main-loop iteration can hide global-memory
+//!   latency only when enough independent work is resident: the round
+//!   time is `max(A·c, L/D)` for `A` resident active warps, per-warp
+//!   per-iteration issue cost `c`, memory latency `L` and software
+//!   pipeline depth `D = 2` (double buffering).
+//! * **Pipeline fill** — every block pays the first global-load latency
+//!   once; a block executing several tiles pays it once *total* (the
+//!   cross-tile prefetching of the batching engine), while one-tile
+//!   blocks pay it per tile. This is the mechanical form of the paper's
+//!   "batching along K improves ILP" argument.
+//! * **Idle threads / bubble blocks** — threads beyond a tile's needs
+//!   occupy residency without contributing work; empty blocks cost a
+//!   dispatch. Both are MAGMA-`vbatch` artefacts the paper attacks.
+//! * **Launch overhead** — serial kernel launches cost ~5 µs each;
+//!   streams overlap execution but still serialise launches.
+
+pub mod cost;
+pub mod engine;
+pub mod report;
+pub mod streams;
+pub mod timeline;
+
+pub use cost::{BlockWork, KernelDesc, LaunchSequence, TilePass};
+pub use engine::{simulate, simulate_kernel};
+pub use report::{BoundBreakdown, KernelReport, SimReport};
+pub use timeline::{capture_timeline, Timeline};

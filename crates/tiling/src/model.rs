@@ -1,0 +1,105 @@
+//! The analytical models of §4.2: thread-level parallelism (Eq 1) and
+//! single-thread performance / arithmetic intensity (Eqs 2–4).
+
+use crate::strategy::TilingStrategy;
+use ctb_matrix::GemmShape;
+
+/// Eq 1 — total thread-level parallelism of a tiling solution: the
+/// number of threads across all tiles of all GEMMs.
+///
+/// `TLP = Σ_i ceil(M_i/BY_i)·ceil(N_i/BX_i) · T`
+///
+/// The paper writes the exact quotient `M·N/(BY·BX)`; we use ceiling
+/// division so that non-divisible sizes are counted like real grids.
+/// For the paper's worked example every division is exact, so the
+/// published numbers (70144, 17920) are reproduced bit-for-bit — see the
+/// `worked_example` test in [`crate::select`].
+pub fn tlp(shapes: &[GemmShape], strategies: &[TilingStrategy]) -> u64 {
+    assert_eq!(shapes.len(), strategies.len(), "one strategy per GEMM");
+    shapes
+        .iter()
+        .zip(strategies)
+        .map(|(s, st)| st.tiles(s.m, s.n) as u64 * st.threads as u64)
+        .sum()
+}
+
+/// Eq 2 — global-memory load instructions per thread per main-loop
+/// iteration: `(BY·BK + BK·BX) / (Load_width · T)` with 16-byte
+/// (4-float) vector loads.
+pub fn num_load(st: &TilingStrategy) -> f64 {
+    const LOAD_WIDTH: f64 = 4.0;
+    (st.by * st.bk + st.bk * st.bx) as f64 / (LOAD_WIDTH * st.threads as f64)
+}
+
+/// Eq 3 — FMA instructions per thread per main-loop iteration:
+/// `BY·BX·BK / T`.
+pub fn num_fma(st: &TilingStrategy) -> f64 {
+    (st.by * st.bx * st.bk) as f64 / st.threads as f64
+}
+
+/// Eq 4 — arithmetic intensity, the FMA-to-load ratio:
+/// `4·BY·BX / (BY + BX)`. Larger is better at hiding memory latency.
+pub fn arithmetic_intensity(st: &TilingStrategy) -> f64 {
+    4.0 * (st.by * st.bx) as f64 / (st.by + st.bx) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::{batched, StrategyKind, ThreadCount};
+
+    #[test]
+    fn eq4_is_eq3_over_eq2() {
+        // The paper derives Eq 4 as Num_FMA / Num_Load; the closed form
+        // must agree with the quotient for every Table 2 strategy.
+        for st in crate::strategy::batched_strategies() {
+            let ratio = num_fma(&st) / num_load(&st);
+            assert!(
+                (ratio - arithmetic_intensity(&st)).abs() < 1e-9,
+                "Eq4 mismatch for {st}"
+            );
+        }
+    }
+
+    #[test]
+    fn intensity_grows_with_tile_size() {
+        let t256 = ThreadCount::T256;
+        let ai: Vec<f64> = [StrategyKind::Small, StrategyKind::Medium, StrategyKind::Large, StrategyKind::Huge]
+            .iter()
+            .map(|&k| arithmetic_intensity(&batched(k, t256)))
+            .collect();
+        assert!(ai.windows(2).all(|w| w[1] > w[0]), "AI not monotone: {ai:?}");
+    }
+
+    #[test]
+    fn eq1_matches_hand_computation() {
+        let shapes = [GemmShape::new(64, 64, 32)];
+        let small = batched(StrategyKind::Small, ThreadCount::T256);
+        // 4x4 tiles * 256 threads.
+        assert_eq!(tlp(&shapes, &[small]), 16 * 256);
+        let large = batched(StrategyKind::Large, ThreadCount::T256);
+        assert_eq!(tlp(&shapes, &[large]), 256);
+    }
+
+    #[test]
+    fn eq2_paper_example() {
+        // Table 1 small (16x16x8, T=32): (16*8 + 8*16) / (4*32) = 2.
+        let small_t1 = crate::strategy::SINGLE_GEMM_STRATEGIES[0];
+        assert!((num_load(&small_t1) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq3_counts_sub_tile_work() {
+        // huge/256: 128*128*8/256 = 512 FMA per thread per iteration.
+        let huge = batched(StrategyKind::Huge, ThreadCount::T256);
+        assert!((num_fma(&huge) - 512.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tlp_uses_ceiling_grids() {
+        let shapes = [GemmShape::new(17, 17, 8)];
+        let small = batched(StrategyKind::Small, ThreadCount::T128);
+        // ceil(17/16)^2 = 4 tiles.
+        assert_eq!(tlp(&shapes, &[small]), 4 * 128);
+    }
+}

@@ -1,0 +1,97 @@
+//! Single-GEMM strategy selection (Table 1) used by the baselines.
+//!
+//! The `default` and `cke` baselines launch one classic kernel per GEMM;
+//! MAGMA `vbatch` uses one uniform strategy for the whole batch. Both
+//! need the conventional single-GEMM heuristic: pick the largest tile
+//! (best data reuse) that still produces enough tiles to occupy the
+//! device — the trade-off described in §2.2 and §4.
+
+use crate::strategy::{TilingStrategy, SINGLE_GEMM_STRATEGIES};
+use ctb_gpu_specs::ArchSpec;
+use ctb_matrix::GemmShape;
+
+/// Choose a Table 1 strategy for a lone `shape` on `arch`.
+///
+/// Among the strategies that fit (`BY ≤ M`, `BX ≤ N`; smallest as a
+/// fallback), prefer the largest one that still yields at least one tile
+/// per SM; if none reaches that, take the strategy with the most tiles
+/// (maximum TLP), breaking ties toward the larger tile.
+pub fn select_single_gemm(shape: &GemmShape, arch: &ArchSpec) -> TilingStrategy {
+    let fitting: Vec<TilingStrategy> = SINGLE_GEMM_STRATEGIES
+        .iter()
+        .copied()
+        .filter(|st| st.fits(shape.m, shape.n))
+        .collect();
+    let candidates = if fitting.is_empty() { vec![SINGLE_GEMM_STRATEGIES[0]] } else { fitting };
+
+    let wanted_tiles = arch.sms as usize;
+    // Largest (iterate from the back: tables are ordered small -> huge)
+    // that still fills the device.
+    if let Some(st) = candidates
+        .iter()
+        .rev()
+        .find(|st| st.tiles(shape.m, shape.n) >= wanted_tiles)
+    {
+        return *st;
+    }
+    // Otherwise maximise tile count; prefer the larger tile on ties
+    // (same TLP, better reuse).
+    *candidates
+        .iter()
+        .enumerate()
+        .max_by_key(|(i, st)| (st.tiles(shape.m, shape.n), *i))
+        .map(|(_, st)| st)
+        .expect("non-empty candidates")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::StrategyKind;
+
+    fn v100() -> ArchSpec {
+        ArchSpec::volta_v100()
+    }
+
+    #[test]
+    fn huge_matrices_get_huge_tiles() {
+        // 5120^3 (the paper's near-peak case): 40x40 huge tiles = 1600
+        // blocks >> 80 SMs.
+        let st = select_single_gemm(&GemmShape::new(5120, 5120, 5120), &v100());
+        assert_eq!(st.kind, StrategyKind::Huge);
+    }
+
+    #[test]
+    fn mid_size_balances_tlp() {
+        // 1024^2: huge gives 64 tiles < 80 SMs (the paper's §4.2 example
+        // of why huge is wrong here); the heuristic must pick something
+        // smaller.
+        let st = select_single_gemm(&GemmShape::new(1024, 1024, 1024), &v100());
+        assert!(st.kind < StrategyKind::Huge, "picked {st}");
+        assert!(st.tiles(1024, 1024) >= 80);
+    }
+
+    #[test]
+    fn small_gemm_gets_small_tile() {
+        // The inception3a/5x5reduce motivating case: 16x784x192.
+        let st = select_single_gemm(&GemmShape::new(16, 784, 192), &v100());
+        assert_eq!(st.kind, StrategyKind::Small, "M = 16 only fits small, got {st}");
+    }
+
+    #[test]
+    fn tiny_gemm_falls_back() {
+        let st = select_single_gemm(&GemmShape::new(4, 4, 4), &v100());
+        assert_eq!(st.kind, StrategyKind::Small);
+    }
+
+    #[test]
+    fn selection_always_fits_or_small() {
+        use ctb_matrix::gen::random_case;
+        for seed in 0..30 {
+            for sh in random_case(seed) {
+                let st = select_single_gemm(&sh, &v100());
+                assert!(st.fits(sh.m, sh.n) || st.kind == StrategyKind::Small);
+            }
+        }
+    }
+}

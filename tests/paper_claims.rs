@@ -1,0 +1,105 @@
+//! Named claims from the paper, checked end-to-end against this
+//! reproduction. Each test cites the section it reproduces.
+
+use ctb::convnet::googlenet_v1;
+use ctb::convnet::pipeline::googlenet_times;
+use ctb::prelude::*;
+use ctb::sim::simulate;
+use ctb::tiling::{model, select_tiling, StrategyKind};
+
+/// §4.2.3: the worked example's intermediate and final TLP values.
+#[test]
+fn worked_example_tlp_values() {
+    let shapes = [
+        GemmShape::new(16, 32, 128),
+        GemmShape::new(64, 64, 64),
+        GemmShape::new(256, 256, 64),
+    ];
+    let th = Thresholds::paper_v100();
+    let sol = select_tiling(&shapes, &th);
+    assert_eq!(sol.tlp, 17_920);
+    let small = ctb::tiling::strategy::batched(StrategyKind::Small, sol.thread_count);
+    assert_eq!(model::tlp(&shapes, &[small, small, small]), 70_144);
+}
+
+/// §1: a 5120³ GEMM runs near peak while 16×784×192 runs far below it.
+#[test]
+fn motivation_efficiency_gap() {
+    let arch = ArchSpec::volta_v100();
+    let big = GemmShape::new(5120, 5120, 5120);
+    let small = GemmShape::new(16, 784, 192);
+    let eff = |s: GemmShape| {
+        let r = simulate(&arch, &default_serial(&arch, &[s]).seq);
+        r.gflops(s.flops()) / arch.peak_gflops()
+    };
+    let (e_big, e_small) = (eff(big), eff(small));
+    assert!(e_big > 0.5, "5120^3 at {e_big}");
+    assert!(e_small < 0.1, "16x784x192 at {e_small}");
+}
+
+/// §7.3: GoogleNet has 57 convolutions and the paper's execution-time
+/// ordering (serial > streams > coordinated) holds.
+#[test]
+fn googlenet_ordering() {
+    assert_eq!(googlenet_v1().all_convs().len(), 57);
+    let t = googlenet_times(&ArchSpec::volta_v100(), 1);
+    assert!(t.cudnn_like_ms > t.cudnn_streams_ms);
+    assert!(t.cudnn_streams_ms > t.coordinated_ms);
+}
+
+/// Fig 3(a): the vbatch bubble structure for the figure's three GEMMs.
+#[test]
+fn vbatch_bubbles_match_figure_3a() {
+    let shapes = vec![
+        GemmShape::new(16, 32, 128),
+        GemmShape::new(64, 48, 64),
+        GemmShape::new(64, 64, 128),
+    ];
+    let run = magma_vbatch(&ArchSpec::volta_v100(), &shapes);
+    let kernels = run.seq.kernels();
+    assert_eq!(kernels.len(), 1, "vbatch is one kernel");
+    assert_eq!(kernels[0].blocks.len(), 48, "3 GEMMs x 4x4 slice");
+    assert_eq!(kernels[0].bubble_blocks(), 18, "(16-2) + (16-12) bubbles");
+}
+
+/// §7: the framework's V100 constants are the paper's (TLP threshold
+/// 65536, θ = 256).
+#[test]
+fn v100_constants() {
+    let t = Thresholds::for_arch(&ArchSpec::volta_v100());
+    assert_eq!(t.tlp_threshold, 65_536);
+    assert_eq!(t.theta, 256);
+}
+
+/// §7.4: the speedup over MAGMA holds on every evaluated architecture
+/// for a representative random workload set.
+#[test]
+fn portability_speedups() {
+    for arch in ArchSpec::fig11_presets() {
+        let fw = Framework::new(arch.clone());
+        let mut wins = 0usize;
+        let cases = ctb::matrix::gen::random_cases(12, 77);
+        for shapes in &cases {
+            let ours = fw.simulate_only(shapes).unwrap().total_us;
+            let magma = simulate(&arch, &magma_vbatch(&arch, shapes).seq).total_us;
+            wins += usize::from(magma > ours);
+        }
+        assert!(
+            wins * 3 >= cases.len() * 2,
+            "{}: won only {wins}/{} cases",
+            arch.name,
+            cases.len()
+        );
+    }
+}
+
+/// §5: the random-forest selection overhead is a handful of comparisons.
+#[test]
+fn selector_overhead_is_small() {
+    let arch = ArchSpec::volta_v100();
+    let th = Thresholds::for_arch(&arch);
+    let selector =
+        ctb::core::OnlineSelector::train(&arch, &th, &ctb::matrix::gen::random_cases(60, 5));
+    let depth = selector.forest().avg_path_depth(&[128.0, 128.0, 64.0, 8.0]);
+    assert!(depth <= 8.0, "paper quotes 7-8 comparisons; got {depth}");
+}

@@ -1,0 +1,237 @@
+//! Property-based tests (proptest) over the core invariants of the
+//! framework: plan well-formedness, functional correctness against the
+//! reference GEMM, simulator sanity and model monotonicity.
+
+use ctb::batching::{assign_blocks, tiles_for, BatchPlan, BatchingHeuristic};
+use ctb::core::lowering::lower_plan;
+use ctb::matrix::MatchReport;
+use ctb::prelude::*;
+use ctb::sim::simulate;
+use ctb::tiling::select_tiling;
+use proptest::prelude::*;
+
+fn small_shape() -> impl Strategy<Value = GemmShape> {
+    (1usize..=96, 1usize..=96, 0usize..=96).prop_map(|(m, n, k)| GemmShape::new(m, n, k))
+}
+
+fn shape_batch() -> impl Strategy<Value = Vec<GemmShape>> {
+    proptest::collection::vec(small_shape(), 1..=6)
+}
+
+fn heuristic() -> impl Strategy<Value = BatchingHeuristic> {
+    prop_oneof![
+        Just(BatchingHeuristic::OneTilePerBlock),
+        Just(BatchingHeuristic::Threshold),
+        Just(BatchingHeuristic::Binary),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every heuristic produces a plan that satisfies the Fig 6
+    /// auxiliary-array invariants: all tiles exactly once, coordinates
+    /// in range, matching strategy ids.
+    #[test]
+    fn plans_always_validate(shapes in shape_batch(), h in heuristic()) {
+        let th = Thresholds::paper_v100();
+        let sol = select_tiling(&shapes, &th);
+        let tiles = tiles_for(&shapes, &sol);
+        let blocks = assign_blocks(&tiles, h, &th, sol.thread_count.threads());
+        let plan = BatchPlan::from_blocks(&blocks, sol.thread_count.threads());
+        prop_assert!(plan.validate(&shapes, &sol).is_ok());
+        // No empty blocks, every block within the device's block-size
+        // limit.
+        prop_assert!(blocks.iter().all(|b| !b.is_empty()));
+    }
+
+    /// The persistent-threads interpreter computes reference-equal
+    /// results for any plan of any heuristic.
+    #[test]
+    fn functional_results_match_reference(
+        shapes in shape_batch(),
+        h in heuristic(),
+        alpha in -2.0f32..2.0,
+        beta in -2.0f32..2.0,
+        seed in 0u64..1000,
+    ) {
+        let th = Thresholds::paper_v100();
+        let batch = GemmBatch::random(&shapes, alpha, beta, seed);
+        let sol = select_tiling(&shapes, &th);
+        let tiles = tiles_for(&shapes, &sol);
+        let blocks = assign_blocks(&tiles, h, &th, sol.thread_count.threads());
+        let plan = BatchPlan::from_blocks(&blocks, sol.thread_count.threads());
+        let got = ctb::core::execute_plan(&batch, &plan);
+        let report = MatchReport::compare(&batch.reference_result(), &got);
+        prop_assert!(report.within(5e-4), "max_rel = {}", report.max_rel);
+    }
+
+    /// The tiling engine always returns one fitting strategy per GEMM
+    /// with a consistent unified thread count and correctly reported
+    /// TLP.
+    #[test]
+    fn tiling_solution_invariants(shapes in shape_batch()) {
+        let th = Thresholds::paper_v100();
+        let sol = select_tiling(&shapes, &th);
+        prop_assert_eq!(sol.per_gemm.len(), shapes.len());
+        for (s, st) in shapes.iter().zip(&sol.per_gemm) {
+            prop_assert_eq!(st.threads, sol.thread_count.threads());
+            prop_assert!(st.fits(s.m, s.n) || st.kind == ctb::tiling::StrategyKind::Small);
+        }
+        prop_assert_eq!(sol.tlp, ctb::tiling::model::tlp(&shapes, &sol.per_gemm));
+    }
+
+    /// Lowered kernels are always feasible (non-zero occupancy) and the
+    /// simulator returns a positive finite time for non-empty batches.
+    #[test]
+    fn simulation_is_finite_and_positive(shapes in shape_batch(), h in heuristic()) {
+        let arch = ArchSpec::volta_v100();
+        let th = Thresholds::paper_v100();
+        let sol = select_tiling(&shapes, &th);
+        let tiles = tiles_for(&shapes, &sol);
+        let blocks = assign_blocks(&tiles, h, &th, sol.thread_count.threads());
+        let plan = BatchPlan::from_blocks(&blocks, sol.thread_count.threads());
+        let kd = lower_plan("prop", &plan, &shapes);
+        let report = simulate(&arch, &ctb::sim::LaunchSequence::Single(kd));
+        prop_assert!(report.total_us.is_finite());
+        prop_assert!(report.total_us > 0.0);
+    }
+
+    /// Growing K (more work per tile) never makes the simulated batch
+    /// meaningfully faster, all else equal. (Small reversals are allowed:
+    /// discrete policy switches and the DRAM bandwidth-share term can
+    /// shift a few percent between adjacent configurations.)
+    #[test]
+    fn simulated_time_is_monotone_in_k(
+        b in 1usize..=8,
+        mn in 16usize..=128,
+        k in 8usize..=512,
+    ) {
+        let arch = ArchSpec::volta_v100();
+        let fw = Framework::new(arch);
+        let t1 = fw.simulate_only(&ctb::matrix::gen::uniform_case(b, mn, mn, k)).unwrap().total_us;
+        let t2 = fw.simulate_only(&ctb::matrix::gen::uniform_case(b, mn, mn, 2 * k)).unwrap().total_us;
+        prop_assert!(t2 >= t1 * 0.95, "K {k}->{}: {t1} -> {t2}", 2 * k);
+    }
+
+    /// Duplicating the batch never makes it meaningfully faster (same
+    /// tolerance rationale as the K-monotonicity property).
+    #[test]
+    fn simulated_time_is_monotone_in_batch(
+        b in 1usize..=6,
+        mn in 16usize..=128,
+        k in 8usize..=256,
+    ) {
+        let arch = ArchSpec::volta_v100();
+        let fw = Framework::new(arch);
+        let t1 = fw.simulate_only(&ctb::matrix::gen::uniform_case(b, mn, mn, k)).unwrap().total_us;
+        let t2 = fw.simulate_only(&ctb::matrix::gen::uniform_case(2 * b, mn, mn, k)).unwrap().total_us;
+        prop_assert!(t2 >= t1 * 0.95, "B {b}->{}: {t1} -> {t2}", 2 * b);
+    }
+
+    /// The five auxiliary arrays round-trip the per-block tile
+    /// assignment exactly.
+    #[test]
+    fn auxiliary_arrays_round_trip(shapes in shape_batch(), h in heuristic()) {
+        let th = Thresholds::paper_v100();
+        let sol = select_tiling(&shapes, &th);
+        let tiles = tiles_for(&shapes, &sol);
+        let blocks = assign_blocks(&tiles, h, &th, sol.thread_count.threads());
+        let plan = BatchPlan::from_blocks(&blocks, sol.thread_count.threads());
+        for (b, expect) in blocks.iter().enumerate() {
+            prop_assert_eq!(&plan.block_tiles(b, &shapes), expect);
+        }
+    }
+}
+
+fn any_mat(rows: usize, cols: usize, seed: u64) -> ctb::matrix::MatF32 {
+    ctb::matrix::MatF32::random(rows, cols, seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The register-blocked micro-kernel agrees with the naive loop on
+    /// arbitrary shapes and scalars.
+    #[test]
+    fn micro_kernel_matches_reference(
+        m in 1usize..40,
+        n in 1usize..40,
+        k in 0usize..40,
+        alpha in -2.0f32..2.0,
+        beta in -2.0f32..2.0,
+        seed in 0u64..1000,
+    ) {
+        let a = any_mat(m, k, seed);
+        let b = any_mat(k, n, seed + 1);
+        let c0 = any_mat(m, n, seed + 2);
+        let mut expect = c0.clone();
+        ctb::matrix::gemm_ref(alpha, &a, &b, beta, &mut expect);
+        let mut got = c0;
+        ctb::matrix::gemm_micro(alpha, &a, &b, beta, &mut got);
+        prop_assert!(ctb::matrix::max_abs_diff(&expect, &got) < 1e-3);
+    }
+
+    /// Split-K produces reference-equal results for every split factor.
+    #[test]
+    fn splitk_matches_reference(
+        shapes in shape_batch(),
+        split in 1usize..8,
+        seed in 0u64..1000,
+    ) {
+        let arch = ArchSpec::volta_v100();
+        let batch = GemmBatch::random(&shapes, 1.0, 0.5, seed);
+        let (results, report) =
+            ctb::core::run_splitk(&arch, &batch, split).expect("split-k runs");
+        let expect = batch.reference_result();
+        let r = MatchReport::compare(&expect, &results);
+        prop_assert!(r.within(1e-3), "split {split}: max_rel {}", r.max_rel);
+        prop_assert!(report.total_us > 0.0);
+    }
+
+    /// The dynamic-queue plan always validates and covers every tile.
+    #[test]
+    fn dynamic_plans_always_validate(shapes in shape_batch()) {
+        let arch = ArchSpec::volta_v100();
+        let th = Thresholds::for_arch(&arch);
+        let (sol, plan) = ctb::core::plan_dynamic(&arch, &shapes, &th);
+        prop_assert!(plan.validate(&shapes, &sol).is_ok());
+    }
+
+    /// The timeline capture agrees with the kernel report for any
+    /// coordinated plan, and its slot events never overlap.
+    #[test]
+    fn timeline_is_consistent_with_the_report(shapes in shape_batch(), h in heuristic()) {
+        let arch = ArchSpec::volta_v100();
+        let th = Thresholds::paper_v100();
+        let sol = select_tiling(&shapes, &th);
+        let tiles = tiles_for(&shapes, &sol);
+        let blocks = assign_blocks(&tiles, h, &th, sol.thread_count.threads());
+        let plan = BatchPlan::from_blocks(&blocks, sol.thread_count.threads());
+        let kd = lower_plan("prop-timeline", &plan, &shapes);
+        let report = ctb::sim::simulate_kernel(&arch, &kd);
+        let timeline = ctb::sim::capture_timeline(&arch, &kd);
+        prop_assert!((timeline.makespan - report.cycles).abs() < 1e-6);
+        prop_assert_eq!(timeline.events.len(), plan.num_blocks());
+        let mut per_slot: std::collections::HashMap<usize, Vec<(f64, f64)>> = Default::default();
+        for e in &timeline.events {
+            per_slot.entry(e.slot).or_default().push((e.start, e.end));
+        }
+        for (_, mut spans) in per_slot {
+            spans.sort_by(|a, b| a.0.total_cmp(&b.0));
+            for w in spans.windows(2) {
+                prop_assert!(w[0].1 <= w[1].0 + 1e-9);
+            }
+        }
+    }
+
+    /// The traced tiling selection equals the plain selection.
+    #[test]
+    fn traced_selection_is_equivalent(shapes in shape_batch()) {
+        let th = Thresholds::paper_v100();
+        let (traced, trace) = ctb::tiling::select_tiling_traced(&shapes, &th);
+        prop_assert_eq!(&traced, &select_tiling(&shapes, &th));
+        prop_assert!(!trace.rounds.is_empty());
+        prop_assert!(trace.chosen == trace.rounds.len() - 1);
+    }
+}
