@@ -1,0 +1,47 @@
+//! Criterion benches for the zero-copy execution engine and the
+//! memoized autotuner: the packed micro-kernel executor against the
+//! collect-then-scatter baseline on a Fig 9 grid cell, the parallel
+//! reference path, and a full autotune run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ctb_bench::perf::executor_workload;
+use ctb_core::autotune::autotune;
+use ctb_core::{execute_plan, execute_plan_unpacked, Framework};
+use ctb_gpu_specs::{ArchSpec, Thresholds};
+use ctb_matrix::gen::uniform_case;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_execute_plan(c: &mut Criterion) {
+    let arch = ArchSpec::volta_v100();
+    let batch = executor_workload();
+    let fw = Framework::new(arch);
+    let plan = fw.plan(&batch.shapes).expect("plannable");
+
+    let mut g = c.benchmark_group("execute_plan");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    g.bench_function("packed_b16_128x128x256", |b| {
+        b.iter(|| black_box(execute_plan(&batch, &plan.plan)))
+    });
+    g.bench_function("unpacked_b16_128x128x256", |b| {
+        b.iter(|| black_box(execute_plan_unpacked(&batch, &plan.plan)))
+    });
+    g.bench_function("reference_result", |b| b.iter(|| black_box(batch.reference_result())));
+    g.finish();
+}
+
+fn bench_autotune(c: &mut Criterion) {
+    let arch = ArchSpec::volta_v100();
+    let th = Thresholds::for_arch(&arch);
+    let shapes = uniform_case(16, 128, 128, 128);
+
+    let mut g = c.benchmark_group("autotune");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    g.bench_function("uniform_16x128x128x128", |b| {
+        b.iter(|| black_box(autotune(&arch, &shapes, &th)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_execute_plan, bench_autotune);
+criterion_main!(benches);

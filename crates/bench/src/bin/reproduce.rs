@@ -6,9 +6,10 @@
 //! ```
 //!
 //! Sub-commands: `tables`, `motivation`, `fig8`, `fig9`, `fig10`,
-//! `fig11`, `googlenet`, `calibrate`, `all`. Output is printed in the
-//! paper's row/series layout and mirrored as CSV under
-//! `target/experiments/`.
+//! `fig11`, `googlenet`, `calibrate`, `perf`, `all`. Output is printed
+//! in the paper's row/series layout and mirrored as CSV under
+//! `target/experiments/`; `perf` additionally writes the tracked
+//! `BENCH_executor.json` at the repository root.
 
 use ctb_bench::figures::{fig11_portability, fig8_grid, fig9_grid, mean_speedup, CellResult};
 use ctb_bench::{ablations, calibrate, fans, googlenet_exp, motivation, tables, write_csv};
@@ -32,6 +33,7 @@ fn main() {
         "custom" => run_custom(&arch, args.get(1).map(String::as_str)),
         "fans" => run_fans(&arch),
         "splitk" => run_splitk_demo(&arch),
+        "perf" => run_perf(&arch),
         "all" => {
             run_tables();
             run_motivation(&arch);
@@ -49,11 +51,29 @@ fn main() {
             eprintln!(
                 "unknown experiment '{other}'; expected one of: tables, motivation, \
                  fig8, fig9, fig10, googlenet, fig11, calibrate, ablate, fans, splitk, \
-                 plan <MxNxK,...>, custom <csv-file>, all"
+                 perf, plan <MxNxK,...>, custom <csv-file>, all"
             );
             std::process::exit(2);
         }
     }
+}
+
+fn run_perf(arch: &ArchSpec) {
+    use ctb_bench::perf;
+    println!("== perf harness: executor / reference / autotune / fig9 grid ({}) ==", arch.name);
+    let (entries, path) = perf::run_and_write(arch);
+    for e in &entries {
+        println!(
+            "   {:<40} {:>10.2} ms   ({} evaluated, {} cache hits)",
+            e.workload, e.wall_ms, e.evaluated, e.cache_hits
+        );
+    }
+    let packed = entries.iter().find(|e| e.workload.starts_with("execute_plan_packed"));
+    let unpacked = entries.iter().find(|e| e.workload.starts_with("execute_plan_unpacked"));
+    if let (Some(p), Some(u)) = (packed, unpacked) {
+        println!("   packed executor speedup over unpacked baseline: {:.2}x", u.wall_ms / p.wall_ms);
+    }
+    println!("(json: {})\n", path.display());
 }
 
 fn run_tables() {

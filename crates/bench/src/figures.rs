@@ -8,6 +8,7 @@ use ctb_core::{BatchingPolicy, Framework, FrameworkConfig};
 use ctb_gpu_specs::ArchSpec;
 use ctb_matrix::gen;
 use ctb_matrix::GemmShape;
+use rayon::prelude::*;
 
 /// One histogram bar of the Fig 8 / Fig 9 grids.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -32,22 +33,30 @@ impl CellResult {
 }
 
 fn grid_with(arch: &ArchSpec, policy: impl Fn() -> BatchingPolicy) -> Vec<CellResult> {
-    let mut cells = Vec::new();
     let fw = Framework::with_config(
         arch.clone(),
         FrameworkConfig { batching: policy(), thresholds: None },
     );
+    // Enumerate cells in the figure's row order, then evaluate them in
+    // parallel; `map` + `collect` keeps results in enumeration order,
+    // so the output is identical to the old serial triple loop.
+    let mut params = Vec::new();
     for b in gen::fig_batch_sizes() {
         for mn in gen::fig_mn_sizes() {
             for k in gen::k_sweep() {
-                let shapes = gen::uniform_case(b, mn, mn, k);
-                let magma_us = simulate_baseline(arch, &magma_vbatch(arch, &shapes)).total_us;
-                let ours_us = fw.simulate_only(&shapes).expect("plannable").total_us;
-                cells.push(CellResult { batch: b, mn, k, magma_us, ours_us });
+                params.push((b, mn, k));
             }
         }
     }
-    cells
+    params
+        .into_par_iter()
+        .map(|(b, mn, k)| {
+            let shapes = gen::uniform_case(b, mn, mn, k);
+            let magma_us = simulate_baseline(arch, &magma_vbatch(arch, &shapes)).total_us;
+            let ours_us = fw.simulate_only(&shapes).expect("plannable").total_us;
+            CellResult { batch: b, mn, k, magma_us, ours_us }
+        })
+        .collect()
 }
 
 /// Fig 8: the tiling engine alone (batching disabled — one tile per
@@ -88,12 +97,14 @@ pub fn fig11_portability(cases: usize, seed: u64) -> Vec<PortabilityResult> {
         .collect()
 }
 
-/// The Fig 11 measurement for one device.
+/// The Fig 11 measurement for one device. Cases are drawn serially
+/// (keeping the RNG stream, and thus the workloads, identical to the
+/// serial version) and then simulated in parallel in case order.
 pub fn portability_for(arch: &ArchSpec, cases: usize, seed: u64) -> PortabilityResult {
     let fw = Framework::new(arch.clone());
     let speedups: Vec<f64> = gen::random_cases(cases, seed)
-        .iter()
-        .map(|shapes| speedup_for_case(&fw, arch, shapes))
+        .into_par_iter()
+        .map(|shapes| speedup_for_case(&fw, arch, &shapes))
         .collect();
     PortabilityResult { arch_name: arch.name, mean_speedup: geomean(&speedups), speedups }
 }

@@ -11,6 +11,7 @@ pub mod fans;
 pub mod figures;
 pub mod googlenet_exp;
 pub mod motivation;
+pub mod perf;
 pub mod tables;
 
 pub use calibrate::{calibrate_tlp_threshold, CalibrationPoint};

@@ -1,0 +1,188 @@
+//! `reproduce perf` — the tracked performance harness.
+//!
+//! Times the hot paths this repository optimises (the packed executor
+//! against the unpacked baseline, the reference GEMM path, the
+//! memoized autotuner and one Fig 9 grid) and writes the results as
+//! `BENCH_executor.json` at the repository root so successive commits
+//! can be compared. Criterion benches (`cargo bench -p ctb-bench`)
+//! provide finer-grained numbers; this harness is the cheap,
+//! machine-readable trajectory record.
+
+use crate::figures::fig9_grid;
+use ctb_core::autotune::autotune;
+use ctb_core::{execute_plan, execute_plan_unpacked, Framework};
+use ctb_gpu_specs::{ArchSpec, Thresholds};
+use ctb_matrix::{gen, GemmBatch};
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// One timed workload.
+#[derive(Debug, Clone)]
+pub struct PerfEntry {
+    /// Stable workload identifier.
+    pub workload: String,
+    /// Wall-clock milliseconds. For iterated workloads (executor and
+    /// reference entries) this is the best single iteration — the
+    /// standard noise-robust kernel-timing estimate; autotune and the
+    /// grid are single-shot totals.
+    pub wall_ms: f64,
+    /// Work items processed: executor/reference iterations, autotune
+    /// candidate evaluations, or grid cells.
+    pub evaluated: usize,
+    /// Cache hits (simulation-memo hits for autotune, 0 elsewhere).
+    pub cache_hits: usize,
+}
+
+fn time_ms<T>(f: impl FnOnce() -> T) -> (f64, T) {
+    let t0 = Instant::now();
+    let out = f();
+    (t0.elapsed().as_secs_f64() * 1e3, out)
+}
+
+/// Warm up once, then time `iters` runs and return the best
+/// single-iteration milliseconds plus the last output. The minimum is
+/// the noise-robust estimator: scheduler preemption and frequency
+/// ramping only ever inflate a sample.
+fn time_best_ms<T>(iters: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut out = f();
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let (ms, o) = time_ms(&mut f);
+        best = best.min(ms);
+        out = o;
+    }
+    (best, out)
+}
+
+/// A Fig 9 grid cell used as the executor workload: batch 16 of
+/// 128×128×256 — mid-grid, large enough that kernel time dominates
+/// planning noise.
+pub fn executor_workload() -> GemmBatch {
+    GemmBatch::random(&gen::uniform_case(16, 128, 128, 256), 1.0, 0.5, 7)
+}
+
+/// Run the perf suite on `arch`.
+pub fn run_perf(arch: &ArchSpec) -> Vec<PerfEntry> {
+    let mut entries = Vec::new();
+
+    // Executor: packed engine vs the unpacked baseline on the same plan.
+    let batch = executor_workload();
+    let fw = Framework::new(arch.clone());
+    let plan = fw.plan(&batch.shapes).expect("plannable");
+    const EXEC_ITERS: usize = 10;
+    let (packed_ms, packed) = time_best_ms(EXEC_ITERS, || execute_plan(&batch, &plan.plan));
+    entries.push(PerfEntry {
+        workload: "execute_plan_packed_b16_128x128x256".into(),
+        wall_ms: packed_ms,
+        evaluated: EXEC_ITERS,
+        cache_hits: 0,
+    });
+    let (unpacked_ms, unpacked) =
+        time_best_ms(EXEC_ITERS, || execute_plan_unpacked(&batch, &plan.plan));
+    entries.push(PerfEntry {
+        workload: "execute_plan_unpacked_b16_128x128x256".into(),
+        wall_ms: unpacked_ms,
+        evaluated: EXEC_ITERS,
+        cache_hits: 0,
+    });
+    // Guard: the two engines must agree bitwise or the timing is moot.
+    for (p, u) in packed.iter().zip(&unpacked) {
+        assert_eq!(p.as_slice(), u.as_slice(), "packed/unpacked results diverged");
+    }
+
+    // Reference path (parallel per-GEMM gemm_auto dispatch).
+    let (ref_ms, _) = time_best_ms(EXEC_ITERS, || std::hint::black_box(batch.reference_result()));
+    entries.push(PerfEntry {
+        workload: "reference_result_b16_128x128x256".into(),
+        wall_ms: ref_ms,
+        evaluated: EXEC_ITERS,
+        cache_hits: 0,
+    });
+
+    // Memoized autotune on the paper's uniform workload.
+    let th = Thresholds::for_arch(arch);
+    let shapes = gen::uniform_case(16, 128, 128, 128);
+    let (tune_ms, result) = time_ms(|| autotune(arch, &shapes, &th));
+    entries.push(PerfEntry {
+        workload: "autotune_uniform_16x128x128x128".into(),
+        wall_ms: tune_ms,
+        evaluated: result.evaluated,
+        cache_hits: result.memo_hits,
+    });
+
+    // One full Fig 9 grid (parallel cells).
+    let (grid_ms, cells) = time_ms(|| fig9_grid(arch));
+    entries.push(PerfEntry {
+        workload: "fig9_grid_v100".into(),
+        wall_ms: grid_ms,
+        evaluated: cells.len(),
+        cache_hits: 0,
+    });
+
+    entries
+}
+
+/// Serialize entries as the tracked JSON schema. Keys are stable:
+/// `workload`, `wall_ms`, `evaluated`, `cache_hits`.
+pub fn render_json(arch: &ArchSpec, entries: &[PerfEntry]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"bench\": \"executor\",\n  \"arch\": \"{}\",\n", arch.name));
+    out.push_str("  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"wall_ms\": {:.3}, \"evaluated\": {}, \"cache_hits\": {}}}{}\n",
+            e.workload,
+            e.wall_ms,
+            e.evaluated,
+            e.cache_hits,
+            if i + 1 < entries.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Path of the tracked report: `BENCH_executor.json` at the repo root,
+/// independent of the working directory the binary runs from.
+pub fn report_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..").join("BENCH_executor.json")
+}
+
+/// Run the suite and write the tracked report; returns the entries and
+/// the path written.
+pub fn run_and_write(arch: &ArchSpec) -> (Vec<PerfEntry>, PathBuf) {
+    let entries = run_perf(arch);
+    let path = report_path();
+    std::fs::write(&path, render_json(arch, &entries)).expect("write BENCH_executor.json");
+    (entries, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_schema_has_stable_keys() {
+        let arch = ArchSpec::volta_v100();
+        let entries = vec![PerfEntry {
+            workload: "w".into(),
+            wall_ms: 1.25,
+            evaluated: 3,
+            cache_hits: 2,
+        }];
+        let json = render_json(&arch, &entries);
+        for key in ["\"bench\"", "\"arch\"", "\"entries\"", "\"workload\"", "\"wall_ms\"", "\"evaluated\"", "\"cache_hits\""] {
+            assert!(json.contains(key), "missing key {key} in {json}");
+        }
+        assert!(json.contains("\"wall_ms\": 1.250"));
+    }
+
+    #[test]
+    fn report_path_is_the_repo_root() {
+        let p = report_path();
+        assert!(p.ends_with("BENCH_executor.json"));
+        // The parent must contain the workspace manifest.
+        let root = p.parent().unwrap();
+        assert!(root.join("Cargo.toml").exists(), "expected repo root, got {root:?}");
+    }
+}

@@ -1,0 +1,24 @@
+//! Regenerate the bundled pretrained selector artifact.
+//!
+//! ```text
+//! cargo run -p ctb-core --release --example regen_selector
+//! ```
+//!
+//! Retrains the online selector on the standard corpus against the
+//! V100 model and rewrites `crates/core/data/selector_v100.forest`.
+//! Run this whenever the training routine, the workload generators, or
+//! the RNG stream changes; `pretrained_artifact_loads_and_agrees_with_fresh_training`
+//! guards that the artifact stays in sync.
+
+use ctb_core::OnlineSelector;
+use ctb_gpu_specs::{ArchSpec, Thresholds};
+
+fn main() {
+    let arch = ArchSpec::volta_v100();
+    let th = Thresholds::for_arch(&arch);
+    let selector = OnlineSelector::train_default(&arch, &th);
+    let text = ctb_forest::codec::encode(selector.forest());
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/data/selector_v100.forest");
+    std::fs::write(path, &text).expect("write artifact");
+    println!("wrote {path} ({} bytes)", text.len());
+}

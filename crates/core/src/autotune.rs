@@ -10,13 +10,13 @@
 //! threshold rule leaves on the table.
 
 use crate::framework::plan_with_heuristic;
-use crate::lowering::lower_plan;
-use ctb_batching::{assign_blocks, tiles_for, BatchPlan, BatchingHeuristic};
+use crate::memo::SimMemo;
+use ctb_batching::BatchingHeuristic;
 use ctb_gpu_specs::{ArchSpec, Thresholds};
 use ctb_matrix::GemmShape;
-use ctb_sim::{simulate, LaunchSequence};
 use ctb_tiling::strategy::{batched, StrategyKind, ThreadCount};
 use ctb_tiling::{model, TilingSolution};
+use rayon::prelude::*;
 
 /// Result of the exhaustive search.
 #[derive(Debug, Clone)]
@@ -28,20 +28,10 @@ pub struct AutotuneResult {
     pub heuristic_us: f64,
     /// Candidate plans evaluated.
     pub evaluated: usize,
-}
-
-fn simulate_solution(
-    arch: &ArchSpec,
-    shapes: &[GemmShape],
-    solution: &TilingSolution,
-    heuristic: BatchingHeuristic,
-    thresholds: &Thresholds,
-) -> f64 {
-    let tiles = tiles_for(shapes, solution);
-    let blocks = assign_blocks(&tiles, heuristic, thresholds, solution.thread_count.threads());
-    let plan = BatchPlan::from_blocks(&blocks, solution.thread_count.threads());
-    let kd = lower_plan("autotune", &plan, shapes);
-    simulate(arch, &LaunchSequence::Single(kd)).total_us
+    /// Simulator pipeline runs actually performed (memo misses).
+    pub sim_calls: usize,
+    /// Candidate evaluations answered from the simulation memo.
+    pub memo_hits: usize,
 }
 
 fn available_for(shape: &GemmShape, tc: ThreadCount) -> Vec<ctb_tiling::TilingStrategy> {
@@ -58,6 +48,12 @@ fn available_for(shape: &GemmShape, tc: ThreadCount) -> Vec<ctb_tiling::TilingSt
 
 /// Exhaustively search tile strategies (uniform passes + coordinate
 /// descent) and batching heuristics for the fastest simulated plan.
+///
+/// Candidate `(solution, heuristic)` pairs are simulated in parallel on
+/// the rayon pool and answered from a [`SimMemo`] when revisited; the
+/// winner is then chosen by a serial scan in the same candidate order
+/// the original greedy search used, so the selected solution, heuristic
+/// and simulated times are identical to an unmemoized, serial run.
 pub fn autotune(arch: &ArchSpec, shapes: &[GemmShape], thresholds: &Thresholds) -> AutotuneResult {
     assert!(!shapes.is_empty(), "empty batch");
     let heuristics = [
@@ -65,23 +61,24 @@ pub fn autotune(arch: &ArchSpec, shapes: &[GemmShape], thresholds: &Thresholds) 
         BatchingHeuristic::Threshold,
         BatchingHeuristic::Binary,
     ];
-
-    let mut evaluated = 0usize;
-    let mut best: Option<(TilingSolution, BatchingHeuristic, f64)> = None;
-    let consider = |sol: &TilingSolution,
-                        best: &mut Option<(TilingSolution, BatchingHeuristic, f64)>,
-                        evaluated: &mut usize| {
-        for h in heuristics {
-            let us = simulate_solution(arch, shapes, sol, h, thresholds);
-            *evaluated += 1;
-            if best.as_ref().is_none_or(|(_, _, b)| us < *b) {
-                *best = Some((sol.clone(), h, us));
-            }
-        }
+    let memo = SimMemo::new();
+    // Evaluate `(solution index, heuristic)` pairs in parallel,
+    // returning times in pair order for the deterministic serial scans.
+    let eval_pairs = |sols: &[TilingSolution]| -> Vec<(usize, BatchingHeuristic, f64)> {
+        let pairs: Vec<(usize, BatchingHeuristic)> = (0..sols.len())
+            .flat_map(|i| heuristics.iter().map(move |&h| (i, h)))
+            .collect();
+        pairs
+            .into_par_iter()
+            .map(|(i, h)| (i, h, memo.simulate_solution(arch, shapes, &sols[i], h, thresholds)))
+            .collect()
     };
 
+    let mut evaluated = 0usize;
+
+    // Uniform passes: every GEMM uses its clamp of one target kind.
+    let mut uniform: Vec<TilingSolution> = Vec::new();
     for tc in [ThreadCount::T256, ThreadCount::T128] {
-        // Uniform passes: every GEMM uses its clamp of one target kind.
         for kind in StrategyKind::ALL {
             let per_gemm: Vec<_> = shapes
                 .iter()
@@ -92,46 +89,68 @@ pub fn autotune(arch: &ArchSpec, shapes: &[GemmShape], thresholds: &Thresholds) 
                 })
                 .collect();
             let tlp = model::tlp(shapes, &per_gemm);
-            let sol = TilingSolution { thread_count: tc, per_gemm, tlp };
-            consider(&sol, &mut best, &mut evaluated);
+            uniform.push(TilingSolution { thread_count: tc, per_gemm, tlp });
+        }
+    }
+    let mut best: Option<(TilingSolution, BatchingHeuristic, f64)> = None;
+    for (i, h, us) in eval_pairs(&uniform) {
+        evaluated += 1;
+        if best.as_ref().is_none_or(|(_, _, b)| us < *b) {
+            best = Some((uniform[i].clone(), h, us));
         }
     }
 
-    // Coordinate descent from the best uniform solution.
+    // Coordinate descent from the best uniform solution. Within one
+    // GEMM `g` every trial only replaces `per_gemm[g]` (and recomputes
+    // TLP), so a mid-scan improvement at `g` cannot change the
+    // remaining trials of the same `g` — which is what makes it valid
+    // to simulate them all in parallel up front and replay the greedy
+    // first-improvement scan serially afterwards.
     let (mut sol, mut h, mut us) = best.clone().expect("at least one candidate");
     let mut improved = true;
     while improved {
         improved = false;
         for g in 0..shapes.len() {
-            for cand in available_for(&shapes[g], sol.thread_count) {
-                if cand == sol.per_gemm[g] {
-                    continue;
-                }
-                let mut trial = sol.clone();
-                trial.per_gemm[g] = cand;
-                trial.tlp = model::tlp(shapes, &trial.per_gemm);
-                for heur in heuristics {
-                    let t = simulate_solution(arch, shapes, &trial, heur, thresholds);
-                    evaluated += 1;
-                    if t < us {
-                        sol = trial.clone();
-                        h = heur;
-                        us = t;
-                        improved = true;
-                    }
+            let trials: Vec<TilingSolution> = available_for(&shapes[g], sol.thread_count)
+                .into_iter()
+                .filter(|cand| *cand != sol.per_gemm[g])
+                .map(|cand| {
+                    let mut trial = sol.clone();
+                    trial.per_gemm[g] = cand;
+                    trial.tlp = model::tlp(shapes, &trial.per_gemm);
+                    trial
+                })
+                .collect();
+            for (i, heur, t) in eval_pairs(&trials) {
+                evaluated += 1;
+                if t < us {
+                    sol = trials[i].clone();
+                    h = heur;
+                    us = t;
+                    improved = true;
                 }
             }
         }
     }
 
-    // The paper's heuristic, for the ablation delta.
-    let (heuristic_sol, heuristic_plan) =
+    // The paper's heuristic, for the ablation delta. Re-simulating the
+    // heuristic's solution goes through the memo too: on uniform
+    // batches the threshold-selected solution is one of the uniform
+    // candidates above, so this lookup is a guaranteed hit.
+    let (heuristic_sol, _heuristic_plan) =
         plan_with_heuristic(shapes, thresholds, BatchingHeuristic::Threshold);
-    let kd = lower_plan("heuristic", &heuristic_plan, shapes);
-    let _ = heuristic_sol;
-    let heuristic_us = simulate(arch, &LaunchSequence::Single(kd)).total_us;
+    let heuristic_us =
+        memo.simulate_solution(arch, shapes, &heuristic_sol, BatchingHeuristic::Threshold, thresholds);
 
-    AutotuneResult { solution: sol, heuristic: h, us, heuristic_us, evaluated }
+    AutotuneResult {
+        solution: sol,
+        heuristic: h,
+        us,
+        heuristic_us,
+        evaluated,
+        sim_calls: memo.misses(),
+        memo_hits: memo.hits(),
+    }
 }
 
 #[cfg(test)]
@@ -172,6 +191,33 @@ mod tests {
             assert!(st.fits(s.m, s.n) || st.kind == StrategyKind::Small);
             assert_eq!(st.threads, r.solution.thread_count.threads());
         }
+    }
+
+    #[test]
+    fn memoization_saves_simulator_calls_without_changing_the_winner() {
+        let (arch, th) = setup();
+        let shapes = ctb_matrix::gen::uniform_case(16, 128, 128, 128);
+        let r = autotune(&arch, &shapes, &th);
+        // Every candidate evaluation plus the final heuristic lookup
+        // went through the memo; strictly fewer simulator pipelines ran
+        // than candidates were considered.
+        assert_eq!(r.sim_calls + r.memo_hits, r.evaluated + 1);
+        assert!(r.memo_hits > 0, "expected memo hits, got none");
+        assert!(r.sim_calls < r.evaluated, "sim {} vs evaluated {}", r.sim_calls, r.evaluated);
+        // The memoized winner replays the exact uncached simulation.
+        let uncached =
+            crate::memo::simulate_solution_uncached(&arch, &shapes, &r.solution, r.heuristic, &th);
+        assert_eq!(uncached.to_bits(), r.us.to_bits(), "memoized us diverges from uncached");
+        // Same for the heuristic comparison point.
+        let (h_sol, _) = plan_with_heuristic(&shapes, &th, BatchingHeuristic::Threshold);
+        let h_uncached = crate::memo::simulate_solution_uncached(
+            &arch,
+            &shapes,
+            &h_sol,
+            BatchingHeuristic::Threshold,
+            &th,
+        );
+        assert_eq!(h_uncached.to_bits(), r.heuristic_us.to_bits());
     }
 
     #[test]

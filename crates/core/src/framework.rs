@@ -2,6 +2,7 @@
 
 use crate::interface::execute_plan;
 use crate::lowering::lower_plan;
+use crate::memo::SimMemo;
 use crate::selector::{simulated_us, OnlineSelector};
 use ctb_batching::{assign_blocks, tiles_for, BatchPlan, BatchingHeuristic};
 use ctb_gpu_specs::{ArchSpec, Thresholds};
@@ -120,12 +121,35 @@ impl Framework {
 
     /// Phase 1 + 2: produce the execution plan for a batch of shapes.
     pub fn plan(&self, shapes: &[GemmShape]) -> Result<ExecutionPlan, String> {
+        self.plan_inner(shapes, None)
+    }
+
+    /// [`Framework::plan`] with a simulation memo: best-of-both
+    /// candidate simulations already seen by `memo` are answered from
+    /// the cache. The chosen plan is identical to `plan`'s — a hit
+    /// replays the exact time the uncached pipeline produced.
+    pub fn plan_memoized(
+        &self,
+        shapes: &[GemmShape],
+        memo: &SimMemo,
+    ) -> Result<ExecutionPlan, String> {
+        self.plan_inner(shapes, Some(memo))
+    }
+
+    fn plan_inner(&self, shapes: &[GemmShape], memo: Option<&SimMemo>) -> Result<ExecutionPlan, String> {
         if shapes.is_empty() {
             return Err("empty batch".into());
         }
         if shapes.iter().any(|s| s.m == 0 || s.n == 0) {
             return Err("GEMM with empty output matrix".into());
         }
+        let candidate_us = |h: BatchingHeuristic| match memo {
+            Some(memo) => {
+                let (solution, _) = plan_with_heuristic(shapes, &self.thresholds, h);
+                memo.simulate_solution(&self.arch, shapes, &solution, h, &self.thresholds)
+            }
+            None => simulated_us(&self.arch, &self.thresholds, shapes, h),
+        };
         let heuristic = match &self.config.batching {
             BatchingPolicy::Fixed(h) => *h,
             BatchingPolicy::Forest(selector) => selector.select_shapes(shapes),
@@ -139,10 +163,7 @@ impl Framework {
                     BatchingHeuristic::OneTilePerBlock,
                 ]
                 .into_iter()
-                .min_by(|&x, &y| {
-                    simulated_us(&self.arch, &self.thresholds, shapes, x)
-                        .total_cmp(&simulated_us(&self.arch, &self.thresholds, shapes, y))
-                })
+                .min_by(|&x, &y| candidate_us(x).total_cmp(&candidate_us(y)))
                 .expect("non-empty candidate list")
             }
         };

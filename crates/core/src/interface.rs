@@ -8,11 +8,235 @@
 //! rayon pool — they own disjoint C tiles by construction (validated by
 //! [`ctb_batching::BatchPlan::validate`]), mirroring the CUDA execution
 //! model where each tile is produced by exactly one block.
+//!
+//! Two executors are provided:
+//!
+//! * [`execute_plan`] — the packed micro-kernel engine. Tiles are
+//!   bucketed per (GEMM, tile-row) and each output matrix is split into
+//!   disjoint row bands, so every band is computed and written by
+//!   exactly one worker with no intermediate tile buffers. The inner
+//!   loop is a 4×4 register-tile kernel over hoisted A-row slices with
+//!   a scalar fallback for boundary fringes; the alpha/beta epilogue is
+//!   folded into the single per-worker accumulator pass.
+//! * [`execute_plan_unpacked`] — the original collect-then-scatter
+//!   interpreter, kept as the A/B baseline for the perf harness.
+//!
+//! Both paths apply every floating-point operation to each C element in
+//! the same order (ascending k, then `alpha * acc + beta * c`), so
+//! their results are bitwise identical.
+
+use std::cell::RefCell;
 
 use ctb_batching::BatchPlan;
 use ctb_matrix::{GemmBatch, MatF32};
 use ctb_tiling::TilingStrategy;
 use rayon::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Packed engine
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    /// Per-worker accumulator scratch, reused across every tile a worker
+    /// executes. Grows to the largest `by * bx` seen and is never freed
+    /// until the thread exits, so the steady-state hot loop performs no
+    /// heap allocation.
+    static TILE_ACC: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
+
+/// One row band of one output matrix together with the tiles that land
+/// in it. Bands of the same matrix are produced by `chunks_mut`, so
+/// ownership is disjoint by construction and the scatter needs no
+/// synchronisation.
+struct BandJob<'a> {
+    gemm: usize,
+    strategy: TilingStrategy,
+    /// First matrix row covered by this band.
+    y0: usize,
+    /// `rows_in_band * n` slice of the output matrix.
+    band: &'a mut [f32],
+    /// Tile indices (into the plan's flat tile arrays) in this band.
+    tiles: Vec<usize>,
+}
+
+/// Accumulate one `rows × cols` C tile into `acc` (row-major), reading
+/// A rows as hoisted slices. The interior runs a 4-row register-packed
+/// kernel: each K step broadcasts four A scalars against one contiguous
+/// B row segment, updating four accumulator rows at once (the inner
+/// loop auto-vectorizes and B is read once per four C rows instead of
+/// once per row). Leftover rows fall back to a scalar single-row loop.
+/// Every element accumulates in ascending-k order, so results are
+/// bitwise identical to the naive per-element loop.
+#[allow(clippy::too_many_arguments)]
+fn tile_kernel(
+    a: &[f32],
+    b: &[f32],
+    kdim: usize,
+    n: usize,
+    y0: usize,
+    x0: usize,
+    rows: usize,
+    cols: usize,
+    acc: &mut [f32],
+) {
+    debug_assert_eq!(acc.len(), rows * cols);
+    const MR: usize = 4;
+    const NR: usize = 8;
+    let mut i = 0;
+    while i + MR <= rows {
+        let ra = [
+            &a[(y0 + i) * kdim..(y0 + i) * kdim + kdim],
+            &a[(y0 + i + 1) * kdim..(y0 + i + 1) * kdim + kdim],
+            &a[(y0 + i + 2) * kdim..(y0 + i + 2) * kdim + kdim],
+            &a[(y0 + i + 3) * kdim..(y0 + i + 3) * kdim + kdim],
+        ];
+        let mut j = 0;
+        while j + NR <= cols {
+            // MR × NR register tile: A scalars broadcast against one
+            // contiguous B panel; `regs` and `brow` stay in registers
+            // (the s-loops fully unroll).
+            let mut regs = [[0.0f32; NR]; MR];
+            for p in 0..kdim {
+                let off = p * n + x0 + j;
+                let brow: &[f32; NR] = b[off..off + NR].try_into().unwrap();
+                for (regs_r, ar) in regs.iter_mut().zip(&ra) {
+                    let av = ar[p];
+                    for (reg, &bv) in regs_r.iter_mut().zip(brow) {
+                        *reg += av * bv;
+                    }
+                }
+            }
+            for (r, regs_r) in regs.iter().enumerate() {
+                acc[(i + r) * cols + j..(i + r) * cols + j + NR].copy_from_slice(regs_r);
+            }
+            j += NR;
+        }
+        // Column fringe of the 4-row band: one accumulator row segment
+        // at a time, still ascending-k per element.
+        if j < cols {
+            for (r, ri) in ra.iter().enumerate() {
+                let arow = &mut acc[(i + r) * cols + j..(i + r) * cols + cols];
+                for (p, &av) in ri.iter().enumerate() {
+                    let brow = &b[p * n + x0 + j..p * n + x0 + cols];
+                    for (dst, &bv) in arow.iter_mut().zip(brow) {
+                        *dst += av * bv;
+                    }
+                }
+            }
+        }
+        i += MR;
+    }
+    // Row fringe (boundary tiles): one accumulator row at a time.
+    while i < rows {
+        let ri = &a[(y0 + i) * kdim..(y0 + i) * kdim + kdim];
+        let arow = &mut acc[i * cols..(i + 1) * cols];
+        for (p, &av) in ri.iter().enumerate() {
+            let brow = &b[p * n + x0..p * n + x0 + cols];
+            for (dst, &bv) in arow.iter_mut().zip(brow) {
+                *dst += av * bv;
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Execute a batch plan with the packed micro-kernel engine.
+///
+/// The output matrices start as clones of C and are split into disjoint
+/// tile-row bands (`chunks_mut` of `by * n` elements). All bands across
+/// all GEMMs form one flat job list executed in a single parallel pass;
+/// each job accumulates its tiles in per-worker thread-local scratch and
+/// writes `alpha * acc + beta * C` straight into its band — no
+/// intermediate tile buffers and no serial scatter.
+///
+/// If a GEMM's tiles carry heterogeneous tiling ids (which
+/// [`ctb_tiling::select_tiling`] never produces, but a hand-built plan
+/// could), the banded partition is ill-defined and execution falls back
+/// to [`execute_plan_unpacked`].
+pub fn execute_plan(batch: &GemmBatch, plan: &BatchPlan) -> Vec<MatF32> {
+    let ngemms = batch.shapes.len();
+
+    // Per-GEMM strategy id; every tile of a GEMM must agree for the
+    // band partition to be well defined.
+    let mut sid: Vec<Option<u8>> = vec![None; ngemms];
+    for t in 0..plan.num_tiles() {
+        let g = plan.gemm[t];
+        match sid[g] {
+            None => sid[g] = Some(plan.tiling[t]),
+            Some(s) if s != plan.tiling[t] => return execute_plan_unpacked(batch, plan),
+            _ => {}
+        }
+    }
+
+    // Bucket tiles per (GEMM, tile-row).
+    let mut buckets: Vec<Vec<Vec<usize>>> = (0..ngemms)
+        .map(|g| match sid[g] {
+            Some(id) => {
+                let by = TilingStrategy::from_id(id).by;
+                vec![Vec::new(); batch.shapes[g].m.div_ceil(by)]
+            }
+            None => Vec::new(),
+        })
+        .collect();
+    for t in 0..plan.num_tiles() {
+        buckets[plan.gemm[t]][plan.y_coord[t]].push(t);
+    }
+
+    let mut out: Vec<MatF32> = batch.c.clone();
+
+    // Flatten every (GEMM, band) pair into one job list.
+    let mut jobs: Vec<BandJob<'_>> = Vec::new();
+    for (g, mat) in out.iter_mut().enumerate() {
+        let Some(id) = sid[g] else { continue };
+        let strategy = TilingStrategy::from_id(id);
+        let n = batch.shapes[g].n;
+        for (ty, band) in mat.as_mut_slice().chunks_mut(strategy.by * n).enumerate() {
+            let tiles = std::mem::take(&mut buckets[g][ty]);
+            if tiles.is_empty() {
+                continue;
+            }
+            jobs.push(BandJob { gemm: g, strategy, y0: ty * strategy.by, band, tiles });
+        }
+    }
+
+    jobs.into_par_iter().for_each(|job| {
+        let shape = batch.shapes[job.gemm];
+        let a = batch.a[job.gemm].as_slice();
+        let b = batch.b[job.gemm].as_slice();
+        let (alpha, beta) = (batch.alpha, batch.beta);
+        let st = job.strategy;
+        TILE_ACC.with(|cell| {
+            let mut acc = cell.borrow_mut();
+            for &t in &job.tiles {
+                let x0 = plan.x_coord[t] * st.bx;
+                let y0 = job.y0;
+                let rows = (shape.m - y0).min(st.by);
+                let cols = (shape.n - x0).min(st.bx);
+                acc.clear();
+                acc.resize(rows * cols, 0.0);
+                tile_kernel(a, b, shape.k, shape.n, y0, x0, rows, cols, &mut acc);
+                // Epilogue folded into the accumulator pass: read the
+                // original C from the band, write the result back in
+                // place. Each element belongs to exactly one tile, so
+                // nothing is read after it is written.
+                for i in 0..rows {
+                    let base = i * shape.n + x0;
+                    let dst = &mut job.band[base..base + cols];
+                    let src = &acc[i * cols..(i + 1) * cols];
+                    for (d, &s) in dst.iter_mut().zip(src) {
+                        *d = alpha * s + beta * *d;
+                    }
+                }
+            }
+        });
+    });
+
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Unpacked baseline (the original interpreter)
+// ---------------------------------------------------------------------------
 
 /// One computed C tile, ready to scatter.
 struct TileResult {
@@ -71,10 +295,11 @@ fn run_tile(
     TileResult { gemm, y0, x0, rows, cols, data }
 }
 
-/// Execute a batch plan functionally: every block processes its tiles
-/// (Fig 7), and the computed tiles are scattered into fresh copies of
-/// the C matrices.
-pub fn execute_plan(batch: &GemmBatch, plan: &BatchPlan) -> Vec<MatF32> {
+/// Execute a batch plan with the original collect-then-scatter
+/// interpreter: every block computes its tiles into freshly allocated
+/// buffers, then a serial pass scatters them into clones of C. Kept as
+/// the A/B baseline for `reproduce perf` and the criterion benches.
+pub fn execute_plan_unpacked(batch: &GemmBatch, plan: &BatchPlan) -> Vec<MatF32> {
     // The Fig 7 outer structure: parallel over thread blocks, serial
     // over the tiles of a block.
     let results: Vec<TileResult> = (0..plan.num_blocks())
@@ -121,6 +346,17 @@ mod tests {
         let got = execute_plan(&batch, &plan);
         let expect = batch.reference_result();
         assert_all_close(&expect, &got, 2e-4);
+        // The packed engine must agree with the original interpreter
+        // bitwise: both accumulate each element in ascending-k order and
+        // apply the identical epilogue expression.
+        let unpacked = execute_plan_unpacked(&batch, &plan);
+        for (g, (p, u)) in got.iter().zip(&unpacked).enumerate() {
+            assert_eq!(
+                p.as_slice(),
+                u.as_slice(),
+                "packed and unpacked diverge on gemm {g}"
+            );
+        }
     }
 
     #[test]

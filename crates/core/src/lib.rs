@@ -24,12 +24,14 @@ pub mod dynamic;
 pub mod framework;
 pub mod interface;
 pub mod lowering;
+pub mod memo;
 pub mod selector;
 pub mod session;
 pub mod splitk;
 
 pub use framework::{BatchingPolicy, ExecutionPlan, Framework, FrameworkConfig, RunOutcome};
-pub use interface::execute_plan;
+pub use interface::{execute_plan, execute_plan_unpacked};
+pub use memo::SimMemo;
 pub use lowering::{lower_plan, tile_pass};
 pub use selector::OnlineSelector;
 pub use session::Session;

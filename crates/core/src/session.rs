@@ -9,6 +9,7 @@
 //! signature.
 
 use crate::framework::{ExecutionPlan, Framework, RunOutcome};
+use crate::memo::SimMemo;
 use ctb_matrix::{GemmBatch, GemmShape};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -40,11 +41,20 @@ pub struct Session {
     framework: Framework,
     cache: Mutex<HashMap<Vec<GemmShape>, Arc<ExecutionPlan>>>,
     stats: Mutex<CacheStats>,
+    /// Candidate-simulation memo shared by every planning event, so
+    /// re-planning (after [`Session::clear`], or when concurrent
+    /// first-callers race) never re-runs a simulation it has seen.
+    sim_memo: SimMemo,
 }
 
 impl Session {
     pub fn new(framework: Framework) -> Self {
-        Session { framework, cache: Mutex::new(HashMap::new()), stats: Mutex::new(CacheStats::default()) }
+        Session {
+            framework,
+            cache: Mutex::new(HashMap::new()),
+            stats: Mutex::new(CacheStats::default()),
+            sim_memo: SimMemo::new(),
+        }
     }
 
     /// The plan for `shapes`, computed on first use and cached.
@@ -56,7 +66,7 @@ impl Session {
         // Plan outside the lock: planning simulates candidate schemes
         // and can take a while; concurrent first-callers may race and
         // plan twice, but the result is deterministic so either wins.
-        let plan = Arc::new(self.framework.plan(shapes)?);
+        let plan = Arc::new(self.framework.plan_memoized(shapes, &self.sim_memo)?);
         let mut cache = self.cache.lock();
         let entry = cache.entry(shapes.to_vec()).or_insert_with(|| Arc::clone(&plan));
         self.stats.lock().misses += 1;
@@ -75,6 +85,12 @@ impl Session {
     /// Cache statistics so far.
     pub fn stats(&self) -> CacheStats {
         *self.stats.lock()
+    }
+
+    /// Candidate-simulation memo statistics (hits answered from the
+    /// cache vs simulator pipelines actually run while planning).
+    pub fn sim_stats(&self) -> CacheStats {
+        CacheStats { hits: self.sim_memo.hits(), misses: self.sim_memo.misses() }
     }
 
     /// Number of distinct shape signatures cached.
@@ -142,6 +158,27 @@ mod tests {
         assert_eq!(s.cached_plans(), 0);
         s.plan(&shapes()).unwrap();
         assert_eq!(s.stats().misses, 2);
+    }
+
+    #[test]
+    fn replanning_after_clear_hits_the_simulation_memo() {
+        let s = session();
+        let first = s.plan(&shapes()).unwrap();
+        let after_first = s.sim_stats();
+        assert!(after_first.misses > 0, "best-of-both must simulate candidates");
+
+        // Dropping the plan cache must not force the simulations to be
+        // redone: the second planning event is answered from the memo.
+        s.clear();
+        let second = s.plan(&shapes()).unwrap();
+        let after_second = s.sim_stats();
+        assert_eq!(
+            after_second.misses, after_first.misses,
+            "no new simulator runs on re-planning"
+        );
+        assert!(after_second.hits > after_first.hits);
+        assert_eq!(first.plan, second.plan, "memoized re-plan picks the identical plan");
+        assert_eq!(first.heuristic, second.heuristic);
     }
 
     #[test]

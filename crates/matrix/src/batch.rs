@@ -1,7 +1,8 @@
 //! Batched-GEMM problem descriptions: shapes plus host buffers.
 
-use crate::gemm::gemm_blocked;
+use crate::gemm::gemm_auto;
 use crate::mat::MatF32;
+use rayon::prelude::*;
 
 /// The size of one GEMM: `C (M×N) = alpha * A (M×K) * B (K×N) + beta * C`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -102,13 +103,16 @@ impl GemmBatch {
     }
 
     /// Compute the expected `C` matrices with the reference kernel.
+    ///
+    /// Independent GEMMs are evaluated in parallel on the rayon pool;
+    /// each one goes through [`gemm_auto`], which picks the cheapest
+    /// kernel for its size.
     pub fn reference_result(&self) -> Vec<MatF32> {
-        self.shapes
-            .iter()
-            .enumerate()
-            .map(|(i, _)| {
+        (0..self.len())
+            .into_par_iter()
+            .map(|i| {
                 let mut c = self.c[i].clone();
-                gemm_blocked(self.alpha, &self.a[i], &self.b[i], self.beta, &mut c);
+                gemm_auto(self.alpha, &self.a[i], &self.b[i], self.beta, &mut c);
                 c
             })
             .collect()

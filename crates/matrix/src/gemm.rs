@@ -91,10 +91,10 @@ pub fn gemm_par(alpha: f32, a: &MatF32, b: &MatF32, beta: f32, c: &mut MatF32) {
                 let i = i0 + ri;
                 debug_assert!(ri < rows);
                 for p in 0..k {
+                    // No zero-skip shortcut here: `0.0 * b` is NOT a
+                    // no-op when `b` is NaN or infinite, and skipping
+                    // would silently diverge from `gemm_ref`.
                     let av = alpha * as_[i * k + p];
-                    if av == 0.0 {
-                        continue;
-                    }
                     let brow = &bs[p * n..p * n + n];
                     for (cv, &bv) in crow.iter_mut().zip(brow) {
                         *cv += av * bv;
@@ -102,6 +102,31 @@ pub fn gemm_par(alpha: f32, a: &MatF32, b: &MatF32, beta: f32, c: &mut MatF32) {
                 }
             }
         });
+}
+
+/// Size-dispatched reference GEMM: one entry point that picks the
+/// cheapest implementation for the problem size.
+///
+/// * tiny problems (a few thousand FLOPs) — the naive triple loop;
+///   blocking and thread fan-out only add overhead,
+/// * mid-size problems — the single-thread register-blocked
+///   [`crate::micro::gemm_micro`] kernel,
+/// * large problems (≥ ~2 MFLOP with enough rows to band) — the
+///   rayon-parallel kernel.
+///
+/// All three agree with `gemm_ref` to within the usual f32 reassociation
+/// tolerance, so callers can treat this as the reference path.
+pub fn gemm_auto(alpha: f32, a: &MatF32, b: &MatF32, beta: f32, c: &mut MatF32) {
+    let (m, k) = (a.rows(), a.cols());
+    let n = b.cols();
+    let flops = 2 * (m as u64) * (n as u64) * (k as u64);
+    if flops <= 16 * 1024 {
+        gemm_ref(alpha, a, b, beta, c);
+    } else if flops < (1 << 21) || m < 32 {
+        crate::micro::gemm_micro(alpha, a, b, beta, c);
+    } else {
+        gemm_par(alpha, a, b, beta, c);
+    }
 }
 
 #[cfg(test)]
@@ -173,6 +198,47 @@ mod tests {
         let b = MatF32::random(5, 2, 3);
         let mut c = MatF32::zeros(0, 2);
         gemm_par(1.0, &a, &b, 0.0, &mut c);
+    }
+
+    #[test]
+    fn gemm_auto_matches_ref_across_dispatch_sizes() {
+        // One case per dispatch branch: naive, blocked, parallel.
+        for (m, n, k, seed) in [(8usize, 8usize, 8usize, 7u64), (48, 40, 64, 8), (160, 96, 128, 9)] {
+            let a = MatF32::random(m, k, seed);
+            let b = MatF32::random(k, n, seed + 1);
+            let c0 = MatF32::random(m, n, seed + 2);
+            let mut c_ref = c0.clone();
+            gemm_ref(1.0, &a, &b, 0.5, &mut c_ref);
+            let mut c_auto = c0.clone();
+            gemm_auto(1.0, &a, &b, 0.5, &mut c_auto);
+            assert!(max_abs_diff(&c_ref, &c_auto) < 1e-3, "auto deviates at {m}x{n}x{k}");
+        }
+    }
+
+    #[test]
+    fn zero_a_rows_propagate_nan_and_inf_from_b() {
+        // Regression: gemm_par used to skip `av == 0.0` multiplies, so a
+        // zero A row silently dropped NaN/Inf contributions from B and
+        // diverged from gemm_ref (0 * NaN = NaN, 0 * inf = NaN).
+        let m = 12;
+        let n = 6;
+        let k = 4;
+        let a = MatF32::zeros(m, k);
+        let mut b = MatF32::random(k, n, 3);
+        b.set(1, 2, f32::NAN);
+        b.set(2, 4, f32::INFINITY);
+        let c0 = MatF32::filled(m, n, 1.0);
+
+        let mut c_ref = c0.clone();
+        gemm_ref(1.0, &a, &b, 1.0, &mut c_ref);
+        let mut c_par = c0.clone();
+        gemm_par(1.0, &a, &b, 1.0, &mut c_par);
+
+        assert!(c_ref.as_slice().iter().any(|v| v.is_nan()), "oracle must see the NaN");
+        for (i, (r, p)) in c_ref.as_slice().iter().zip(c_par.as_slice()).enumerate() {
+            let same = (r.is_nan() && p.is_nan()) || r == p;
+            assert!(same, "element {i}: ref {r} vs par {p}");
+        }
     }
 
     #[test]

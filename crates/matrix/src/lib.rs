@@ -18,6 +18,6 @@ pub mod micro;
 
 pub use batch::{GemmBatch, GemmShape};
 pub use compare::{assert_all_close, max_abs_diff, MatchReport};
-pub use gemm::{gemm_blocked, gemm_par, gemm_ref};
-pub use micro::{gemm_auto, gemm_micro};
+pub use gemm::{gemm_auto, gemm_blocked, gemm_par, gemm_ref};
+pub use micro::gemm_micro;
 pub use mat::MatF32;

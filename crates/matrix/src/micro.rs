@@ -16,6 +16,7 @@ const NR: usize = 8;
 
 /// Compute one full `MR × NR` register tile at `(i0, j0)`.
 #[inline]
+#[allow(clippy::too_many_arguments)]
 fn micro_tile(a: &[f32], b: &[f32], c: &mut [f32], n: usize, k: usize, i0: usize, j0: usize, alpha: f32) {
     // acc[r][s] accumulates C[i0+r][j0+s].
     let mut acc = [[0.0f32; NR]; MR];
@@ -40,6 +41,7 @@ fn micro_tile(a: &[f32], b: &[f32], c: &mut [f32], n: usize, k: usize, i0: usize
 
 /// Scalar edge handling for partial tiles.
 #[inline]
+#[allow(clippy::too_many_arguments)]
 fn edge_tile(
     a: &[f32],
     b: &[f32],
@@ -52,10 +54,9 @@ fn edge_tile(
 ) {
     for i in rows {
         for p in 0..k {
+            // No zero-skip shortcut: `0.0 * b` is NOT a no-op when `b`
+            // is NaN or infinite (same contract as `gemm_par`).
             let av = alpha * a[i * k + p];
-            if av == 0.0 {
-                continue;
-            }
             let brow = &b[p * n..(p + 1) * n];
             let crow = &mut c[i * n..(i + 1) * n];
             for j in cols.clone() {
@@ -98,16 +99,6 @@ pub fn gemm_micro(alpha: f32, a: &MatF32, b: &MatF32, beta: f32, c: &mut MatF32)
     }
 }
 
-/// Pick a host GEMM by problem size: the micro-kernel for anything with
-/// a full register tile, the naive loop for slivers.
-pub fn gemm_auto(alpha: f32, a: &MatF32, b: &MatF32, beta: f32, c: &mut MatF32) {
-    if a.rows() >= MR && b.cols() >= NR {
-        gemm_micro(alpha, a, b, beta, c);
-    } else {
-        crate::gemm::gemm_ref(alpha, a, b, beta, c);
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -127,7 +118,7 @@ mod tests {
             "micro kernel deviates at {m}x{n}x{k}"
         );
         let mut auto = c0;
-        gemm_auto(alpha, &a, &b, beta, &mut auto);
+        crate::gemm::gemm_auto(alpha, &a, &b, beta, &mut auto);
         assert!(max_abs_diff(&expect, &auto) < 1e-3);
     }
 

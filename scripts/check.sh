@@ -1,0 +1,17 @@
+#!/usr/bin/env sh
+# Tier-1 gate: everything CI (and the next contributor) needs to pass
+# before merging. Run from anywhere inside the repo.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test -q =="
+cargo test -q
+
+echo "== cargo clippy --all-targets -- -D warnings =="
+cargo clippy --all-targets -- -D warnings
+
+echo "check.sh: all gates passed"

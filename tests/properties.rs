@@ -66,6 +66,32 @@ proptest! {
         prop_assert!(report.within(5e-4), "max_rel = {}", report.max_rel);
     }
 
+    /// The packed micro-kernel executor is bitwise-identical to the
+    /// collect-then-scatter baseline: same ascending-k accumulation
+    /// order per element, so not merely close but equal, for any plan
+    /// of any heuristic, scalars, and non-divisible shapes.
+    #[test]
+    fn packed_executor_is_bitwise_identical_to_unpacked(
+        shapes in shape_batch(),
+        h in heuristic(),
+        alpha in -2.0f32..2.0,
+        beta in -2.0f32..2.0,
+        seed in 0u64..1000,
+    ) {
+        let th = Thresholds::paper_v100();
+        let batch = GemmBatch::random(&shapes, alpha, beta, seed);
+        let sol = select_tiling(&shapes, &th);
+        let tiles = tiles_for(&shapes, &sol);
+        let blocks = assign_blocks(&tiles, h, &th, sol.thread_count.threads());
+        let plan = BatchPlan::from_blocks(&blocks, sol.thread_count.threads());
+        let packed = ctb::core::execute_plan(&batch, &plan);
+        let unpacked = ctb::core::execute_plan_unpacked(&batch, &plan);
+        prop_assert_eq!(packed.len(), unpacked.len());
+        for (p, u) in packed.iter().zip(&unpacked) {
+            prop_assert_eq!(p.as_slice(), u.as_slice());
+        }
+    }
+
     /// The tiling engine always returns one fitting strategy per GEMM
     /// with a consistent unified thread count and correctly reported
     /// TLP.

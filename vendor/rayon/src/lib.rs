@@ -1,0 +1,221 @@
+//! Offline drop-in subset of [rayon](https://docs.rs/rayon).
+//!
+//! The build environment for this repository has no network access and
+//! no vendored registry, so the real rayon cannot be fetched. This shim
+//! implements exactly the API surface the workspace uses, with the same
+//! ordering semantics (`map`/`collect` preserve input order, `for_each`
+//! runs every item exactly once):
+//!
+//! * `current_num_threads()`
+//! * `prelude::*` — `into_par_iter()` on ranges and vectors,
+//!   `par_iter()` on slices/`Vec`, `par_iter_mut()`, `par_chunks_mut()`
+//! * adapters: `map`, `flat_map_iter`, `enumerate`, `with_min_len`,
+//!   `for_each`, `collect`
+//!
+//! Execution model: adapters are applied eagerly, one parallel pass per
+//! adapter, using `std::thread::scope` with one contiguous chunk per
+//! worker. On a single-CPU host (or for single-item inputs) everything
+//! runs inline on the calling thread, so there is no spawn overhead in
+//! the degenerate case.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads a parallel pass will use at most.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+}
+
+/// Apply `f` to every item, in parallel, preserving input order.
+fn par_apply<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let threads = current_num_threads().min(items.len());
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Contiguous chunks, one per worker, reassembled in order.
+    let chunk_len = items.len().div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut iter = items.into_iter();
+    loop {
+        let chunk: Vec<T> = iter.by_ref().take(chunk_len).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        let mut out = Vec::new();
+        for h in handles {
+            out.extend(h.join().expect("worker thread panicked"));
+        }
+        out
+    })
+}
+
+/// An eagerly evaluated "parallel iterator": the items are materialised
+/// and every adapter performs one ordered parallel pass.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    pub fn map<U: Send, F: Fn(T) -> U + Sync>(self, f: F) -> ParIter<U> {
+        ParIter { items: par_apply(self.items, f) }
+    }
+
+    /// rayon's `flat_map_iter`: parallel over the outer items, serial
+    /// over each produced iterator.
+    pub fn flat_map_iter<U, I, F>(self, f: F) -> ParIter<U>
+    where
+        U: Send,
+        I: IntoIterator<Item = U>,
+        F: Fn(T) -> I + Sync,
+    {
+        let nested = par_apply(self.items, |t| f(t).into_iter().collect::<Vec<U>>());
+        ParIter { items: nested.into_iter().flatten().collect() }
+    }
+
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter { items: self.items.into_iter().enumerate().collect() }
+    }
+
+    /// Accepted for API compatibility; chunking is already coarse.
+    pub fn with_min_len(self, _min: usize) -> ParIter<T> {
+        self
+    }
+
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        let _ = par_apply(self.items, f);
+    }
+
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+}
+
+pub mod iter {
+    use super::ParIter;
+
+    /// Types convertible into a parallel iterator by value.
+    pub trait IntoParallelIterator {
+        type Item: Send;
+        fn into_par_iter(self) -> ParIter<Self::Item>;
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        fn into_par_iter(self) -> ParIter<T> {
+            ParIter { items: self }
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::Range<usize> {
+        type Item = usize;
+        fn into_par_iter(self) -> ParIter<usize> {
+            ParIter { items: self.collect() }
+        }
+    }
+
+    /// `par_iter()` — parallel iterator over `&T`.
+    pub trait IntoParallelRefIterator<'a> {
+        type Item: Send + 'a;
+        fn par_iter(&'a self) -> ParIter<Self::Item>;
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+        type Item = &'a T;
+        fn par_iter(&'a self) -> ParIter<&'a T> {
+            ParIter { items: self.iter().collect() }
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = &'a T;
+        fn par_iter(&'a self) -> ParIter<&'a T> {
+            ParIter { items: self.iter().collect() }
+        }
+    }
+
+    /// `par_iter_mut()` — parallel iterator over `&mut T`.
+    pub trait IntoParallelRefMutIterator<'a> {
+        type Item: Send + 'a;
+        fn par_iter_mut(&'a mut self) -> ParIter<Self::Item>;
+    }
+
+    impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+        type Item = &'a mut T;
+        fn par_iter_mut(&'a mut self) -> ParIter<&'a mut T> {
+            ParIter { items: self.iter_mut().collect() }
+        }
+    }
+
+    impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+        type Item = &'a mut T;
+        fn par_iter_mut(&'a mut self) -> ParIter<&'a mut T> {
+            ParIter { items: self.iter_mut().collect() }
+        }
+    }
+
+    /// Mutable slice chunking (`par_chunks_mut`).
+    pub trait ParallelSliceMut<T: Send> {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]>;
+    }
+
+    impl<T: Send> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]> {
+            ParIter { items: self.chunks_mut(chunk_size).collect() }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::iter::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator,
+        ParallelSliceMut,
+    };
+    pub use crate::ParIter;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<usize> = (0..1000usize).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn flat_map_iter_preserves_order() {
+        let v: Vec<usize> = (0..10usize).into_par_iter().flat_map_iter(|x| vec![x, x + 100]).collect();
+        let expect: Vec<usize> = (0..10).flat_map(|x| vec![x, x + 100]).collect();
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn chunks_mut_touches_every_element_once() {
+        let mut data = vec![1i32; 103];
+        data.par_chunks_mut(10).enumerate().for_each(|(i, chunk)| {
+            for v in chunk.iter_mut() {
+                *v += i as i32;
+            }
+        });
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, 1 + (i / 10) as i32);
+        }
+    }
+}

@@ -1,0 +1,11 @@
+//! Offline drop-in shim for [serde](https://docs.rs/serde).
+//!
+//! The build environment has no network access, so the real serde
+//! cannot be fetched. The workspace uses serde only for
+//! `#[derive(Serialize, Deserialize)]` annotations on plain-old-data
+//! types; no code path serialises through serde's data model (the one
+//! persistent format, the random-forest codec, is hand-written). The
+//! shim therefore re-exports no-op derive macros, which is enough to
+//! compile every `use serde::{Deserialize, Serialize};` in the tree.
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,17 @@
+//! No-op `Serialize` / `Deserialize` derive macros for the offline
+//! serde shim (see `vendor/serde`). The workspace only uses the derives
+//! as declarative metadata — nothing serialises through serde's data
+//! model (the one on-disk format, the forest codec, is hand-rolled) —
+//! so deriving nothing is sufficient and keeps the build dependency-free.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
