@@ -6,10 +6,11 @@
 //! ```
 //!
 //! Sub-commands: `tables`, `motivation`, `fig8`, `fig9`, `fig10`,
-//! `fig11`, `googlenet`, `calibrate`, `perf`, `all`. Output is printed
-//! in the paper's row/series layout and mirrored as CSV under
-//! `target/experiments/`; `perf` additionally writes the tracked
-//! `BENCH_executor.json` at the repository root.
+//! `fig11`, `googlenet`, `calibrate`, `perf`, `serve`, `all`. Output is
+//! printed in the paper's row/series layout and mirrored as CSV under
+//! `target/experiments/`; `perf` and `serve` additionally write the
+//! tracked `BENCH_executor.json` / `BENCH_serve.json` at the repository
+//! root.
 
 use ctb_bench::figures::{fig11_portability, fig8_grid, fig9_grid, mean_speedup, CellResult};
 use ctb_bench::{ablations, calibrate, fans, googlenet_exp, motivation, tables, write_csv};
@@ -34,6 +35,7 @@ fn main() {
         "fans" => run_fans(&arch),
         "splitk" => run_splitk_demo(&arch),
         "perf" => run_perf(&arch),
+        "serve" => run_serve(&arch),
         "all" => {
             run_tables();
             run_motivation(&arch);
@@ -51,7 +53,7 @@ fn main() {
             eprintln!(
                 "unknown experiment '{other}'; expected one of: tables, motivation, \
                  fig8, fig9, fig10, googlenet, fig11, calibrate, ablate, fans, splitk, \
-                 perf, plan <MxNxK,...>, custom <csv-file>, all"
+                 perf, serve, plan <MxNxK,...>, custom <csv-file>, all"
             );
             std::process::exit(2);
         }
@@ -73,6 +75,26 @@ fn run_perf(arch: &ArchSpec) {
     if let (Some(p), Some(u)) = (packed, unpacked) {
         println!("   packed executor speedup over unpacked baseline: {:.2}x", u.wall_ms / p.wall_ms);
     }
+    println!("(json: {})\n", path.display());
+}
+
+fn run_serve(arch: &ArchSpec) {
+    use ctb_bench::serve_bench;
+    println!("== serve harness: 4-producer closed loop through ctb-serve ({}) ==", arch.name);
+    let (r, path) = serve_bench::run_and_write(arch);
+    println!(
+        "   {} requests in {:.1} ms -> {:.0} req/s",
+        r.requests, r.wall_ms, r.throughput_rps
+    );
+    println!(
+        "   {} batches (mean batch size {:.2}) | plan-cache hit rate {:.1}% | \
+         sim-memo hit rate {:.1}%",
+        r.batches,
+        r.mean_batch_size,
+        100.0 * r.plan_cache_hit_rate,
+        100.0 * r.sim_memo_hit_rate
+    );
+    println!("   latency p50 {:.0} us, p95 {:.0} us", r.p50_us, r.p95_us);
     println!("(json: {})\n", path.display());
 }
 

@@ -12,6 +12,7 @@ pub mod figures;
 pub mod googlenet_exp;
 pub mod motivation;
 pub mod perf;
+pub mod serve_bench;
 pub mod tables;
 
 pub use calibrate::{calibrate_tlp_threshold, CalibrationPoint};

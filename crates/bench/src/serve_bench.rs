@@ -1,0 +1,219 @@
+//! `reproduce serve` — the tracked serving-layer harness.
+//!
+//! Drives the `ctb-serve` server with a closed-loop multi-producer
+//! workload (each producer submits a request, waits for its result,
+//! verifies it bitwise against the exact oracle, and immediately
+//! submits the next) and reports the service-level numbers the serving
+//! layer exists to move: throughput, coalescing achieved (mean batch
+//! size), plan-cache hit rate, and tail latency. Results are written as
+//! `BENCH_serve.json` at the repository root so successive commits can
+//! be compared.
+
+use ctb_core::Framework;
+use ctb_gpu_specs::ArchSpec;
+use ctb_matrix::{bitwise_mismatch, GemmBatch, GemmShape};
+use ctb_serve::{GemmRequest, ServeConfig, Server};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The tracked service-level numbers for one closed-loop run.
+#[derive(Debug, Clone)]
+pub struct ServeBenchReport {
+    /// Closed-loop producer threads.
+    pub producers: usize,
+    /// Requests completed (== submitted; the loop never drops).
+    pub requests: usize,
+    /// Batches the window coalesced them into.
+    pub batches: usize,
+    /// requests / batches.
+    pub mean_batch_size: f64,
+    /// Plan-cache hit rate over the run (repeated shape signatures are
+    /// planned once).
+    pub plan_cache_hit_rate: f64,
+    /// Simulation-memo hit rate (candidate evaluations answered from
+    /// the memo during the few cold plans).
+    pub sim_memo_hit_rate: f64,
+    /// End-to-end wall time of the loop.
+    pub wall_ms: f64,
+    /// Completed requests per second of wall time.
+    pub throughput_rps: f64,
+    /// Median request latency (queue + plan + execute), microseconds.
+    pub p50_us: f64,
+    /// 95th-percentile request latency, microseconds.
+    pub p95_us: f64,
+}
+
+/// Mixed shape pool cycled by the producers: a handful of repeated
+/// signatures so the plan cache has something to hit, with small and
+/// mid-size GEMMs so windows actually coalesce.
+fn shape_pool() -> Vec<GemmShape> {
+    vec![
+        GemmShape::new(16, 32, 64),
+        GemmShape::new(64, 64, 64),
+        GemmShape::new(48, 80, 96),
+        GemmShape::new(17, 33, 41),
+        GemmShape::new(128, 37, 63),
+        GemmShape::new(32, 128, 32),
+    ]
+}
+
+/// Run the closed loop: `producers` threads, `per_producer` requests
+/// each, every result checked bitwise against the exact oracle.
+pub fn run_serve_bench(arch: &ArchSpec, producers: usize, per_producer: usize) -> ServeBenchReport {
+    let server = Arc::new(Server::new(
+        Framework::new(arch.clone()),
+        ServeConfig {
+            max_batch: 32,
+            batch_window: Duration::from_micros(300),
+            queue_capacity: 64,
+            workers: 2,
+        },
+    ));
+    let pool = shape_pool();
+
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..producers)
+        .map(|t| {
+            let server = Arc::clone(&server);
+            let pool = pool.clone();
+            std::thread::spawn(move || {
+                for i in 0..per_producer {
+                    let shape = pool[(t + i) % pool.len()];
+                    let seed = (t * 10_000 + i) as u64;
+                    let batch = GemmBatch::random(&[shape], 1.0, 0.5, seed);
+                    let expected = batch.reference_result_exact();
+                    let got = server
+                        .submit(GemmRequest {
+                            a: batch.a[0].clone(),
+                            b: batch.b[0].clone(),
+                            c: batch.c[0].clone(),
+                            alpha: batch.alpha,
+                            beta: batch.beta,
+                            deadline: None,
+                        })
+                        .expect("closed-loop submit admitted")
+                        .wait()
+                        .expect("closed-loop request completed");
+                    assert!(
+                        bitwise_mismatch(&expected, std::slice::from_ref(&got.c)).is_none(),
+                        "producer {t} request {i}: served result diverged from oracle"
+                    );
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("producer thread panicked");
+    }
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let server = Arc::into_inner(server).expect("all producers joined");
+    let stats = server.shutdown();
+    let requests = producers * per_producer;
+    assert_eq!(stats.completed, requests, "closed loop completed everything it submitted");
+
+    ServeBenchReport {
+        producers,
+        requests,
+        batches: stats.batches,
+        mean_batch_size: stats.mean_batch_size,
+        plan_cache_hit_rate: stats.plan_cache.hit_rate(),
+        sim_memo_hit_rate: stats.sim_memo.hit_rate(),
+        wall_ms,
+        throughput_rps: requests as f64 / (wall_ms / 1e3),
+        p50_us: stats.p50_us,
+        p95_us: stats.p95_us,
+    }
+}
+
+/// Serialize the report as the tracked JSON schema.
+pub fn render_json(arch: &ArchSpec, r: &ServeBenchReport) -> String {
+    format!(
+        "{{\n  \"bench\": \"serve\",\n  \"arch\": \"{}\",\n  \"producers\": {},\n  \
+         \"requests\": {},\n  \"batches\": {},\n  \"mean_batch_size\": {:.3},\n  \
+         \"plan_cache_hit_rate\": {:.4},\n  \"sim_memo_hit_rate\": {:.4},\n  \
+         \"wall_ms\": {:.3},\n  \"throughput_rps\": {:.1},\n  \"p50_us\": {:.1},\n  \
+         \"p95_us\": {:.1}\n}}\n",
+        arch.name,
+        r.producers,
+        r.requests,
+        r.batches,
+        r.mean_batch_size,
+        r.plan_cache_hit_rate,
+        r.sim_memo_hit_rate,
+        r.wall_ms,
+        r.throughput_rps,
+        r.p50_us,
+        r.p95_us
+    )
+}
+
+/// Path of the tracked report: `BENCH_serve.json` at the repo root,
+/// independent of the working directory the binary runs from.
+pub fn report_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..").join("BENCH_serve.json")
+}
+
+/// Run the standard tracked configuration (4 producers, closed loop)
+/// and write the report; returns it and the path written.
+pub fn run_and_write(arch: &ArchSpec) -> (ServeBenchReport, PathBuf) {
+    let report = run_serve_bench(arch, 4, 50);
+    let path = report_path();
+    std::fs::write(&path, render_json(arch, &report)).expect("write BENCH_serve.json");
+    (report, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_loop_reports_sane_service_numbers() {
+        let r = run_serve_bench(&ArchSpec::volta_v100(), 2, 6);
+        assert_eq!(r.requests, 12);
+        assert!(r.batches >= 1 && r.batches <= 12);
+        assert!(r.mean_batch_size >= 1.0);
+        assert!((0.0..=1.0).contains(&r.plan_cache_hit_rate));
+        assert!(r.throughput_rps > 0.0);
+        assert!(r.p95_us >= r.p50_us);
+    }
+
+    #[test]
+    fn json_schema_has_stable_keys() {
+        let r = ServeBenchReport {
+            producers: 4,
+            requests: 200,
+            batches: 31,
+            mean_batch_size: 6.45,
+            plan_cache_hit_rate: 0.9,
+            sim_memo_hit_rate: 0.5,
+            wall_ms: 123.0,
+            throughput_rps: 1626.0,
+            p50_us: 400.0,
+            p95_us: 900.0,
+        };
+        let json = render_json(&ArchSpec::volta_v100(), &r);
+        for key in [
+            "\"bench\"",
+            "\"arch\"",
+            "\"producers\"",
+            "\"requests\"",
+            "\"batches\"",
+            "\"mean_batch_size\"",
+            "\"plan_cache_hit_rate\"",
+            "\"throughput_rps\"",
+            "\"p50_us\"",
+            "\"p95_us\"",
+        ] {
+            assert!(json.contains(key), "missing key {key} in {json}");
+        }
+    }
+
+    #[test]
+    fn report_path_is_the_repo_root() {
+        let p = report_path();
+        assert!(p.ends_with("BENCH_serve.json"));
+        assert!(p.parent().unwrap().join("Cargo.toml").exists());
+    }
+}

@@ -112,19 +112,30 @@ impl SimMemo {
             return us;
         }
         let us = simulate_solution_uncached(arch, shapes, solution, heuristic, thresholds);
-        self.misses.fetch_add(1, Ordering::Relaxed);
         // Two workers can race on the same fresh key; both compute the
-        // identical deterministic value, so either insert wins.
-        self.map.lock().insert(key, us);
-        us
+        // identical deterministic value. Only the first insert counts as
+        // a miss (so `misses == len()` holds even under races); a loser
+        // is answered by the winner's entry and counts as a hit.
+        match self.map.lock().entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                *e.get()
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                *v.insert(us)
+            }
+        }
     }
 
-    /// Lookups answered from the table.
+    /// Lookups answered from the table (including racers that computed
+    /// a value concurrently but lost the insert).
     pub fn hits(&self) -> usize {
         self.hits.load(Ordering::Relaxed)
     }
 
-    /// Lookups that ran the simulator.
+    /// Lookups that populated the table: `misses() == len()` always,
+    /// even when concurrent callers race on a fresh key.
     pub fn misses(&self) -> usize {
         self.misses.load(Ordering::Relaxed)
     }

@@ -22,6 +22,18 @@ pub struct CacheStats {
     pub misses: usize,
 }
 
+impl CacheStats {
+    /// Fraction of lookups answered from the cache (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
 /// A long-lived execution session with a plan cache.
 ///
 /// ```
@@ -66,11 +78,22 @@ impl Session {
         // Plan outside the lock: planning simulates candidate schemes
         // and can take a while; concurrent first-callers may race and
         // plan twice, but the result is deterministic so either wins.
+        // Only the insert that actually populates the cache counts as a
+        // miss — a racer that loses is answered from the winner's entry
+        // and counts as a hit, so `misses == cached_plans()` holds even
+        // under first-caller races.
         let plan = Arc::new(self.framework.plan_memoized(shapes, &self.sim_memo)?);
         let mut cache = self.cache.lock();
-        let entry = cache.entry(shapes.to_vec()).or_insert_with(|| Arc::clone(&plan));
-        self.stats.lock().misses += 1;
-        Ok(Arc::clone(entry))
+        match cache.entry(shapes.to_vec()) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                self.stats.lock().hits += 1;
+                Ok(Arc::clone(e.get()))
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                self.stats.lock().misses += 1;
+                Ok(Arc::clone(v.insert(plan)))
+            }
+        }
     }
 
     /// Execute a batch through the cached plan (planning it on first
@@ -91,6 +114,13 @@ impl Session {
     /// cache vs simulator pipelines actually run while planning).
     pub fn sim_stats(&self) -> CacheStats {
         CacheStats { hits: self.sim_memo.hits(), misses: self.sim_memo.misses() }
+    }
+
+    /// The candidate-simulation memo shared by every planning event —
+    /// exposed so embedders (the serving layer, monitoring) can inspect
+    /// its size and accounting directly.
+    pub fn sim_memo(&self) -> &SimMemo {
+        &self.sim_memo
     }
 
     /// Number of distinct shape signatures cached.

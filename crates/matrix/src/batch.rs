@@ -1,6 +1,6 @@
 //! Batched-GEMM problem descriptions: shapes plus host buffers.
 
-use crate::gemm::gemm_auto;
+use crate::gemm::{gemm_auto, gemm_ref};
 use crate::mat::MatF32;
 use rayon::prelude::*;
 
@@ -65,6 +65,30 @@ impl GemmBatch {
         GemmBatch { shapes: shapes.to_vec(), a, b, c, alpha, beta }
     }
 
+    /// Assemble a batch from per-GEMM buffers, inferring the shape list
+    /// from the matrices and validating consistency up front. This is
+    /// the request→batch path the serving layer uses to coalesce many
+    /// independently submitted GEMMs into one plannable problem.
+    pub fn from_parts(
+        a: Vec<MatF32>,
+        b: Vec<MatF32>,
+        c: Vec<MatF32>,
+        alpha: f32,
+        beta: f32,
+    ) -> Result<Self, String> {
+        if a.len() != b.len() || a.len() != c.len() {
+            return Err("buffer count mismatch".into());
+        }
+        let shapes: Vec<GemmShape> = a
+            .iter()
+            .zip(&c)
+            .map(|(ai, ci)| GemmShape::new(ci.rows(), ci.cols(), ai.cols()))
+            .collect();
+        let batch = GemmBatch { shapes, a, b, c, alpha, beta };
+        batch.validate()?;
+        Ok(batch)
+    }
+
     /// A batch whose `C` matrices start at zero (beta irrelevant then).
     pub fn random_zero_c(shapes: &[GemmShape], alpha: f32, seed: u64) -> Self {
         let mut batch = GemmBatch::random(shapes, alpha, 0.0, seed);
@@ -113,6 +137,29 @@ impl GemmBatch {
             .map(|i| {
                 let mut c = self.c[i].clone();
                 gemm_auto(self.alpha, &self.a[i], &self.b[i], self.beta, &mut c);
+                c
+            })
+            .collect()
+    }
+
+    /// Compute the expected `C` matrices with the naive triple-loop
+    /// oracle ([`gemm_ref`]), one GEMM per rayon task.
+    ///
+    /// Unlike [`GemmBatch::reference_result`], which dispatches to the
+    /// fastest host kernel per size (those reassociate the accumulation
+    /// and are only tolerance-close to the oracle), every element here
+    /// is accumulated in ascending-k order with the `alpha*acc + beta*c`
+    /// epilogue — the exact operation sequence the plan executors apply.
+    /// The framework path, both plan interpreters and every baseline's
+    /// functional plan are therefore **bitwise identical** to this
+    /// result, including NaN/Inf propagation; the differential and
+    /// serving-layer stress suites rely on that.
+    pub fn reference_result_exact(&self) -> Vec<MatF32> {
+        (0..self.len())
+            .into_par_iter()
+            .map(|i| {
+                let mut c = self.c[i].clone();
+                gemm_ref(self.alpha, &self.a[i], &self.b[i], self.beta, &mut c);
                 c
             })
             .collect()
@@ -181,6 +228,39 @@ mod tests {
         let mut c = b.c[0].clone();
         gemm_ref(b.alpha, &b.a[0], &b.b[0], b.beta, &mut c);
         assert!(max_abs_diff(&refs[0], &c) < 1e-4);
+    }
+
+    #[test]
+    fn from_parts_round_trips_and_validates() {
+        let shapes = vec![GemmShape::new(5, 7, 3), GemmShape::new(2, 2, 9)];
+        let b = GemmBatch::random(&shapes, 0.5, 1.5, 4);
+        let rebuilt =
+            GemmBatch::from_parts(b.a.clone(), b.b.clone(), b.c.clone(), b.alpha, b.beta)
+                .expect("consistent parts assemble");
+        assert_eq!(rebuilt.shapes, shapes);
+
+        // Mismatched inner dimension is rejected up front.
+        let bad_b = vec![MatF32::zeros(4, 7), MatF32::zeros(9, 2)];
+        assert!(GemmBatch::from_parts(b.a.clone(), bad_b, b.c.clone(), 1.0, 0.0).is_err());
+        // Mismatched buffer counts are rejected.
+        assert!(GemmBatch::from_parts(b.a.clone(), b.b[..1].to_vec(), b.c.clone(), 1.0, 0.0)
+            .is_err());
+    }
+
+    #[test]
+    fn exact_reference_matches_gemm_ref_bitwise() {
+        let shapes = vec![GemmShape::new(17, 9, 23), GemmShape::new(40, 33, 64)];
+        let b = GemmBatch::random(&shapes, 0.7, 1.3, 11);
+        let exact = b.reference_result_exact();
+        for i in 0..b.len() {
+            let mut c = b.c[i].clone();
+            gemm_ref(b.alpha, &b.a[i], &b.b[i], b.beta, &mut c);
+            crate::compare::assert_bitwise_eq(
+                std::slice::from_ref(&c),
+                std::slice::from_ref(&exact[i]),
+                "exact oracle",
+            );
+        }
     }
 
     #[test]

@@ -47,6 +47,43 @@ impl MatchReport {
     }
 }
 
+/// First bitwise mismatch between two equally sized batches, if any:
+/// `(matrix index, element index, expected bits, actual bits)`.
+///
+/// Elements are compared by their `f32` bit patterns, so NaNs compare
+/// equal exactly when they carry identical payloads — the right notion
+/// of "same result" for executors that are required to replay the
+/// identical floating-point operation sequence.
+pub fn bitwise_mismatch(
+    expected: &[MatF32],
+    actual: &[MatF32],
+) -> Option<(usize, usize, u32, u32)> {
+    assert_eq!(expected.len(), actual.len(), "batch length mismatch");
+    for (g, (e, a)) in expected.iter().zip(actual).enumerate() {
+        assert_eq!((e.rows(), e.cols()), (a.rows(), a.cols()), "shape mismatch");
+        for (i, (&x, &y)) in e.as_slice().iter().zip(a.as_slice()).enumerate() {
+            if x.to_bits() != y.to_bits() {
+                return Some((g, i, x.to_bits(), y.to_bits()));
+            }
+        }
+    }
+    None
+}
+
+/// Panic unless every element of `actual` is bit-for-bit identical to
+/// `expected` (NaN payloads included). `what` names the path under test
+/// in the failure message.
+pub fn assert_bitwise_eq(expected: &[MatF32], actual: &[MatF32], what: &str) {
+    if let Some((g, i, e, a)) = bitwise_mismatch(expected, actual) {
+        panic!(
+            "{what}: bitwise mismatch at gemm {g} element {i}: \
+             expected {:?} (bits {e:#010x}), got {:?} (bits {a:#010x})",
+            f32::from_bits(e),
+            f32::from_bits(a),
+        );
+    }
+}
+
 /// Panic with a helpful message unless `actual` matches `expected` within
 /// `tol` (relative, with absolute floor 1.0 — suitable for accumulations
 /// of order-1 random values).
@@ -87,6 +124,31 @@ mod tests {
     #[should_panic(expected = "shape mismatch")]
     fn shape_mismatch_panics() {
         let _ = max_abs_diff(&MatF32::zeros(2, 2), &MatF32::zeros(2, 3));
+    }
+
+    #[test]
+    fn bitwise_comparison_honours_nan_payloads() {
+        let mut a = MatF32::zeros(2, 2);
+        a.set(0, 1, f32::NAN);
+        let b = a.clone();
+        assert_eq!(bitwise_mismatch(&[a.clone()], &[b.clone()]), None);
+        assert_bitwise_eq(&[a.clone()], &[b], "identical NaNs");
+
+        // A differently signed zero is a bitwise mismatch even though
+        // `==` would accept it.
+        let mut c = a.clone();
+        c.set(1, 0, -0.0);
+        let (g, i, _, _) = bitwise_mismatch(&[a], &[c]).expect("signed zero detected");
+        assert_eq!((g, i), (0, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "bitwise mismatch")]
+    fn assert_bitwise_eq_panics_on_difference() {
+        let a = MatF32::zeros(1, 1);
+        let mut b = a.clone();
+        b.set(0, 0, 1.0e-20);
+        assert_bitwise_eq(&[a], &[b], "perturbed");
     }
 
     #[test]

@@ -17,7 +17,7 @@ pub mod mat;
 pub mod micro;
 
 pub use batch::{GemmBatch, GemmShape};
-pub use compare::{assert_all_close, max_abs_diff, MatchReport};
+pub use compare::{assert_all_close, assert_bitwise_eq, bitwise_mismatch, max_abs_diff, MatchReport};
 pub use gemm::{gemm_auto, gemm_blocked, gemm_par, gemm_ref};
 pub use micro::gemm_micro;
 pub use mat::MatF32;

@@ -1,0 +1,213 @@
+//! Bounded MPSC admission queue with blocking backpressure.
+//!
+//! `std::sync::mpsc` channels are unbounded, so admission control is
+//! built directly on a `Mutex<VecDeque>` + two condvars: producers block
+//! in [`BoundedQueue::push`] while the queue is at capacity (that *is*
+//! the backpressure contract — an accepted request is never dropped),
+//! and the single consumer parks in [`BoundedQueue::pop`] until work or
+//! close arrives.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::Instant;
+
+struct State<T> {
+    q: VecDeque<T>,
+    closed: bool,
+}
+
+/// What a push attempt observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// Non-blocking push found the queue at capacity.
+    Full,
+    /// The queue no longer accepts items.
+    Closed,
+}
+
+pub struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    capacity: usize,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            state: Mutex::new(State { q: VecDeque::new(), closed: false }),
+            capacity: capacity.max(1),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State<T>> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Blocking push: waits while the queue is at capacity. Fails only
+    /// when the queue is closed (before or during the wait).
+    pub fn push(&self, item: T) -> Result<(), PushError> {
+        let mut st = self.lock();
+        loop {
+            if st.closed {
+                return Err(PushError::Closed);
+            }
+            if st.q.len() < self.capacity {
+                st.q.push_back(item);
+                drop(st);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            st = self.not_full.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Non-blocking push.
+    pub fn try_push(&self, item: T) -> Result<(), PushError> {
+        let mut st = self.lock();
+        if st.closed {
+            return Err(PushError::Closed);
+        }
+        if st.q.len() >= self.capacity {
+            return Err(PushError::Full);
+        }
+        st.q.push_back(item);
+        drop(st);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocking pop: `None` only when the queue is closed *and* fully
+    /// drained — a consumer that loops on this sees every item ever
+    /// accepted, which is what the serving layer's drain guarantee
+    /// rests on.
+    pub fn pop(&self) -> Option<T> {
+        let mut st = self.lock();
+        loop {
+            if let Some(item) = st.q.pop_front() {
+                drop(st);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.not_empty.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Pop, waiting at most until `deadline`. `Ok(None)` means closed
+    /// and drained; `Err(())` means the deadline passed while empty.
+    pub fn pop_until(&self, deadline: Instant) -> Result<Option<T>, ()> {
+        let mut st = self.lock();
+        loop {
+            if let Some(item) = st.q.pop_front() {
+                drop(st);
+                self.not_full.notify_one();
+                return Ok(Some(item));
+            }
+            if st.closed {
+                return Ok(None);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(());
+            }
+            let (guard, _timeout) = self
+                .not_empty
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            st = guard;
+        }
+    }
+
+    /// Stop accepting items and wake every waiter. Items already queued
+    /// remain poppable.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    pub fn len(&self) -> usize {
+        self.lock().q.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.lock().q.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn try_push_observes_capacity() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(PushError::Full));
+        assert_eq!(q.pop(), Some(1));
+        q.try_push(3).unwrap();
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn close_rejects_pushes_but_drains_pops() {
+        let q = BoundedQueue::new(4);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        q.close();
+        assert_eq!(q.push(3), Err(PushError::Closed));
+        assert_eq!(q.try_push(3), Err(PushError::Closed));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None, "closed + drained");
+    }
+
+    #[test]
+    fn capacity_zero_is_clamped_to_one() {
+        let q = BoundedQueue::new(0);
+        q.try_push(1).unwrap();
+        assert_eq!(q.try_push(2), Err(PushError::Full));
+    }
+
+    #[test]
+    fn blocked_push_completes_once_space_frees() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.push(1).unwrap();
+        let q2 = Arc::clone(&q);
+        let pusher = std::thread::spawn(move || q2.push(2));
+        // Give the pusher time to block, then free a slot.
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(q.pop(), Some(1));
+        pusher.join().unwrap().expect("push succeeds after pop");
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn blocked_push_unblocks_on_close() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.push(1).unwrap();
+        let q2 = Arc::clone(&q);
+        let pusher = std::thread::spawn(move || q2.push(2));
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(pusher.join().unwrap(), Err(PushError::Closed));
+        // The item accepted before the close is still there.
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn pop_until_times_out_when_idle() {
+        let q: BoundedQueue<i32> = BoundedQueue::new(1);
+        let deadline = Instant::now() + Duration::from_millis(5);
+        assert_eq!(q.pop_until(deadline), Err(()));
+    }
+}

@@ -1,0 +1,357 @@
+//! The batched-GEMM server: admission, coalescing, planning, execution.
+//!
+//! Thread structure (all plain OS threads, spawned at construction):
+//!
+//! ```text
+//!  producers ──submit()──▶ admission queue (bounded, blocking)
+//!                               │
+//!                          batcher thread
+//!                 (batching window, ≤ max_batch, groups
+//!                  by (alpha, beta), drops expired)
+//!                               │  GemmBatch jobs
+//!                          batch queue
+//!                       ┌───────┴───────┐
+//!                   worker 0 … worker W-1
+//!            session.plan (shared cache + SimMemo)
+//!            framework.execute (packed execute_plan)
+//!                               │
+//!                  per-request response channels
+//! ```
+//!
+//! **Backpressure contract:** [`Server::submit`] blocks while the
+//! admission queue is at capacity; once it returns `Ok`, the request
+//! *will* be completed — by a result, a deadline expiry, or a planning
+//! error — even if the server is shut down immediately afterwards.
+//! [`Server::try_submit`] returns [`ServeError::QueueFull`] instead of
+//! blocking.
+//!
+//! **Shutdown contract:** [`Server::shutdown`] stops admissions, lets
+//! the batcher drain every queued request into batches, lets the
+//! workers finish every batch, joins all threads and returns the final
+//! [`ServeStats`]. Dropping the server without calling `shutdown` does
+//! the same, discarding the stats.
+
+use crate::queue::{BoundedQueue, PushError};
+use crate::request::{GemmRequest, GemmResult, RequestTiming, ServeError, Ticket};
+use crate::stats::{ServeStats, StatsInner};
+use ctb_core::{Framework, Session};
+use ctb_matrix::GemmBatch;
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Most requests coalesced into one batch (the paper's `B`).
+    pub max_batch: usize,
+    /// How long the batcher holds the first request of a batch open for
+    /// more arrivals. Zero coalesces only what is already queued.
+    pub batch_window: Duration,
+    /// Admission-queue bound; `submit` blocks past this.
+    pub queue_capacity: usize,
+    /// Executor threads consuming coalesced batches.
+    pub workers: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_batch: 32,
+            batch_window: Duration::from_micros(200),
+            queue_capacity: 256,
+            workers: 2,
+        }
+    }
+}
+
+/// One admitted request waiting to be batched.
+struct Pending {
+    req: GemmRequest,
+    tx: mpsc::Sender<Result<GemmResult, ServeError>>,
+    enqueued: Instant,
+}
+
+/// One response route of a coalesced batch.
+struct Member {
+    tx: mpsc::Sender<Result<GemmResult, ServeError>>,
+    enqueued: Instant,
+}
+
+/// A coalesced batch ready for a worker.
+struct Job {
+    batch: GemmBatch,
+    members: Vec<Member>,
+}
+
+struct Shared {
+    cfg: ServeConfig,
+    session: Arc<Session>,
+    admission: BoundedQueue<Pending>,
+    jobs: BoundedQueue<Job>,
+    stats: StatsInner,
+}
+
+/// A running batched-GEMM server. Cheap to share: wrap it in an `Arc`
+/// and hand clones to every producer thread.
+pub struct Server {
+    shared: Arc<Shared>,
+    batcher: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Spawn a server owning a fresh [`Session`] around `framework`.
+    pub fn new(framework: Framework, cfg: ServeConfig) -> Self {
+        Server::with_session(Arc::new(Session::new(framework)), cfg)
+    }
+
+    /// Spawn a server over an existing shared session — this is how
+    /// several servers (or a server plus offline callers) share one
+    /// plan cache and simulation memo.
+    pub fn with_session(session: Arc<Session>, cfg: ServeConfig) -> Self {
+        let shared = Arc::new(Shared {
+            admission: BoundedQueue::new(cfg.queue_capacity),
+            // The batcher is the only producer and is itself fed from
+            // the bounded admission queue, so the job queue never needs
+            // to push back.
+            jobs: BoundedQueue::new(usize::MAX),
+            cfg,
+            session,
+            stats: StatsInner::default(),
+        });
+
+        let batcher = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || batcher_loop(&shared))
+        };
+        let workers = (0..shared.cfg.workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+
+        Server { shared, batcher: Some(batcher), workers }
+    }
+
+    /// Submit a request, blocking while the admission queue is full.
+    pub fn submit(&self, req: GemmRequest) -> Result<Ticket, ServeError> {
+        self.admit(req, true)
+    }
+
+    /// Submit without blocking; [`ServeError::QueueFull`] when the
+    /// admission queue is at capacity.
+    pub fn try_submit(&self, req: GemmRequest) -> Result<Ticket, ServeError> {
+        self.admit(req, false)
+    }
+
+    /// Submit and wait — the synchronous convenience path.
+    pub fn call(&self, req: GemmRequest) -> Result<GemmResult, ServeError> {
+        self.submit(req)?.wait()
+    }
+
+    fn admit(&self, req: GemmRequest, blocking: bool) -> Result<Ticket, ServeError> {
+        if let Err(m) = req.validate() {
+            return Err(ServeError::Invalid(m));
+        }
+        let (tx, rx) = mpsc::channel();
+        let pending = Pending { req, tx, enqueued: Instant::now() };
+        let pushed = if blocking {
+            self.shared.admission.push(pending)
+        } else {
+            self.shared.admission.try_push(pending)
+        };
+        match pushed {
+            Ok(()) => {
+                self.shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
+                Ok(Ticket { rx })
+            }
+            Err(kind) => {
+                self.shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                Err(match kind {
+                    PushError::Full => ServeError::QueueFull,
+                    PushError::Closed => ServeError::ShuttingDown,
+                })
+            }
+        }
+    }
+
+    /// Point-in-time accounting: request/batch counters plus the shared
+    /// session's plan-cache and simulation-memo statistics.
+    pub fn stats(&self) -> ServeStats {
+        self.shared.stats.snapshot(self.shared.session.stats(), self.shared.session.sim_stats())
+    }
+
+    /// The shared planning session (plan cache + simulation memo).
+    pub fn session(&self) -> &Arc<Session> {
+        &self.shared.session
+    }
+
+    /// Requests currently waiting in the admission queue (monitoring
+    /// hook; racy by nature).
+    pub fn queue_depth(&self) -> usize {
+        self.shared.admission.len()
+    }
+
+    /// Stop accepting new requests without waiting for the drain:
+    /// subsequent `submit`/`try_submit` calls fail with
+    /// [`ServeError::ShuttingDown`], already-admitted requests keep
+    /// flowing. Call [`Server::shutdown`] to drain and join.
+    pub fn close(&self) {
+        self.shared.admission.close();
+    }
+
+    /// Stop admissions, drain every in-flight request, join all threads
+    /// and return the final statistics.
+    pub fn shutdown(mut self) -> ServeStats {
+        self.shutdown_inner();
+        self.stats()
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.shared.admission.close();
+        if let Some(b) = self.batcher.take() {
+            let _ = b.join();
+        }
+        debug_assert!(self.shared.admission.is_empty(), "batcher exits only when drained");
+        // Only after the batcher has drained the admission queue may the
+        // job queue be closed — workers then drain it and exit.
+        self.shared.jobs.close();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// Collect one batching window's worth of requests: the blocking first
+/// pop opens the window, then arrivals are added until the window
+/// closes, `max_batch` is reached, or the queue reports closed+drained.
+/// Returns `None` when the server is fully drained.
+fn collect_window(shared: &Shared) -> Option<Vec<Pending>> {
+    let first = shared.admission.pop()?;
+    let deadline = Instant::now() + shared.cfg.batch_window;
+    let mut picked = vec![first];
+    while picked.len() < shared.cfg.max_batch.max(1) {
+        match shared.admission.pop_until(deadline) {
+            Ok(Some(p)) => picked.push(p),
+            // Closed and drained: ship what we have; the outer loop's
+            // next `pop` returns `None` and ends the batcher.
+            Ok(None) => break,
+            // Window expired.
+            Err(()) => break,
+        }
+    }
+    Some(picked)
+}
+
+fn batcher_loop(shared: &Shared) {
+    while let Some(picked) = collect_window(shared) {
+        let now = Instant::now();
+        // Expire requests that out-waited their deadline in the queue.
+        let mut live = Vec::with_capacity(picked.len());
+        for p in picked {
+            match p.req.deadline {
+                Some(d) if now.duration_since(p.enqueued) > d => {
+                    shared.stats.expired.fetch_add(1, Ordering::Relaxed);
+                    let _ = p.tx.send(Err(ServeError::Expired));
+                }
+                _ => live.push(p),
+            }
+        }
+        // Coalesce per (alpha, beta) — GemmBatch carries one scalar
+        // pair, so only scalar-compatible requests share a batch.
+        // Arrival order is preserved within each group.
+        let mut groups: Vec<(u32, u32, Vec<Pending>)> = Vec::new();
+        for p in live {
+            let key = (p.req.alpha.to_bits(), p.req.beta.to_bits());
+            match groups.iter_mut().find(|(a, b, _)| (*a, *b) == key) {
+                Some((_, _, g)) => g.push(p),
+                None => groups.push((key.0, key.1, vec![p])),
+            }
+        }
+        for (alpha_bits, beta_bits, group) in groups {
+            ship_group(
+                shared,
+                f32::from_bits(alpha_bits),
+                f32::from_bits(beta_bits),
+                group,
+            );
+        }
+    }
+}
+
+/// Assemble one scalar-compatible group into a `GemmBatch` job.
+fn ship_group(shared: &Shared, alpha: f32, beta: f32, group: Vec<Pending>) {
+    let mut a = Vec::with_capacity(group.len());
+    let mut b = Vec::with_capacity(group.len());
+    let mut c = Vec::with_capacity(group.len());
+    let mut members = Vec::with_capacity(group.len());
+    for p in group {
+        a.push(p.req.a);
+        b.push(p.req.b);
+        c.push(p.req.c);
+        members.push(Member { tx: p.tx, enqueued: p.enqueued });
+    }
+    match GemmBatch::from_parts(a, b, c, alpha, beta) {
+        Ok(batch) => {
+            // The job queue is effectively unbounded and is only closed
+            // after this thread exits (see `shutdown_inner`), so the
+            // push cannot fail. If that ordering were ever broken, the
+            // dropped senders would surface as `Disconnected` tickets —
+            // loud, not silent.
+            let pushed = shared.jobs.try_push(Job { batch, members });
+            debug_assert!(pushed.is_ok(), "job queue closed while the batcher was live");
+        }
+        Err(m) => {
+            for member in members {
+                let _ = member.tx.send(Err(ServeError::PlanFailed(m.clone())));
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    while let Some(job) = shared.jobs.pop() {
+        run_job(shared, job);
+    }
+}
+
+fn run_job(shared: &Shared, job: Job) {
+    let n = job.batch.len();
+    let t_plan = Instant::now();
+    let queue_us: Vec<f64> = job
+        .members
+        .iter()
+        .map(|m| t_plan.duration_since(m.enqueued).as_secs_f64() * 1e6)
+        .collect();
+    let plan = match shared.session.plan(&job.batch.shapes) {
+        Ok(p) => p,
+        Err(m) => {
+            for member in job.members {
+                let _ = member.tx.send(Err(ServeError::PlanFailed(m.clone())));
+            }
+            return;
+        }
+    };
+    let plan_us = t_plan.elapsed().as_secs_f64() * 1e6;
+    let t_exec = Instant::now();
+    let (results, _report) = shared.session.framework().execute(&job.batch, &plan);
+    let exec_us = t_exec.elapsed().as_secs_f64() * 1e6;
+
+    shared.stats.batches.fetch_add(1, Ordering::Relaxed);
+    for ((member, c), queue_us) in job.members.into_iter().zip(results).zip(queue_us) {
+        let timing = RequestTiming { queue_us, plan_us, exec_us, batch_size: n };
+        shared.stats.record_latency(timing.total_us());
+        shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+        // A requester that dropped its ticket is not an error.
+        let _ = member.tx.send(Ok(GemmResult { c, timing }));
+    }
+}

@@ -1,0 +1,106 @@
+//! Server-wide counters and the [`ServeStats`] snapshot.
+
+use ctb_core::CacheStats;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Point-in-time view of the server's accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeStats {
+    /// Requests accepted into the admission queue.
+    pub submitted: usize,
+    /// `try_submit` rejections (queue full) + shutdown rejections.
+    pub rejected: usize,
+    /// Requests completed with [`crate::ServeError::Expired`].
+    pub expired: usize,
+    /// Requests completed with a result.
+    pub completed: usize,
+    /// Coalesced batches executed.
+    pub batches: usize,
+    /// `completed / batches` (0 when idle) — the coalescing payoff.
+    pub mean_batch_size: f64,
+    /// Shared-session plan cache (hits = re-used shape signatures).
+    pub plan_cache: CacheStats,
+    /// Candidate-simulation memo behind the planner.
+    pub sim_memo: CacheStats,
+    /// Median end-to-end request latency, µs.
+    pub p50_us: f64,
+    /// 95th-percentile end-to-end request latency, µs.
+    pub p95_us: f64,
+}
+
+/// Internal mutable counters. Latencies are kept raw (one `f64` per
+/// completed request) — serving-bench scale is thousands of requests,
+/// far below where a streaming sketch would be warranted.
+#[derive(Debug, Default)]
+pub struct StatsInner {
+    pub submitted: AtomicUsize,
+    pub rejected: AtomicUsize,
+    pub expired: AtomicUsize,
+    pub completed: AtomicUsize,
+    pub batches: AtomicUsize,
+    latencies_us: Mutex<Vec<f64>>,
+}
+
+impl StatsInner {
+    pub fn record_latency(&self, us: f64) {
+        self.latencies_us.lock().unwrap_or_else(|e| e.into_inner()).push(us);
+    }
+
+    /// Snapshot the counters together with session cache statistics.
+    pub fn snapshot(&self, plan_cache: CacheStats, sim_memo: CacheStats) -> ServeStats {
+        let completed = self.completed.load(Ordering::Relaxed);
+        let batches = self.batches.load(Ordering::Relaxed);
+        let mut lat = self.latencies_us.lock().unwrap_or_else(|e| e.into_inner()).clone();
+        lat.sort_by(f64::total_cmp);
+        ServeStats {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
+            completed,
+            batches,
+            mean_batch_size: if batches == 0 { 0.0 } else { completed as f64 / batches as f64 },
+            plan_cache,
+            sim_memo,
+            p50_us: percentile(&lat, 0.50),
+            p95_us: percentile(&lat, 0.95),
+        }
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample (0 if empty).
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let s: Vec<f64> = (1..=100).map(|v| v as f64).collect();
+        assert_eq!(percentile(&s, 0.50), 50.0);
+        assert_eq!(percentile(&s, 0.95), 95.0);
+        assert_eq!(percentile(&s, 1.0), 100.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[7.0], 0.95), 7.0);
+    }
+
+    #[test]
+    fn snapshot_computes_mean_batch_size() {
+        let inner = StatsInner::default();
+        inner.completed.store(12, Ordering::Relaxed);
+        inner.batches.store(4, Ordering::Relaxed);
+        inner.record_latency(5.0);
+        inner.record_latency(15.0);
+        let s = inner.snapshot(CacheStats::default(), CacheStats::default());
+        assert_eq!(s.mean_batch_size, 3.0);
+        assert_eq!(s.p50_us, 5.0);
+        assert_eq!(s.p95_us, 15.0);
+    }
+}

@@ -8,10 +8,23 @@ cd "$(dirname "$0")/.."
 echo "== cargo build --release =="
 cargo build --release
 
+echo "== cargo build --release --examples =="
+cargo build --release --examples
+
 echo "== cargo test -q =="
 cargo test -q
 
+echo "== differential conformance suite =="
+cargo test -q --test differential
+
+echo "== concurrency suites (serve stress + planning determinism) =="
+cargo test -q -p ctb-serve --test stress
+cargo test -q --test determinism
+
 echo "== cargo clippy --all-targets -- -D warnings =="
 cargo clippy --all-targets -- -D warnings
+
+echo "== cargo clippy -p ctb-serve --all-targets -- -D warnings =="
+cargo clippy -p ctb-serve --all-targets -- -D warnings
 
 echo "check.sh: all gates passed"

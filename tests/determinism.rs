@@ -1,0 +1,114 @@
+//! Concurrent planning determinism: `Session::plan` raced from many
+//! threads must converge on one identical plan with consistent cache
+//! accounting — no double-counted misses, no divergent plans.
+
+use ctb::prelude::*;
+use std::sync::{Arc, Barrier};
+
+fn shapes() -> Vec<GemmShape> {
+    vec![GemmShape::new(48, 64, 96), GemmShape::new(16, 32, 128), GemmShape::new(64, 64, 64)]
+}
+
+#[test]
+fn racing_planners_agree_on_one_plan_with_consistent_accounting() {
+    const THREADS: usize = 8;
+    let session = Arc::new(Session::new(Framework::new(ArchSpec::volta_v100())));
+    let barrier = Arc::new(Barrier::new(THREADS));
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let session = Arc::clone(&session);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                // Maximize overlap: all threads hit the cold cache at
+                // once, so several run the full planning pipeline and
+                // race to insert.
+                barrier.wait();
+                session.plan(&shapes()).expect("plannable")
+            })
+        })
+        .collect();
+    let plans: Vec<_> = handles.into_iter().map(|h| h.join().expect("planner ok")).collect();
+
+    // Every thread sees the identical plan.
+    let first = &plans[0];
+    for (i, p) in plans.iter().enumerate() {
+        assert_eq!(first.plan, p.plan, "thread {i} got a different batch plan");
+        assert_eq!(first.heuristic, p.heuristic, "thread {i} got a different heuristic");
+        assert_eq!(
+            first.solution.per_gemm, p.solution.per_gemm,
+            "thread {i} got a different tiling solution"
+        );
+    }
+
+    // Plan-cache accounting: exactly one miss populated the one cached
+    // signature; racers that lost the insert count as hits, so the
+    // totals always balance.
+    let stats = session.stats();
+    assert_eq!(session.cached_plans(), 1);
+    assert_eq!(stats.misses, 1, "exactly one planning event populated the cache: {stats:?}");
+    assert_eq!(stats.hits, THREADS - 1, "everyone else was answered from the cache: {stats:?}");
+
+    // Simulation-memo accounting: misses equal distinct cached keys
+    // (no double-count when racing planners simulate the same
+    // candidate), and every lookup is either a hit or a miss.
+    let sim = session.sim_stats();
+    assert_eq!(
+        sim.misses,
+        session.sim_memo().len(),
+        "sim_calls must equal distinct memoized candidates: {sim:?}"
+    );
+    assert!(sim.misses > 0, "best-of-both planning must simulate candidates");
+
+    // The winning plan replays deterministically from a cold session —
+    // concurrency changed nothing.
+    let cold = Session::new(Framework::new(ArchSpec::volta_v100()));
+    let replay = cold.plan(&shapes()).expect("plannable");
+    assert_eq!(first.plan, replay.plan);
+    assert_eq!(first.heuristic, replay.heuristic);
+}
+
+#[test]
+fn racing_planners_over_distinct_workloads_keep_miss_len_invariant() {
+    // Interleave several distinct shape signatures across threads: the
+    // invariant `misses == cached_plans` and `sim misses == memo len`
+    // must hold for any interleaving, not just the single-key race.
+    const THREADS: usize = 8;
+    let session = Arc::new(Session::new(Framework::new(ArchSpec::volta_v100())));
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let workloads: Vec<Vec<GemmShape>> = vec![
+        vec![GemmShape::new(48, 64, 96)],
+        vec![GemmShape::new(16, 32, 128), GemmShape::new(64, 64, 64)],
+        vec![GemmShape::new(128, 128, 32)],
+        shapes(),
+    ];
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let session = Arc::clone(&session);
+            let barrier = Arc::clone(&barrier);
+            let workloads = workloads.clone();
+            std::thread::spawn(move || {
+                barrier.wait();
+                for round in 0..3 {
+                    let w = &workloads[(t + round) % workloads.len()];
+                    session.plan(w).expect("plannable");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("planner ok");
+    }
+
+    let stats = session.stats();
+    assert_eq!(session.cached_plans(), workloads.len());
+    assert_eq!(
+        stats.misses,
+        workloads.len(),
+        "misses must equal distinct cached signatures: {stats:?}"
+    );
+    assert_eq!(stats.hits + stats.misses, THREADS * 3, "every call accounted exactly once");
+    let sim = session.sim_stats();
+    assert_eq!(sim.misses, session.sim_memo().len(), "no double-counted simulator runs: {sim:?}");
+}

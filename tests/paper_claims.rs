@@ -93,6 +93,93 @@ fn portability_speedups() {
     }
 }
 
+/// Fig 8/9 crossover, small side: on many-small-GEMM workloads — the
+/// regime of Fig 1 and the figures' lower-left cells — the coordinated
+/// single-kernel plan beats per-kernel default launches by an order of
+/// magnitude (launch overhead plus idle SMs dominate the baseline), and
+/// also beats MAGMA vbatch.
+#[test]
+fn coordinated_beats_per_kernel_default_on_many_small_gemms() {
+    let arch = ArchSpec::volta_v100();
+    let fw = Framework::new(arch.clone());
+    for (b, mn, k) in [(32, 64, 64), (16, 32, 32), (64, 16, 128), (8, 64, 16), (16, 128, 32)] {
+        let shapes = ctb::matrix::gen::uniform_case(b, mn, mn, k);
+        let ours = fw.simulate_only(&shapes).unwrap().total_us;
+        let per_kernel = simulate(&arch, &default_serial(&arch, &shapes).seq).total_us;
+        let magma = simulate(&arch, &magma_vbatch(&arch, &shapes).seq).total_us;
+        assert!(
+            per_kernel / ours > 5.0,
+            "B={b} MN={mn} K={k}: expected >5x over per-kernel default, got {:.2}x",
+            per_kernel / ours
+        );
+        assert!(
+            magma / ours > 1.0,
+            "B={b} MN={mn} K={k}: must also beat vbatch ({ours:.2} vs {magma:.2})"
+        );
+    }
+}
+
+/// Fig 8/9 crossover, large side: on large-uniform workloads — the
+/// figures' upper-right cells, where a single GEMM already fills the
+/// device — coordination cannot help much, and the paper's claim is
+/// only that it does not hurt: the coordinated plan stays within a
+/// small margin of the per-kernel default (the reproduction's worst
+/// cell is ~10.5% at B=1 1024^3; 15% is the asserted ceiling) while
+/// still clearly beating MAGMA vbatch.
+#[test]
+fn coordinated_never_loses_badly_on_large_uniform_gemms() {
+    let arch = ArchSpec::volta_v100();
+    let fw = Framework::new(arch.clone());
+    let mut ratios = Vec::new();
+    for (b, mn, k) in
+        [(1, 1024, 1024), (2, 512, 512), (4, 512, 256), (1, 2048, 512), (4, 1024, 1024)]
+    {
+        let shapes = ctb::matrix::gen::uniform_case(b, mn, mn, k);
+        let ours = fw.simulate_only(&shapes).unwrap().total_us;
+        let per_kernel = simulate(&arch, &default_serial(&arch, &shapes).seq).total_us;
+        let magma = simulate(&arch, &magma_vbatch(&arch, &shapes).seq).total_us;
+        let ratio = ours / per_kernel;
+        assert!(
+            ratio <= 1.15,
+            "B={b} MN={mn} K={k}: coordinated lost {:.1}% to per-kernel default",
+            (ratio - 1.0) * 100.0
+        );
+        assert!(
+            ours < magma,
+            "B={b} MN={mn} K={k}: must beat vbatch ({ours:.2} vs {magma:.2})"
+        );
+        ratios.push(ratio);
+    }
+    // Aggregate over the large-uniform set the framework is at parity
+    // or better, matching the flat right-hand side of Fig 9.
+    let geomean = (ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64).exp();
+    assert!(geomean <= 1.0, "large-uniform geomean {geomean:.3} worse than parity");
+}
+
+/// The crossover itself: the coordinated framework's advantage over
+/// per-kernel launches shrinks monotonically in workload grain — the
+/// many-small cell's speedup dwarfs the large-uniform cell's, which is
+/// the shape of Fig 8/9's histograms.
+#[test]
+fn speedup_over_default_decays_from_small_to_large() {
+    let arch = ArchSpec::volta_v100();
+    let fw = Framework::new(arch.clone());
+    let speedup = |b: usize, mn: usize, k: usize| {
+        let shapes = ctb::matrix::gen::uniform_case(b, mn, mn, k);
+        let ours = fw.simulate_only(&shapes).unwrap().total_us;
+        simulate(&arch, &default_serial(&arch, &shapes).seq).total_us / ours
+    };
+    let small = speedup(32, 64, 64);
+    let mid = speedup(8, 256, 256);
+    let large = speedup(1, 1024, 1024);
+    assert!(
+        small > mid && mid > large,
+        "speedup must decay with grain: small {small:.2}x, mid {mid:.2}x, large {large:.2}x"
+    );
+    assert!(small > 10.0, "many-small speedup {small:.2}x below Fig 9's regime");
+    assert!(large < 1.5, "large-uniform speedup {large:.2}x should be near parity");
+}
+
 /// §5: the random-forest selection overhead is a handful of comparisons.
 #[test]
 fn selector_overhead_is_small() {
