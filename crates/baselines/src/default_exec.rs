@@ -45,6 +45,20 @@ pub fn default_serial(arch: &ArchSpec, shapes: &[GemmShape]) -> BaselineRun {
     }
 }
 
+/// Functional-only default execution: the per-GEMM Table 1 kernels'
+/// numerics without building launch descriptors or simulating timing.
+/// This is the serving layer's degraded-mode executor — it must stay
+/// bitwise-identical to the coordinated path, which it is because both
+/// replay the same ascending-k accumulation per GEMM.
+pub fn default_functional(arch: &ArchSpec, batch: &ctb_matrix::GemmBatch) -> Vec<ctb_matrix::MatF32> {
+    let mut tiles = Vec::new();
+    for (g, shape) in batch.shapes.iter().enumerate() {
+        let st = select_single_gemm(shape, arch);
+        tiles.extend(gemm_tiles(g, shape, st));
+    }
+    ctb_core::interface::execute_plan(batch, &functional_plan(&tiles))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -57,6 +71,20 @@ mod tests {
         let shapes = vec![GemmShape::new(64, 64, 32), GemmShape::new(128, 96, 64)];
         let run = default_serial(&arch, &shapes);
         assert_eq!(run.seq.kernels().len(), 2);
+    }
+
+    #[test]
+    fn functional_only_matches_the_full_baseline_bitwise() {
+        let arch = ArchSpec::volta_v100();
+        let shapes = vec![GemmShape::new(48, 80, 96), GemmShape::new(17, 33, 41)];
+        let batch = GemmBatch::random(&shapes, 1.0, 0.5, 78);
+        let run = default_serial(&arch, &shapes);
+        let (full, _report) = execute_baseline(&arch, &batch, &run);
+        let lean = default_functional(&arch, &batch);
+        assert_eq!(full.len(), lean.len());
+        for (f, l) in full.iter().zip(&lean) {
+            assert_eq!(f.as_slice(), l.as_slice(), "bitwise-identical numerics");
+        }
     }
 
     #[test]

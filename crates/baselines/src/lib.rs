@@ -15,6 +15,6 @@ pub mod run;
 
 pub use cke_exec::cke;
 pub use cublas_like_exec::cublas_like;
-pub use default_exec::default_serial;
+pub use default_exec::{default_functional, default_serial};
 pub use magma::magma_vbatch;
 pub use run::{execute_baseline, simulate_baseline, BaselineRun};

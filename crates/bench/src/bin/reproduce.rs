@@ -6,11 +6,11 @@
 //! ```
 //!
 //! Sub-commands: `tables`, `motivation`, `fig8`, `fig9`, `fig10`,
-//! `fig11`, `googlenet`, `calibrate`, `perf`, `serve`, `all`. Output is
-//! printed in the paper's row/series layout and mirrored as CSV under
-//! `target/experiments/`; `perf` and `serve` additionally write the
-//! tracked `BENCH_executor.json` / `BENCH_serve.json` at the repository
-//! root.
+//! `fig11`, `googlenet`, `calibrate`, `perf`, `serve`, `chaos`, `all`.
+//! Output is printed in the paper's row/series layout and mirrored as
+//! CSV under `target/experiments/`; `perf`, `serve` and `chaos`
+//! additionally write the tracked `BENCH_executor.json` /
+//! `BENCH_serve.json` / `BENCH_chaos.json` at the repository root.
 
 use ctb_bench::figures::{fig11_portability, fig8_grid, fig9_grid, mean_speedup, CellResult};
 use ctb_bench::{ablations, calibrate, fans, googlenet_exp, motivation, tables, write_csv};
@@ -36,6 +36,7 @@ fn main() {
         "splitk" => run_splitk_demo(&arch),
         "perf" => run_perf(&arch),
         "serve" => run_serve(&arch),
+        "chaos" => run_chaos(&arch),
         "all" => {
             run_tables();
             run_motivation(&arch);
@@ -53,7 +54,7 @@ fn main() {
             eprintln!(
                 "unknown experiment '{other}'; expected one of: tables, motivation, \
                  fig8, fig9, fig10, googlenet, fig11, calibrate, ablate, fans, splitk, \
-                 perf, serve, plan <MxNxK,...>, custom <csv-file>, all"
+                 perf, serve, chaos, plan <MxNxK,...>, custom <csv-file>, all"
             );
             std::process::exit(2);
         }
@@ -95,6 +96,29 @@ fn run_serve(arch: &ArchSpec) {
         100.0 * r.sim_memo_hit_rate
     );
     println!("   latency p50 {:.0} us, p95 {:.0} us", r.p50_us, r.p95_us);
+    println!("(json: {})\n", path.display());
+}
+
+fn run_chaos(arch: &ArchSpec) {
+    use ctb_bench::chaos_bench;
+    println!(
+        "== chaos harness: fault-rate sweep over the resilience layer ({}) ==",
+        arch.name
+    );
+    let (points, path) = chaos_bench::run_and_write(arch);
+    for p in &points {
+        println!(
+            "   fault rate {:>4}‰ | {:>5.1}% degraded | {:>3} retries | {:>3} panics caught | \
+             {:>2} breaker trips | p95 {:>7.0} us | {:>6.0} req/s",
+            p.fault_per_mille,
+            100.0 * p.degraded_fraction,
+            p.retries,
+            p.worker_panics,
+            p.breaker_trips,
+            p.p95_us,
+            p.throughput_rps
+        );
+    }
     println!("(json: {})\n", path.display());
 }
 

@@ -1,0 +1,270 @@
+//! `reproduce chaos` — the tracked resilience harness.
+//!
+//! Sweeps the injected fault rate (plan failures + executor panics)
+//! over a closed-loop serving workload and reports, per rate point, the
+//! service level the resilience layer sustains: p95 latency, the
+//! fraction of requests served through the degraded per-kernel
+//! baseline, retry/panic counts, and throughput. Every result — also
+//! the degraded ones — is still checked bitwise against the exact
+//! oracle. Results land in `BENCH_chaos.json` at the repository root;
+//! the zero-rate point doubles as the "injection armed but silent"
+//! overhead reference.
+
+use ctb_core::{Framework, Session};
+use ctb_gpu_specs::ArchSpec;
+use ctb_matrix::{bitwise_mismatch, GemmBatch, GemmShape};
+use ctb_serve::{
+    BreakerPolicy, FaultConfig, FaultInjector, GemmRequest, RetryPolicy, ServeConfig, Server,
+};
+use std::path::PathBuf;
+use std::sync::{Arc, Once};
+use std::time::{Duration, Instant};
+
+/// Injected panics unwind through the server's isolation boundary by
+/// design; keep their default-hook noise out of the harness output
+/// while leaving real panics loud.
+fn quiet_injected_panics() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let payload = info.payload();
+            let msg = payload
+                .downcast_ref::<&str>()
+                .copied()
+                .or_else(|| payload.downcast_ref::<String>().map(String::as_str));
+            let injected = msg.is_some_and(|s| s.contains("ctb-serve injected fault"));
+            if !injected {
+                default(info);
+            }
+        }));
+    });
+}
+
+/// One fault-rate point of the sweep.
+#[derive(Debug, Clone)]
+pub struct ChaosPoint {
+    /// Injection rate applied to both plan failures and executor
+    /// panics, per mille of draws at each site.
+    pub fault_per_mille: u32,
+    /// Requests completed (the loop never drops any).
+    pub requests: usize,
+    /// Fraction served through the degraded baseline.
+    pub degraded_fraction: f64,
+    /// Individual re-admissions after caught panics.
+    pub retries: usize,
+    /// Panics caught at the isolation boundary.
+    pub worker_panics: usize,
+    /// Circuit-breaker trips over the run.
+    pub breaker_trips: usize,
+    /// Completed requests per second of wall time.
+    pub throughput_rps: f64,
+    /// Median end-to-end latency, microseconds.
+    pub p50_us: f64,
+    /// 95th-percentile end-to-end latency, microseconds.
+    pub p95_us: f64,
+}
+
+fn shape_pool() -> Vec<GemmShape> {
+    vec![
+        GemmShape::new(16, 32, 64),
+        GemmShape::new(64, 64, 64),
+        GemmShape::new(48, 80, 96),
+        GemmShape::new(17, 33, 41),
+        GemmShape::new(32, 128, 32),
+    ]
+}
+
+/// Closed loop at one injected fault rate: `producers` threads,
+/// `per_producer` requests each, every result verified bitwise.
+pub fn run_chaos_point(
+    arch: &ArchSpec,
+    fault_per_mille: u32,
+    producers: usize,
+    per_producer: usize,
+) -> ChaosPoint {
+    quiet_injected_panics();
+    let injector = Arc::new(FaultInjector::new(
+        FaultConfig::new(0xC4A0_5EED ^ u64::from(fault_per_mille))
+            .plan_fail(fault_per_mille)
+            .exec_panic(fault_per_mille),
+    ));
+    let session = Arc::new(Session::new(Framework::new(arch.clone())));
+    let server = Arc::new(Server::with_fault_injection(
+        session,
+        ServeConfig {
+            max_batch: 32,
+            batch_window: Duration::from_micros(300),
+            queue_capacity: 64,
+            workers: 2,
+            retry: RetryPolicy {
+                max_retries: 2,
+                backoff_base: Duration::from_micros(20),
+                backoff_cap: Duration::from_micros(500),
+                ..RetryPolicy::default()
+            },
+            breaker: BreakerPolicy::default(),
+        },
+        Arc::clone(&injector),
+    ));
+    let pool = shape_pool();
+
+    let t0 = Instant::now();
+    let degraded_total: usize = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..producers)
+            .map(|t| {
+                let server = Arc::clone(&server);
+                let pool = pool.clone();
+                scope.spawn(move || {
+                    let mut degraded = 0usize;
+                    for i in 0..per_producer {
+                        let shape = pool[(t + i) % pool.len()];
+                        let seed = (t * 10_000 + i) as u64;
+                        let batch = GemmBatch::random(&[shape], 1.0, 0.5, seed);
+                        let expected = batch.reference_result_exact();
+                        let got = server
+                            .submit(GemmRequest {
+                                a: batch.a[0].clone(),
+                                b: batch.b[0].clone(),
+                                c: batch.c[0].clone(),
+                                alpha: batch.alpha,
+                                beta: batch.beta,
+                                deadline: None,
+                            })
+                            .expect("closed-loop submit admitted")
+                            .wait_for(Duration::from_secs(60))
+                            .expect("every faulted request still resolves to a result");
+                        assert!(
+                            bitwise_mismatch(&expected, std::slice::from_ref(&got.c)).is_none(),
+                            "producer {t} request {i}: result diverged under fault injection"
+                        );
+                        degraded += usize::from(got.degraded);
+                    }
+                    degraded
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("producer survived the storm")).sum()
+    });
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let server = Arc::into_inner(server).expect("all producers joined");
+    let stats = server.shutdown();
+    let requests = producers * per_producer;
+    assert_eq!(stats.completed, requests, "zero drops at any fault rate");
+    assert_eq!(stats.degraded, degraded_total, "server and clients agree on degraded count");
+
+    ChaosPoint {
+        fault_per_mille,
+        requests,
+        degraded_fraction: stats.degraded as f64 / requests as f64,
+        retries: stats.retries,
+        worker_panics: stats.worker_panics,
+        breaker_trips: stats.breaker_trips,
+        throughput_rps: requests as f64 / (wall_ms / 1e3),
+        p50_us: stats.p50_us,
+        p95_us: stats.p95_us,
+    }
+}
+
+/// The tracked sweep: quiet, moderate, and heavy injection.
+pub fn run_chaos_sweep(arch: &ArchSpec, producers: usize, per_producer: usize) -> Vec<ChaosPoint> {
+    [0u32, 50, 200]
+        .into_iter()
+        .map(|rate| run_chaos_point(arch, rate, producers, per_producer))
+        .collect()
+}
+
+/// Serialize the sweep as the tracked JSON schema.
+pub fn render_json(arch: &ArchSpec, points: &[ChaosPoint]) -> String {
+    let rows: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"fault_per_mille\": {}, \"requests\": {}, \"degraded_fraction\": {:.4}, \
+                 \"retries\": {}, \"worker_panics\": {}, \"breaker_trips\": {}, \
+                 \"throughput_rps\": {:.1}, \"p50_us\": {:.1}, \"p95_us\": {:.1}}}",
+                p.fault_per_mille,
+                p.requests,
+                p.degraded_fraction,
+                p.retries,
+                p.worker_panics,
+                p.breaker_trips,
+                p.throughput_rps,
+                p.p50_us,
+                p.p95_us
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"bench\": \"chaos\",\n  \"arch\": \"{}\",\n  \"points\": [\n{}\n  ]\n}}\n",
+        arch.name,
+        rows.join(",\n")
+    )
+}
+
+/// Path of the tracked report: `BENCH_chaos.json` at the repo root.
+pub fn report_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..").join("BENCH_chaos.json")
+}
+
+/// Run the standard tracked sweep and write the report.
+pub fn run_and_write(arch: &ArchSpec) -> (Vec<ChaosPoint>, PathBuf) {
+    let points = run_chaos_sweep(arch, 4, 50);
+    let path = report_path();
+    std::fs::write(&path, render_json(arch, &points)).expect("write BENCH_chaos.json");
+    (points, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faulted_point_reports_sane_numbers() {
+        let p = run_chaos_point(&ArchSpec::volta_v100(), 300, 2, 10);
+        assert_eq!(p.requests, 20);
+        assert!((0.0..=1.0).contains(&p.degraded_fraction));
+        assert!(p.worker_panics > 0, "30% panic rate over 20 requests fires essentially always");
+        assert!(p.throughput_rps > 0.0);
+        assert!(p.p95_us >= p.p50_us);
+    }
+
+    #[test]
+    fn quiet_point_never_degrades() {
+        let p = run_chaos_point(&ArchSpec::volta_v100(), 0, 2, 8);
+        assert_eq!(p.degraded_fraction, 0.0);
+        assert_eq!(p.worker_panics, 0);
+        assert_eq!(p.retries, 0);
+    }
+
+    #[test]
+    fn json_schema_has_stable_keys() {
+        let points = vec![ChaosPoint {
+            fault_per_mille: 50,
+            requests: 200,
+            degraded_fraction: 0.12,
+            retries: 9,
+            worker_panics: 11,
+            breaker_trips: 0,
+            throughput_rps: 1500.0,
+            p50_us: 500.0,
+            p95_us: 1200.0,
+        }];
+        let json = render_json(&ArchSpec::volta_v100(), &points);
+        for key in [
+            "\"bench\"",
+            "\"arch\"",
+            "\"points\"",
+            "\"fault_per_mille\"",
+            "\"degraded_fraction\"",
+            "\"retries\"",
+            "\"worker_panics\"",
+            "\"breaker_trips\"",
+            "\"throughput_rps\"",
+            "\"p95_us\"",
+        ] {
+            assert!(json.contains(key), "missing key {key} in {json}");
+        }
+    }
+}

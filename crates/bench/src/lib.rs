@@ -7,6 +7,7 @@
 
 pub mod ablations;
 pub mod calibrate;
+pub mod chaos_bench;
 pub mod fans;
 pub mod figures;
 pub mod googlenet_exp;

@@ -68,6 +68,7 @@ pub fn run_serve_bench(arch: &ArchSpec, producers: usize, per_producer: usize) -
             batch_window: Duration::from_micros(300),
             queue_capacity: 64,
             workers: 2,
+            ..ServeConfig::default()
         },
     ));
     let pool = shape_pool();

@@ -13,6 +13,7 @@ use crate::memo::SimMemo;
 use ctb_matrix::{GemmBatch, GemmShape};
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Cache statistics.
@@ -57,6 +58,8 @@ pub struct Session {
     /// re-planning (after [`Session::clear`], or when concurrent
     /// first-callers race) never re-runs a simulation it has seen.
     sim_memo: SimMemo,
+    /// Planning attempts that returned an error (never cached).
+    plan_failures: AtomicUsize,
 }
 
 impl Session {
@@ -66,6 +69,7 @@ impl Session {
             cache: Mutex::new(HashMap::new()),
             stats: Mutex::new(CacheStats::default()),
             sim_memo: SimMemo::new(),
+            plan_failures: AtomicUsize::new(0),
         }
     }
 
@@ -82,7 +86,13 @@ impl Session {
         // miss — a racer that loses is answered from the winner's entry
         // and counts as a hit, so `misses == cached_plans()` holds even
         // under first-caller races.
-        let plan = Arc::new(self.framework.plan_memoized(shapes, &self.sim_memo)?);
+        let plan = match self.framework.plan_memoized(shapes, &self.sim_memo) {
+            Ok(plan) => Arc::new(plan),
+            Err(m) => {
+                self.plan_failures.fetch_add(1, Ordering::Relaxed);
+                return Err(m);
+            }
+        };
         let mut cache = self.cache.lock();
         match cache.entry(shapes.to_vec()) {
             std::collections::hash_map::Entry::Occupied(e) => {
@@ -126,6 +136,14 @@ impl Session {
     /// Number of distinct shape signatures cached.
     pub fn cached_plans(&self) -> usize {
         self.cache.lock().len()
+    }
+
+    /// Planning attempts that returned an error. Failed plans are never
+    /// cached, so repeated attempts on a bad shape set keep counting —
+    /// embedders (the serving layer's degraded mode) watch this to
+    /// distinguish "cold cache" from "planner rejecting traffic".
+    pub fn plan_failures(&self) -> usize {
+        self.plan_failures.load(Ordering::Relaxed)
     }
 
     /// Drop every cached plan (e.g. after retuning thresholds).
@@ -209,6 +227,19 @@ mod tests {
         assert!(after_second.hits > after_first.hits);
         assert_eq!(first.plan, second.plan, "memoized re-plan picks the identical plan");
         assert_eq!(first.heuristic, second.heuristic);
+    }
+
+    #[test]
+    fn failed_plans_are_counted_and_never_cached() {
+        let s = session();
+        assert_eq!(s.plan_failures(), 0);
+        for _ in 0..3 {
+            assert!(s.plan(&[]).is_err(), "empty batch cannot be planned");
+        }
+        assert_eq!(s.plan_failures(), 3, "every failed attempt counts");
+        assert_eq!(s.cached_plans(), 0, "failures are not cached");
+        s.plan(&shapes()).expect("good shapes still plan");
+        assert_eq!(s.plan_failures(), 3, "successes leave the counter alone");
     }
 
     #[test]

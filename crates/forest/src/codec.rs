@@ -57,7 +57,11 @@ pub fn decode(text: &str) -> Result<RandomForest, String> {
         .parse()
         .map_err(|e| format!("bad class count: {e}"))?;
 
-    let mut trees = Vec::with_capacity(n_trees);
+    // Counts come from untrusted text: cap the pre-allocation so a
+    // forged header like `forest 99999999999999 2` costs a parse error,
+    // not an allocation abort. The real length check is the per-item
+    // loop below, which demands an actual line per claimed node.
+    let mut trees = Vec::with_capacity(n_trees.min(1024));
     for t in 0..n_trees {
         let th = lines.next().ok_or_else(|| format!("missing tree {t} header"))?;
         let mut tp = th.split_whitespace();
@@ -69,7 +73,7 @@ pub fn decode(text: &str) -> Result<RandomForest, String> {
             .ok_or("missing node count")?
             .parse()
             .map_err(|e| format!("bad node count: {e}"))?;
-        let mut nodes = Vec::with_capacity(n_nodes);
+        let mut nodes = Vec::with_capacity(n_nodes.min(4096));
         for n in 0..n_nodes {
             let line = lines.next().ok_or_else(|| format!("tree {t}: missing node {n}"))?;
             let mut parts = line.split_whitespace();
@@ -153,5 +157,77 @@ mod tests {
     fn encoding_is_stable() {
         let (forest, _) = trained();
         assert_eq!(encode(&forest), encode(&decode(&encode(&forest)).unwrap()));
+    }
+
+    #[test]
+    fn empty_forest_round_trips() {
+        let empty = RandomForest { trees: vec![], n_classes: 3 };
+        let text = encode(&empty);
+        let back = decode(&text).expect("empty forest is representable");
+        assert_eq!(back, empty);
+        assert_eq!(encode(&back), text);
+    }
+
+    #[test]
+    fn single_leaf_tree_round_trips() {
+        let back = decode("forest 1 2\ntree 1\nl 0.25 0.75\n").expect("single leaf");
+        assert_eq!(back.trees.len(), 1);
+        assert_eq!(back.trees[0].nodes().len(), 1);
+        assert_eq!(back.predict(&[123.0, -4.0]), 1, "leaf probs pick class 1");
+        assert_eq!(decode(&encode(&back)).unwrap(), back);
+    }
+
+    #[test]
+    fn deep_left_spine_tree_round_trips() {
+        // 600 chained splits ending in one leaf: every split sends
+        // "left" one node deeper and "right" to the terminal leaf, so
+        // prediction walks the full 600-deep spine for small features.
+        const SPLITS: usize = 600;
+        let mut text = format!("forest 1 2\ntree {}\n", SPLITS + 1);
+        for i in 0..SPLITS {
+            text.push_str(&format!("s 0 {}.5 {} {SPLITS}\n", i, i + 1));
+        }
+        text.push_str("l 1.0 0.0\n");
+        let forest = decode(&text).expect("deep tree decodes");
+        assert_eq!(forest.trees[0].nodes().len(), SPLITS + 1);
+        // Walks all SPLITS splits without blowing the stack, lands on
+        // the leaf either way.
+        assert_eq!(forest.predict(&[-1.0]), 0);
+        assert_eq!(forest.predict(&[1e9]), 0);
+        assert_eq!(decode(&encode(&forest)).unwrap(), forest);
+    }
+
+    #[test]
+    fn every_truncation_errs_or_decodes_without_panicking() {
+        // Chop a valid encoding at every char boundary: the decoder must
+        // return a typed error or a well-formed forest — never panic,
+        // never abort on a forged length.
+        let (forest, _) = trained();
+        let text = encode(&forest);
+        for (i, _) in text.char_indices() {
+            match decode(&text[..i]) {
+                Ok(f) => {
+                    // Prefixes that happen to parse (e.g. the full text
+                    // minus trailing digits) must still be internally
+                    // consistent.
+                    assert_eq!(f.n_classes, forest.n_classes);
+                    assert_eq!(f.trees.len(), forest.trees.len());
+                }
+                Err(e) => assert!(!e.is_empty(), "errors carry a message"),
+            }
+        }
+    }
+
+    #[test]
+    fn forged_huge_counts_are_errors_not_allocation_aborts() {
+        // Overflows usize: parse error.
+        assert!(decode("forest 99999999999999999999 2").is_err());
+        // Fits usize but claims absurd trees/nodes: the clamped
+        // pre-allocation keeps this a cheap "missing line" error.
+        assert!(decode("forest 9999999999 2").is_err());
+        assert!(decode("forest 1 2\ntree 9999999999\nl 0.5 0.5\n").is_err());
+        // NaN-ish and negative counts are parse errors too.
+        assert!(decode("forest -3 2").is_err());
+        assert!(decode("forest 1 2\ntree -1\n").is_err());
     }
 }

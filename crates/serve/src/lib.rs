@@ -33,13 +33,31 @@
 //! [`ctb_matrix::GemmBatch::reference_result_exact`] no matter how
 //! requests are coalesced, interleaved, or raced. The stress suite in
 //! `tests/stress.rs` holds the server to that bit-for-bit.
+//!
+//! Resilience contract: workers are panic-isolated
+//! ([`std::panic::catch_unwind`] at the job boundary), panicked batch
+//! members retry individually under a [`RetryPolicy`] (bounded
+//! exponential backoff, server-lifetime budget), and plan failures,
+//! exhausted retries, or an open circuit breaker ([`BreakerPolicy`])
+//! fall back to the per-kernel default baseline — still bitwise-exact,
+//! tagged [`GemmResult::degraded`]. The deterministic chaos seam
+//! ([`FaultConfig`], [`FaultInjector`]) lets `tests/chaos.rs` force
+//! every one of those paths on a seeded schedule and reconcile the
+//! server's accounting against the injector's [`FaultLog`] exactly.
 
+mod fault;
 mod queue;
 mod request;
+mod retry;
 mod server;
 mod stats;
 
+pub use fault::{
+    FaultConfig, FaultInjector, FaultLog, FaultSite, INJECTED_DEGRADED_PANIC_MSG,
+    INJECTED_PANIC_MSG,
+};
 pub use request::{GemmRequest, GemmResult, RequestTiming, ServeError, Ticket};
+pub use retry::{BreakerPolicy, RetryPolicy};
 pub use server::{ServeConfig, Server};
 pub use stats::ServeStats;
 

@@ -64,14 +64,17 @@ impl<T> BoundedQueue<T> {
         }
     }
 
-    /// Non-blocking push.
-    pub fn try_push(&self, item: T) -> Result<(), PushError> {
+    /// Non-blocking push. On failure the item is handed back so the
+    /// caller can route it elsewhere (the serving layer's no-drop
+    /// guarantee depends on this: a retry re-pushed against a closed
+    /// queue must still be resolvable inline).
+    pub fn try_push(&self, item: T) -> Result<(), (PushError, T)> {
         let mut st = self.lock();
         if st.closed {
-            return Err(PushError::Closed);
+            return Err((PushError::Closed, item));
         }
         if st.q.len() >= self.capacity {
-            return Err(PushError::Full);
+            return Err((PushError::Full, item));
         }
         st.q.push_back(item);
         drop(st);
@@ -147,11 +150,11 @@ mod tests {
     use std::time::Duration;
 
     #[test]
-    fn try_push_observes_capacity() {
+    fn try_push_observes_capacity_and_returns_the_item() {
         let q = BoundedQueue::new(2);
         q.try_push(1).unwrap();
         q.try_push(2).unwrap();
-        assert_eq!(q.try_push(3), Err(PushError::Full));
+        assert_eq!(q.try_push(3), Err((PushError::Full, 3)));
         assert_eq!(q.pop(), Some(1));
         q.try_push(3).unwrap();
         assert_eq!(q.len(), 2);
@@ -164,7 +167,7 @@ mod tests {
         q.push(2).unwrap();
         q.close();
         assert_eq!(q.push(3), Err(PushError::Closed));
-        assert_eq!(q.try_push(3), Err(PushError::Closed));
+        assert_eq!(q.try_push(3), Err((PushError::Closed, 3)));
         assert_eq!(q.pop(), Some(1));
         assert_eq!(q.pop(), Some(2));
         assert_eq!(q.pop(), None, "closed + drained");
@@ -174,7 +177,7 @@ mod tests {
     fn capacity_zero_is_clamped_to_one() {
         let q = BoundedQueue::new(0);
         q.try_push(1).unwrap();
-        assert_eq!(q.try_push(2), Err(PushError::Full));
+        assert_eq!(q.try_push(2), Err((PushError::Full, 2)));
     }
 
     #[test]
@@ -209,5 +212,135 @@ mod tests {
         let q: BoundedQueue<i32> = BoundedQueue::new(1);
         let deadline = Instant::now() + Duration::from_millis(5);
         assert_eq!(q.pop_until(deadline), Err(()));
+    }
+}
+
+#[cfg(test)]
+mod invariant_props {
+    //! Property suite: arbitrary push/pop/close interleavings never
+    //! lose an item, never duplicate one, never exceed capacity, and
+    //! preserve FIFO order. Driven against a plain `VecDeque` model for
+    //! the sequential script, plus a real two-thread interleaving for
+    //! the concurrent lose/duplicate check.
+
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::VecDeque;
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    /// One scripted operation: 0/1 = try_push / blockable pop variants,
+    /// 2 = close. Encoded as small ints so the strategy stays simple.
+    fn apply_script(cap: usize, ops: &[u32]) {
+        let q: BoundedQueue<u64> = BoundedQueue::new(cap);
+        let cap = cap.max(1); // mirrors the constructor's clamp
+        let mut model: VecDeque<u64> = VecDeque::new();
+        let mut closed = false;
+        let mut next_id: u64 = 0;
+        for &op in ops {
+            match op % 3 {
+                0 => {
+                    let r = q.try_push(next_id);
+                    if closed {
+                        prop_assert_eq!(r, Err((PushError::Closed, next_id)));
+                    } else if model.len() >= cap {
+                        prop_assert_eq!(r, Err((PushError::Full, next_id)));
+                    } else {
+                        prop_assert_eq!(r, Ok(()));
+                        model.push_back(next_id);
+                    }
+                    next_id += 1;
+                }
+                1 => {
+                    // Non-blocking pop via an already-expired deadline.
+                    let r = q.pop_until(Instant::now());
+                    match (model.pop_front(), closed) {
+                        (Some(want), _) => prop_assert_eq!(r, Ok(Some(want)), "FIFO order"),
+                        (None, true) => prop_assert_eq!(r, Ok(None), "closed + drained"),
+                        (None, false) => prop_assert_eq!(r, Err(()), "empty, still open"),
+                    }
+                }
+                _ => {
+                    q.close();
+                    closed = true;
+                }
+            }
+            prop_assert_eq!(q.len(), model.len());
+            prop_assert!(q.len() <= cap, "capacity exceeded");
+        }
+        // Drain: everything the model still holds comes out, in order,
+        // exactly once.
+        q.close();
+        let mut drained = Vec::new();
+        while let Some(v) = q.pop() {
+            drained.push(v);
+        }
+        prop_assert_eq!(drained, model.into_iter().collect::<Vec<_>>());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn scripted_interleavings_match_the_model(
+            cap in 0usize..=5,
+            ops in collection::vec(0u32..3, 1..=60),
+        ) {
+            apply_script(cap, &ops);
+        }
+
+        #[test]
+        fn concurrent_producers_never_lose_or_duplicate(
+            cap in 1usize..=3,
+            per_producer in 1usize..=25,
+            close_after_ms in 0u64..=3,
+        ) {
+            let q: Arc<BoundedQueue<u64>> = Arc::new(BoundedQueue::new(cap));
+            let producers: Vec<_> = (0..2u64)
+                .map(|t| {
+                    let q = Arc::clone(&q);
+                    std::thread::spawn(move || {
+                        let mut accepted = Vec::new();
+                        for i in 0..per_producer as u64 {
+                            let id = t * 1_000_000 + i;
+                            match q.push(id) {
+                                Ok(()) => accepted.push(id),
+                                Err(PushError::Closed) => break,
+                                Err(PushError::Full) => unreachable!("blocking push"),
+                            }
+                        }
+                        accepted
+                    })
+                })
+                .collect();
+            let consumer = {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(v) = q.pop() {
+                        got.push(v);
+                    }
+                    got
+                })
+            };
+            std::thread::sleep(Duration::from_millis(close_after_ms));
+            q.close();
+            let mut accepted: Vec<u64> =
+                producers.into_iter().flat_map(|p| p.join().unwrap()).collect();
+            let mut got = consumer.join().unwrap();
+            // Per-producer FIFO order is preserved in the popped stream.
+            for t in 0..2u64 {
+                let sub: Vec<u64> =
+                    got.iter().copied().filter(|v| v / 1_000_000 == t).collect();
+                let mut expect: Vec<u64> =
+                    accepted.iter().copied().filter(|v| v / 1_000_000 == t).collect();
+                expect.sort_unstable();
+                prop_assert_eq!(sub, expect, "per-producer FIFO");
+            }
+            // Exactly the accepted multiset comes out: no loss, no dup.
+            accepted.sort_unstable();
+            got.sort_unstable();
+            prop_assert_eq!(got, accepted);
+        }
     }
 }

@@ -68,6 +68,14 @@ pub enum ServeError {
     Expired,
     /// Planning the coalesced batch failed (server-side bug surface).
     PlanFailed(String),
+    /// A worker panicked executing this request and every recovery path
+    /// (retry, degraded baseline) was exhausted. The panic was isolated:
+    /// the worker survived and batch-mates were re-admitted separately.
+    WorkerPanic(String),
+    /// [`Ticket::wait_for`] gave up before the server completed the
+    /// request. The request is still in flight server-side; its
+    /// eventual response is counted as abandoned.
+    WaitTimeout,
     /// The server dropped the response channel without completing the
     /// request — must not happen while the drain contract holds.
     Disconnected,
@@ -81,6 +89,8 @@ impl std::fmt::Display for ServeError {
             ServeError::ShuttingDown => write!(f, "server shutting down"),
             ServeError::Expired => write!(f, "deadline expired in queue"),
             ServeError::PlanFailed(m) => write!(f, "planning failed: {m}"),
+            ServeError::WorkerPanic(m) => write!(f, "worker panicked: {m}"),
+            ServeError::WaitTimeout => write!(f, "gave up waiting for the response"),
             ServeError::Disconnected => write!(f, "server dropped the request"),
         }
     }
@@ -116,6 +126,12 @@ impl RequestTiming {
 pub struct GemmResult {
     pub c: MatF32,
     pub timing: RequestTiming,
+    /// `true` when the result came from the degraded per-kernel
+    /// baseline executor (plan failure, exhausted retries, or an open
+    /// circuit breaker) rather than the coordinated path. Degraded
+    /// results are still bitwise-exact — both executors replay the
+    /// identical ascending-k accumulation per GEMM.
+    pub degraded: bool,
 }
 
 /// Handle to one in-flight request, returned by
@@ -129,6 +145,19 @@ impl Ticket {
     /// Block until the server completes the request.
     pub fn wait(self) -> Result<GemmResult, ServeError> {
         self.rx.recv().map_err(|_| ServeError::Disconnected)?
+    }
+
+    /// Block at most `timeout` for the response. On timeout the ticket
+    /// is consumed and [`ServeError::WaitTimeout`] is returned; the
+    /// server still completes the request (its response is then counted
+    /// in [`crate::ServeStats::abandoned`]). This is the bounded wait
+    /// the chaos suite uses to turn a would-be hang into a test failure.
+    pub fn wait_for(self, timeout: Duration) -> Result<GemmResult, ServeError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(r) => r,
+            Err(mpsc::RecvTimeoutError::Timeout) => Err(ServeError::WaitTimeout),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(ServeError::Disconnected),
+        }
     }
 
     /// Non-blocking poll; `None` while the request is still in flight.

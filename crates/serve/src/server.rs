@@ -1,4 +1,5 @@
-//! The batched-GEMM server: admission, coalescing, planning, execution.
+//! The batched-GEMM server: admission, coalescing, planning, execution,
+//! and the resilience layer (panic isolation, retry, degradation).
 //!
 //! Thread structure (all plain OS threads, spawned at construction):
 //!
@@ -9,34 +10,55 @@
 //!                 (batching window, ≤ max_batch, groups
 //!                  by (alpha, beta), drops expired)
 //!                               │  GemmBatch jobs
-//!                          batch queue
+//!                          batch queue ◀── per-member retry re-admissions
 //!                       ┌───────┴───────┐
 //!                   worker 0 … worker W-1
 //!            session.plan (shared cache + SimMemo)
 //!            framework.execute (packed execute_plan)
+//!              │ plan error / panic / open breaker
+//!              ▼
+//!            degraded per-kernel baseline (ctb-baselines default)
 //!                               │
 //!                  per-request response channels
 //! ```
 //!
 //! **Backpressure contract:** [`Server::submit`] blocks while the
 //! admission queue is at capacity; once it returns `Ok`, the request
-//! *will* be completed — by a result, a deadline expiry, or a planning
-//! error — even if the server is shut down immediately afterwards.
-//! [`Server::try_submit`] returns [`ServeError::QueueFull`] instead of
-//! blocking.
+//! *will* be completed — by a result (coordinated or degraded), a
+//! deadline expiry, or a typed error — even if the server is shut down
+//! immediately afterwards. [`Server::try_submit`] returns
+//! [`ServeError::QueueFull`] instead of blocking.
+//!
+//! **Failure contract:** workers never die and never drop a ticket. A
+//! panic anywhere in the planning/execution path is caught at the job
+//! boundary ([`std::panic::catch_unwind`]); its batch members are
+//! re-admitted individually with bounded exponential backoff, and when
+//! retries are exhausted (or planning fails, or the circuit breaker is
+//! open) the request executes on the per-kernel default baseline and is
+//! tagged [`GemmResult::degraded`]. Only a panic in that last-resort
+//! path surfaces as [`ServeError::WorkerPanic`]. Undeliverable
+//! responses (requester dropped its ticket) are counted in
+//! [`ServeStats::abandoned`], never silently discarded.
 //!
 //! **Shutdown contract:** [`Server::shutdown`] stops admissions, lets
 //! the batcher drain every queued request into batches, lets the
-//! workers finish every batch, joins all threads and returns the final
-//! [`ServeStats`]. Dropping the server without calling `shutdown` does
-//! the same, discarding the stats.
+//! workers finish every batch (retries that race the shutdown are
+//! resolved inline through the degraded path instead of being
+//! re-queued), joins all threads and returns the final [`ServeStats`].
+//! Dropping the server without calling `shutdown` does the same,
+//! discarding the stats.
 
+use crate::fault::{
+    FaultInjector, FaultSite, INJECTED_DEGRADED_PANIC_MSG, INJECTED_PANIC_MSG,
+};
 use crate::queue::{BoundedQueue, PushError};
 use crate::request::{GemmRequest, GemmResult, RequestTiming, ServeError, Ticket};
+use crate::retry::{Breaker, BreakerPolicy, RetryPolicy};
 use crate::stats::{ServeStats, StatsInner};
-use ctb_core::{Framework, Session};
-use ctb_matrix::GemmBatch;
-use std::sync::atomic::Ordering;
+use ctb_core::{ExecutionPlan, Framework, Session};
+use ctb_matrix::{GemmBatch, MatF32};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -53,6 +75,10 @@ pub struct ServeConfig {
     pub queue_capacity: usize,
     /// Executor threads consuming coalesced batches.
     pub workers: usize,
+    /// Per-request retry/backoff policy for panicked batches.
+    pub retry: RetryPolicy,
+    /// Circuit-breaker policy for the coordinated path.
+    pub breaker: BreakerPolicy,
 }
 
 impl Default for ServeConfig {
@@ -62,6 +88,8 @@ impl Default for ServeConfig {
             batch_window: Duration::from_micros(200),
             queue_capacity: 256,
             workers: 2,
+            retry: RetryPolicy::default(),
+            breaker: BreakerPolicy::default(),
         }
     }
 }
@@ -77,9 +105,11 @@ struct Pending {
 struct Member {
     tx: mpsc::Sender<Result<GemmResult, ServeError>>,
     enqueued: Instant,
+    /// Times this request has been re-admitted after a worker panic.
+    attempts: u32,
 }
 
-/// A coalesced batch ready for a worker.
+/// A coalesced batch (or a single-member retry) ready for a worker.
 struct Job {
     batch: GemmBatch,
     members: Vec<Member>,
@@ -91,6 +121,47 @@ struct Shared {
     admission: BoundedQueue<Pending>,
     jobs: BoundedQueue<Job>,
     stats: StatsInner,
+    breaker: Breaker,
+    /// Remaining server-lifetime retry budget.
+    retry_tokens: AtomicUsize,
+    /// The chaos seam; `None` (the default) costs one discriminant test
+    /// per site.
+    fault: Option<Arc<FaultInjector>>,
+}
+
+impl Shared {
+    fn roll(&self, site: FaultSite) -> bool {
+        match &self.fault {
+            Some(f) => f.roll(site),
+            None => false,
+        }
+    }
+
+    /// Claim one retry token; `false` when the budget is spent.
+    fn take_retry_token(&self) -> bool {
+        let mut cur = self.retry_tokens.load(Ordering::Relaxed);
+        while cur > 0 {
+            match self.retry_tokens.compare_exchange_weak(
+                cur,
+                cur - 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(seen) => cur = seen,
+            }
+        }
+        false
+    }
+
+    /// Send a response, counting it as abandoned when the requester has
+    /// dropped its ticket. Nothing the server computes vanishes
+    /// untracked.
+    fn respond(&self, tx: &mpsc::Sender<Result<GemmResult, ServeError>>, r: Result<GemmResult, ServeError>) {
+        if tx.send(r).is_err() {
+            self.stats.abandoned.fetch_add(1, Ordering::Relaxed);
+        }
+    }
 }
 
 /// A running batched-GEMM server. Cheap to share: wrap it in an `Arc`
@@ -111,15 +182,34 @@ impl Server {
     /// several servers (or a server plus offline callers) share one
     /// plan cache and simulation memo.
     pub fn with_session(session: Arc<Session>, cfg: ServeConfig) -> Self {
+        Server::build(session, cfg, None)
+    }
+
+    /// Spawn a server with a chaos schedule attached. Every
+    /// failure-capable site consults `injector`; keep a clone of the
+    /// `Arc` to reconcile its [`crate::FaultLog`] against the final
+    /// [`ServeStats`].
+    pub fn with_fault_injection(
+        session: Arc<Session>,
+        cfg: ServeConfig,
+        injector: Arc<FaultInjector>,
+    ) -> Self {
+        Server::build(session, cfg, Some(injector))
+    }
+
+    fn build(session: Arc<Session>, cfg: ServeConfig, fault: Option<Arc<FaultInjector>>) -> Self {
         let shared = Arc::new(Shared {
             admission: BoundedQueue::new(cfg.queue_capacity),
-            // The batcher is the only producer and is itself fed from
-            // the bounded admission queue, so the job queue never needs
-            // to push back.
+            // The batcher is the only producer besides retry
+            // re-admissions, and both are themselves fed from bounded
+            // work, so the job queue never needs to push back.
             jobs: BoundedQueue::new(usize::MAX),
-            cfg,
             session,
             stats: StatsInner::default(),
+            breaker: Breaker::new(cfg.breaker.clone()),
+            retry_tokens: AtomicUsize::new(cfg.retry.retry_budget),
+            fault,
+            cfg,
         });
 
         let batcher = {
@@ -142,7 +232,8 @@ impl Server {
     }
 
     /// Submit without blocking; [`ServeError::QueueFull`] when the
-    /// admission queue is at capacity.
+    /// admission queue is at capacity (or a chaos schedule injects
+    /// saturation).
     pub fn try_submit(&self, req: GemmRequest) -> Result<Ticket, ServeError> {
         self.admit(req, false)
     }
@@ -156,12 +247,18 @@ impl Server {
         if let Err(m) = req.validate() {
             return Err(ServeError::Invalid(m));
         }
+        // Injected queue saturation (non-blocking path only — `submit`'s
+        // contract is to block, not to report Full).
+        if !blocking && self.shared.roll(FaultSite::AdmitReject) {
+            self.shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::QueueFull);
+        }
         let (tx, rx) = mpsc::channel();
         let pending = Pending { req, tx, enqueued: Instant::now() };
         let pushed = if blocking {
             self.shared.admission.push(pending)
         } else {
-            self.shared.admission.try_push(pending)
+            self.shared.admission.try_push(pending).map_err(|(kind, _)| kind)
         };
         match pushed {
             Ok(()) => {
@@ -178,15 +275,24 @@ impl Server {
         }
     }
 
-    /// Point-in-time accounting: request/batch counters plus the shared
-    /// session's plan-cache and simulation-memo statistics.
+    /// Point-in-time accounting: request/batch/resilience counters plus
+    /// the shared session's plan-cache and simulation-memo statistics.
     pub fn stats(&self) -> ServeStats {
-        self.shared.stats.snapshot(self.shared.session.stats(), self.shared.session.sim_stats())
+        self.shared.stats.snapshot(
+            self.shared.session.stats(),
+            self.shared.session.sim_stats(),
+            self.shared.breaker.is_open(),
+        )
     }
 
     /// The shared planning session (plan cache + simulation memo).
     pub fn session(&self) -> &Arc<Session> {
         &self.shared.session
+    }
+
+    /// The attached chaos schedule, if any.
+    pub fn fault_injector(&self) -> Option<&Arc<FaultInjector>> {
+        self.shared.fault.as_ref()
     }
 
     /// Requests currently waiting in the admission queue (monitoring
@@ -217,7 +323,8 @@ impl Server {
         }
         debug_assert!(self.shared.admission.is_empty(), "batcher exits only when drained");
         // Only after the batcher has drained the admission queue may the
-        // job queue be closed — workers then drain it and exit.
+        // job queue be closed — workers then drain it and exit. Retries
+        // racing this close resolve inline through the degraded path.
         self.shared.jobs.close();
         for w in self.workers.drain(..) {
             let _ = w.join();
@@ -255,13 +362,17 @@ fn collect_window(shared: &Shared) -> Option<Vec<Pending>> {
 fn batcher_loop(shared: &Shared) {
     while let Some(picked) = collect_window(shared) {
         let now = Instant::now();
-        // Expire requests that out-waited their deadline in the queue.
+        // Expire requests that out-waited their deadline in the queue —
+        // plus any the chaos schedule declares expired (deadline storms
+        // only strike requests that actually carry a deadline).
         let mut live = Vec::with_capacity(picked.len());
         for p in picked {
             match p.req.deadline {
-                Some(d) if now.duration_since(p.enqueued) > d => {
+                Some(d) if now.duration_since(p.enqueued) > d
+                    || shared.roll(FaultSite::Expire) =>
+                {
                     shared.stats.expired.fetch_add(1, Ordering::Relaxed);
-                    let _ = p.tx.send(Err(ServeError::Expired));
+                    shared.respond(&p.tx, Err(ServeError::Expired));
                 }
                 _ => live.push(p),
             }
@@ -298,21 +409,19 @@ fn ship_group(shared: &Shared, alpha: f32, beta: f32, group: Vec<Pending>) {
         a.push(p.req.a);
         b.push(p.req.b);
         c.push(p.req.c);
-        members.push(Member { tx: p.tx, enqueued: p.enqueued });
+        members.push(Member { tx: p.tx, enqueued: p.enqueued, attempts: 0 });
     }
     match GemmBatch::from_parts(a, b, c, alpha, beta) {
         Ok(batch) => {
             // The job queue is effectively unbounded and is only closed
             // after this thread exits (see `shutdown_inner`), so the
-            // push cannot fail. If that ordering were ever broken, the
-            // dropped senders would surface as `Disconnected` tickets —
-            // loud, not silent.
+            // push cannot fail.
             let pushed = shared.jobs.try_push(Job { batch, members });
             debug_assert!(pushed.is_ok(), "job queue closed while the batcher was live");
         }
         Err(m) => {
             for member in members {
-                let _ = member.tx.send(Err(ServeError::PlanFailed(m.clone())));
+                shared.respond(&member.tx, Err(ServeError::PlanFailed(m.clone())));
             }
         }
     }
@@ -324,7 +433,25 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
+/// Human-readable panic payload (for [`ServeError::WorkerPanic`]).
+fn panic_msg(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 fn run_job(shared: &Shared, job: Job) {
+    // Retried jobs pay their bounded exponential backoff first, in the
+    // worker, so the admission path never stalls on a retry.
+    let attempt = job.members.iter().map(|m| m.attempts).max().unwrap_or(0);
+    if attempt > 0 {
+        std::thread::sleep(shared.cfg.retry.backoff_for(attempt));
+    }
+
     let n = job.batch.len();
     let t_plan = Instant::now();
     let queue_us: Vec<f64> = job
@@ -332,26 +459,181 @@ fn run_job(shared: &Shared, job: Job) {
         .iter()
         .map(|m| t_plan.duration_since(m.enqueued).as_secs_f64() * 1e6)
         .collect();
-    let plan = match shared.session.plan(&job.batch.shapes) {
-        Ok(p) => p,
-        Err(m) => {
-            for member in job.members {
-                let _ = member.tx.send(Err(ServeError::PlanFailed(m.clone())));
+
+    // Open breaker: the coordinated path is suspect — go straight to
+    // the baseline, consuming one of the breaker's open slots.
+    if shared.breaker.consume_open() {
+        degrade_job(shared, job, &queue_us, 0.0, n);
+        return;
+    }
+
+    // Injected worker stall (slow-worker chaos).
+    if let Some(f) = &shared.fault {
+        if let Some(delay) = f.roll_slow() {
+            std::thread::sleep(delay);
+        }
+    }
+
+    // Plan — panic-isolated, with injected failures folded in as typed
+    // planning errors. Any failure degrades the batch to the baseline.
+    let planned: Result<Arc<ExecutionPlan>, String> = if shared.roll(FaultSite::PlanFail) {
+        Err("injected planning failure".to_string())
+    } else {
+        match catch_unwind(AssertUnwindSafe(|| shared.session.plan(&job.batch.shapes))) {
+            Ok(r) => r,
+            Err(payload) => {
+                shared.stats.worker_panics.fetch_add(1, Ordering::Relaxed);
+                Err(format!("planner panicked: {}", panic_msg(&*payload)))
             }
+        }
+    };
+    let plan = match planned {
+        Ok(plan) => plan,
+        Err(_m) => {
+            shared.stats.plan_failures.fetch_add(1, Ordering::Relaxed);
+            if shared.breaker.record_failure() {
+                shared.stats.breaker_trips.fetch_add(1, Ordering::Relaxed);
+            }
+            let plan_us = t_plan.elapsed().as_secs_f64() * 1e6;
+            degrade_job(shared, job, &queue_us, plan_us, n);
             return;
         }
     };
     let plan_us = t_plan.elapsed().as_secs_f64() * 1e6;
-    let t_exec = Instant::now();
-    let (results, _report) = shared.session.framework().execute(&job.batch, &plan);
-    let exec_us = t_exec.elapsed().as_secs_f64() * 1e6;
 
-    shared.stats.batches.fetch_add(1, Ordering::Relaxed);
-    for ((member, c), queue_us) in job.members.into_iter().zip(results).zip(queue_us) {
-        let timing = RequestTiming { queue_us, plan_us, exec_us, batch_size: n };
-        shared.stats.record_latency(timing.total_us());
-        shared.stats.completed.fetch_add(1, Ordering::Relaxed);
-        // A requester that dropped its ticket is not an error.
-        let _ = member.tx.send(Ok(GemmResult { c, timing }));
+    // Execute — panic-isolated. A panic converts the batch into
+    // per-member retries instead of killing the worker.
+    let t_exec = Instant::now();
+    let inject_panic = shared.roll(FaultSite::ExecPanic);
+    let executed = catch_unwind(AssertUnwindSafe(|| {
+        if inject_panic {
+            // panic_any keeps the payload a &'static str so harnesses
+            // can filter injected-fault noise out of the panic hook.
+            std::panic::panic_any(INJECTED_PANIC_MSG);
+        }
+        shared.session.framework().execute(&job.batch, &plan)
+    }));
+    match executed {
+        Ok((results, _report)) => {
+            shared.breaker.record_success();
+            let exec_us = t_exec.elapsed().as_secs_f64() * 1e6;
+            shared.stats.batches.fetch_add(1, Ordering::Relaxed);
+            for ((member, c), queue_us) in job.members.into_iter().zip(results).zip(queue_us) {
+                let timing = RequestTiming { queue_us, plan_us, exec_us, batch_size: n };
+                shared.stats.record_latency(timing.total_us());
+                shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+                shared.respond(&member.tx, Ok(GemmResult { c, timing, degraded: false }));
+            }
+        }
+        Err(_payload) => {
+            shared.stats.worker_panics.fetch_add(1, Ordering::Relaxed);
+            if shared.breaker.record_failure() {
+                shared.stats.breaker_trips.fetch_add(1, Ordering::Relaxed);
+            }
+            retry_or_degrade(shared, job, &queue_us, plan_us, n);
+        }
+    }
+}
+
+/// Split a panicked batch into its members and give each one its own
+/// recovery: re-admission (retry budget and per-request cap allowing)
+/// or the degraded baseline. One poisoned request can re-poison at most
+/// itself.
+fn retry_or_degrade(shared: &Shared, job: Job, queue_us: &[f64], plan_us: f64, n: usize) {
+    let Job { batch, members } = job;
+    let (alpha, beta) = (batch.alpha, batch.beta);
+    for (i, mut member) in members.into_iter().enumerate() {
+        member.attempts += 1;
+        let single = member_batch(&batch, i, alpha, beta);
+        if member.attempts <= shared.cfg.retry.max_retries && shared.take_retry_token() {
+            shared.stats.retries.fetch_add(1, Ordering::Relaxed);
+            let retry = Job { batch: single, members: vec![member] };
+            if let Err((_closed, retry)) = shared.jobs.try_push(retry) {
+                // Shutdown already closed the job queue: resolve inline
+                // rather than dropping the ticket.
+                let Job { batch, members } = retry;
+                for (j, m) in members.into_iter().enumerate() {
+                    degrade_member(shared, &batch, j, m, queue_us.get(i).copied().unwrap_or(0.0), plan_us, n);
+                }
+            }
+        } else {
+            degrade_member(
+                shared,
+                &single,
+                0,
+                member,
+                queue_us.get(i).copied().unwrap_or(0.0),
+                plan_us,
+                n,
+            );
+        }
+    }
+}
+
+/// Re-wrap one member of a batch as a single-GEMM batch.
+fn member_batch(batch: &GemmBatch, i: usize, alpha: f32, beta: f32) -> GemmBatch {
+    GemmBatch::from_parts(
+        vec![batch.a[i].clone()],
+        vec![batch.b[i].clone()],
+        vec![batch.c[i].clone()],
+        alpha,
+        beta,
+    )
+    .expect("member buffers were validated at admission")
+}
+
+/// Serve every member of a job through the degraded baseline.
+fn degrade_job(shared: &Shared, job: Job, queue_us: &[f64], plan_us: f64, n: usize) {
+    let Job { batch, members } = job;
+    for (i, member) in members.into_iter().enumerate() {
+        degrade_member(
+            shared,
+            &batch,
+            i,
+            member,
+            queue_us.get(i).copied().unwrap_or(0.0),
+            plan_us,
+            n,
+        );
+    }
+}
+
+/// Last-resort execution of one member on the per-kernel default
+/// baseline (the paper's Fig 8 reference executor). Panic-isolated like
+/// the coordinated path; a panic *here* is terminal and surfaces as the
+/// typed [`ServeError::WorkerPanic`].
+fn degrade_member(
+    shared: &Shared,
+    batch: &GemmBatch,
+    i: usize,
+    member: Member,
+    queue_us: f64,
+    plan_us: f64,
+    n: usize,
+) {
+    let t_exec = Instant::now();
+    let inject_panic = shared.roll(FaultSite::DegradedPanic);
+    let arch = shared.session.framework().arch();
+    let single = member_batch(batch, i, batch.alpha, batch.beta);
+    let out: Result<Vec<MatF32>, _> = catch_unwind(AssertUnwindSafe(|| {
+        if inject_panic {
+            std::panic::panic_any(INJECTED_DEGRADED_PANIC_MSG);
+        }
+        ctb_baselines::default_functional(arch, &single)
+    }));
+    match out {
+        Ok(mut results) => {
+            let c = results.pop().expect("single-GEMM baseline yields one result");
+            let exec_us = t_exec.elapsed().as_secs_f64() * 1e6;
+            let timing = RequestTiming { queue_us, plan_us, exec_us, batch_size: n };
+            shared.stats.record_latency(timing.total_us());
+            shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+            shared.stats.degraded.fetch_add(1, Ordering::Relaxed);
+            shared.respond(&member.tx, Ok(GemmResult { c, timing, degraded: true }));
+        }
+        Err(payload) => {
+            shared.stats.worker_panics.fetch_add(1, Ordering::Relaxed);
+            shared.respond(&member.tx, Err(ServeError::WorkerPanic(panic_msg(&*payload))));
+        }
     }
 }

@@ -9,16 +9,37 @@ use std::sync::Mutex;
 pub struct ServeStats {
     /// Requests accepted into the admission queue.
     pub submitted: usize,
-    /// `try_submit` rejections (queue full) + shutdown rejections.
+    /// `try_submit` rejections (queue full, real or injected) +
+    /// shutdown rejections.
     pub rejected: usize,
     /// Requests completed with [`crate::ServeError::Expired`].
     pub expired: usize,
-    /// Requests completed with a result.
+    /// Requests completed with a result (coordinated or degraded).
     pub completed: usize,
-    /// Coalesced batches executed.
+    /// Coalesced batches executed on the coordinated path.
     pub batches: usize,
     /// `completed / batches` (0 when idle) — the coalescing payoff.
+    /// Degraded completions inflate this slightly; `degraded` says by
+    /// how much.
     pub mean_batch_size: f64,
+    /// Re-admissions of individual members after a worker panic.
+    pub retries: usize,
+    /// Worker panics caught by the isolation boundary (coordinated
+    /// executor, planner, or degraded path — the worker survives all).
+    pub worker_panics: usize,
+    /// Planning failures observed (real or injected); each one routes
+    /// its batch to the degraded baseline.
+    pub plan_failures: usize,
+    /// Requests completed through the degraded per-kernel baseline.
+    pub degraded: usize,
+    /// Responses the server computed but could not deliver because the
+    /// requester had dropped its ticket. Every undeliverable response —
+    /// results, expiries, errors — is counted here, never silently lost.
+    pub abandoned: usize,
+    /// Times the circuit breaker tripped open.
+    pub breaker_trips: usize,
+    /// Whether the breaker was open (serving degraded) at snapshot time.
+    pub breaker_open: bool,
     /// Shared-session plan cache (hits = re-used shape signatures).
     pub plan_cache: CacheStats,
     /// Candidate-simulation memo behind the planner.
@@ -27,6 +48,15 @@ pub struct ServeStats {
     pub p50_us: f64,
     /// 95th-percentile end-to-end request latency, µs.
     pub p95_us: f64,
+}
+
+impl ServeStats {
+    /// Nearest-rank percentile of an ascending-sorted sample: the
+    /// smallest element with at least `q` of the mass at or below it
+    /// (0 for an empty sample, the sole element for a singleton).
+    pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+        percentile(sorted, q)
+    }
 }
 
 /// Internal mutable counters. Latencies are kept raw (one `f64` per
@@ -39,6 +69,12 @@ pub struct StatsInner {
     pub expired: AtomicUsize,
     pub completed: AtomicUsize,
     pub batches: AtomicUsize,
+    pub retries: AtomicUsize,
+    pub worker_panics: AtomicUsize,
+    pub plan_failures: AtomicUsize,
+    pub degraded: AtomicUsize,
+    pub abandoned: AtomicUsize,
+    pub breaker_trips: AtomicUsize,
     latencies_us: Mutex<Vec<f64>>,
 }
 
@@ -47,8 +83,14 @@ impl StatsInner {
         self.latencies_us.lock().unwrap_or_else(|e| e.into_inner()).push(us);
     }
 
-    /// Snapshot the counters together with session cache statistics.
-    pub fn snapshot(&self, plan_cache: CacheStats, sim_memo: CacheStats) -> ServeStats {
+    /// Snapshot the counters together with session cache statistics and
+    /// the breaker's point-in-time state.
+    pub fn snapshot(
+        &self,
+        plan_cache: CacheStats,
+        sim_memo: CacheStats,
+        breaker_open: bool,
+    ) -> ServeStats {
         let completed = self.completed.load(Ordering::Relaxed);
         let batches = self.batches.load(Ordering::Relaxed);
         let mut lat = self.latencies_us.lock().unwrap_or_else(|e| e.into_inner()).clone();
@@ -60,6 +102,13 @@ impl StatsInner {
             completed,
             batches,
             mean_batch_size: if batches == 0 { 0.0 } else { completed as f64 / batches as f64 },
+            retries: self.retries.load(Ordering::Relaxed),
+            worker_panics: self.worker_panics.load(Ordering::Relaxed),
+            plan_failures: self.plan_failures.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
+            abandoned: self.abandoned.load(Ordering::Relaxed),
+            breaker_trips: self.breaker_trips.load(Ordering::Relaxed),
+            breaker_open,
             plan_cache,
             sim_memo,
             p50_us: percentile(&lat, 0.50),
@@ -80,6 +129,7 @@ fn percentile(sorted: &[f64], q: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
 
     #[test]
     fn percentiles_use_nearest_rank() {
@@ -92,15 +142,87 @@ mod tests {
     }
 
     #[test]
+    fn percentile_edge_cases() {
+        // Empty sample: every quantile is the 0 sentinel.
+        for q in [0.0, 0.5, 0.95, 1.0] {
+            assert_eq!(ServeStats::percentile(&[], q), 0.0);
+        }
+        // Single sample: every quantile is that sample.
+        for q in [0.0, 0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(ServeStats::percentile(&[3.25], q), 3.25);
+        }
+        // All-equal samples: every quantile is the common value.
+        let flat = [2.0; 17];
+        for q in [0.0, 0.25, 0.5, 0.95, 1.0] {
+            assert_eq!(ServeStats::percentile(&flat, q), 2.0);
+        }
+        // q = 0 clamps to the first element, not out of range.
+        assert_eq!(ServeStats::percentile(&[1.0, 2.0, 3.0], 0.0), 1.0);
+        // Two samples: the median is the lower of the two under
+        // nearest-rank, p95 the upper.
+        assert_eq!(ServeStats::percentile(&[1.0, 9.0], 0.5), 1.0);
+        assert_eq!(ServeStats::percentile(&[1.0, 9.0], 0.95), 9.0);
+    }
+
+    #[test]
     fn snapshot_computes_mean_batch_size() {
         let inner = StatsInner::default();
         inner.completed.store(12, Ordering::Relaxed);
         inner.batches.store(4, Ordering::Relaxed);
         inner.record_latency(5.0);
         inner.record_latency(15.0);
-        let s = inner.snapshot(CacheStats::default(), CacheStats::default());
+        let s = inner.snapshot(CacheStats::default(), CacheStats::default(), false);
         assert_eq!(s.mean_batch_size, 3.0);
         assert_eq!(s.p50_us, 5.0);
         assert_eq!(s.p95_us, 15.0);
+        assert!(!s.breaker_open);
+    }
+
+    #[test]
+    fn snapshot_carries_resilience_counters() {
+        let inner = StatsInner::default();
+        inner.retries.store(3, Ordering::Relaxed);
+        inner.worker_panics.store(2, Ordering::Relaxed);
+        inner.plan_failures.store(4, Ordering::Relaxed);
+        inner.degraded.store(5, Ordering::Relaxed);
+        inner.abandoned.store(1, Ordering::Relaxed);
+        inner.breaker_trips.store(6, Ordering::Relaxed);
+        let s = inner.snapshot(CacheStats::default(), CacheStats::default(), true);
+        assert_eq!(
+            (s.retries, s.worker_panics, s.plan_failures, s.degraded, s.abandoned, s.breaker_trips),
+            (3, 2, 4, 5, 1, 6)
+        );
+        assert!(s.breaker_open);
+    }
+
+    #[test]
+    fn snapshot_under_concurrent_record_is_consistent() {
+        // Recorders hammer the latency vector while snapshots are taken;
+        // every snapshot must be internally consistent: sorted sample
+        // implies p50 <= p95, and percentiles come from real samples.
+        let inner = Arc::new(StatsInner::default());
+        let recorders: Vec<_> = (0..4)
+            .map(|t| {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || {
+                    for i in 0..500u32 {
+                        inner.record_latency((t * 1000 + i) as f64);
+                        inner.completed.fetch_add(1, Ordering::Relaxed);
+                    }
+                })
+            })
+            .collect();
+        for _ in 0..50 {
+            let s = inner.snapshot(CacheStats::default(), CacheStats::default(), false);
+            assert!(s.p50_us <= s.p95_us, "p50 {} > p95 {}", s.p50_us, s.p95_us);
+            assert!(s.p95_us < 4000.0, "percentile outside any recorded value");
+            assert!(s.completed <= 2000);
+        }
+        for r in recorders {
+            r.join().expect("recorder ok");
+        }
+        let s = inner.snapshot(CacheStats::default(), CacheStats::default(), false);
+        assert_eq!(s.completed, 2000);
+        assert!(s.p50_us <= s.p95_us);
     }
 }

@@ -68,6 +68,7 @@ fn eight_producers_all_get_bitwise_exact_results_under_backpressure() {
             batch_window: Duration::from_micros(500),
             queue_capacity: 4,
             workers: 3,
+            ..ServeConfig::default()
         },
     ));
     let pool = shape_pool();
@@ -128,6 +129,7 @@ fn shutdown_under_load_drains_every_admitted_request() {
             batch_window: Duration::from_micros(200),
             queue_capacity: 8,
             workers: 2,
+            ..ServeConfig::default()
         },
     ));
     let accepted = Arc::new(AtomicUsize::new(0));
@@ -194,6 +196,7 @@ fn identical_concurrent_requests_are_bitwise_identical_to_each_other() {
             batch_window: Duration::from_micros(100),
             queue_capacity: 16,
             workers: 4,
+            ..ServeConfig::default()
         },
     ));
     let shape = GemmShape::new(48, 80, 96);

@@ -25,6 +25,7 @@ fn main() {
             batch_window: Duration::from_micros(300),
             queue_capacity: 64,
             workers: 2,
+            ..ServeConfig::default()
         },
     ));
 

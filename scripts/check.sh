@@ -21,6 +21,12 @@ echo "== concurrency suites (serve stress + planning determinism) =="
 cargo test -q -p ctb-serve --test stress
 cargo test -q --test determinism
 
+echo "== chaos suite (seeded fault injection against ctb-serve) =="
+cargo test -q -p ctb-serve --test chaos
+
+echo "== property suites (bounded-queue invariants) =="
+cargo test -q -p ctb-serve invariant_props
+
 echo "== cargo clippy --all-targets -- -D warnings =="
 cargo clippy --all-targets -- -D warnings
 
