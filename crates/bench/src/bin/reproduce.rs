@@ -6,11 +6,12 @@
 //! ```
 //!
 //! Sub-commands: `tables`, `motivation`, `fig8`, `fig9`, `fig10`,
-//! `fig11`, `googlenet`, `calibrate`, `perf`, `serve`, `chaos`, `all`.
-//! Output is printed in the paper's row/series layout and mirrored as
-//! CSV under `target/experiments/`; `perf`, `serve` and `chaos`
-//! additionally write the tracked `BENCH_executor.json` /
-//! `BENCH_serve.json` / `BENCH_chaos.json` at the repository root.
+//! `fig11`, `googlenet`, `calibrate`, `perf`, `serve`, `chaos`,
+//! `cluster`, `all`. Output is printed in the paper's row/series layout
+//! and mirrored as CSV under `target/experiments/`; `perf`, `serve`,
+//! `chaos` and `cluster` additionally write the tracked
+//! `BENCH_executor.json` / `BENCH_serve.json` / `BENCH_chaos.json` /
+//! `BENCH_cluster.json` at the repository root.
 
 use ctb_bench::figures::{fig11_portability, fig8_grid, fig9_grid, mean_speedup, CellResult};
 use ctb_bench::{ablations, calibrate, fans, googlenet_exp, motivation, tables, write_csv};
@@ -37,6 +38,7 @@ fn main() {
         "perf" => run_perf(&arch),
         "serve" => run_serve(&arch),
         "chaos" => run_chaos(&arch),
+        "cluster" => run_cluster(),
         "all" => {
             run_tables();
             run_motivation(&arch);
@@ -54,7 +56,7 @@ fn main() {
             eprintln!(
                 "unknown experiment '{other}'; expected one of: tables, motivation, \
                  fig8, fig9, fig10, googlenet, fig11, calibrate, ablate, fans, splitk, \
-                 perf, serve, chaos, plan <MxNxK,...>, custom <csv-file>, all"
+                 perf, serve, chaos, cluster, plan <MxNxK,...>, custom <csv-file>, all"
             );
             std::process::exit(2);
         }
@@ -119,6 +121,30 @@ fn run_chaos(arch: &ArchSpec) {
             p.throughput_rps
         );
     }
+    println!("(json: {})\n", path.display());
+}
+
+fn run_cluster() {
+    use ctb_bench::cluster_bench;
+    println!("== cluster harness: 1/2/4-device scaling + kill-one-device run ==");
+    let (r, path) = cluster_bench::run_and_write();
+    for p in &r.scaling {
+        println!(
+            "   {} device(s) [{}]: makespan {:>9.1} sim us | {:>8.1} GFLOPS | \
+             {:.2}x vs best single | placement err {:.3} us",
+            p.devices,
+            p.device_names.join(", "),
+            p.makespan_sim_us,
+            p.throughput_gflops,
+            p.speedup_vs_single,
+            p.mean_abs_placement_err_us
+        );
+    }
+    let k = &r.kill_run;
+    println!(
+        "   kill run: {}/{} completed | {} kill | {} re-routed | {} degraded | bitwise exact: {}",
+        k.completed, k.batches, k.kills, k.reroutes, k.degraded, k.bitwise_exact
+    );
     println!("(json: {})\n", path.display());
 }
 

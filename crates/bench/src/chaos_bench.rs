@@ -205,14 +205,13 @@ pub fn render_json(arch: &ArchSpec, points: &[ChaosPoint]) -> String {
 
 /// Path of the tracked report: `BENCH_chaos.json` at the repo root.
 pub fn report_path() -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..").join("BENCH_chaos.json")
+    crate::bench_json_path("chaos")
 }
 
 /// Run the standard tracked sweep and write the report.
 pub fn run_and_write(arch: &ArchSpec) -> (Vec<ChaosPoint>, PathBuf) {
     let points = run_chaos_sweep(arch, 4, 50);
-    let path = report_path();
-    std::fs::write(&path, render_json(arch, &points)).expect("write BENCH_chaos.json");
+    let path = crate::write_bench_json("chaos", &render_json(arch, &points));
     (points, path)
 }
 

@@ -1,0 +1,323 @@
+//! `reproduce cluster` — the tracked multi-device scaling harness.
+//!
+//! Two experiments over `ctb-cluster`:
+//!
+//! 1. **Scaling sweep** — the same mixed-shape workload through 1-, 2-
+//!    and 4-device heterogeneous pools ([`ArchSpec::pool_presets`]).
+//!    The figure of merit is throughput over *simulated* makespan
+//!    (max per-device accumulated simulated time): on the single-core
+//!    host every device executes serially, so wall time cannot show
+//!    pool parallelism, but the analytical model — the same one that
+//!    routes the batches — can. Stealing is disabled for the sweep so
+//!    the figure isolates cost-model placement; on a 1-core host
+//!    wall-clock idleness would otherwise migrate simulated work to
+//!    whichever device the OS scheduler happened to starve.
+//! 2. **Kill-one-device run** — a burst into the 2-device pool, the
+//!    fastest device killed mid-load. Zero drops and bitwise-exact
+//!    results (checked against [`GemmBatch::reference_result_exact`])
+//!    are the acceptance bar, re-route counts are the evidence.
+//!
+//! Results land in `BENCH_cluster.json` at the repository root.
+
+use ctb_cluster::{Cluster, ClusterConfig, StealPolicy};
+use ctb_gpu_specs::ArchSpec;
+use ctb_matrix::{bitwise_mismatch, GemmBatch, GemmShape};
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Far beyond any run's real latency: hitting it means a hang.
+const HANG_BOUND: Duration = Duration::from_secs(120);
+
+/// One pool size in the scaling sweep.
+#[derive(Debug, Clone)]
+pub struct ClusterScalePoint {
+    /// Devices in the pool.
+    pub devices: usize,
+    /// Architecture names, pool order.
+    pub device_names: Vec<&'static str>,
+    /// Batches driven through the pool.
+    pub batches: usize,
+    /// Simulated makespan (max per-device busy time), µs.
+    pub makespan_sim_us: f64,
+    /// Total simulated work across devices, µs.
+    pub total_sim_us: f64,
+    /// Workload FLOPs over simulated makespan, GFLOPS.
+    pub throughput_gflops: f64,
+    /// This pool's throughput over the 1-device pool's (1.0 for n=1).
+    pub speedup_vs_single: f64,
+    /// Mean |predicted − simulated| µs per batch (0 = the placer's
+    /// predictions were exactly what execution observed).
+    pub mean_abs_placement_err_us: f64,
+    /// Per-device utilization (`busy / makespan`), pool order.
+    pub utilization: Vec<f64>,
+}
+
+/// Outcome of the kill-one-device resilience run.
+#[derive(Debug, Clone)]
+pub struct KillRunReport {
+    /// Batches submitted (and — zero drops — completed).
+    pub batches: usize,
+    pub completed: usize,
+    pub kills: usize,
+    /// Batches moved off the dead device.
+    pub reroutes: usize,
+    /// Batches that fell back to the degraded baseline.
+    pub degraded: usize,
+    /// Every result matched its exact oracle bit for bit.
+    pub bitwise_exact: bool,
+}
+
+/// The full tracked report.
+#[derive(Debug, Clone)]
+pub struct ClusterBenchReport {
+    pub scaling: Vec<ClusterScalePoint>,
+    pub kill_run: KillRunReport,
+}
+
+/// Mixed-shape workload for the sweep. Shapes are sized so no single
+/// batch fills the largest device (a handful of blocks each): pool
+/// speedup then tracks per-device *clock* differences rather than SM
+/// counts, which is the regime where adding mid-range devices next to a
+/// V100 actually pays.
+fn workload(batches: usize) -> Vec<GemmBatch> {
+    let mix: [&[GemmShape]; 4] = [
+        &[GemmShape::new(48, 48, 256); 3],
+        &[GemmShape::new(32, 64, 128); 4],
+        &[GemmShape::new(64, 64, 320); 2],
+        &[GemmShape::new(24, 24, 96); 6],
+    ];
+    (0..batches)
+        .map(|i| GemmBatch::random(mix[i % mix.len()], 1.0, 0.5, i as u64))
+        .collect()
+}
+
+fn workload_flops(batches: &[GemmBatch]) -> f64 {
+    batches
+        .iter()
+        .flat_map(|b| b.shapes.iter())
+        .map(|s| s.flops() as f64)
+        .sum()
+}
+
+fn sweep_config(queue_capacity: usize) -> ClusterConfig {
+    ClusterConfig {
+        queue_capacity,
+        steal: StealPolicy { enabled: false, ..StealPolicy::default() },
+        ..ClusterConfig::default()
+    }
+}
+
+/// Drive `batches` through an `n`-device pool and report the simulated
+/// scaling numbers. Every result is verified bitwise against the exact
+/// oracle.
+pub fn run_scale_point(n: usize, batches: &[GemmBatch]) -> ClusterScalePoint {
+    let pool = ArchSpec::pool_presets(n);
+    let device_names: Vec<&'static str> = pool.iter().map(|a| a.name).collect();
+    let cluster = Cluster::new(pool, sweep_config(batches.len().max(1)));
+    let oracles: Vec<_> = batches.iter().map(GemmBatch::reference_result_exact).collect();
+    let tickets: Vec<_> = batches
+        .iter()
+        .map(|b| cluster.submit(b.clone()).expect("sweep submit admitted"))
+        .collect();
+    for (t, oracle) in tickets.into_iter().zip(&oracles) {
+        let out = t.wait_for(HANG_BOUND).expect("sweep batch completed");
+        assert!(
+            bitwise_mismatch(oracle, &out.results).is_none(),
+            "scaling-sweep result diverged from the exact oracle"
+        );
+    }
+    let stats = cluster.shutdown();
+    assert_eq!(stats.completed, batches.len(), "sweep drops nothing");
+    ClusterScalePoint {
+        devices: n,
+        device_names,
+        batches: batches.len(),
+        makespan_sim_us: stats.makespan_sim_us,
+        total_sim_us: stats.total_sim_us,
+        throughput_gflops: stats.sim_throughput_gflops(workload_flops(batches)),
+        speedup_vs_single: 1.0,
+        mean_abs_placement_err_us: stats.mean_abs_placement_err_us,
+        utilization: stats.devices.iter().map(|d| d.utilization).collect(),
+    }
+}
+
+/// The 1 / 2 / 4 device scaling sweep on one workload, with speedups
+/// normalized to the 1-device pool (the best single device — pool
+/// order is fastest-first).
+pub fn run_scaling_sweep(batches: usize) -> Vec<ClusterScalePoint> {
+    let work = workload(batches);
+    let mut points: Vec<ClusterScalePoint> =
+        [1usize, 2, 4].iter().map(|&n| run_scale_point(n, &work)).collect();
+    let single = points[0].throughput_gflops;
+    for p in &mut points {
+        p.speedup_vs_single = p.throughput_gflops / single;
+    }
+    points
+}
+
+/// Burst into the 2-device pool, kill the fastest device while loaded,
+/// and verify the zero-drop / bitwise-exact contract.
+pub fn run_kill_run(batches: usize) -> KillRunReport {
+    let work = workload(batches);
+    let oracles: Vec<_> = work.iter().map(GemmBatch::reference_result_exact).collect();
+    let cluster = Cluster::new(ArchSpec::pool_presets(2), sweep_config(batches.max(1)));
+    let tickets: Vec<_> = work
+        .into_iter()
+        .map(|b| cluster.submit(b).expect("kill-run submit admitted"))
+        .collect();
+    cluster.kill_device(0);
+    let mut bitwise_exact = true;
+    let mut completed = 0usize;
+    for (t, oracle) in tickets.into_iter().zip(&oracles) {
+        let out = t.wait_for(HANG_BOUND).expect("zero drops across the kill");
+        completed += 1;
+        bitwise_exact &= bitwise_mismatch(oracle, &out.results).is_none();
+    }
+    let stats = cluster.shutdown();
+    KillRunReport {
+        batches,
+        completed,
+        kills: stats.kills,
+        reroutes: stats.reroutes,
+        degraded: stats.degraded,
+        bitwise_exact,
+    }
+}
+
+/// Serialize the report as the tracked JSON schema.
+pub fn render_json(r: &ClusterBenchReport) -> String {
+    let scaling_rows: Vec<String> = r
+        .scaling
+        .iter()
+        .map(|p| {
+            let names: Vec<String> =
+                p.device_names.iter().map(|n| format!("\"{n}\"")).collect();
+            let utils: Vec<String> =
+                p.utilization.iter().map(|u| format!("{u:.3}")).collect();
+            format!(
+                "    {{\n      \"devices\": {},\n      \"device_names\": [{}],\n      \
+                 \"batches\": {},\n      \"makespan_sim_us\": {:.3},\n      \
+                 \"total_sim_us\": {:.3},\n      \"throughput_gflops\": {:.3},\n      \
+                 \"speedup_vs_single\": {:.3},\n      \
+                 \"mean_abs_placement_err_us\": {:.6},\n      \
+                 \"utilization\": [{}]\n    }}",
+                p.devices,
+                names.join(", "),
+                p.batches,
+                p.makespan_sim_us,
+                p.total_sim_us,
+                p.throughput_gflops,
+                p.speedup_vs_single,
+                p.mean_abs_placement_err_us,
+                utils.join(", ")
+            )
+        })
+        .collect();
+    let k = &r.kill_run;
+    format!(
+        "{{\n  \"bench\": \"cluster\",\n  \"scaling\": [\n{}\n  ],\n  \"kill_run\": {{\n    \
+         \"batches\": {},\n    \"completed\": {},\n    \"kills\": {},\n    \
+         \"reroutes\": {},\n    \"degraded\": {},\n    \"bitwise_exact\": {}\n  }}\n}}\n",
+        scaling_rows.join(",\n"),
+        k.batches,
+        k.completed,
+        k.kills,
+        k.reroutes,
+        k.degraded,
+        k.bitwise_exact
+    )
+}
+
+/// Path of the tracked report: `BENCH_cluster.json` at the repo root.
+pub fn report_path() -> PathBuf {
+    crate::bench_json_path("cluster")
+}
+
+/// Run the standard tracked configuration (40-batch sweep, 24-batch
+/// kill run) and write the report; returns it and the path written.
+pub fn run_and_write() -> (ClusterBenchReport, PathBuf) {
+    let report = ClusterBenchReport {
+        scaling: run_scaling_sweep(40),
+        kill_run: run_kill_run(24),
+    };
+    let path = crate::write_bench_json("cluster", &render_json(&report));
+    (report, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_sweep_scales_and_stays_exact() {
+        let work = workload(6);
+        let single = run_scale_point(1, &work);
+        let pair = run_scale_point(2, &work);
+        assert_eq!(single.devices, 1);
+        assert_eq!(pair.devices, 2);
+        assert!(single.makespan_sim_us > 0.0);
+        // Two devices must not be slower than one in simulated makespan.
+        assert!(pair.makespan_sim_us <= single.makespan_sim_us + 1e-9);
+        assert!(pair.throughput_gflops >= single.throughput_gflops - 1e-9);
+        // Sweep predictions reconcile exactly with execution.
+        assert_eq!(single.mean_abs_placement_err_us, 0.0);
+        assert_eq!(pair.mean_abs_placement_err_us, 0.0);
+    }
+
+    #[test]
+    fn small_kill_run_drops_nothing() {
+        let r = run_kill_run(6);
+        assert_eq!(r.completed, 6);
+        assert_eq!(r.kills, 1);
+        assert!(r.bitwise_exact);
+    }
+
+    #[test]
+    fn json_schema_has_stable_keys() {
+        let r = ClusterBenchReport {
+            scaling: vec![ClusterScalePoint {
+                devices: 2,
+                device_names: vec!["Tesla V100", "Titan Xp"],
+                batches: 40,
+                makespan_sim_us: 100.0,
+                total_sim_us: 180.0,
+                throughput_gflops: 42.0,
+                speedup_vs_single: 1.8,
+                mean_abs_placement_err_us: 0.0,
+                utilization: vec![1.0, 0.8],
+            }],
+            kill_run: KillRunReport {
+                batches: 24,
+                completed: 24,
+                kills: 1,
+                reroutes: 9,
+                degraded: 0,
+                bitwise_exact: true,
+            },
+        };
+        let json = render_json(&r);
+        for key in [
+            "\"bench\"",
+            "\"scaling\"",
+            "\"devices\"",
+            "\"device_names\"",
+            "\"makespan_sim_us\"",
+            "\"throughput_gflops\"",
+            "\"speedup_vs_single\"",
+            "\"mean_abs_placement_err_us\"",
+            "\"utilization\"",
+            "\"kill_run\"",
+            "\"reroutes\"",
+            "\"bitwise_exact\"",
+        ] {
+            assert!(json.contains(key), "missing key {key} in {json}");
+        }
+    }
+
+    #[test]
+    fn report_path_is_the_repo_root() {
+        let p = report_path();
+        assert!(p.ends_with("BENCH_cluster.json"));
+        assert!(p.parent().unwrap().join("Cargo.toml").exists());
+    }
+}

@@ -8,6 +8,7 @@
 pub mod ablations;
 pub mod calibrate;
 pub mod chaos_bench;
+pub mod cluster_bench;
 pub mod fans;
 pub mod figures;
 pub mod googlenet_exp;
@@ -31,6 +32,23 @@ pub fn experiments_dir() -> PathBuf {
     dir
 }
 
+/// Absolute path of the tracked `BENCH_<name>.json` report at the repo
+/// root, independent of the working directory the binary runs from.
+pub fn bench_json_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(format!("BENCH_{name}.json"))
+}
+
+/// Write a tracked benchmark report to `BENCH_<name>.json` at the repo
+/// root (the single writer every harness shares); returns the path.
+pub fn write_bench_json(name: &str, json: &str) -> PathBuf {
+    let path = bench_json_path(name);
+    std::fs::write(&path, json)
+        .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    path
+}
+
 /// Write `rows` (with a header) to `target/experiments/<name>.csv`.
 pub fn write_csv(name: &str, header: &str, rows: &[String]) -> PathBuf {
     let path = experiments_dir().join(format!("{name}.csv"));
@@ -52,6 +70,13 @@ pub fn geomean(xs: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn bench_json_path_lands_at_the_repo_root() {
+        let p = bench_json_path("executor");
+        assert!(p.ends_with("BENCH_executor.json"));
+        assert!(p.parent().unwrap().join("Cargo.toml").exists());
+    }
 
     #[test]
     fn geomean_basics() {

@@ -145,15 +145,14 @@ pub fn render_json(arch: &ArchSpec, entries: &[PerfEntry]) -> String {
 /// Path of the tracked report: `BENCH_executor.json` at the repo root,
 /// independent of the working directory the binary runs from.
 pub fn report_path() -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..").join("BENCH_executor.json")
+    crate::bench_json_path("executor")
 }
 
 /// Run the suite and write the tracked report; returns the entries and
 /// the path written.
 pub fn run_and_write(arch: &ArchSpec) -> (Vec<PerfEntry>, PathBuf) {
     let entries = run_perf(arch);
-    let path = report_path();
-    std::fs::write(&path, render_json(arch, &entries)).expect("write BENCH_executor.json");
+    let path = crate::write_bench_json("executor", &render_json(arch, &entries));
     (entries, path)
 }
 

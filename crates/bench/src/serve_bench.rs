@@ -153,15 +153,14 @@ pub fn render_json(arch: &ArchSpec, r: &ServeBenchReport) -> String {
 /// Path of the tracked report: `BENCH_serve.json` at the repo root,
 /// independent of the working directory the binary runs from.
 pub fn report_path() -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..").join("BENCH_serve.json")
+    crate::bench_json_path("serve")
 }
 
 /// Run the standard tracked configuration (4 producers, closed loop)
 /// and write the report; returns it and the path written.
 pub fn run_and_write(arch: &ArchSpec) -> (ServeBenchReport, PathBuf) {
     let report = run_serve_bench(arch, 4, 50);
-    let path = report_path();
-    std::fs::write(&path, render_json(arch, &report)).expect("write BENCH_serve.json");
+    let path = crate::write_bench_json("serve", &render_json(arch, &report));
     (report, path)
 }
 

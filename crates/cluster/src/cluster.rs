@@ -1,0 +1,964 @@
+//! The multi-device cluster: admission, sim-cost placement, per-device
+//! execution, work stealing, and device-level fault handling.
+//!
+//! Thread structure (all plain OS threads, spawned at construction):
+//!
+//! ```text
+//!  producers ──submit(batch)──▶ sim-cost placer (argmin over devices of
+//!                               backlog + predicted_us, both from the
+//!                               per-arch analytical simulator)
+//!                                   │ ClusterJob
+//!              ┌────────────────────┼─────────────────────┐
+//!         device 0 queue       device 1 queue        device D-1 queue
+//!         (bounded)            (bounded)             (bounded)
+//!              │                    │                      │
+//!         workers 0..W         workers 0..W           workers 0..W
+//!         session.plan ──▶ framework.execute (functional, bitwise-exact)
+//!              ▲                    │
+//!              └── work stealing: an idle device pulls the front batch
+//!                  of the most-backlogged peer when the model says it
+//!                  finishes sooner there than it would start here
+//! ```
+//!
+//! **Placement contract:** every admitted batch is predicted on every
+//! live device through the shared [`ctb_core::PlanShare`] simulation
+//! memo (predictions are cached; after the first sighting of a shape
+//! signature a placement costs hash lookups, not simulator runs) and
+//! queued on the device with the earliest predicted completion.
+//!
+//! **Failure contract:** device workers never die and never drop a
+//! ticket. A planning failure or executor panic on one device re-routes
+//! the batch to a surviving device (bounded by
+//! [`ClusterConfig::max_reroutes`]); consecutive failures trip the
+//! device's circuit breaker, which drains its queue onto survivors and
+//! sidelines it from placement until its open window is consumed.
+//! When no device can take a batch, it executes inline on the per-kernel
+//! default baseline and is tagged degraded. Results are bitwise-exact on
+//! every path — coordinated on any architecture, stolen, re-routed, or
+//! degraded — because every executor replays the identical ascending-k
+//! accumulation per GEMM.
+//!
+//! **Shutdown contract:** [`Cluster::shutdown`] stops admissions, lets
+//! every device drain its queue, joins all workers and returns the final
+//! [`ClusterStats`]. Re-routes racing a shutdown resolve inline through
+//! the degraded path instead of being dropped.
+
+use crate::placer::{self, Candidate};
+use crate::stats::{AtomicF64, ClusterInner, ClusterStats, DeviceStats};
+use ctb_core::{CacheStats, Framework, PlanShare, Session};
+use ctb_gpu_specs::ArchSpec;
+use ctb_matrix::{GemmBatch, GemmShape, MatF32};
+use ctb_serve::{
+    panic_message, BoundedQueue, Breaker, BreakerPolicy, FaultInjector, FaultSite, PushError,
+    INJECTED_DEGRADED_PANIC_MSG, INJECTED_PANIC_MSG,
+};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Work-stealing policy.
+#[derive(Debug, Clone)]
+pub struct StealPolicy {
+    /// Master switch; disabled, idle devices simply block on their own
+    /// queue.
+    pub enabled: bool,
+    /// Minimum predicted backlog (µs of simulated work) a victim must
+    /// carry before a thief will consider it — below this, moving a
+    /// batch cannot shorten the makespan enough to bother.
+    pub min_victim_backlog_us: f64,
+    /// How long an idle worker waits on its own queue before looking
+    /// for a victim.
+    pub poll: Duration,
+}
+
+impl Default for StealPolicy {
+    fn default() -> Self {
+        StealPolicy {
+            enabled: true,
+            min_victim_backlog_us: 50.0,
+            poll: Duration::from_millis(1),
+        }
+    }
+}
+
+/// Cluster tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Executor threads per device.
+    pub workers_per_device: usize,
+    /// Per-device queue bound; the placer spills to the next-best
+    /// device when the best one is full, and `submit` applies
+    /// backpressure when every queue is.
+    pub queue_capacity: usize,
+    /// Work-stealing policy.
+    pub steal: StealPolicy,
+    /// Per-device circuit-breaker policy (same semantics as the
+    /// single-device server's).
+    pub breaker: BreakerPolicy,
+    /// Times one batch may be moved between devices (re-routes after
+    /// failures, breaker drains, kills) before it falls back to the
+    /// inline degraded baseline.
+    pub max_reroutes: u32,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            workers_per_device: 1,
+            queue_capacity: 64,
+            steal: StealPolicy::default(),
+            breaker: BreakerPolicy::default(),
+            max_reroutes: 3,
+        }
+    }
+}
+
+/// Why a batch did not produce a result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// Batch failed validation at submit time.
+    Invalid(String),
+    /// The cluster no longer accepts batches.
+    ShuttingDown,
+    /// No device could plan the batch (typed planner error surface).
+    PlanFailed(String),
+    /// A worker panicked and every recovery path (re-route, degraded
+    /// baseline) also failed. The panic was isolated; the worker
+    /// survived.
+    WorkerPanic(String),
+    /// [`BatchTicket::wait_for`] gave up before the cluster completed
+    /// the batch. The batch is still in flight.
+    WaitTimeout,
+    /// The cluster dropped the response channel without completing the
+    /// batch — must not happen while the drain contract holds.
+    Disconnected,
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::Invalid(m) => write!(f, "invalid batch: {m}"),
+            ClusterError::ShuttingDown => write!(f, "cluster shutting down"),
+            ClusterError::PlanFailed(m) => write!(f, "no device could plan: {m}"),
+            ClusterError::WorkerPanic(m) => write!(f, "worker panicked: {m}"),
+            ClusterError::WaitTimeout => write!(f, "gave up waiting for the response"),
+            ClusterError::Disconnected => write!(f, "cluster dropped the batch"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// A completed batch: the computed `C` matrices plus routing provenance.
+#[derive(Debug, Clone)]
+pub struct ClusterResult {
+    /// One output per GEMM in the batch, in submission order. Bitwise
+    /// identical regardless of which device (or the degraded baseline)
+    /// produced them.
+    pub results: Vec<MatF32>,
+    /// Device that executed the batch (for the degraded path: the
+    /// device whose architecture parametrised the baseline).
+    pub device: usize,
+    /// The placer's predicted simulated time on the executing device,
+    /// µs (re-predicted on steal/re-route).
+    pub predicted_us: f64,
+    /// Simulated execution time reported by the device, µs (0 on the
+    /// degraded path, which bypasses the coordinated simulator).
+    pub simulated_us: f64,
+    /// End-to-end wall latency from submission, µs.
+    pub wall_us: f64,
+    /// `true` when the per-kernel default baseline produced the result.
+    pub degraded: bool,
+    /// `true` when a work-steal moved the batch off its placed device.
+    pub stolen: bool,
+    /// Times the batch was re-routed after device failures/kills.
+    pub reroutes: u32,
+}
+
+/// Handle to one in-flight batch.
+#[derive(Debug)]
+pub struct BatchTicket {
+    rx: mpsc::Receiver<Result<ClusterResult, ClusterError>>,
+}
+
+impl BatchTicket {
+    /// Block until the cluster completes the batch.
+    pub fn wait(self) -> Result<ClusterResult, ClusterError> {
+        self.rx.recv().map_err(|_| ClusterError::Disconnected)?
+    }
+
+    /// Block at most `timeout`; [`ClusterError::WaitTimeout`] after.
+    pub fn wait_for(self, timeout: Duration) -> Result<ClusterResult, ClusterError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(r) => r,
+            Err(mpsc::RecvTimeoutError::Timeout) => Err(ClusterError::WaitTimeout),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(ClusterError::Disconnected),
+        }
+    }
+
+    /// Non-blocking poll; `None` while the batch is in flight.
+    pub fn poll(&self) -> Option<Result<ClusterResult, ClusterError>> {
+        match self.rx.try_recv() {
+            Ok(r) => Some(r),
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => Some(Err(ClusterError::Disconnected)),
+        }
+    }
+}
+
+/// One batch in flight inside the cluster.
+struct ClusterJob {
+    batch: GemmBatch,
+    tx: mpsc::Sender<Result<ClusterResult, ClusterError>>,
+    /// Predicted simulated µs on the device currently holding the job.
+    predicted_us: f64,
+    submitted: Instant,
+    /// Times the job has been moved between devices.
+    attempts: u32,
+    stolen: bool,
+}
+
+/// One simulated GPU: its own architecture, planning session (cache
+/// shared pool-wide through [`PlanShare`]), bounded queue, breaker and
+/// optional chaos schedule.
+struct Device {
+    id: usize,
+    session: Arc<Session>,
+    queue: BoundedQueue<ClusterJob>,
+    /// Predicted µs of work queued or running here (advisory).
+    backlog_us: AtomicF64,
+    /// Accumulated simulated execution µs (the makespan ingredient).
+    busy_sim_us: AtomicF64,
+    alive: AtomicBool,
+    breaker: Breaker,
+    fault: Option<Arc<FaultInjector>>,
+    placements: AtomicUsize,
+    completed: AtomicUsize,
+    steals: AtomicUsize,
+    reroutes_out: AtomicUsize,
+    breaker_trips: AtomicUsize,
+}
+
+impl Device {
+    fn arch(&self) -> &ArchSpec {
+        self.session.framework().arch()
+    }
+
+    fn roll(&self, site: FaultSite) -> bool {
+        match &self.fault {
+            Some(f) => f.roll(site),
+            None => false,
+        }
+    }
+
+    fn snapshot(&self) -> DeviceStats {
+        DeviceStats {
+            id: self.id,
+            name: self.arch().name,
+            placements: self.placements.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
+            reroutes_out: self.reroutes_out.load(Ordering::Relaxed),
+            breaker_trips: self.breaker_trips.load(Ordering::Relaxed),
+            busy_sim_us: self.busy_sim_us.load(),
+            backlog_us: self.backlog_us.load().max(0.0),
+            queue_depth: self.queue.len(),
+            utilization: 0.0, // filled in by the cluster snapshot
+            alive: self.alive.load(Ordering::Relaxed),
+            breaker_open: self.breaker.is_open(),
+        }
+    }
+}
+
+struct Shared {
+    cfg: ClusterConfig,
+    devices: Vec<Device>,
+    share: Arc<PlanShare>,
+    closed: AtomicBool,
+    stats: ClusterInner,
+}
+
+/// Why a placement attempt found no home for a job. Boxed at the
+/// `try_place` boundary so the common `Ok` path does not pay for the
+/// failure payload (the job rides along to be re-routed or degraded).
+struct PlaceFail {
+    job: ClusterJob,
+    /// Some queue was full (backpressure: worth retrying).
+    any_full: bool,
+    /// Every live device failed to *plan* the shapes (typed error).
+    plan_err: Option<String>,
+}
+
+/// A running multi-device cluster. Cheap to share: wrap it in an `Arc`
+/// and hand clones to every producer thread.
+pub struct Cluster {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Cluster {
+    /// Spawn a cluster over `pool` (one simulated device per spec; see
+    /// [`ArchSpec::pool_presets`] for the canonical heterogeneous pool).
+    pub fn new(pool: Vec<ArchSpec>, cfg: ClusterConfig) -> Self {
+        let n = pool.len();
+        Cluster::with_faults(pool, cfg, vec![None; n])
+    }
+
+    /// Spawn a cluster with a chaos schedule per device (`None` entries
+    /// run fault-free). `faults` must match `pool` in length.
+    pub fn with_faults(
+        pool: Vec<ArchSpec>,
+        cfg: ClusterConfig,
+        faults: Vec<Option<Arc<FaultInjector>>>,
+    ) -> Self {
+        assert!(!pool.is_empty(), "a cluster needs at least one device");
+        assert_eq!(pool.len(), faults.len(), "one fault schedule slot per device");
+        let share = Arc::new(PlanShare::new());
+        let devices: Vec<Device> = pool
+            .into_iter()
+            .zip(faults)
+            .enumerate()
+            .map(|(id, (arch, fault))| Device {
+                id,
+                session: Arc::new(Session::with_share(Framework::new(arch), Arc::clone(&share))),
+                queue: BoundedQueue::new(cfg.queue_capacity),
+                backlog_us: AtomicF64::default(),
+                busy_sim_us: AtomicF64::default(),
+                alive: AtomicBool::new(true),
+                breaker: Breaker::new(cfg.breaker.clone()),
+                fault,
+                placements: AtomicUsize::new(0),
+                completed: AtomicUsize::new(0),
+                steals: AtomicUsize::new(0),
+                reroutes_out: AtomicUsize::new(0),
+                breaker_trips: AtomicUsize::new(0),
+            })
+            .collect();
+        let shared = Arc::new(Shared {
+            devices,
+            share,
+            closed: AtomicBool::new(false),
+            stats: ClusterInner::default(),
+            cfg,
+        });
+        let mut workers = Vec::new();
+        for dev_idx in 0..shared.devices.len() {
+            for _ in 0..shared.cfg.workers_per_device.max(1) {
+                let shared = Arc::clone(&shared);
+                workers.push(std::thread::spawn(move || worker_loop(&shared, dev_idx)));
+            }
+        }
+        Cluster { shared, workers }
+    }
+
+    /// Number of devices in the pool (dead ones included).
+    pub fn devices(&self) -> usize {
+        self.shared.devices.len()
+    }
+
+    /// Architecture name of device `id`.
+    pub fn device_name(&self, id: usize) -> &'static str {
+        self.shared.devices[id].arch().name
+    }
+
+    /// Batches waiting in device `id`'s queue (racy monitoring hook).
+    pub fn queue_depth(&self, id: usize) -> usize {
+        self.shared.devices[id].queue.len()
+    }
+
+    /// Whether device `id` is still accepting placements.
+    pub fn is_alive(&self, id: usize) -> bool {
+        self.shared.devices[id].alive.load(Ordering::Relaxed)
+    }
+
+    /// The cost model's prediction for `shapes` on device `id`:
+    /// simulated µs of the coordinated plan, memoized pool-wide. This is
+    /// exactly the quantity the placer compares across devices.
+    pub fn predicted_us(&self, id: usize, shapes: &[GemmShape]) -> Result<f64, String> {
+        predict_us(&self.shared.devices[id], shapes)
+    }
+
+    /// Submit a coordinated batch. Blocks only while *every* device
+    /// queue is full (backpressure); once it returns `Ok`, the batch
+    /// will be completed — by a result (coordinated or degraded) or a
+    /// typed error — even if the cluster is shut down immediately after.
+    pub fn submit(&self, batch: GemmBatch) -> Result<BatchTicket, ClusterError> {
+        if let Err(m) = batch.validate() {
+            return Err(ClusterError::Invalid(m));
+        }
+        let (tx, rx) = mpsc::channel();
+        let mut job = ClusterJob {
+            batch,
+            tx,
+            predicted_us: 0.0,
+            submitted: Instant::now(),
+            attempts: 0,
+            stolen: false,
+        };
+        loop {
+            if self.shared.closed.load(Ordering::Relaxed) {
+                return Err(ClusterError::ShuttingDown);
+            }
+            match try_place(&self.shared, job, None) {
+                Ok(()) => {
+                    self.shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
+                    return Ok(BatchTicket { rx });
+                }
+                Err(fail) if fail.any_full => {
+                    // Every candidate queue is at capacity: backpressure.
+                    job = fail.job;
+                    std::thread::sleep(Duration::from_micros(50));
+                }
+                Err(fail) => {
+                    if let Some(m) = fail.plan_err {
+                        return Err(ClusterError::PlanFailed(m));
+                    }
+                    // No live device at all: serve inline through the
+                    // degraded baseline rather than dropping the batch.
+                    self.shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
+                    degrade_inline(&self.shared, fail.job);
+                    return Ok(BatchTicket { rx });
+                }
+            }
+        }
+    }
+
+    /// Submit and wait — the synchronous convenience path.
+    pub fn call(&self, batch: GemmBatch) -> Result<ClusterResult, ClusterError> {
+        self.submit(batch)?.wait()
+    }
+
+    /// Point-in-time accounting across the pool.
+    pub fn stats(&self) -> ClusterStats {
+        let mut devices: Vec<DeviceStats> =
+            self.shared.devices.iter().map(Device::snapshot).collect();
+        let makespan = devices.iter().map(|d| d.busy_sim_us).fold(0.0, f64::max);
+        for d in &mut devices {
+            d.utilization = if makespan > 0.0 { d.busy_sim_us / makespan } else { 0.0 };
+        }
+        let mut plan_cache = CacheStats::default();
+        for dev in &self.shared.devices {
+            let s = dev.session.stats();
+            plan_cache.hits += s.hits;
+            plan_cache.misses += s.misses;
+        }
+        let memo = self.shared.share.sim_memo();
+        let sim_memo = CacheStats { hits: memo.hits(), misses: memo.misses() };
+        self.shared.stats.snapshot(devices, plan_cache, sim_memo)
+    }
+
+    /// The pool-wide plan/simulation share (monitoring hook).
+    pub fn share(&self) -> &Arc<PlanShare> {
+        &self.shared.share
+    }
+
+    /// Take device `id` out of the pool: no further placements land on
+    /// it, its queued batches are re-routed to survivors, and its
+    /// workers wind down. Batches *mid-execution* on the device finish
+    /// normally (execution is functional — results stay bitwise-exact),
+    /// mirroring how a real drain lets in-flight kernels retire.
+    pub fn kill_device(&self, id: usize) {
+        let dev = &self.shared.devices[id];
+        if !dev.alive.swap(false, Ordering::Relaxed) {
+            return; // already dead
+        }
+        self.shared.stats.kills.fetch_add(1, Ordering::Relaxed);
+        // Closing the queue wakes the device's workers (they exit once
+        // it is drained) and makes racing placements fail over cleanly.
+        dev.queue.close();
+        drain_and_reroute(&self.shared, id);
+    }
+
+    /// Stop accepting new batches without waiting for the drain.
+    pub fn close(&self) {
+        self.shared.closed.store(true, Ordering::Relaxed);
+    }
+
+    /// Stop admissions, drain every queued batch, join all workers and
+    /// return the final statistics.
+    pub fn shutdown(mut self) -> ClusterStats {
+        self.shutdown_inner();
+        self.stats()
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.shared.closed.store(true, Ordering::Relaxed);
+        for dev in &self.shared.devices {
+            dev.queue.close();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// Predict the simulated time of `shapes` on `dev`: plan through the
+/// device session (cached pool-wide per planning context) and read the
+/// chosen candidate's simulated time back out of the shared memo. After
+/// planning, the memo necessarily holds the entry — best-of-both already
+/// simulated the winner — so a placement never runs the simulator on a
+/// warm signature.
+fn predict_us(dev: &Device, shapes: &[GemmShape]) -> Result<f64, String> {
+    let plan = dev.session.plan(shapes)?;
+    let fw = dev.session.framework();
+    Ok(dev.session.sim_memo().simulate_solution(
+        fw.arch(),
+        shapes,
+        &plan.solution,
+        plan.heuristic,
+        fw.thresholds(),
+    ))
+}
+
+/// One placement attempt: predict the job on every eligible device and
+/// queue it on the earliest-completion candidate, spilling down the
+/// ranking when queues are full. `Err` reports why nothing was placed.
+fn try_place(
+    shared: &Shared,
+    mut job: ClusterJob,
+    exclude: Option<usize>,
+) -> Result<(), Box<PlaceFail>> {
+    let mut candidates = Vec::with_capacity(shared.devices.len());
+    let mut plan_err = None;
+    for dev in &shared.devices {
+        if Some(dev.id) == exclude || !dev.alive.load(Ordering::Relaxed) {
+            continue;
+        }
+        match predict_us(dev, &job.batch.shapes) {
+            Ok(predicted_us) => candidates.push(Candidate {
+                device: dev.id,
+                backlog_us: dev.backlog_us.load().max(0.0),
+                predicted_us,
+            }),
+            Err(m) => plan_err = Some(m),
+        }
+    }
+    if candidates.is_empty() {
+        // Only report the planner error when planning was the reason —
+        // i.e. at least one live device bid and all of them failed.
+        return Err(Box::new(PlaceFail { job, any_full: false, plan_err }));
+    }
+    // A device serving its breaker's open window is sidelined; each
+    // sidelining consumes one open slot so the device heals after
+    // `open_batches` placements routed around it, mirroring the
+    // single-device server's "serve open_batches degraded then close"
+    // semantics. When *every* candidate is open, routing proceeds on
+    // cost alone — a suspect device beats the baseline.
+    let all_open = candidates
+        .iter()
+        .all(|c| shared.devices[c.device].breaker.is_open());
+    candidates.sort_by(|a, b| {
+        a.completion_us().total_cmp(&b.completion_us()).then(a.device.cmp(&b.device))
+    });
+    let mut any_full = false;
+    for c in &candidates {
+        let dev = &shared.devices[c.device];
+        if !all_open && dev.breaker.consume_open() {
+            continue;
+        }
+        job.predicted_us = c.predicted_us;
+        dev.backlog_us.add(c.predicted_us);
+        match dev.queue.try_push(job) {
+            Ok(()) => {
+                dev.placements.fetch_add(1, Ordering::Relaxed);
+                shared.stats.routed.fetch_add(1, Ordering::Relaxed);
+                return Ok(());
+            }
+            Err((kind, j)) => {
+                dev.backlog_us.add(-c.predicted_us);
+                any_full |= kind == PushError::Full;
+                job = j;
+            }
+        }
+    }
+    Err(Box::new(PlaceFail { job, any_full, plan_err: None }))
+}
+
+/// Move the job to another device after a failure on `from` (or a
+/// kill/breaker drain). Exhausted re-route budgets and empty pools fall
+/// back to the inline degraded baseline — never a drop.
+fn reroute(shared: &Shared, mut job: ClusterJob, from: usize) {
+    job.attempts += 1;
+    shared.stats.reroutes.fetch_add(1, Ordering::Relaxed);
+    shared.devices[from].reroutes_out.fetch_add(1, Ordering::Relaxed);
+    if job.attempts > shared.cfg.max_reroutes {
+        degrade_inline(shared, job);
+        return;
+    }
+    match try_place(shared, job, Some(from)) {
+        Ok(()) => {}
+        Err(fail) => degrade_inline(shared, fail.job),
+    }
+}
+
+/// Empty `dev`'s queue, re-routing every waiting batch (used by breaker
+/// trips and kills). In-flight batches are the workers' problem; queued
+/// ones must not wait behind a suspect or dead device.
+fn drain_and_reroute(shared: &Shared, dev_idx: usize) {
+    let dev = &shared.devices[dev_idx];
+    while let Some(job) = dev.queue.pop_if(|_| true) {
+        dev.backlog_us.add(-job.predicted_us);
+        reroute(shared, job, dev_idx);
+    }
+}
+
+/// Terminal fallback: execute on the per-kernel default baseline,
+/// inline on the calling thread. Bitwise-exact like every other path; a
+/// panic *here* is terminal and surfaces as the typed
+/// [`ClusterError::WorkerPanic`].
+fn degrade_inline(shared: &Shared, job: ClusterJob) {
+    // Parametrise the baseline with the strongest live architecture
+    // (device order is construction order; any arch yields bitwise-
+    // identical results — it only shapes the baseline's tiling).
+    let donor = shared
+        .devices
+        .iter()
+        .find(|d| d.alive.load(Ordering::Relaxed))
+        .unwrap_or(&shared.devices[0]);
+    let inject = donor.roll(FaultSite::DegradedPanic);
+    let out = catch_unwind(AssertUnwindSafe(|| {
+        if inject {
+            std::panic::panic_any(INJECTED_DEGRADED_PANIC_MSG);
+        }
+        ctb_baselines::default_functional(donor.arch(), &job.batch)
+    }));
+    match out {
+        Ok(results) => {
+            let wall_us = job.submitted.elapsed().as_secs_f64() * 1e6;
+            shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+            shared.stats.degraded.fetch_add(1, Ordering::Relaxed);
+            shared.stats.record_latency(wall_us);
+            respond(
+                shared,
+                &job.tx,
+                Ok(ClusterResult {
+                    results,
+                    device: donor.id,
+                    predicted_us: job.predicted_us,
+                    simulated_us: 0.0,
+                    wall_us,
+                    degraded: true,
+                    stolen: job.stolen,
+                    reroutes: job.attempts,
+                }),
+            );
+        }
+        Err(payload) => {
+            shared.stats.worker_panics.fetch_add(1, Ordering::Relaxed);
+            respond(shared, &job.tx, Err(ClusterError::WorkerPanic(panic_message(&*payload))));
+        }
+    }
+}
+
+/// Deliver a response; an abandoned ticket (receiver dropped) is not an
+/// error — the batch still counted as completed above.
+fn respond(
+    _shared: &Shared,
+    tx: &mpsc::Sender<Result<ClusterResult, ClusterError>>,
+    r: Result<ClusterResult, ClusterError>,
+) {
+    let _ = tx.send(r);
+}
+
+fn worker_loop(shared: &Shared, dev_idx: usize) {
+    let dev = &shared.devices[dev_idx];
+    loop {
+        if shared.cfg.steal.enabled {
+            match dev.queue.pop_until(Instant::now() + shared.cfg.steal.poll) {
+                Ok(Some(job)) => run_job(shared, dev_idx, job),
+                Ok(None) => break, // closed and drained
+                Err(_timeout) => {
+                    try_steal(shared, dev_idx);
+                }
+            }
+        } else {
+            match dev.queue.pop() {
+                Some(job) => run_job(shared, dev_idx, job),
+                None => break,
+            }
+        }
+    }
+}
+
+/// An idle device looks for the most-backlogged live peer and, when the
+/// cost model says the peer's front batch finishes sooner here than it
+/// would *start* there, takes it. The candidate's shapes are read under
+/// `peek_map`, predicted lock-free, then claimed with a `pop_if`
+/// recheck so a raced queue never yields the wrong batch.
+fn try_steal(shared: &Shared, thief_idx: usize) -> bool {
+    let thief = &shared.devices[thief_idx];
+    if !thief.alive.load(Ordering::Relaxed) || thief.breaker.is_open() {
+        return false;
+    }
+    let mut victim: Option<(usize, f64)> = None;
+    for dev in &shared.devices {
+        if dev.id == thief_idx || !dev.alive.load(Ordering::Relaxed) || dev.queue.is_empty() {
+            continue;
+        }
+        let backlog = dev.backlog_us.load().max(0.0);
+        if backlog >= shared.cfg.steal.min_victim_backlog_us
+            && victim.is_none_or(|(_, b)| backlog > b)
+        {
+            victim = Some((dev.id, backlog));
+        }
+    }
+    let Some((victim_idx, victim_backlog)) = victim else {
+        return false;
+    };
+    let victim_dev = &shared.devices[victim_idx];
+    let Some(shapes) = victim_dev.queue.peek_map(|j| j.batch.shapes.clone()) else {
+        return false;
+    };
+    let Ok(predicted_here) = predict_us(thief, &shapes) else {
+        return false;
+    };
+    if !placer::steal_beneficial(
+        victim_backlog,
+        predicted_here,
+        shared.cfg.steal.min_victim_backlog_us,
+    ) {
+        return false;
+    }
+    // Claim under the lock, rechecking identity: the front batch may
+    // have been popped (or swapped) since the peek.
+    let Some(mut job) = victim_dev.queue.pop_if(|j| j.batch.shapes == shapes) else {
+        return false;
+    };
+    victim_dev.backlog_us.add(-job.predicted_us);
+    job.predicted_us = predicted_here;
+    job.stolen = true;
+    thief.backlog_us.add(predicted_here);
+    thief.steals.fetch_add(1, Ordering::Relaxed);
+    shared.stats.steals.fetch_add(1, Ordering::Relaxed);
+    run_job(shared, thief_idx, job);
+    true
+}
+
+fn run_job(shared: &Shared, dev_idx: usize, job: ClusterJob) {
+    let dev = &shared.devices[dev_idx];
+
+    // Injected worker stall (slow-device chaos).
+    if let Some(f) = &dev.fault {
+        if let Some(delay) = f.roll_slow() {
+            std::thread::sleep(delay);
+        }
+    }
+
+    // Plan — panic-isolated, with injected failures folded in as typed
+    // planning errors.
+    let planned = if dev.roll(FaultSite::PlanFail) {
+        Err("injected planning failure".to_string())
+    } else {
+        match catch_unwind(AssertUnwindSafe(|| dev.session.plan(&job.batch.shapes))) {
+            Ok(r) => r,
+            Err(payload) => {
+                shared.stats.worker_panics.fetch_add(1, Ordering::Relaxed);
+                Err(format!("planner panicked: {}", panic_message(&*payload)))
+            }
+        }
+    };
+    let plan = match planned {
+        Ok(plan) => plan,
+        Err(_m) => {
+            shared.stats.plan_failures.fetch_add(1, Ordering::Relaxed);
+            fail_and_reroute(shared, dev_idx, job);
+            return;
+        }
+    };
+
+    // Execute — panic-isolated; a panic re-routes the batch to a
+    // surviving device instead of killing the worker.
+    let inject_panic = dev.roll(FaultSite::ExecPanic);
+    let executed = catch_unwind(AssertUnwindSafe(|| {
+        if inject_panic {
+            std::panic::panic_any(INJECTED_PANIC_MSG);
+        }
+        dev.session.framework().execute(&job.batch, &plan)
+    }));
+    match executed {
+        Ok((results, report)) => {
+            dev.breaker.record_success();
+            dev.backlog_us.add(-job.predicted_us);
+            dev.busy_sim_us.add(report.total_us);
+            dev.completed.fetch_add(1, Ordering::Relaxed);
+            shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+            shared.stats.record_placement_err(job.predicted_us, report.total_us);
+            let wall_us = job.submitted.elapsed().as_secs_f64() * 1e6;
+            shared.stats.record_latency(wall_us);
+            respond(
+                shared,
+                &job.tx,
+                Ok(ClusterResult {
+                    results,
+                    device: dev.id,
+                    predicted_us: job.predicted_us,
+                    simulated_us: report.total_us,
+                    wall_us,
+                    degraded: false,
+                    stolen: job.stolen,
+                    reroutes: job.attempts,
+                }),
+            );
+        }
+        Err(_payload) => {
+            shared.stats.worker_panics.fetch_add(1, Ordering::Relaxed);
+            fail_and_reroute(shared, dev_idx, job);
+        }
+    }
+}
+
+/// Common failure tail: charge the device's breaker (a trip drains its
+/// queue onto survivors), release the job's backlog, and re-route it.
+fn fail_and_reroute(shared: &Shared, dev_idx: usize, job: ClusterJob) {
+    let dev = &shared.devices[dev_idx];
+    if dev.breaker.record_failure() {
+        dev.breaker_trips.fetch_add(1, Ordering::Relaxed);
+        shared.stats.breaker_trips.fetch_add(1, Ordering::Relaxed);
+        drain_and_reroute(shared, dev_idx);
+    }
+    dev.backlog_us.add(-job.predicted_us);
+    reroute(shared, job, dev_idx);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctb_matrix::assert_bitwise_eq;
+
+    fn small_pool() -> Vec<ArchSpec> {
+        ArchSpec::pool_presets(2)
+    }
+
+    fn batch(shapes: &[GemmShape], seed: u64) -> GemmBatch {
+        GemmBatch::random(shapes, 1.0, 0.5, seed)
+    }
+
+    #[test]
+    fn call_returns_bitwise_exact_results() {
+        let cluster = Cluster::new(small_pool(), ClusterConfig::default());
+        let b = batch(&[GemmShape::new(48, 64, 96), GemmShape::new(16, 32, 128)], 7);
+        let oracle = b.reference_result_exact();
+        let out = cluster.call(b).expect("runs");
+        assert!(!out.degraded);
+        assert_eq!(out.results.len(), 2);
+        assert_bitwise_eq(&oracle, &out.results, "cluster vs exact oracle");
+        let stats = cluster.shutdown();
+        assert_eq!(stats.submitted, 1);
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.degraded, 0);
+    }
+
+    #[test]
+    fn prediction_matches_execution_exactly_when_not_moved() {
+        // The placer's prediction and the executed report read the same
+        // deterministic simulator; an unmoved batch must reconcile to
+        // zero placement error.
+        let cluster = Cluster::new(small_pool(), ClusterConfig::default());
+        for seed in 0..4 {
+            let b = batch(&[GemmShape::new(64, 64, 64); 3], seed);
+            let out = cluster.call(b).expect("runs");
+            assert_eq!(
+                out.predicted_us, out.simulated_us,
+                "cost model and executor disagree on device {}",
+                out.device
+            );
+        }
+        let stats = cluster.shutdown();
+        assert_eq!(stats.mean_abs_placement_err_us, 0.0);
+    }
+
+    #[test]
+    fn invalid_batches_are_rejected_synchronously() {
+        let cluster = Cluster::new(small_pool(), ClusterConfig::default());
+        let bad = GemmBatch {
+            shapes: vec![GemmShape::new(4, 4, 4)],
+            a: vec![MatF32::zeros(3, 4)], // wrong rows
+            b: vec![MatF32::zeros(4, 4)],
+            c: vec![MatF32::zeros(4, 4)],
+            alpha: 1.0,
+            beta: 0.0,
+        };
+        assert!(matches!(cluster.call(bad), Err(ClusterError::Invalid(_))));
+    }
+
+    #[test]
+    fn submit_after_close_is_refused() {
+        let cluster = Cluster::new(small_pool(), ClusterConfig::default());
+        cluster.close();
+        let b = batch(&[GemmShape::new(16, 16, 16)], 1);
+        assert!(matches!(cluster.submit(b), Err(ClusterError::ShuttingDown)));
+    }
+
+    #[test]
+    fn kill_all_devices_still_serves_degraded() {
+        let cluster = Cluster::new(small_pool(), ClusterConfig::default());
+        cluster.kill_device(0);
+        cluster.kill_device(1);
+        let b = batch(&[GemmShape::new(32, 32, 32)], 3);
+        let oracle = b.reference_result_exact();
+        let out = cluster.call(b).expect("degraded path still serves");
+        assert!(out.degraded, "no live device: must be the baseline");
+        assert_bitwise_eq(&oracle, &out.results, "degraded vs exact oracle");
+        let stats = cluster.shutdown();
+        assert_eq!(stats.kills, 2);
+        assert_eq!(stats.degraded, 1);
+        assert_eq!(stats.completed, 1);
+    }
+
+    #[test]
+    fn kill_is_idempotent() {
+        let cluster = Cluster::new(small_pool(), ClusterConfig::default());
+        cluster.kill_device(1);
+        cluster.kill_device(1);
+        assert!(!cluster.is_alive(1));
+        assert!(cluster.is_alive(0));
+        let stats = cluster.shutdown();
+        assert_eq!(stats.kills, 1);
+    }
+
+    #[test]
+    fn plan_cache_is_shared_across_submissions() {
+        let cluster = Cluster::new(small_pool(), ClusterConfig::default());
+        let shapes = vec![GemmShape::new(40, 56, 72); 2];
+        for seed in 0..5 {
+            cluster.call(batch(&shapes, seed)).expect("runs");
+        }
+        let stats = cluster.shutdown();
+        // Each device plans the signature at most once (placement
+        // predicts on both devices), after which every placement and
+        // execution is a cache hit.
+        assert!(stats.plan_cache.misses <= 2, "misses = {}", stats.plan_cache.misses);
+        assert!(stats.plan_cache.hits >= 8, "hits = {}", stats.plan_cache.hits);
+        assert!(stats.sim_memo.hits + stats.sim_memo.misses > 0);
+    }
+
+    #[test]
+    fn shutdown_drains_queued_batches() {
+        // One slow-ish device, several queued batches, immediate
+        // shutdown: every ticket must still resolve.
+        let cfg = ClusterConfig {
+            workers_per_device: 1,
+            steal: StealPolicy { enabled: false, ..StealPolicy::default() },
+            ..ClusterConfig::default()
+        };
+        let cluster = Cluster::new(vec![ArchSpec::maxwell_m60()], cfg);
+        let shapes = vec![GemmShape::new(96, 96, 96); 2];
+        let tickets: Vec<_> = (0..8)
+            .map(|seed| cluster.submit(batch(&shapes, seed)).expect("admitted"))
+            .collect();
+        let stats = cluster.shutdown();
+        assert_eq!(stats.completed, 8, "drain contract: all batches complete");
+        for t in tickets {
+            let out = t.wait().expect("completed during drain");
+            assert_eq!(out.results.len(), 2);
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Pure placement policy: where does a batch go, and when does a steal
+//! pay off?
+//!
+//! Both decisions are driven entirely by the analytical simulator — the
+//! same model the paper uses to choose tilings and batchings chooses the
+//! device here. Keeping the policy pure (no locks, no atomics, plain
+//! slices in, index out) makes it exhaustively testable without spinning
+//! up a cluster.
+
+/// One device's bid for a batch, as seen at placement time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Candidate {
+    /// Cluster-wide device id.
+    pub device: usize,
+    /// Simulated microseconds of work already queued or running on the
+    /// device (advisory — completions race it — but conservative).
+    pub backlog_us: f64,
+    /// Simulated microseconds the batch itself would take on the
+    /// device, from the per-arch cost model (memoized).
+    pub predicted_us: f64,
+}
+
+impl Candidate {
+    /// Predicted completion time: everything ahead of the batch plus
+    /// the batch itself.
+    pub fn completion_us(&self) -> f64 {
+        self.backlog_us + self.predicted_us
+    }
+}
+
+/// Pick the device with the earliest predicted completion time.
+/// Ties break toward the lower device id (pools are fastest-first, so
+/// ties prefer the stronger device); an empty slate returns `None`.
+pub fn choose(candidates: &[Candidate]) -> Option<usize> {
+    candidates
+        .iter()
+        .min_by(|a, b| {
+            a.completion_us()
+                .total_cmp(&b.completion_us())
+                .then(a.device.cmp(&b.device))
+        })
+        .map(|c| c.device)
+}
+
+/// Should an idle thief take the victim's front batch?
+///
+/// Yes when the victim is saturated enough to bother
+/// (`victim_backlog_us` at or above the policy floor — stealing a batch
+/// from a nearly-idle device wastes the transfer for no makespan gain)
+/// and running the batch on the thief finishes before the batch would
+/// even *start* on the victim (its whole backlog is ahead of it). Under
+/// that test a slow M60 only relieves a saturated V100 when the model
+/// says the M60 genuinely shortens the batch's completion.
+pub fn steal_beneficial(
+    victim_backlog_us: f64,
+    predicted_on_thief_us: f64,
+    min_victim_backlog_us: f64,
+) -> bool {
+    victim_backlog_us >= min_victim_backlog_us && predicted_on_thief_us < victim_backlog_us
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(device: usize, backlog_us: f64, predicted_us: f64) -> Candidate {
+        Candidate { device, backlog_us, predicted_us }
+    }
+
+    #[test]
+    fn chooses_minimum_completion_not_minimum_predicted() {
+        // Device 0 runs the batch faster but is saturated; device 1 is
+        // slower per-batch yet finishes sooner overall.
+        let got = choose(&[c(0, 1000.0, 10.0), c(1, 0.0, 25.0)]);
+        assert_eq!(got, Some(1));
+    }
+
+    #[test]
+    fn idle_pool_routes_to_the_fastest_device() {
+        let got = choose(&[c(0, 0.0, 10.0), c(1, 0.0, 12.0), c(2, 0.0, 30.0)]);
+        assert_eq!(got, Some(0));
+    }
+
+    #[test]
+    fn ties_break_toward_the_lower_id() {
+        assert_eq!(choose(&[c(2, 5.0, 5.0), c(1, 0.0, 10.0)]), Some(1));
+        assert_eq!(choose(&[c(1, 0.0, 10.0), c(2, 5.0, 5.0)]), Some(1));
+    }
+
+    #[test]
+    fn empty_slate_has_no_placement() {
+        assert_eq!(choose(&[]), None);
+    }
+
+    #[test]
+    fn singleton_always_wins() {
+        assert_eq!(choose(&[c(3, 99.0, 1.0)]), Some(3));
+    }
+
+    #[test]
+    fn steal_requires_a_saturated_victim() {
+        // Victim below the floor: never steal, even if the thief is fast.
+        assert!(!steal_beneficial(10.0, 1.0, 50.0));
+        // Saturated victim, thief beats the wait: steal.
+        assert!(steal_beneficial(100.0, 30.0, 50.0));
+        // Saturated victim but the thief is slower than the wait: the
+        // batch is better off staying queued.
+        assert!(!steal_beneficial(100.0, 150.0, 50.0));
+        // Boundary: thief time equal to the wait is not a win.
+        assert!(!steal_beneficial(100.0, 100.0, 50.0));
+        // Boundary: backlog exactly at the floor qualifies.
+        assert!(steal_beneficial(50.0, 10.0, 50.0));
+    }
+}

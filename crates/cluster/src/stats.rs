@@ -1,0 +1,283 @@
+//! Cluster-wide and per-device accounting.
+
+use ctb_core::CacheStats;
+use ctb_serve::ServeStats;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// An `f64` cell updated with atomic read-modify-write over its bit
+/// pattern. Used for backlog and busy-time accumulators that many
+/// workers adjust concurrently; precision is exact per operation (the
+/// CAS loop applies plain `f64` addition), ordering is relaxed — these
+/// feed advisory scheduling decisions and end-of-run aggregates, not
+/// synchronization.
+#[derive(Debug, Default)]
+pub struct AtomicF64(AtomicU64);
+
+impl AtomicF64 {
+    pub fn new(v: f64) -> Self {
+        AtomicF64(AtomicU64::new(v.to_bits()))
+    }
+
+    pub fn load(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+
+    pub fn add(&self, delta: f64) {
+        self.0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+                Some((f64::from_bits(bits) + delta).to_bits())
+            })
+            .expect("closure always returns Some");
+    }
+}
+
+/// Point-in-time view of one device in the pool.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceStats {
+    /// Cluster-wide device id (index into the construction pool).
+    pub id: usize,
+    /// Architecture preset name ("Tesla V100", ...).
+    pub name: &'static str,
+    /// Batches the placer routed here.
+    pub placements: usize,
+    /// Batches this device completed on the coordinated path.
+    pub completed: usize,
+    /// Batches this device's workers stole from saturated peers.
+    pub steals: usize,
+    /// Batches re-routed *away* after failing here.
+    pub reroutes_out: usize,
+    /// Times this device's breaker tripped open.
+    pub breaker_trips: usize,
+    /// Accumulated simulated execution time, µs. The cluster's aggregate
+    /// throughput is defined over these (makespan = max over devices),
+    /// so a heterogeneous pool's speedup is visible even on a
+    /// single-core host running the functional executor serially.
+    pub busy_sim_us: f64,
+    /// Predicted µs of work queued/running at snapshot time (advisory).
+    pub backlog_us: f64,
+    /// Batches waiting in the device queue at snapshot time.
+    pub queue_depth: usize,
+    /// `busy_sim_us / makespan` across the pool (0 when idle).
+    pub utilization: f64,
+    /// `false` after [`crate::Cluster::kill_device`].
+    pub alive: bool,
+    /// Whether the device breaker was open at snapshot time.
+    pub breaker_open: bool,
+}
+
+/// Point-in-time view of the whole cluster. Extends the single-device
+/// [`ServeStats`] vocabulary with placement/steal/re-route accounting
+/// and the per-device breakdown.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterStats {
+    /// Batches admitted by [`crate::Cluster::submit`].
+    pub submitted: usize,
+    /// Batches completed with a result (coordinated or degraded).
+    pub completed: usize,
+    /// Batches that finished on the degraded per-kernel baseline
+    /// (no surviving device could take them, or re-routes exhausted).
+    pub degraded: usize,
+    /// Routing decisions made by the sim-cost placer.
+    pub routed: usize,
+    /// Batches moved between devices by work stealing.
+    pub steals: usize,
+    /// Batches re-routed after a device failure or kill.
+    pub reroutes: usize,
+    /// Worker panics caught at the job boundary (workers never die).
+    pub worker_panics: usize,
+    /// Planning failures observed across the pool (real or injected).
+    pub plan_failures: usize,
+    /// Breaker trips summed over devices.
+    pub breaker_trips: usize,
+    /// Devices removed by [`crate::Cluster::kill_device`].
+    pub kills: usize,
+    /// Per-device breakdown, in pool order.
+    pub devices: Vec<DeviceStats>,
+    /// Max over devices of accumulated simulated time, µs — the
+    /// simulated wall time of the pool had every device run in parallel.
+    pub makespan_sim_us: f64,
+    /// Sum over devices of accumulated simulated time, µs.
+    pub total_sim_us: f64,
+    /// Mean |predicted − simulated| µs over completed coordinated
+    /// batches: how well placement-time predictions matched execution.
+    /// 0 for never-moved batches (the prediction and the execution read
+    /// the same memo entry); steals and re-routes re-predict on the new
+    /// device, so they stay 0 too — drift here means the cost model and
+    /// the executor disagree.
+    pub mean_abs_placement_err_us: f64,
+    /// Plan-cache accounting aggregated over every device session.
+    pub plan_cache: CacheStats,
+    /// Simulation-memo accounting of the shared [`ctb_core::PlanShare`].
+    pub sim_memo: CacheStats,
+    /// Median end-to-end batch latency, wall µs.
+    pub p50_wall_us: f64,
+    /// 95th-percentile end-to-end batch latency, wall µs.
+    pub p95_wall_us: f64,
+}
+
+impl ClusterStats {
+    /// Aggregate throughput for `flops` of submitted work, GFLOPS over
+    /// *simulated* makespan (0 when idle). This is the figure of merit
+    /// for pool-scaling experiments.
+    pub fn sim_throughput_gflops(&self, flops: f64) -> f64 {
+        if self.makespan_sim_us <= 0.0 {
+            0.0
+        } else {
+            flops / (self.makespan_sim_us * 1e-6) / 1e9
+        }
+    }
+}
+
+/// Internal mutable counters behind [`ClusterStats`].
+#[derive(Debug, Default)]
+pub struct ClusterInner {
+    pub submitted: AtomicUsize,
+    pub completed: AtomicUsize,
+    pub degraded: AtomicUsize,
+    pub routed: AtomicUsize,
+    pub steals: AtomicUsize,
+    pub reroutes: AtomicUsize,
+    pub worker_panics: AtomicUsize,
+    pub plan_failures: AtomicUsize,
+    pub breaker_trips: AtomicUsize,
+    pub kills: AtomicUsize,
+    pub err_abs_sum_us: AtomicF64,
+    pub err_count: AtomicUsize,
+    latencies_us: Mutex<Vec<f64>>,
+}
+
+impl ClusterInner {
+    pub fn record_latency(&self, us: f64) {
+        self.latencies_us.lock().unwrap_or_else(|e| e.into_inner()).push(us);
+    }
+
+    pub fn record_placement_err(&self, predicted_us: f64, simulated_us: f64) {
+        self.err_abs_sum_us.add((predicted_us - simulated_us).abs());
+        self.err_count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Assemble the snapshot around an externally gathered per-device
+    /// breakdown and cache aggregates.
+    pub fn snapshot(
+        &self,
+        devices: Vec<DeviceStats>,
+        plan_cache: CacheStats,
+        sim_memo: CacheStats,
+    ) -> ClusterStats {
+        let mut lat = self.latencies_us.lock().unwrap_or_else(|e| e.into_inner()).clone();
+        lat.sort_by(f64::total_cmp);
+        let err_count = self.err_count.load(Ordering::Relaxed);
+        let makespan_sim_us =
+            devices.iter().map(|d| d.busy_sim_us).fold(0.0, f64::max);
+        let total_sim_us = devices.iter().map(|d| d.busy_sim_us).sum();
+        ClusterStats {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
+            routed: self.routed.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
+            reroutes: self.reroutes.load(Ordering::Relaxed),
+            worker_panics: self.worker_panics.load(Ordering::Relaxed),
+            plan_failures: self.plan_failures.load(Ordering::Relaxed),
+            breaker_trips: self.breaker_trips.load(Ordering::Relaxed),
+            kills: self.kills.load(Ordering::Relaxed),
+            devices,
+            makespan_sim_us,
+            total_sim_us,
+            mean_abs_placement_err_us: if err_count == 0 {
+                0.0
+            } else {
+                self.err_abs_sum_us.load() / err_count as f64
+            },
+            plan_cache,
+            sim_memo,
+            p50_wall_us: ServeStats::percentile(&lat, 0.50),
+            p95_wall_us: ServeStats::percentile(&lat, 0.95),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn atomic_f64_accumulates_exactly() {
+        let a = AtomicF64::new(1.5);
+        a.add(2.25);
+        a.add(-0.75);
+        assert_eq!(a.load(), 3.0);
+    }
+
+    #[test]
+    fn atomic_f64_survives_concurrent_adds() {
+        // Sum of 4 threads x 1000 adds of 0.5 (exactly representable,
+        // so f64 addition is associative here and the total is exact).
+        let a = Arc::new(AtomicF64::new(0.0));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let a = Arc::clone(&a);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        a.add(0.5);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("adder ok");
+        }
+        assert_eq!(a.load(), 2000.0);
+    }
+
+    fn dev(id: usize, busy: f64) -> DeviceStats {
+        DeviceStats {
+            id,
+            name: "Tesla V100",
+            placements: 0,
+            completed: 0,
+            steals: 0,
+            reroutes_out: 0,
+            breaker_trips: 0,
+            busy_sim_us: busy,
+            backlog_us: 0.0,
+            queue_depth: 0,
+            utilization: 0.0,
+            alive: true,
+            breaker_open: false,
+        }
+    }
+
+    #[test]
+    fn snapshot_derives_makespan_and_error() {
+        let inner = ClusterInner::default();
+        inner.record_placement_err(10.0, 12.0);
+        inner.record_placement_err(5.0, 5.0);
+        inner.record_latency(100.0);
+        inner.record_latency(300.0);
+        let s = inner.snapshot(
+            vec![dev(0, 40.0), dev(1, 25.0)],
+            CacheStats::default(),
+            CacheStats::default(),
+        );
+        assert_eq!(s.makespan_sim_us, 40.0);
+        assert_eq!(s.total_sim_us, 65.0);
+        assert_eq!(s.mean_abs_placement_err_us, 1.0);
+        assert_eq!(s.p50_wall_us, 100.0);
+        assert_eq!(s.p95_wall_us, 300.0);
+        // 65 µs of simulated work over a 40 µs makespan.
+        let thr = s.sim_throughput_gflops(65.0e3);
+        assert!((thr - 65.0e3 / 40.0e-6 / 1e9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_snapshot_is_all_zero() {
+        let inner = ClusterInner::default();
+        let s = inner.snapshot(vec![], CacheStats::default(), CacheStats::default());
+        assert_eq!(s.makespan_sim_us, 0.0);
+        assert_eq!(s.mean_abs_placement_err_us, 0.0);
+        assert_eq!(s.sim_throughput_gflops(1e9), 0.0);
+    }
+}

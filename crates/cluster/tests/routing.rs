@@ -1,0 +1,178 @@
+//! Routing-correctness suite: the sim-cost placer must send work where
+//! the paper's hardware model says it belongs.
+//!
+//! These tests pin the *policy*, not incidental timing: placements on an
+//! idle pool are a pure function of the per-arch cost model, so they are
+//! deterministic; the stealing test arranges a saturated victim and an
+//! idle thief explicitly rather than racing the scheduler blind.
+
+use ctb_cluster::{Cluster, ClusterConfig, StealPolicy};
+use ctb_gpu_specs::ArchSpec;
+use ctb_matrix::{assert_bitwise_eq, GemmBatch, GemmShape};
+use ctb_serve::{FaultConfig, FaultInjector};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Far beyond any test's real latency: hitting it means a hang.
+const HANG_BOUND: Duration = Duration::from_secs(30);
+
+fn two_device_pool() -> Vec<ArchSpec> {
+    let pool = ArchSpec::pool_presets(2);
+    assert_eq!(pool[0].name, "Tesla V100");
+    assert_eq!(pool[1].name, "Titan Xp");
+    pool
+}
+
+#[test]
+fn compute_bound_large_k_batch_routes_to_v100() {
+    // A deep-K compute-bound batch: the V100's higher peak dominates
+    // its prediction, so an idle pool must place it there.
+    let cluster = Cluster::new(two_device_pool(), ClusterConfig::default());
+    let shapes = vec![GemmShape::new(128, 128, 1024); 4];
+    let pred_v100 = cluster.predicted_us(0, &shapes).expect("plans on V100");
+    let pred_titan = cluster.predicted_us(1, &shapes).expect("plans on Titan Xp");
+    assert!(
+        pred_v100 < pred_titan,
+        "cost model must favour V100 for compute-bound work ({pred_v100} vs {pred_titan})"
+    );
+
+    let batch = GemmBatch::random(&shapes, 1.0, 0.0, 11);
+    let oracle = batch.reference_result_exact();
+    let out = cluster.call(batch).expect("runs");
+    assert_eq!(out.device, 0, "compute-bound large-K batch must land on the V100");
+    assert!(!out.stolen && !out.degraded);
+    assert_bitwise_eq(&oracle, &out.results, "routed result vs exact oracle");
+    let stats = cluster.shutdown();
+    assert_eq!(stats.devices[0].placements, 1);
+    assert_eq!(stats.devices[1].placements, 0);
+}
+
+#[test]
+fn tiny_launch_dominated_batches_never_cross_devices() {
+    // A tiny batch is launch-overhead-dominated; the V100's lower
+    // launch cost wins every placement, and sequential submissions on
+    // an idle pool leave nothing worth stealing — the batch must not
+    // bounce between devices.
+    let cluster = Cluster::new(two_device_pool(), ClusterConfig::default());
+    let shapes = vec![GemmShape::new(8, 8, 8)];
+    for seed in 0..6 {
+        let batch = GemmBatch::random(&shapes, 1.0, 0.0, seed);
+        let oracle = batch.reference_result_exact();
+        let out = cluster
+            .submit(batch)
+            .expect("admitted")
+            .wait_for(HANG_BOUND)
+            .expect("completes");
+        assert_eq!(out.device, 0, "tiny batch crossed to device {}", out.device);
+        assert!(!out.stolen, "nothing to steal on a drained pool");
+        assert_eq!(out.reroutes, 0);
+        assert_bitwise_eq(&oracle, &out.results, "tiny batch result");
+    }
+    let stats = cluster.shutdown();
+    assert_eq!(stats.steals, 0);
+    assert_eq!(stats.reroutes, 0);
+    assert_eq!(stats.devices[1].placements, 0, "all tiny batches stay on the V100");
+}
+
+#[test]
+fn saturated_pool_spreads_load_by_predicted_completion() {
+    // A burst larger than any single device's appetite: backlog-aware
+    // argmin placement must use both devices, in rough proportion to
+    // their predicted speeds (V100 strictly more than the Titan Xp).
+    let cluster = Cluster::new(two_device_pool(), ClusterConfig::default());
+    let shapes = vec![GemmShape::new(96, 96, 256); 4];
+    let batches: Vec<GemmBatch> =
+        (0..12).map(|seed| GemmBatch::random(&shapes, 1.0, 0.0, seed)).collect();
+    let oracles: Vec<_> = batches.iter().map(GemmBatch::reference_result_exact).collect();
+    let tickets: Vec<_> =
+        batches.into_iter().map(|b| cluster.submit(b).expect("admitted")).collect();
+    for (t, oracle) in tickets.into_iter().zip(&oracles) {
+        let out = t.wait_for(HANG_BOUND).expect("completes");
+        assert_bitwise_eq(oracle, &out.results, "burst result vs exact oracle");
+    }
+    let stats = cluster.shutdown();
+    assert_eq!(stats.completed, 12);
+    let (v100, titan) = (&stats.devices[0], &stats.devices[1]);
+    assert!(v100.placements > 0, "the fast device must take work");
+    assert!(titan.placements + titan.steals > 0, "the burst must spill off the V100");
+    assert!(
+        v100.completed + v100.steals >= titan.completed,
+        "the faster device should carry at least as much of the burst \
+         (V100 {} vs Titan Xp {})",
+        v100.completed,
+        titan.completed
+    );
+    // Both devices contributed simulated work, so the pool's makespan
+    // beats serializing everything on the V100.
+    assert!(stats.makespan_sim_us < stats.total_sim_us);
+}
+
+#[test]
+fn idle_device_steals_from_a_stalled_victim() {
+    // Pin the steal preconditions instead of racing: device 0 (V100)
+    // always stalls 25 ms per batch (injected slow-worker fault) while
+    // the batches themselves are tiny, so its queue holds predicted
+    // backlog long after device 1 drains and goes idle. Once the V100's
+    // backlog exceeds the Titan Xp's predicted cost for the front
+    // batch, the model approves the steal.
+    let stall = Arc::new(FaultInjector::new(
+        FaultConfig::new(0xC0FFEE).slow_worker(1000, Duration::from_millis(25)),
+    ));
+    let cfg = ClusterConfig {
+        steal: StealPolicy {
+            enabled: true,
+            min_victim_backlog_us: 1.0,
+            poll: Duration::from_micros(200),
+        },
+        ..ClusterConfig::default()
+    };
+    let cluster = Cluster::with_faults(two_device_pool(), cfg, vec![Some(stall), None]);
+    let shapes = vec![GemmShape::new(32, 32, 64); 2];
+    let batches: Vec<GemmBatch> =
+        (0..16).map(|seed| GemmBatch::random(&shapes, 1.0, 0.0, seed)).collect();
+    let oracles: Vec<_> = batches.iter().map(GemmBatch::reference_result_exact).collect();
+    let tickets: Vec<_> =
+        batches.into_iter().map(|b| cluster.submit(b).expect("admitted")).collect();
+    let mut stolen = 0;
+    for (t, oracle) in tickets.into_iter().zip(&oracles) {
+        let out = t.wait_for(HANG_BOUND).expect("completes");
+        stolen += usize::from(out.stolen);
+        assert_bitwise_eq(oracle, &out.results, "stolen-path result vs exact oracle");
+    }
+    let stats = cluster.shutdown();
+    assert_eq!(stats.completed, 16, "zero drops under stealing");
+    assert!(
+        stats.steals >= 1,
+        "an idle Titan Xp next to a stalled V100 must steal (steals = {})",
+        stats.steals
+    );
+    assert_eq!(stats.steals, stolen, "per-result provenance matches the counter");
+    assert!(stats.devices[1].steals >= 1, "the idle Titan Xp must be a thief");
+    let per_device: usize = stats.devices.iter().map(|d| d.steals).sum();
+    assert_eq!(per_device, stats.steals, "device attribution reconciles");
+}
+
+#[test]
+fn steals_can_be_disabled() {
+    let stall = Arc::new(FaultInjector::new(
+        FaultConfig::new(0xBEEF).slow_worker(1000, Duration::from_millis(2)),
+    ));
+    let cfg = ClusterConfig {
+        steal: StealPolicy { enabled: false, ..StealPolicy::default() },
+        ..ClusterConfig::default()
+    };
+    let cluster = Cluster::with_faults(two_device_pool(), cfg, vec![Some(stall), None]);
+    let shapes = vec![GemmShape::new(64, 64, 256); 2];
+    let tickets: Vec<_> = (0..8)
+        .map(|seed| {
+            cluster.submit(GemmBatch::random(&shapes, 1.0, 0.0, seed)).expect("admitted")
+        })
+        .collect();
+    for t in tickets {
+        let out = t.wait_for(HANG_BOUND).expect("completes");
+        assert!(!out.stolen);
+    }
+    let stats = cluster.shutdown();
+    assert_eq!(stats.steals, 0);
+    assert_eq!(stats.completed, 8);
+}

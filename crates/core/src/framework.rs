@@ -115,6 +115,13 @@ impl Framework {
         &self.arch
     }
 
+    /// The configuration this framework was built with (batching
+    /// policy + threshold overrides) — exposed so embedders can
+    /// fingerprint compatible planning contexts.
+    pub fn config(&self) -> &FrameworkConfig {
+        &self.config
+    }
+
     pub fn thresholds(&self) -> &Thresholds {
         &self.thresholds
     }

@@ -34,6 +34,6 @@ pub use interface::{execute_plan, execute_plan_unpacked};
 pub use memo::SimMemo;
 pub use lowering::{lower_plan, tile_pass};
 pub use selector::OnlineSelector;
-pub use session::{CacheStats, Session};
+pub use session::{CacheStats, PlanShare, Session};
 pub use dynamic::{plan_dynamic, simulate_dynamic};
 pub use splitk::{plan_splitk, run_splitk};

@@ -40,7 +40,7 @@ struct SimKey {
 }
 
 /// FNV-1a over a byte stream.
-fn fnv1a(seed: u64, bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a(seed: u64, bytes: &[u8]) -> u64 {
     let mut h = seed;
     for &b in bytes {
         h ^= b as u64;

@@ -8,12 +8,12 @@
 //! exactly that: a concurrent plan cache keyed by the batch's shape
 //! signature.
 
-use crate::framework::{ExecutionPlan, Framework, RunOutcome};
-use crate::memo::SimMemo;
+use crate::framework::{BatchingPolicy, ExecutionPlan, Framework, RunOutcome};
+use crate::memo::{fnv1a, SimMemo};
 use ctb_matrix::{GemmBatch, GemmShape};
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Cache statistics.
@@ -35,6 +35,73 @@ impl CacheStats {
     }
 }
 
+/// A plan cache (plus the candidate-simulation memo behind it) that can
+/// be shared by several [`Session`]s — the substrate for multi-device
+/// deployments where many sessions plan for the *same* architecture and
+/// should pay each planning cost once, pool-wide.
+///
+/// Entries are keyed by `(context fingerprint, shape signature)` where
+/// the fingerprint covers the architecture, the thresholds and the
+/// batching policy, so sessions with incompatible planning contexts can
+/// share one `PlanShare` without ever observing each other's plans.
+#[derive(Default)]
+pub struct PlanShare {
+    plans: Mutex<PlanMap>,
+    sim_memo: SimMemo,
+}
+
+/// Shared plans keyed by `(context fingerprint, shape signature)`.
+type PlanMap = HashMap<(u64, Vec<GemmShape>), Arc<ExecutionPlan>>;
+
+impl PlanShare {
+    pub fn new() -> Self {
+        PlanShare::default()
+    }
+
+    /// The candidate-simulation memo shared by every attached session.
+    /// The memo key already covers architecture and thresholds, so
+    /// heterogeneous sessions share it safely.
+    pub fn sim_memo(&self) -> &SimMemo {
+        &self.sim_memo
+    }
+
+    /// Total cached plans across every planning context in the share.
+    pub fn cached_plans_total(&self) -> usize {
+        self.plans.lock().len()
+    }
+}
+
+/// Serial tag handed to each `Forest`-policy session: the on-line
+/// selector is stateful, so two forest sessions may legitimately pick
+/// different plans for the same shapes and must never share entries.
+static FOREST_NONCE: AtomicU64 = AtomicU64::new(1);
+
+/// Fingerprint of a framework's planning context: architecture name,
+/// thresholds, and batching policy. Two sessions whose frameworks agree
+/// on all three produce identical plans for identical shapes and may
+/// answer each other's lookups.
+fn planning_fingerprint(framework: &Framework) -> u64 {
+    let arch = framework.arch();
+    let t = framework.thresholds();
+    let mut h = fnv1a(0xCBF2_9CE4_8422_2325, arch.name.as_bytes());
+    h = fnv1a(h, &t.tlp_threshold.to_le_bytes());
+    h = fnv1a(h, &t.theta.to_le_bytes());
+    match &framework.config().batching {
+        BatchingPolicy::Fixed(heuristic) => {
+            h = fnv1a(h, &[1, *heuristic as u8]);
+        }
+        BatchingPolicy::BestOfBoth => {
+            h = fnv1a(h, &[2]);
+        }
+        BatchingPolicy::Forest(_) => {
+            // Unique per session: opt stateful selectors out of sharing.
+            h = fnv1a(h, &[3]);
+            h = fnv1a(h, &FOREST_NONCE.fetch_add(1, Ordering::Relaxed).to_le_bytes());
+        }
+    }
+    h
+}
+
 /// A long-lived execution session with a plan cache.
 ///
 /// ```
@@ -52,30 +119,43 @@ impl CacheStats {
 /// ```
 pub struct Session {
     framework: Framework,
-    cache: Mutex<HashMap<Vec<GemmShape>, Arc<ExecutionPlan>>>,
+    /// Plan cache + candidate-simulation memo. Private by default
+    /// ([`Session::new`]); multi-session deployments hand the same
+    /// share to every session ([`Session::with_share`]) so planning
+    /// costs are paid once per context, pool-wide, and re-planning
+    /// (after [`Session::clear`], or when concurrent first-callers
+    /// race) never re-runs a simulation the share has seen.
+    share: Arc<PlanShare>,
+    /// This session's planning-context fingerprint within the share.
+    fp: u64,
     stats: Mutex<CacheStats>,
-    /// Candidate-simulation memo shared by every planning event, so
-    /// re-planning (after [`Session::clear`], or when concurrent
-    /// first-callers race) never re-runs a simulation it has seen.
-    sim_memo: SimMemo,
     /// Planning attempts that returned an error (never cached).
     plan_failures: AtomicUsize,
 }
 
 impl Session {
     pub fn new(framework: Framework) -> Self {
-        Session {
-            framework,
-            cache: Mutex::new(HashMap::new()),
-            stats: Mutex::new(CacheStats::default()),
-            sim_memo: SimMemo::new(),
-            plan_failures: AtomicUsize::new(0),
-        }
+        Session::with_share(framework, Arc::new(PlanShare::new()))
+    }
+
+    /// A session whose plan cache and simulation memo live in `share`.
+    /// Sessions with identical planning contexts (architecture,
+    /// thresholds, batching policy) answer each other's lookups;
+    /// sessions with different contexts coexist without collisions.
+    pub fn with_share(framework: Framework, share: Arc<PlanShare>) -> Self {
+        let fp = planning_fingerprint(&framework);
+        Session { framework, share, fp, stats: Mutex::new(CacheStats::default()), plan_failures: AtomicUsize::new(0) }
+    }
+
+    /// The share backing this session's caches.
+    pub fn share(&self) -> &Arc<PlanShare> {
+        &self.share
     }
 
     /// The plan for `shapes`, computed on first use and cached.
     pub fn plan(&self, shapes: &[GemmShape]) -> Result<Arc<ExecutionPlan>, String> {
-        if let Some(plan) = self.cache.lock().get(shapes) {
+        let key = (self.fp, shapes.to_vec());
+        if let Some(plan) = self.share.plans.lock().get(&key) {
             self.stats.lock().hits += 1;
             return Ok(Arc::clone(plan));
         }
@@ -84,17 +164,17 @@ impl Session {
         // plan twice, but the result is deterministic so either wins.
         // Only the insert that actually populates the cache counts as a
         // miss — a racer that loses is answered from the winner's entry
-        // and counts as a hit, so `misses == cached_plans()` holds even
-        // under first-caller races.
-        let plan = match self.framework.plan_memoized(shapes, &self.sim_memo) {
+        // and counts as a hit, so summed misses == distinct cached keys
+        // holds even under first-caller races and shared caches.
+        let plan = match self.framework.plan_memoized(shapes, &self.share.sim_memo) {
             Ok(plan) => Arc::new(plan),
             Err(m) => {
                 self.plan_failures.fetch_add(1, Ordering::Relaxed);
                 return Err(m);
             }
         };
-        let mut cache = self.cache.lock();
-        match cache.entry(shapes.to_vec()) {
+        let mut cache = self.share.plans.lock();
+        match cache.entry(key) {
             std::collections::hash_map::Entry::Occupied(e) => {
                 self.stats.lock().hits += 1;
                 Ok(Arc::clone(e.get()))
@@ -122,20 +202,23 @@ impl Session {
 
     /// Candidate-simulation memo statistics (hits answered from the
     /// cache vs simulator pipelines actually run while planning).
+    /// Share-wide when the session was built with [`Session::with_share`].
     pub fn sim_stats(&self) -> CacheStats {
-        CacheStats { hits: self.sim_memo.hits(), misses: self.sim_memo.misses() }
+        CacheStats { hits: self.share.sim_memo.hits(), misses: self.share.sim_memo.misses() }
     }
 
     /// The candidate-simulation memo shared by every planning event —
     /// exposed so embedders (the serving layer, monitoring) can inspect
     /// its size and accounting directly.
     pub fn sim_memo(&self) -> &SimMemo {
-        &self.sim_memo
+        &self.share.sim_memo
     }
 
-    /// Number of distinct shape signatures cached.
+    /// Number of distinct shape signatures cached for *this* session's
+    /// planning context (other contexts in a shared [`PlanShare`] are
+    /// not counted).
     pub fn cached_plans(&self) -> usize {
-        self.cache.lock().len()
+        self.share.plans.lock().keys().filter(|(fp, _)| *fp == self.fp).count()
     }
 
     /// Planning attempts that returned an error. Failed plans are never
@@ -146,9 +229,11 @@ impl Session {
         self.plan_failures.load(Ordering::Relaxed)
     }
 
-    /// Drop every cached plan (e.g. after retuning thresholds).
+    /// Drop every cached plan for this session's planning context (e.g.
+    /// after retuning thresholds). Other contexts sharing the same
+    /// [`PlanShare`] keep their entries.
     pub fn clear(&self) {
-        self.cache.lock().clear();
+        self.share.plans.lock().retain(|(fp, _), _| *fp != self.fp);
     }
 
     pub fn framework(&self) -> &Framework {
@@ -240,6 +325,67 @@ mod tests {
         assert_eq!(s.cached_plans(), 0, "failures are not cached");
         s.plan(&shapes()).expect("good shapes still plan");
         assert_eq!(s.plan_failures(), 3, "successes leave the counter alone");
+    }
+
+    #[test]
+    fn same_context_sessions_share_plans() {
+        let share = Arc::new(PlanShare::new());
+        let a = Session::with_share(Framework::new(ArchSpec::volta_v100()), Arc::clone(&share));
+        let b = Session::with_share(Framework::new(ArchSpec::volta_v100()), Arc::clone(&share));
+        let pa = a.plan(&shapes()).unwrap();
+        let before = a.sim_stats();
+        let pb = b.plan(&shapes()).unwrap();
+        assert!(Arc::ptr_eq(&pa, &pb), "identical contexts share the entry");
+        assert_eq!(b.stats(), CacheStats { hits: 1, misses: 0 }, "b never plans");
+        assert_eq!(b.sim_stats().misses, before.misses, "no new simulator runs for b");
+        assert_eq!(share.cached_plans_total(), 1);
+        assert_eq!(a.cached_plans(), 1);
+        assert_eq!(b.cached_plans(), 1);
+    }
+
+    #[test]
+    fn distinct_archs_never_collide_in_a_share() {
+        let share = Arc::new(PlanShare::new());
+        let v100 = Session::with_share(Framework::new(ArchSpec::volta_v100()), Arc::clone(&share));
+        let m60 = Session::with_share(Framework::new(ArchSpec::maxwell_m60()), Arc::clone(&share));
+        let pv = v100.plan(&shapes()).unwrap();
+        let pm = m60.plan(&shapes()).unwrap();
+        assert!(!Arc::ptr_eq(&pv, &pm), "different archs plan separately");
+        assert_eq!(m60.stats(), CacheStats { hits: 0, misses: 1 });
+        assert_eq!(share.cached_plans_total(), 2);
+        assert_eq!(v100.cached_plans(), 1, "each context sees only its own entries");
+
+        // Clearing one context leaves the other's plans untouched.
+        v100.clear();
+        assert_eq!(v100.cached_plans(), 0);
+        assert_eq!(m60.cached_plans(), 1);
+        assert_eq!(share.cached_plans_total(), 1);
+    }
+
+    #[test]
+    fn forest_policy_sessions_opt_out_of_sharing() {
+        use crate::framework::{BatchingPolicy, FrameworkConfig};
+        use crate::selector::OnlineSelector;
+        let share = Arc::new(PlanShare::new());
+        let arch = ArchSpec::volta_v100();
+        let thresholds = ctb_gpu_specs::Thresholds::paper_v100();
+        let cases = vec![vec![GemmShape::new(32, 32, 32)], vec![GemmShape::new(16, 16, 256)]];
+        let forest = || {
+            let cfg = FrameworkConfig {
+                batching: BatchingPolicy::Forest(OnlineSelector::train(
+                    &arch,
+                    &thresholds,
+                    &cases,
+                )),
+                thresholds: None,
+            };
+            Session::with_share(Framework::with_config(arch.clone(), cfg), Arc::clone(&share))
+        };
+        let (a, b) = (forest(), forest());
+        a.plan(&shapes()).unwrap();
+        b.plan(&shapes()).unwrap();
+        assert_eq!(b.stats().misses, 1, "stateful selectors never share entries");
+        assert_eq!(share.cached_plans_total(), 2);
     }
 
     #[test]

@@ -338,6 +338,19 @@ impl ArchSpec {
             .filter(|a| a.name != "Tesla V100")
             .collect()
     }
+
+    /// A heterogeneous device pool of `n` paper GPUs, fastest first by
+    /// peak FP32 throughput: V100, Titan Xp, GTX 1080 Ti, P100,
+    /// GTX Titan X, M60 — cycling through that order when `n > 6`.
+    /// This is the canonical pool for multi-device experiments: pool
+    /// index 0 is always the strongest device, so "best single device"
+    /// baselines and "kill the fastest device" resilience runs are
+    /// well-defined.
+    pub fn pool_presets(n: usize) -> Vec<ArchSpec> {
+        let mut order = ArchSpec::all_presets();
+        order.sort_by(|a, b| b.peak_gflops().total_cmp(&a.peak_gflops()));
+        (0..n).map(|i| order[i % order.len()].clone()).collect()
+    }
 }
 
 #[cfg(test)]
@@ -403,5 +416,51 @@ mod tests {
         // TLP threshold discussion (65536 = 40% of capacity).
         let v100 = ArchSpec::volta_v100();
         assert_eq!(v100.max_resident_threads(), 163_840);
+    }
+
+    #[test]
+    fn all_presets_match_table1_published_specs() {
+        // Golden pin of the paper's Table 1 (SM count, boost clock GHz,
+        // memory bandwidth GB/s) for the six evaluation GPUs, so
+        // device-pool construction can never silently drift from the
+        // published hardware the results were measured on.
+        let golden: &[(&str, u32, f64, f64)] = &[
+            ("Tesla V100", 80, 1.38, 900.0),
+            ("Tesla P100", 56, 1.30, 732.0),
+            ("GTX 1080 Ti", 28, 1.58, 484.0),
+            ("Titan Xp", 30, 1.58, 548.0),
+            ("Tesla M60", 16, 1.18, 160.0),
+            ("GTX Titan X", 24, 1.00, 336.0),
+        ];
+        let all = ArchSpec::all_presets();
+        assert_eq!(all.len(), golden.len());
+        for (name, sms, clock, bw) in golden {
+            let a = all
+                .iter()
+                .find(|a| a.name == *name)
+                .unwrap_or_else(|| panic!("preset {name} missing from all_presets()"));
+            assert_eq!(a.sms, *sms, "{name}: SM count drifted from Table 1");
+            assert_eq!(a.clock_ghz, *clock, "{name}: clock drifted from Table 1");
+            assert_eq!(a.mem_bandwidth_gbps, *bw, "{name}: bandwidth drifted from Table 1");
+        }
+    }
+
+    #[test]
+    fn pool_presets_are_fastest_first_and_cycle() {
+        let pool = ArchSpec::pool_presets(8);
+        assert_eq!(pool.len(), 8);
+        let names: Vec<_> = pool.iter().map(|a| a.name).collect();
+        assert_eq!(
+            &names[..6],
+            &["Tesla V100", "Titan Xp", "GTX 1080 Ti", "Tesla P100", "GTX Titan X", "Tesla M60"],
+            "pool order must be descending peak GFLOPS"
+        );
+        // n > 6 cycles back through the order, fastest first again.
+        assert_eq!(names[6], "Tesla V100");
+        assert_eq!(names[7], "Titan Xp");
+        for w in pool[..6].windows(2) {
+            assert!(w[0].peak_gflops() >= w[1].peak_gflops());
+        }
+        assert!(ArchSpec::pool_presets(0).is_empty());
     }
 }

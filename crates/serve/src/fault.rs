@@ -38,6 +38,18 @@ pub const INJECTED_PANIC_MSG: &str = "ctb-serve injected fault: executor panic";
 /// As [`INJECTED_PANIC_MSG`], for the degraded baseline path.
 pub const INJECTED_DEGRADED_PANIC_MSG: &str = "ctb-serve injected fault: degraded-path panic";
 
+/// Human-readable panic payload (shared by the server and the cluster
+/// layer when surfacing a caught panic as a typed error).
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// The failure-capable sites the server consults the injector at.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(usize)]

@@ -53,11 +53,12 @@ mod server;
 mod stats;
 
 pub use fault::{
-    FaultConfig, FaultInjector, FaultLog, FaultSite, INJECTED_DEGRADED_PANIC_MSG,
-    INJECTED_PANIC_MSG,
+    panic_message, FaultConfig, FaultInjector, FaultLog, FaultSite,
+    INJECTED_DEGRADED_PANIC_MSG, INJECTED_PANIC_MSG,
 };
+pub use queue::{BoundedQueue, PopTimedOut, PushError};
 pub use request::{GemmRequest, GemmResult, RequestTiming, ServeError, Ticket};
-pub use retry::{BreakerPolicy, RetryPolicy};
+pub use retry::{Breaker, BreakerPolicy, RetryPolicy};
 pub use server::{ServeConfig, Server};
 pub use stats::ServeStats;
 

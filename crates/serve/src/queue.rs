@@ -16,6 +16,11 @@ struct State<T> {
     closed: bool,
 }
 
+/// A deadline-bounded pop ran out of time while the queue stayed empty
+/// (and open) — distinct from `Ok(None)`, which means closed + drained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PopTimedOut;
+
 /// What a push attempt observed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PushError {
@@ -102,8 +107,9 @@ impl<T> BoundedQueue<T> {
     }
 
     /// Pop, waiting at most until `deadline`. `Ok(None)` means closed
-    /// and drained; `Err(())` means the deadline passed while empty.
-    pub fn pop_until(&self, deadline: Instant) -> Result<Option<T>, ()> {
+    /// and drained; `Err(PopTimedOut)` means the deadline passed while
+    /// the queue stayed empty (and open).
+    pub fn pop_until(&self, deadline: Instant) -> Result<Option<T>, PopTimedOut> {
         let mut st = self.lock();
         loop {
             if let Some(item) = st.q.pop_front() {
@@ -116,7 +122,7 @@ impl<T> BoundedQueue<T> {
             }
             let now = Instant::now();
             if now >= deadline {
-                return Err(());
+                return Err(PopTimedOut);
             }
             let (guard, _timeout) = self
                 .not_empty
@@ -124,6 +130,28 @@ impl<T> BoundedQueue<T> {
                 .unwrap_or_else(|e| e.into_inner());
             st = guard;
         }
+    }
+
+    /// Non-blocking conditional pop: hand the front item to `pred` and
+    /// pop it only when `pred` says so. `None` when the queue is empty
+    /// or the predicate declined. This is the work-stealing primitive:
+    /// a thief examines a victim's head-of-line job and takes it only
+    /// when the predicted steal cost beats waiting.
+    pub fn pop_if(&self, pred: impl FnOnce(&T) -> bool) -> Option<T> {
+        let mut st = self.lock();
+        if !pred(st.q.front()?) {
+            return None;
+        }
+        let item = st.q.pop_front();
+        drop(st);
+        self.not_full.notify_one();
+        item
+    }
+
+    /// Inspect the front item (without popping) under the lock. `None`
+    /// when empty. Keep `f` cheap — it runs with the queue locked.
+    pub fn peek_map<R>(&self, f: impl FnOnce(&T) -> R) -> Option<R> {
+        self.lock().q.front().map(f)
     }
 
     /// Stop accepting items and wake every waiter. Items already queued
@@ -136,6 +164,13 @@ impl<T> BoundedQueue<T> {
 
     pub fn len(&self) -> usize {
         self.lock().q.len()
+    }
+
+    /// The bound `push`/`try_push` enforce (constructor clamps 0 to 1).
+    /// Exposed so an external placer can reason about queue headroom:
+    /// `capacity() - len()` slots accept a push without blocking.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     pub fn is_empty(&self) -> bool {
@@ -211,7 +246,46 @@ mod tests {
     fn pop_until_times_out_when_idle() {
         let q: BoundedQueue<i32> = BoundedQueue::new(1);
         let deadline = Instant::now() + Duration::from_millis(5);
-        assert_eq!(q.pop_until(deadline), Err(()));
+        assert_eq!(q.pop_until(deadline), Err(PopTimedOut));
+    }
+
+    #[test]
+    fn capacity_is_readable_and_clamped() {
+        assert_eq!(BoundedQueue::<i32>::new(7).capacity(), 7);
+        assert_eq!(BoundedQueue::<i32>::new(0).capacity(), 1, "constructor clamp is visible");
+    }
+
+    #[test]
+    fn pop_if_consults_the_front_item_only() {
+        let q = BoundedQueue::new(4);
+        q.push(10).unwrap();
+        q.push(3).unwrap();
+        assert_eq!(q.pop_if(|&v| v > 5), Some(10), "front matches: popped");
+        assert_eq!(q.pop_if(|&v| v > 5), None, "front is 3: declined");
+        assert_eq!(q.len(), 1, "declined item stays queued");
+        assert_eq!(q.pop(), Some(3), "FIFO order undisturbed");
+        assert_eq!(q.pop_if(|_| true), None, "empty queue never calls pred");
+    }
+
+    #[test]
+    fn peek_map_observes_without_popping() {
+        let q = BoundedQueue::new(2);
+        assert_eq!(q.peek_map(|&v: &i32| v), None);
+        q.push(42).unwrap();
+        assert_eq!(q.peek_map(|&v| v * 2), Some(84));
+        assert_eq!(q.len(), 1, "peek leaves the item in place");
+    }
+
+    #[test]
+    fn pop_if_frees_a_slot_for_blocked_pushers() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.push(1).unwrap();
+        let q2 = Arc::clone(&q);
+        let pusher = std::thread::spawn(move || q2.push(2));
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(q.pop_if(|_| true), Some(1));
+        pusher.join().unwrap().expect("push succeeds after conditional pop");
+        assert_eq!(q.pop(), Some(2));
     }
 }
 
@@ -257,7 +331,7 @@ mod invariant_props {
                     match (model.pop_front(), closed) {
                         (Some(want), _) => prop_assert_eq!(r, Ok(Some(want)), "FIFO order"),
                         (None, true) => prop_assert_eq!(r, Ok(None), "closed + drained"),
-                        (None, false) => prop_assert_eq!(r, Err(()), "empty, still open"),
+                        (None, false) => prop_assert_eq!(r, Err(PopTimedOut), "empty, still open"),
                     }
                 }
                 _ => {
@@ -287,6 +361,66 @@ mod invariant_props {
             ops in collection::vec(0u32..3, 1..=60),
         ) {
             apply_script(cap, &ops);
+        }
+
+        #[test]
+        fn concurrent_depth_never_exceeds_capacity(
+            cap in 1usize..=4,
+            per_producer in 1usize..=40,
+        ) {
+            // Two blocking producers and one consumer hammer the queue
+            // while a sampler thread continuously observes the depth;
+            // every observation must respect the constructor's bound.
+            // This is the invariant the cluster placer relies on when it
+            // reads `len()`/`capacity()` from outside the serving layer.
+            let q: Arc<BoundedQueue<u64>> = Arc::new(BoundedQueue::new(cap));
+            let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+            let sampler = {
+                let q = Arc::clone(&q);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut max_seen = 0usize;
+                    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        max_seen = max_seen.max(q.len());
+                        std::hint::spin_loop();
+                    }
+                    max_seen
+                })
+            };
+            let producers: Vec<_> = (0..2u64)
+                .map(|t| {
+                    let q = Arc::clone(&q);
+                    std::thread::spawn(move || {
+                        for i in 0..per_producer as u64 {
+                            q.push(t * 1_000_000 + i).expect("queue stays open");
+                        }
+                    })
+                })
+                .collect();
+            let consumer = {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut got = 0usize;
+                    while let Some(_v) = q.pop() {
+                        got += 1;
+                    }
+                    got
+                })
+            };
+            for p in producers {
+                p.join().unwrap();
+            }
+            q.close();
+            let got = consumer.join().unwrap();
+            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+            let max_seen = sampler.join().unwrap();
+            prop_assert_eq!(got, 2 * per_producer, "every accepted item drained");
+            prop_assert!(
+                max_seen <= q.capacity(),
+                "observed depth {} exceeds capacity {}",
+                max_seen,
+                q.capacity()
+            );
         }
 
         #[test]

@@ -71,22 +71,23 @@ impl Default for BreakerPolicy {
     }
 }
 
-/// Breaker state: lock-free, shared by every worker.
+/// Breaker state: lock-free, shared by every worker (public so the
+/// cluster layer can run one breaker per device over the same policy).
 #[derive(Debug)]
-pub(crate) struct Breaker {
+pub struct Breaker {
     policy: BreakerPolicy,
     consecutive: AtomicUsize,
     open_remaining: AtomicUsize,
 }
 
 impl Breaker {
-    pub(crate) fn new(policy: BreakerPolicy) -> Self {
+    pub fn new(policy: BreakerPolicy) -> Self {
         Breaker { policy, consecutive: AtomicUsize::new(0), open_remaining: AtomicUsize::new(0) }
     }
 
     /// Record a coordinated-path failure; `true` when this failure
     /// tripped the breaker open (the caller counts the trip).
-    pub(crate) fn record_failure(&self) -> bool {
+    pub fn record_failure(&self) -> bool {
         if self.policy.trip_threshold == 0 {
             return false;
         }
@@ -100,14 +101,14 @@ impl Breaker {
     }
 
     /// A coordinated-path success resets the consecutive-failure run.
-    pub(crate) fn record_success(&self) {
+    pub fn record_success(&self) {
         self.consecutive.store(0, Ordering::Relaxed);
     }
 
     /// If open, consume one degraded-batch slot and return `true` (the
     /// batch must be served on the baseline). The last consumed slot
     /// closes the breaker.
-    pub(crate) fn consume_open(&self) -> bool {
+    pub fn consume_open(&self) -> bool {
         let mut cur = self.open_remaining.load(Ordering::Relaxed);
         while cur > 0 {
             match self.open_remaining.compare_exchange_weak(
@@ -123,7 +124,7 @@ impl Breaker {
         false
     }
 
-    pub(crate) fn is_open(&self) -> bool {
+    pub fn is_open(&self) -> bool {
         self.open_remaining.load(Ordering::Relaxed) > 0
     }
 }

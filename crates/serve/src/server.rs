@@ -49,7 +49,7 @@
 //! discarding the stats.
 
 use crate::fault::{
-    FaultInjector, FaultSite, INJECTED_DEGRADED_PANIC_MSG, INJECTED_PANIC_MSG,
+    panic_message, FaultInjector, FaultSite, INJECTED_DEGRADED_PANIC_MSG, INJECTED_PANIC_MSG,
 };
 use crate::queue::{BoundedQueue, PushError};
 use crate::request::{GemmRequest, GemmResult, RequestTiming, ServeError, Ticket};
@@ -353,7 +353,7 @@ fn collect_window(shared: &Shared) -> Option<Vec<Pending>> {
             // next `pop` returns `None` and ends the batcher.
             Ok(None) => break,
             // Window expired.
-            Err(()) => break,
+            Err(_timeout) => break,
         }
     }
     Some(picked)
@@ -433,16 +433,6 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
-/// Human-readable panic payload (for [`ServeError::WorkerPanic`]).
-fn panic_msg(payload: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".to_string()
-    }
-}
 
 fn run_job(shared: &Shared, job: Job) {
     // Retried jobs pay their bounded exponential backoff first, in the
@@ -483,7 +473,7 @@ fn run_job(shared: &Shared, job: Job) {
             Ok(r) => r,
             Err(payload) => {
                 shared.stats.worker_panics.fetch_add(1, Ordering::Relaxed);
-                Err(format!("planner panicked: {}", panic_msg(&*payload)))
+                Err(format!("planner panicked: {}", panic_message(&*payload)))
             }
         }
     };
@@ -633,7 +623,7 @@ fn degrade_member(
         }
         Err(payload) => {
             shared.stats.worker_panics.fetch_add(1, Ordering::Relaxed);
-            shared.respond(&member.tx, Err(ServeError::WorkerPanic(panic_msg(&*payload))));
+            shared.respond(&member.tx, Err(ServeError::WorkerPanic(panic_message(&*payload))));
         }
     }
 }

@@ -27,10 +27,19 @@ cargo test -q -p ctb-serve --test chaos
 echo "== property suites (bounded-queue invariants) =="
 cargo test -q -p ctb-serve invariant_props
 
+echo "== cluster suite (multi-device routing + device-level chaos) =="
+cargo test -q -p ctb-cluster
+
+echo "== cluster demo compiles against the release profile =="
+cargo build --release --example cluster_demo
+
 echo "== cargo clippy --all-targets -- -D warnings =="
 cargo clippy --all-targets -- -D warnings
 
 echo "== cargo clippy -p ctb-serve --all-targets -- -D warnings =="
 cargo clippy -p ctb-serve --all-targets -- -D warnings
+
+echo "== cargo clippy -p ctb-cluster --all-targets -- -D warnings =="
+cargo clippy -p ctb-cluster --all-targets -- -D warnings
 
 echo "check.sh: all gates passed"

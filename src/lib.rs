@@ -17,6 +17,7 @@
 pub use ctb_baselines as baselines;
 pub use ctb_batching as batching;
 pub use ctb_bench as bench;
+pub use ctb_cluster as cluster;
 pub use ctb_convnet as convnet;
 pub use ctb_core as core;
 pub use ctb_forest as forest;
@@ -30,6 +31,7 @@ pub use ctb_tiling as tiling;
 pub mod prelude {
     pub use ctb_baselines::{cke, cublas_like, default_serial, magma_vbatch};
     pub use ctb_batching::{BatchPlan, BatchingHeuristic};
+    pub use ctb_cluster::{Cluster, ClusterConfig, ClusterStats, StealPolicy};
     pub use ctb_core::{Framework, FrameworkConfig, RunOutcome, Session};
     pub use ctb_gpu_specs::{ArchSpec, Thresholds};
     pub use ctb_matrix::{GemmBatch, GemmShape};
