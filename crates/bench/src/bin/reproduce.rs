@@ -7,11 +7,13 @@
 //!
 //! Sub-commands: `tables`, `motivation`, `fig8`, `fig9`, `fig10`,
 //! `fig11`, `googlenet`, `calibrate`, `perf`, `serve`, `chaos`,
-//! `cluster`, `all`. Output is printed in the paper's row/series layout
-//! and mirrored as CSV under `target/experiments/`; `perf`, `serve`,
-//! `chaos` and `cluster` additionally write the tracked
+//! `cluster`, `obs`, `all`. Output is printed in the paper's row/series
+//! layout and mirrored as CSV under `target/experiments/`; `perf`,
+//! `serve`, `chaos`, `cluster` and `obs` additionally write the tracked
 //! `BENCH_executor.json` / `BENCH_serve.json` / `BENCH_chaos.json` /
-//! `BENCH_cluster.json` at the repository root.
+//! `BENCH_cluster.json` / `BENCH_obs.json` at the repository root
+//! (`obs` also diffs the exported key set against the golden schema in
+//! `scripts/BENCH_obs.schema` and fails on drift).
 
 use ctb_bench::figures::{fig11_portability, fig8_grid, fig9_grid, mean_speedup, CellResult};
 use ctb_bench::{ablations, calibrate, fans, googlenet_exp, motivation, tables, write_csv};
@@ -39,6 +41,7 @@ fn main() {
         "serve" => run_serve(&arch),
         "chaos" => run_chaos(&arch),
         "cluster" => run_cluster(),
+        "obs" => run_obs(&arch),
         "all" => {
             run_tables();
             run_motivation(&arch);
@@ -56,7 +59,7 @@ fn main() {
             eprintln!(
                 "unknown experiment '{other}'; expected one of: tables, motivation, \
                  fig8, fig9, fig10, googlenet, fig11, calibrate, ablate, fans, splitk, \
-                 perf, serve, chaos, cluster, plan <MxNxK,...>, custom <csv-file>, all"
+                 perf, serve, chaos, cluster, obs, plan <MxNxK,...>, custom <csv-file>, all"
             );
             std::process::exit(2);
         }
@@ -122,6 +125,57 @@ fn run_chaos(arch: &ArchSpec) {
         );
     }
     println!("(json: {})\n", path.display());
+}
+
+fn run_obs(arch: &ArchSpec) {
+    use ctb_bench::obs_bench;
+    println!("== obs harness: instrumented serve closed loop + trace audit ({}) ==", arch.name);
+    let (r, path) = obs_bench::run_and_write(arch);
+    println!(
+        "   {} requests -> {} events ({} spans) in {:.1} ms | {} flight dumps",
+        r.requests,
+        r.events,
+        r.counts.spans.values().sum::<usize>(),
+        r.wall_ms,
+        r.flight_dumps
+    );
+    println!(
+        "   trace audit: {} admits, {} terminals, {} batches (mean size {:.2}) — reconciled ==",
+        r.counts.admits,
+        r.counts.terminals(),
+        r.counts.batches,
+        if r.counts.batches > 0 {
+            r.counts.batch_members as f64 / r.counts.batches as f64
+        } else {
+            0.0
+        }
+    );
+    println!("(json: {})", path.display());
+
+    // Schema-drift gate: the exported key set must match the checked-in
+    // golden schema exactly; a drift is a deliberate, reviewed change.
+    let golden_path = obs_bench::golden_schema_path();
+    let golden = std::fs::read_to_string(&golden_path)
+        .unwrap_or_else(|e| panic!("cannot read golden schema {}: {e}", golden_path.display()));
+    let golden: Vec<String> = golden.lines().map(str::to_string).collect();
+    let json = std::fs::read_to_string(&path).expect("re-read the report just written");
+    let got = obs_bench::key_paths(&json);
+    if got != golden {
+        eprintln!("BENCH_obs.json schema drift detected:");
+        for g in &golden {
+            if !got.contains(g) {
+                eprintln!("   missing key: {g}");
+            }
+        }
+        for g in &got {
+            if !golden.contains(g) {
+                eprintln!("   unexpected key: {g}");
+            }
+        }
+        eprintln!("update {} deliberately if this is intended", golden_path.display());
+        std::process::exit(1);
+    }
+    println!("   schema gate: {} key paths match {}\n", got.len(), golden_path.display());
 }
 
 fn run_cluster() {

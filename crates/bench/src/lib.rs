@@ -13,6 +13,7 @@ pub mod fans;
 pub mod figures;
 pub mod googlenet_exp;
 pub mod motivation;
+pub mod obs_bench;
 pub mod perf;
 pub mod serve_bench;
 pub mod tables;

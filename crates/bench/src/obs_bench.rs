@@ -1,0 +1,300 @@
+//! `reproduce obs` — the tracked observability harness.
+//!
+//! Runs the serve closed loop with an [`Obs`] bus installed, audits the
+//! resulting trace with [`TraceAudit`] (the bench doubles as an
+//! end-to-end invariant check), and exports a **fixed-schema**
+//! `BENCH_obs.json`: every span kind and every point kind appears, even
+//! at zero, so the key set never depends on which code paths a
+//! particular run happened to exercise. `scripts/check.sh` extracts the
+//! key paths and diffs them against the checked-in golden schema
+//! (`scripts/BENCH_obs.schema`) — schema drift fails the gate.
+
+use ctb_core::{Framework, Session};
+use ctb_gpu_specs::ArchSpec;
+use ctb_matrix::{GemmBatch, GemmShape};
+use ctb_obs::{MetricsSnapshot, Obs, PointKind, SpanKind, TraceAudit, TraceCounts};
+use ctb_serve::{GemmRequest, ServeConfig, Server};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The tracked observability numbers for one instrumented run.
+#[derive(Debug, Clone)]
+pub struct ObsBenchReport {
+    pub producers: usize,
+    pub requests: usize,
+    /// Total events in the log (spans open + close, points).
+    pub events: usize,
+    /// Flight-recorder dumps (0 on a healthy run).
+    pub flight_dumps: usize,
+    pub wall_ms: f64,
+    /// Audited trace counts (exact reconciliation already checked).
+    pub counts: TraceCounts,
+    /// Snapshot of the bus's metrics registry.
+    pub snapshot: MetricsSnapshot,
+}
+
+/// Same repeated-signature pool as the serve harness: cache hits and
+/// real coalescing, so every span kind but the degraded one fires.
+fn shape_pool() -> Vec<GemmShape> {
+    vec![
+        GemmShape::new(16, 32, 64),
+        GemmShape::new(64, 64, 64),
+        GemmShape::new(48, 80, 96),
+        GemmShape::new(17, 33, 41),
+    ]
+}
+
+/// Closed loop with the bus installed; the trace is audited and
+/// reconciled against `ServeStats` with `==` before returning.
+pub fn run_obs_bench(arch: &ArchSpec, producers: usize, per_producer: usize) -> ObsBenchReport {
+    let obs = Arc::new(Obs::wall());
+    let session = Session::new(Framework::new(arch.clone()));
+    let cfg = ServeConfig {
+        max_batch: 16,
+        batch_window: Duration::from_micros(300),
+        queue_capacity: 64,
+        workers: 2,
+        ..ServeConfig::default()
+    };
+    let server =
+        Arc::new(Server::with_instrumentation(session, cfg, None, Some(Arc::clone(&obs))));
+    let pool = shape_pool();
+
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..producers)
+        .map(|t| {
+            let server = Arc::clone(&server);
+            let pool = pool.clone();
+            std::thread::spawn(move || {
+                for i in 0..per_producer {
+                    let shape = pool[(t + i) % pool.len()];
+                    let batch = GemmBatch::random(&[shape], 1.0, 0.5, (t * 10_000 + i) as u64);
+                    server
+                        .submit(GemmRequest {
+                            a: batch.a[0].clone(),
+                            b: batch.b[0].clone(),
+                            c: batch.c[0].clone(),
+                            alpha: batch.alpha,
+                            beta: batch.beta,
+                            deadline: None,
+                        })
+                        .expect("closed-loop submit admitted")
+                        .wait()
+                        .expect("closed-loop request completed");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("producer thread panicked");
+    }
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let server = Arc::into_inner(server).expect("all producers joined");
+    let stats = server.shutdown();
+    let requests = producers * per_producer;
+    assert_eq!(stats.completed, requests, "closed loop completed everything");
+
+    let counts = TraceAudit::new(obs.events()).check().expect("bench trace audits clean");
+    assert_eq!(counts.responds, stats.completed, "trace reconciles with ServeStats");
+    assert_eq!(counts.batches, stats.batches);
+
+    ObsBenchReport {
+        producers,
+        requests,
+        events: obs.events().len(),
+        flight_dumps: obs.flight_dumps().len(),
+        wall_ms,
+        counts,
+        snapshot: obs.metrics().snapshot(),
+    }
+}
+
+/// Fixed-schema JSON: `spans` iterates [`SpanKind::ALL`] and `points`
+/// iterates [`PointKind::ALL_NAMES`], reading every key through
+/// [`MetricsSnapshot::counter`] so absent metrics export as 0 instead
+/// of disappearing. The key set is therefore a constant of the code,
+/// not of the run — which is exactly what the schema gate diffs.
+pub fn render_json(arch: &ArchSpec, r: &ObsBenchReport) -> String {
+    let mut out = format!(
+        "{{\n  \"bench\": \"obs\",\n  \"arch\": \"{}\",\n  \"producers\": {},\n  \
+         \"requests\": {},\n  \"events\": {},\n  \"flight_dumps\": {},\n  \"wall_ms\": {:.3},\n",
+        arch.name, r.producers, r.requests, r.events, r.flight_dumps, r.wall_ms
+    );
+    out.push_str("  \"spans\": {\n");
+    for (i, kind) in SpanKind::ALL.iter().enumerate() {
+        let name = kind.name();
+        let count = r.snapshot.counter(&format!("span.{name}.count"));
+        let (p50, p95) = r
+            .snapshot
+            .histograms
+            .get(&format!("span.{name}.us"))
+            .map(|h| (h.percentile(0.50), h.percentile(0.95)))
+            .unwrap_or((0.0, 0.0));
+        out.push_str(&format!(
+            "    \"{name}\": {{ \"count\": {count}, \"p50_us\": {p50:.1}, \"p95_us\": {p95:.1} }}{}\n",
+            if i + 1 < SpanKind::ALL.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  },\n  \"points\": {\n");
+    for (i, name) in PointKind::ALL_NAMES.iter().enumerate() {
+        let count = r.snapshot.counter(&format!("point.{name}"));
+        out.push_str(&format!(
+            "    \"{name}\": {count}{}\n",
+            if i + 1 < PointKind::ALL_NAMES.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+/// Key paths of a JSON document in our own renderers' shape (one key
+/// per line, objects opened by `"key": {`). Returned in document order,
+/// dotted: `spans.plan.count`. This is the schema the drift gate diffs
+/// — values are deliberately ignored.
+pub fn key_paths(json: &str) -> Vec<String> {
+    let bytes = json.as_bytes();
+    let mut keyed_path: Vec<String> = Vec::new();
+    // One entry per currently-open brace: was it introduced by a key?
+    let mut opens: Vec<bool> = Vec::new();
+    let mut paths = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'"' {
+                    j += 1;
+                }
+                let key = &json[start..j];
+                let mut k = j + 1;
+                while k < bytes.len() && bytes[k].is_ascii_whitespace() {
+                    k += 1;
+                }
+                if k < bytes.len() && bytes[k] == b':' {
+                    // A key, not a string value: record its path, and
+                    // descend if its value is an object.
+                    let mut v = k + 1;
+                    while v < bytes.len() && bytes[v].is_ascii_whitespace() {
+                        v += 1;
+                    }
+                    paths.push(if keyed_path.is_empty() {
+                        key.to_string()
+                    } else {
+                        format!("{}.{}", keyed_path.join("."), key)
+                    });
+                    if v < bytes.len() && bytes[v] == b'{' {
+                        keyed_path.push(key.to_string());
+                        opens.push(true);
+                        i = v + 1;
+                        continue;
+                    }
+                    i = v;
+                } else {
+                    i = j + 1;
+                }
+            }
+            b'{' => {
+                opens.push(false);
+                i += 1;
+            }
+            b'}' => {
+                if opens.pop() == Some(true) {
+                    keyed_path.pop();
+                }
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    paths.sort();
+    paths.dedup();
+    paths
+}
+
+/// Path of the tracked report at the repo root.
+pub fn report_path() -> PathBuf {
+    crate::bench_json_path("obs")
+}
+
+/// Path of the checked-in golden schema the gate diffs against.
+pub fn golden_schema_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../scripts/BENCH_obs.schema")
+}
+
+/// Run the standard tracked configuration, write `BENCH_obs.json`, and
+/// return the report plus the path written.
+pub fn run_and_write(arch: &ArchSpec) -> (ObsBenchReport, PathBuf) {
+    let report = run_obs_bench(arch, 4, 40);
+    let path = crate::write_bench_json("obs", &render_json(arch, &report));
+    (report, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instrumented_closed_loop_audits_and_reports() {
+        let r = run_obs_bench(&ArchSpec::volta_v100(), 2, 5);
+        assert_eq!(r.requests, 10);
+        assert_eq!(r.counts.responds, 10);
+        assert_eq!(r.flight_dumps, 0, "healthy run must not dump");
+        assert!(r.events > 0);
+        assert_eq!(r.snapshot.counter("point.respond"), 10);
+    }
+
+    #[test]
+    fn json_schema_is_fixed_regardless_of_exercised_paths() {
+        // An empty report (no events at all) must export the same key
+        // set as a real run — that is the whole point of the gate.
+        let empty = ObsBenchReport {
+            producers: 0,
+            requests: 0,
+            events: 0,
+            flight_dumps: 0,
+            wall_ms: 0.0,
+            counts: TraceCounts::default(),
+            snapshot: MetricsSnapshot::default(),
+        };
+        let real = run_obs_bench(&ArchSpec::volta_v100(), 1, 3);
+        let arch = ArchSpec::volta_v100();
+        assert_eq!(
+            key_paths(&render_json(&arch, &empty)),
+            key_paths(&render_json(&arch, &real)),
+            "schema must not depend on which seams fired"
+        );
+    }
+
+    #[test]
+    fn key_paths_walks_nested_and_inline_objects() {
+        let json = "{\n  \"a\": 1,\n  \"b\": {\n    \"c\": { \"d\": 2, \"e\": 3 },\n    \"f\": 4\n  }\n}\n";
+        let paths = key_paths(json);
+        for expect in ["a", "b", "b.c", "b.c.d", "b.c.e", "b.f"] {
+            assert!(paths.contains(&expect.to_string()), "missing {expect} in {paths:?}");
+        }
+    }
+
+    #[test]
+    fn golden_schema_matches_the_renderer() {
+        let golden = std::fs::read_to_string(golden_schema_path())
+            .expect("scripts/BENCH_obs.schema is checked in");
+        let golden: Vec<String> = golden.lines().map(str::to_string).collect();
+        let empty = ObsBenchReport {
+            producers: 0,
+            requests: 0,
+            events: 0,
+            flight_dumps: 0,
+            wall_ms: 0.0,
+            counts: TraceCounts::default(),
+            snapshot: MetricsSnapshot::default(),
+        };
+        assert_eq!(
+            key_paths(&render_json(&ArchSpec::volta_v100(), &empty)),
+            golden,
+            "BENCH_obs.json schema drifted; update scripts/BENCH_obs.schema deliberately"
+        );
+    }
+}

@@ -48,12 +48,13 @@ use crate::stats::{AtomicF64, ClusterInner, ClusterStats, DeviceStats};
 use ctb_core::{CacheStats, Framework, PlanShare, Session};
 use ctb_gpu_specs::ArchSpec;
 use ctb_matrix::{GemmBatch, GemmShape, MatF32};
+use ctb_obs::{Obs, PointKind, SpanKind};
 use ctb_serve::{
     panic_message, BoundedQueue, Breaker, BreakerPolicy, FaultInjector, FaultSite, PushError,
     INJECTED_DEGRADED_PANIC_MSG, INJECTED_PANIC_MSG,
 };
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -210,6 +211,9 @@ impl BatchTicket {
 
 /// One batch in flight inside the cluster.
 struct ClusterJob {
+    /// Cluster-unique job id; ties the trace's `Admit` event to its
+    /// terminal event.
+    id: u64,
     batch: GemmBatch,
     tx: mpsc::Sender<Result<ClusterResult, ClusterError>>,
     /// Predicted simulated µs on the device currently holding the job.
@@ -278,6 +282,17 @@ struct Shared {
     share: Arc<PlanShare>,
     closed: AtomicBool,
     stats: ClusterInner,
+    /// The observability seam; `None` (the default) costs one
+    /// discriminant test per site.
+    obs: Option<Arc<Obs>>,
+    /// Job-id source for trace linkage.
+    job_ids: AtomicU64,
+}
+
+impl Shared {
+    fn obs(&self) -> Option<&Obs> {
+        self.obs.as_deref()
+    }
 }
 
 /// Why a placement attempt found no home for a job. Boxed at the
@@ -313,6 +328,26 @@ impl Cluster {
         cfg: ClusterConfig,
         faults: Vec<Option<Arc<FaultInjector>>>,
     ) -> Self {
+        Cluster::with_instrumentation(pool, cfg, faults, None)
+    }
+
+    /// Spawn a cluster with an observability bus installed: placement,
+    /// stealing, re-routing, device kills and per-device plan/exec
+    /// activity all land in one shared trace.
+    pub fn with_observer(pool: Vec<ArchSpec>, cfg: ClusterConfig, obs: Arc<Obs>) -> Self {
+        let n = pool.len();
+        Cluster::with_instrumentation(pool, cfg, vec![None; n], Some(obs))
+    }
+
+    /// Spawn a cluster with any combination of per-device chaos
+    /// schedules and the observability bus — the chaos suites use both
+    /// at once and reconcile the trace against the fault logs exactly.
+    pub fn with_instrumentation(
+        pool: Vec<ArchSpec>,
+        cfg: ClusterConfig,
+        faults: Vec<Option<Arc<FaultInjector>>>,
+        obs: Option<Arc<Obs>>,
+    ) -> Self {
         assert!(!pool.is_empty(), "a cluster needs at least one device");
         assert_eq!(pool.len(), faults.len(), "one fault schedule slot per device");
         let share = Arc::new(PlanShare::new());
@@ -322,7 +357,13 @@ impl Cluster {
             .enumerate()
             .map(|(id, (arch, fault))| Device {
                 id,
-                session: Arc::new(Session::with_share(Framework::new(arch), Arc::clone(&share))),
+                session: {
+                    let s = Session::with_share(Framework::new(arch), Arc::clone(&share));
+                    Arc::new(match &obs {
+                        Some(o) => s.with_obs(Arc::clone(o)),
+                        None => s,
+                    })
+                },
                 queue: BoundedQueue::new(cfg.queue_capacity),
                 backlog_us: AtomicF64::default(),
                 busy_sim_us: AtomicF64::default(),
@@ -341,6 +382,8 @@ impl Cluster {
             share,
             closed: AtomicBool::new(false),
             stats: ClusterInner::default(),
+            obs,
+            job_ids: AtomicU64::new(0),
             cfg,
         });
         let mut workers = Vec::new();
@@ -388,8 +431,18 @@ impl Cluster {
         if let Err(m) = batch.validate() {
             return Err(ClusterError::Invalid(m));
         }
+        let id = self.shared.job_ids.fetch_add(1, Ordering::Relaxed);
+        // Admit is traced *before* placement: once the job lands on a
+        // device queue a worker can emit downstream events for it, and
+        // the log must never show those ahead of the admission. The
+        // synchronous error returns below close the admission with a
+        // job-carrying Reject, which the audit treats as terminal.
+        if let Some(o) = self.shared.obs() {
+            o.point(PointKind::Admit { req: id });
+        }
         let (tx, rx) = mpsc::channel();
         let mut job = ClusterJob {
+            id,
             batch,
             tx,
             predicted_us: 0.0,
@@ -399,6 +452,9 @@ impl Cluster {
         };
         loop {
             if self.shared.closed.load(Ordering::Relaxed) {
+                if let Some(o) = self.shared.obs() {
+                    o.point(PointKind::Reject { req: Some(id) });
+                }
                 return Err(ClusterError::ShuttingDown);
             }
             match try_place(&self.shared, job, None) {
@@ -413,6 +469,9 @@ impl Cluster {
                 }
                 Err(fail) => {
                     if let Some(m) = fail.plan_err {
+                        if let Some(o) = self.shared.obs() {
+                            o.point(PointKind::Reject { req: Some(id) });
+                        }
                         return Err(ClusterError::PlanFailed(m));
                     }
                     // No live device at all: serve inline through the
@@ -454,6 +513,11 @@ impl Cluster {
         &self.shared.share
     }
 
+    /// The attached observability bus, if any.
+    pub fn observer(&self) -> Option<&Arc<Obs>> {
+        self.shared.obs.as_ref()
+    }
+
     /// Take device `id` out of the pool: no further placements land on
     /// it, its queued batches are re-routed to survivors, and its
     /// workers wind down. Batches *mid-execution* on the device finish
@@ -465,6 +529,9 @@ impl Cluster {
             return; // already dead
         }
         self.shared.stats.kills.fetch_add(1, Ordering::Relaxed);
+        if let Some(o) = self.shared.obs() {
+            o.point(PointKind::Kill { device: id });
+        }
         // Closing the queue wakes the device's workers (they exit once
         // it is drained) and makes racing placements fail over cleanly.
         dev.queue.close();
@@ -526,6 +593,9 @@ fn try_place(
     mut job: ClusterJob,
     exclude: Option<usize>,
 ) -> Result<(), Box<PlaceFail>> {
+    // One Place span per placement attempt; the per-device predictions
+    // inside it nest their own Plan spans on the same thread.
+    let _place = shared.obs().map(|o| o.span(SpanKind::Place));
     let mut candidates = Vec::with_capacity(shared.devices.len());
     let mut plan_err = None;
     for dev in &shared.devices {
@@ -570,6 +640,9 @@ fn try_place(
             Ok(()) => {
                 dev.placements.fetch_add(1, Ordering::Relaxed);
                 shared.stats.routed.fetch_add(1, Ordering::Relaxed);
+                if let Some(o) = shared.obs() {
+                    o.point(PointKind::Routed { device: c.device });
+                }
                 return Ok(());
             }
             Err((kind, j)) => {
@@ -589,6 +662,9 @@ fn reroute(shared: &Shared, mut job: ClusterJob, from: usize) {
     job.attempts += 1;
     shared.stats.reroutes.fetch_add(1, Ordering::Relaxed);
     shared.devices[from].reroutes_out.fetch_add(1, Ordering::Relaxed);
+    if let Some(o) = shared.obs() {
+        o.point(PointKind::Reroute { from });
+    }
     if job.attempts > shared.cfg.max_reroutes {
         degrade_inline(shared, job);
         return;
@@ -624,6 +700,9 @@ fn degrade_inline(shared: &Shared, job: ClusterJob) {
         .find(|d| d.alive.load(Ordering::Relaxed))
         .unwrap_or(&shared.devices[0]);
     let inject = donor.roll(FaultSite::DegradedPanic);
+    // Span opened outside the unwind boundary, same as the coordinated
+    // path: a panicking baseline still leaves a closed span behind.
+    let exec_guard = shared.obs().map(|o| o.span(SpanKind::DegradedExec));
     let out = catch_unwind(AssertUnwindSafe(|| {
         if inject {
             std::panic::panic_any(INJECTED_DEGRADED_PANIC_MSG);
@@ -632,11 +711,14 @@ fn degrade_inline(shared: &Shared, job: ClusterJob) {
     }));
     match out {
         Ok(results) => {
+            if let Some(g) = exec_guard {
+                g.finish();
+            }
             let wall_us = job.submitted.elapsed().as_secs_f64() * 1e6;
             shared.stats.completed.fetch_add(1, Ordering::Relaxed);
             shared.stats.degraded.fetch_add(1, Ordering::Relaxed);
             shared.stats.record_latency(wall_us);
-            respond(
+            let abandoned = respond(
                 shared,
                 &job.tx,
                 Ok(ClusterResult {
@@ -650,22 +732,43 @@ fn degrade_inline(shared: &Shared, job: ClusterJob) {
                     reroutes: job.attempts,
                 }),
             );
+            if let Some(o) = shared.obs() {
+                o.point(PointKind::BatchDone {
+                    req: job.id,
+                    device: donor.id,
+                    degraded: true,
+                    abandoned,
+                });
+            }
         }
         Err(payload) => {
+            if let Some(g) = exec_guard {
+                g.finish();
+            }
             shared.stats.worker_panics.fetch_add(1, Ordering::Relaxed);
-            respond(shared, &job.tx, Err(ClusterError::WorkerPanic(panic_message(&*payload))));
+            if let Some(o) = shared.obs() {
+                o.point(PointKind::PanicCaught);
+                o.dump_flight("degraded worker panic");
+            }
+            let abandoned =
+                respond(shared, &job.tx, Err(ClusterError::WorkerPanic(panic_message(&*payload))));
+            if let Some(o) = shared.obs() {
+                o.point(PointKind::Failed { req: job.id, abandoned });
+            }
         }
     }
 }
 
 /// Deliver a response; an abandoned ticket (receiver dropped) is not an
-/// error — the batch still counted as completed above.
+/// error — the batch still counted as completed above. Returns the
+/// abandoned flag so instrumentation can record it on the terminal
+/// trace event.
 fn respond(
     _shared: &Shared,
     tx: &mpsc::Sender<Result<ClusterResult, ClusterError>>,
     r: Result<ClusterResult, ClusterError>,
-) {
-    let _ = tx.send(r);
+) -> bool {
+    tx.send(r).is_err()
 }
 
 fn worker_loop(shared: &Shared, dev_idx: usize) {
@@ -738,6 +841,9 @@ fn try_steal(shared: &Shared, thief_idx: usize) -> bool {
     thief.backlog_us.add(predicted_here);
     thief.steals.fetch_add(1, Ordering::Relaxed);
     shared.stats.steals.fetch_add(1, Ordering::Relaxed);
+    if let Some(o) = shared.obs() {
+        o.point(PointKind::Steal { to: thief_idx, from: victim_idx });
+    }
     run_job(shared, thief_idx, job);
     true
 }
@@ -761,6 +867,10 @@ fn run_job(shared: &Shared, dev_idx: usize, job: ClusterJob) {
             Ok(r) => r,
             Err(payload) => {
                 shared.stats.worker_panics.fetch_add(1, Ordering::Relaxed);
+                if let Some(o) = shared.obs() {
+                    o.point(PointKind::PanicCaught);
+                    o.dump_flight("planner panic");
+                }
                 Err(format!("planner panicked: {}", panic_message(&*payload)))
             }
         }
@@ -769,13 +879,19 @@ fn run_job(shared: &Shared, dev_idx: usize, job: ClusterJob) {
         Ok(plan) => plan,
         Err(_m) => {
             shared.stats.plan_failures.fetch_add(1, Ordering::Relaxed);
+            if let Some(o) = shared.obs() {
+                o.point(PointKind::PlanFailure);
+            }
             fail_and_reroute(shared, dev_idx, job);
             return;
         }
     };
 
     // Execute — panic-isolated; a panic re-routes the batch to a
-    // surviving device instead of killing the worker.
+    // surviving device instead of killing the worker. The span is
+    // opened outside the unwind boundary so a panicking batch still
+    // gets a closed span in the trace (and in any flight dump).
+    let exec_guard = shared.obs().map(|o| o.span(SpanKind::Exec));
     let inject_panic = dev.roll(FaultSite::ExecPanic);
     let executed = catch_unwind(AssertUnwindSafe(|| {
         if inject_panic {
@@ -785,6 +901,9 @@ fn run_job(shared: &Shared, dev_idx: usize, job: ClusterJob) {
     }));
     match executed {
         Ok((results, report)) => {
+            if let Some(g) = exec_guard {
+                g.finish();
+            }
             dev.breaker.record_success();
             dev.backlog_us.add(-job.predicted_us);
             dev.busy_sim_us.add(report.total_us);
@@ -793,7 +912,7 @@ fn run_job(shared: &Shared, dev_idx: usize, job: ClusterJob) {
             shared.stats.record_placement_err(job.predicted_us, report.total_us);
             let wall_us = job.submitted.elapsed().as_secs_f64() * 1e6;
             shared.stats.record_latency(wall_us);
-            respond(
+            let abandoned = respond(
                 shared,
                 &job.tx,
                 Ok(ClusterResult {
@@ -807,9 +926,26 @@ fn run_job(shared: &Shared, dev_idx: usize, job: ClusterJob) {
                     reroutes: job.attempts,
                 }),
             );
+            if let Some(o) = shared.obs() {
+                o.point(PointKind::BatchDone {
+                    req: job.id,
+                    device: dev.id,
+                    degraded: false,
+                    abandoned,
+                });
+            }
         }
         Err(_payload) => {
+            // Close the span before snapshotting, so the flight ring
+            // holds the panicking batch's complete exec span.
+            if let Some(g) = exec_guard {
+                g.finish();
+            }
             shared.stats.worker_panics.fetch_add(1, Ordering::Relaxed);
+            if let Some(o) = shared.obs() {
+                o.point(PointKind::PanicCaught);
+                o.dump_flight("worker panic");
+            }
             fail_and_reroute(shared, dev_idx, job);
         }
     }
@@ -822,6 +958,10 @@ fn fail_and_reroute(shared: &Shared, dev_idx: usize, job: ClusterJob) {
     if dev.breaker.record_failure() {
         dev.breaker_trips.fetch_add(1, Ordering::Relaxed);
         shared.stats.breaker_trips.fetch_add(1, Ordering::Relaxed);
+        if let Some(o) = shared.obs() {
+            o.point(PointKind::BreakerTrip);
+            o.dump_flight("breaker trip");
+        }
         drain_and_reroute(shared, dev_idx);
     }
     dev.backlog_us.add(-job.predicted_us);

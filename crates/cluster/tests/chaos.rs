@@ -12,9 +12,10 @@
 //!    visible in [`ctb_cluster::ClusterStats`] and reconcile with
 //!    per-result provenance.
 
-use ctb_cluster::{Cluster, ClusterConfig, ClusterResult, StealPolicy};
+use ctb_cluster::{Cluster, ClusterConfig, ClusterResult, ClusterStats, StealPolicy};
 use ctb_gpu_specs::ArchSpec;
 use ctb_matrix::{assert_bitwise_eq, GemmBatch, GemmShape};
+use ctb_obs::{Obs, TraceAudit, TraceCounts};
 use ctb_serve::{BreakerPolicy, FaultConfig, FaultInjector};
 use std::sync::{Arc, Once};
 use std::time::Duration;
@@ -43,6 +44,30 @@ fn quiet_injected_panics() {
 
 fn pool() -> Vec<ArchSpec> {
     ArchSpec::pool_presets(2)
+}
+
+/// Every cluster chaos schedule ends here: audit the trace's structural
+/// invariants, then reconcile its counts against the final stats with
+/// `==` — no tolerances.
+fn audit_and_reconcile(obs: &Obs, stats: &ClusterStats) -> TraceCounts {
+    let counts = TraceAudit::new(obs.events()).check().expect("trace invariants hold");
+    assert_eq!(counts.terminals(), counts.admits, "one terminal event per admitted batch");
+    assert_eq!(counts.admits - counts.rejects_admitted, stats.submitted, "admits vs submitted");
+    assert_eq!(counts.batch_done, stats.completed, "batch-done events vs completed");
+    assert_eq!(counts.batch_done_degraded, stats.degraded, "degraded events vs degraded");
+    assert_eq!(counts.routed, stats.routed, "routed events vs routed");
+    assert_eq!(counts.steals, stats.steals, "steal events vs steals");
+    assert_eq!(counts.reroutes, stats.reroutes, "reroute events vs reroutes");
+    assert_eq!(counts.kills, stats.kills, "kill events vs kills");
+    assert_eq!(counts.panics_caught, stats.worker_panics, "panic events vs worker_panics");
+    assert_eq!(counts.plan_failures, stats.plan_failures, "plan-failure events vs plan_failures");
+    assert_eq!(counts.breaker_trips, stats.breaker_trips, "breaker events vs breaker_trips");
+    assert_eq!(counts.plan_cache_hits, stats.plan_cache.hits, "cache-hit events vs plan cache");
+    assert_eq!(
+        counts.plan_cache_misses, stats.plan_cache.misses,
+        "cache-miss events vs plan cache"
+    );
+    counts
 }
 
 /// Drive `n` mixed batches through `cluster`, wait for every ticket,
@@ -83,9 +108,12 @@ fn breaker_opens_mid_load_with_zero_drops_and_exact_results() {
         breaker: BreakerPolicy { trip_threshold: 3, open_batches: 8 },
         ..ClusterConfig::default()
     };
-    let cluster = Cluster::with_faults(pool(), cfg, vec![Some(sick), None]);
+    let cluster =
+        Cluster::with_instrumentation(pool(), cfg, vec![Some(sick), None], Some(Arc::new(Obs::wall())));
     let results = drive_and_verify(&cluster, 24);
+    let obs = Arc::clone(cluster.observer().expect("bus installed"));
     let stats = cluster.shutdown();
+    audit_and_reconcile(&obs, &stats);
 
     assert_eq!(stats.completed, 24, "zero drops");
     assert!(stats.breaker_trips >= 1, "constant plan failures must trip the breaker");
@@ -110,9 +138,16 @@ fn exec_panic_storm_on_one_device_is_contained() {
         breaker: BreakerPolicy { trip_threshold: 6, open_batches: 4 },
         ..ClusterConfig::default()
     };
-    let cluster = Cluster::with_faults(pool(), cfg, vec![Some(flaky), None]);
+    let cluster = Cluster::with_instrumentation(
+        pool(),
+        cfg,
+        vec![Some(flaky), None],
+        Some(Arc::new(Obs::wall())),
+    );
     let results = drive_and_verify(&cluster, 30);
+    let obs = Arc::clone(cluster.observer().expect("bus installed"));
     let stats = cluster.shutdown();
+    audit_and_reconcile(&obs, &stats);
 
     assert_eq!(stats.completed, 30, "zero drops under a panic storm");
     assert!(stats.worker_panics >= 1, "the storm must actually fire");
@@ -134,7 +169,7 @@ fn kill_device_mid_load_reroutes_everything() {
         steal: StealPolicy { enabled: false, ..StealPolicy::default() },
         ..ClusterConfig::default()
     };
-    let cluster = Cluster::new(pool(), cfg);
+    let cluster = Cluster::with_observer(pool(), cfg, Arc::new(Obs::wall()));
     let shapes = vec![GemmShape::new(96, 96, 256); 3];
     let batches: Vec<GemmBatch> =
         (0..16).map(|seed| GemmBatch::random(&shapes, 1.0, 0.0, seed)).collect();
@@ -153,9 +188,13 @@ fn kill_device_mid_load_reroutes_everything() {
             on_dead_coordinated += 1;
         }
     }
+    let obs = Arc::clone(cluster.observer().expect("bus installed"));
     let stats = cluster.shutdown();
+    let counts = audit_and_reconcile(&obs, &stats);
     assert_eq!(stats.completed, 16, "every ticket resolved");
     assert_eq!(stats.kills, 1);
+    assert_eq!(counts.kills, 1, "the kill is visible in the trace");
+    assert_eq!(counts.batch_done, 16, "the trace closes every admitted batch");
     // Batches that were already executing on device 0 may retire there
     // (that is the documented drain semantics); everything queued must
     // have moved. The survivor carries the rest.
@@ -197,9 +236,16 @@ fn chaos_on_every_device_still_serves_exactly() {
         max_reroutes: 2,
         ..ClusterConfig::default()
     };
-    let cluster = Cluster::with_faults(pool(), cfg, vec![Some(f0), Some(f1)]);
+    let cluster = Cluster::with_instrumentation(
+        pool(),
+        cfg,
+        vec![Some(f0), Some(f1)],
+        Some(Arc::new(Obs::wall())),
+    );
     let results = drive_and_verify(&cluster, 32);
+    let obs = Arc::clone(cluster.observer().expect("bus installed"));
     let stats = cluster.shutdown();
+    audit_and_reconcile(&obs, &stats);
     assert_eq!(stats.completed, 32, "zero drops with every device unreliable");
     assert_eq!(results.len(), 32);
     assert!(

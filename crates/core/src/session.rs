@@ -11,6 +11,7 @@
 use crate::framework::{BatchingPolicy, ExecutionPlan, Framework, RunOutcome};
 use crate::memo::{fnv1a, SimMemo};
 use ctb_matrix::{GemmBatch, GemmShape};
+use ctb_obs::{Obs, PointKind, SpanKind};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -131,6 +132,9 @@ pub struct Session {
     stats: Mutex<CacheStats>,
     /// Planning attempts that returned an error (never cached).
     plan_failures: AtomicUsize,
+    /// Observability bus; `None` (the default) makes every
+    /// instrumentation site a single pointer-null check.
+    obs: Option<Arc<Obs>>,
 }
 
 impl Session {
@@ -144,7 +148,29 @@ impl Session {
     /// sessions with different contexts coexist without collisions.
     pub fn with_share(framework: Framework, share: Arc<PlanShare>) -> Self {
         let fp = planning_fingerprint(&framework);
-        Session { framework, share, fp, stats: Mutex::new(CacheStats::default()), plan_failures: AtomicUsize::new(0) }
+        Session {
+            framework,
+            share,
+            fp,
+            stats: Mutex::new(CacheStats::default()),
+            plan_failures: AtomicUsize::new(0),
+            obs: None,
+        }
+    }
+
+    /// Attach an observability bus: planning emits `Plan` spans with
+    /// nested `Autotune` spans on the cold path, plus cache hit/miss
+    /// point events at exactly the sites the [`CacheStats`] counters
+    /// increment (so a trace audit reconciles `==` against
+    /// [`Session::stats`]).
+    pub fn with_obs(mut self, obs: Arc<Obs>) -> Self {
+        self.obs = Some(obs);
+        self
+    }
+
+    /// The attached observability bus, if any.
+    pub fn obs(&self) -> Option<&Arc<Obs>> {
+        self.obs.as_ref()
     }
 
     /// The share backing this session's caches.
@@ -154,9 +180,15 @@ impl Session {
 
     /// The plan for `shapes`, computed on first use and cached.
     pub fn plan(&self, shapes: &[GemmShape]) -> Result<Arc<ExecutionPlan>, String> {
+        // Span covers the whole lookup-or-plan; the guard's drop emits
+        // the end even on the early returns.
+        let _plan_span = self.obs.as_deref().map(|o| o.span(SpanKind::Plan));
         let key = (self.fp, shapes.to_vec());
         if let Some(plan) = self.share.plans.lock().get(&key) {
             self.stats.lock().hits += 1;
+            if let Some(o) = self.obs.as_deref() {
+                o.point(PointKind::PlanCacheHit);
+            }
             return Ok(Arc::clone(plan));
         }
         // Plan outside the lock: planning simulates candidate schemes
@@ -166,21 +198,32 @@ impl Session {
         // miss — a racer that loses is answered from the winner's entry
         // and counts as a hit, so summed misses == distinct cached keys
         // holds even under first-caller races and shared caches.
-        let plan = match self.framework.plan_memoized(shapes, &self.share.sim_memo) {
-            Ok(plan) => Arc::new(plan),
-            Err(m) => {
-                self.plan_failures.fetch_add(1, Ordering::Relaxed);
-                return Err(m);
+        let plan = {
+            // The cold path is the paper's expensive phase: candidate
+            // tiling enumeration + batching coordination + simulation.
+            let _autotune = self.obs.as_deref().map(|o| o.span(SpanKind::Autotune));
+            match self.framework.plan_memoized(shapes, &self.share.sim_memo) {
+                Ok(plan) => Arc::new(plan),
+                Err(m) => {
+                    self.plan_failures.fetch_add(1, Ordering::Relaxed);
+                    return Err(m);
+                }
             }
         };
         let mut cache = self.share.plans.lock();
         match cache.entry(key) {
             std::collections::hash_map::Entry::Occupied(e) => {
                 self.stats.lock().hits += 1;
+                if let Some(o) = self.obs.as_deref() {
+                    o.point(PointKind::PlanCacheHit);
+                }
                 Ok(Arc::clone(e.get()))
             }
             std::collections::hash_map::Entry::Vacant(v) => {
                 self.stats.lock().misses += 1;
+                if let Some(o) = self.obs.as_deref() {
+                    o.point(PointKind::PlanCacheMiss);
+                }
                 Ok(Arc::clone(v.insert(plan)))
             }
         }
@@ -191,7 +234,10 @@ impl Session {
     pub fn run(&self, batch: &GemmBatch) -> Result<RunOutcome, String> {
         batch.validate()?;
         let plan = self.plan(&batch.shapes)?;
-        let (results, report) = self.framework.execute(batch, &plan);
+        let (results, report) = {
+            let _exec = self.obs.as_deref().map(|o| o.span(SpanKind::Exec));
+            self.framework.execute(batch, &plan)
+        };
         Ok(RunOutcome { results, report, plan: (*plan).clone() })
     }
 

@@ -1,0 +1,235 @@
+//! The trace vocabulary: spans and point events.
+//!
+//! Spans bracket the phases the paper's framework actually spends time
+//! in — plan selection (tiling + batching coordination), autotune /
+//! simulation lookups, and batch execution — plus the serving-layer
+//! seams around them (coalescing windows, cluster placement). Point
+//! events mark the state transitions the layer stats count, one event
+//! per counter increment, which is what lets
+//! [`TraceAudit`](crate::audit::TraceAudit) reconcile a trace against
+//! `ServeStats` / `ClusterStats` / `FaultLog` with `==` rather than
+//! tolerance.
+
+/// A phase with duration: emitted as a `SpanBegin`/`SpanEnd` pair
+/// sharing an id, nested per worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpanKind {
+    /// `Session::plan` — tiling selection + batching coordination.
+    Plan,
+    /// Cold-path plan construction (solver + `SimMemo` simulation).
+    Autotune,
+    /// Coordinated batch execution through the packed executor.
+    Exec,
+    /// Per-kernel baseline fallback execution (degraded path).
+    DegradedExec,
+    /// A serve batching window: first pop to batch dispatch.
+    Coalesce,
+    /// Cluster placement decision (sim-cost argmin over devices).
+    Place,
+}
+
+impl SpanKind {
+    /// Stable lowercase name used for metric keys and JSON exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::Plan => "plan",
+            SpanKind::Autotune => "autotune",
+            SpanKind::Exec => "exec",
+            SpanKind::DegradedExec => "degraded_exec",
+            SpanKind::Coalesce => "coalesce",
+            SpanKind::Place => "place",
+        }
+    }
+
+    /// Every span kind, in a fixed order (JSON schema stability).
+    pub const ALL: [SpanKind; 6] = [
+        SpanKind::Plan,
+        SpanKind::Autotune,
+        SpanKind::Exec,
+        SpanKind::DegradedExec,
+        SpanKind::Coalesce,
+        SpanKind::Place,
+    ];
+}
+
+/// An instantaneous state transition.
+///
+/// Terminal events — [`Respond`](PointKind::Respond),
+/// [`Expired`](PointKind::Expired), [`Failed`](PointKind::Failed),
+/// [`BatchDone`](PointKind::BatchDone) — close the life of one admitted
+/// request; the audit demands exactly one per
+/// [`Admit`](PointKind::Admit).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PointKind {
+    /// Request accepted into an admission queue.
+    ///
+    /// Emitted *before* the queue push so downstream events can never
+    /// precede it in the log; if the push then fails, a
+    /// [`Reject`](PointKind::Reject) carrying the same `req` closes it.
+    Admit { req: u64 },
+    /// Request refused at admission. `req` is `None` when the refusal
+    /// happened before admission (injected saturation); `Some` when an
+    /// already-admitted request bounced off a full/closed queue — that
+    /// form is a terminal event for `req`.
+    Reject { req: Option<u64> },
+    /// A panicked batch member re-queued as a singleton.
+    Retry { req: u64 },
+    /// A worker panic contained by `catch_unwind`.
+    PanicCaught,
+    /// Planning returned an error (real or injected).
+    PlanFailure,
+    /// A circuit breaker tripped open.
+    BreakerTrip,
+    /// One coalesced batch finished coordinated execution.
+    BatchExecuted { size: usize },
+    /// Terminal: result delivered (or the ticket was dropped —
+    /// `abandoned`). `batch` is the span id of the Exec/DegradedExec
+    /// span that produced the result; the timing fields mirror the
+    /// `RequestTiming` handed to the caller, so the audit can check
+    /// `queue + plan + exec == total` and that `exec_us` equals the
+    /// referenced span's duration, exactly.
+    Respond {
+        req: u64,
+        batch: u64,
+        degraded: bool,
+        abandoned: bool,
+        queue_us: f64,
+        plan_us: f64,
+        exec_us: f64,
+        total_us: f64,
+    },
+    /// Terminal: deadline passed before planning.
+    Expired { req: u64, abandoned: bool },
+    /// Terminal: request failed (plan failure past budget, panic past
+    /// retries, degraded-path panic).
+    Failed { req: u64, abandoned: bool },
+    /// Plan cache hit in `Session::plan`.
+    PlanCacheHit,
+    /// Plan cache miss (this call built and inserted the plan).
+    PlanCacheMiss,
+    /// Cluster: batch placed on a device queue.
+    Routed { device: usize },
+    /// Cluster: idle device stole a batch from a victim's queue.
+    Steal { to: usize, from: usize },
+    /// Cluster: batch bounced off a failing device and re-entered
+    /// placement.
+    Reroute { from: usize },
+    /// Cluster: device administratively killed.
+    Kill { device: usize },
+    /// Terminal (cluster): batch finished on `device`.
+    BatchDone { req: u64, device: usize, degraded: bool, abandoned: bool },
+}
+
+impl PointKind {
+    /// Stable lowercase name used for metric keys and JSON exports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PointKind::Admit { .. } => "admit",
+            PointKind::Reject { .. } => "reject",
+            PointKind::Retry { .. } => "retry",
+            PointKind::PanicCaught => "panic_caught",
+            PointKind::PlanFailure => "plan_failure",
+            PointKind::BreakerTrip => "breaker_trip",
+            PointKind::BatchExecuted { .. } => "batch_executed",
+            PointKind::Respond { .. } => "respond",
+            PointKind::Expired { .. } => "expired",
+            PointKind::Failed { .. } => "failed",
+            PointKind::PlanCacheHit => "plan_cache_hit",
+            PointKind::PlanCacheMiss => "plan_cache_miss",
+            PointKind::Routed { .. } => "routed",
+            PointKind::Steal { .. } => "steal",
+            PointKind::Reroute { .. } => "reroute",
+            PointKind::Kill { .. } => "kill",
+            PointKind::BatchDone { .. } => "batch_done",
+        }
+    }
+
+    /// Names of every point kind, in a fixed order (JSON schema
+    /// stability — exports emit all of them even when zero).
+    pub const ALL_NAMES: [&'static str; 17] = [
+        "admit",
+        "reject",
+        "retry",
+        "panic_caught",
+        "plan_failure",
+        "breaker_trip",
+        "batch_executed",
+        "respond",
+        "expired",
+        "failed",
+        "plan_cache_hit",
+        "plan_cache_miss",
+        "routed",
+        "steal",
+        "reroute",
+        "kill",
+        "batch_done",
+    ];
+}
+
+/// What an [`Event`] records.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EventKind {
+    /// Span opened; `id` is the begin event's own `seq` (unique and
+    /// deterministic).
+    SpanBegin { span: SpanKind, id: u64 },
+    /// Span closed; `id` matches the begin.
+    SpanEnd { span: SpanKind, id: u64 },
+    /// Instantaneous event.
+    Point(PointKind),
+}
+
+/// One trace entry. `seq` is assigned under the log lock, so trace
+/// order and `seq` order agree; `worker` is a dense id assigned to
+/// threads in first-emission order (deterministic for serial
+/// workloads, unlike `ThreadId`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Event {
+    pub seq: u64,
+    pub t_us: u64,
+    pub worker: u32,
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// Stable single-line rendering; `Obs::render` concatenates these,
+    /// and the determinism suite compares the result byte-for-byte.
+    pub fn render(&self) -> String {
+        format!("#{} t={}us w={} {:?}", self.seq, self.t_us, self.worker, self.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique_and_cover_all() {
+        let mut seen = std::collections::BTreeSet::new();
+        for k in SpanKind::ALL {
+            assert!(seen.insert(k.name()), "duplicate span name {}", k.name());
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        for n in PointKind::ALL_NAMES {
+            assert!(seen.insert(n), "duplicate point name {n}");
+        }
+        // Spot-check that `name()` agrees with the ALL_NAMES table.
+        assert_eq!(PointKind::Admit { req: 0 }.name(), PointKind::ALL_NAMES[0]);
+        assert_eq!(PointKind::Reject { req: None }.name(), PointKind::ALL_NAMES[1]);
+        assert_eq!(
+            PointKind::BatchDone { req: 0, device: 0, degraded: false, abandoned: false }.name(),
+            PointKind::ALL_NAMES[16]
+        );
+    }
+
+    #[test]
+    fn render_is_stable() {
+        let e = Event {
+            seq: 7,
+            t_us: 1234,
+            worker: 2,
+            kind: EventKind::Point(PointKind::Admit { req: 42 }),
+        };
+        assert_eq!(e.render(), "#7 t=1234us w=2 Point(Admit { req: 42 })");
+    }
+}

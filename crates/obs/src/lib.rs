@@ -1,0 +1,375 @@
+//! `ctb-obs` — structured observability for the coordinated
+//! tiling-and-batching stack.
+//!
+//! One [`Obs`] instance is a process-local event bus: instrumented
+//! seams in `ctb-core`, `ctb-serve`, and `ctb-cluster` emit **spans**
+//! (plan / autotune / exec / coalesce / place phases, begin + end with
+//! monotonic microsecond timestamps) and **point events** (admission,
+//! rejection, retries, breaker trips, terminal outcomes — one event per
+//! stats-counter increment). The bus also maintains a **metrics
+//! registry** (counters, gauges, fixed-bucket histograms; snapshot-able
+//! and mergeable) and a bounded **flight recorder** ring whose contents
+//! dump on worker panic or breaker trip.
+//!
+//! Installation follows the same seam as the fault injector: every
+//! layer holds an `Option<Arc<Obs>>` that defaults to `None`, so an
+//! uninstrumented run pays one pointer-null check per site and nothing
+//! else. The clock is pluggable ([`WallClock`] for production,
+//! [`SimClock`] for tests), which makes a seeded single-worker workload
+//! produce **byte-identical** traces across runs — the determinism
+//! suite holds the bus to exactly that.
+//!
+//! ```
+//! use ctb_obs::{Obs, PointKind, SpanKind, TraceAudit};
+//! use std::sync::Arc;
+//!
+//! let obs = Arc::new(Obs::wall());
+//! let t_admit = obs.point(PointKind::Admit { req: 0 });
+//! let exec = obs.span(SpanKind::Exec);
+//! let batch = exec.id();
+//! let (begin, end) = exec.finish();
+//! let exec_us = (end - begin) as f64;
+//! let queue_us = (begin - t_admit) as f64;
+//! obs.point(PointKind::Respond {
+//!     req: 0,
+//!     batch,
+//!     degraded: false,
+//!     abandoned: false,
+//!     queue_us,
+//!     plan_us: 0.0,
+//!     exec_us,
+//!     total_us: queue_us + 0.0 + exec_us,
+//! });
+//! let counts = TraceAudit::new(obs.events()).check().expect("trace audits clean");
+//! assert_eq!(counts.terminals(), 1);
+//! ```
+
+pub mod audit;
+pub mod clock;
+pub mod event;
+pub mod flight;
+pub mod metrics;
+
+pub use audit::{TraceAudit, TraceCounts};
+pub use clock::{ObsClock, SimClock, WallClock};
+pub use event::{Event, EventKind, PointKind, SpanKind};
+pub use flight::FlightDump;
+pub use metrics::{Histogram, Metrics, MetricsSnapshot, HIST_BUCKETS};
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex};
+use std::thread::ThreadId;
+
+/// Bus configuration.
+#[derive(Debug, Clone)]
+pub struct ObsConfig {
+    /// Flight-recorder capacity (most recent events kept).
+    pub ring_capacity: usize,
+    /// Keep the full event log (audit + determinism). Disable for
+    /// long-running metric-only subscribers.
+    pub record_log: bool,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig { ring_capacity: 256, record_log: true }
+    }
+}
+
+struct LogInner {
+    next_seq: u64,
+    events: Vec<Event>,
+    ring: VecDeque<Event>,
+    /// Dense worker ids, assigned in first-emission order so serial
+    /// workloads get deterministic ids (raw `ThreadId`s are not).
+    workers: HashMap<ThreadId, u32>,
+}
+
+/// The event bus. Shared as `Arc<Obs>` across layers; all emission
+/// funnels through one mutex so `seq` order, log order, and ring order
+/// agree — the audit's ordering invariants depend on it.
+pub struct Obs {
+    clock: Arc<dyn ObsClock>,
+    inner: Mutex<LogInner>,
+    dumps: Mutex<Vec<FlightDump>>,
+    metrics: Metrics,
+    cfg: ObsConfig,
+}
+
+impl Obs {
+    /// Wall-clock bus with default config.
+    pub fn wall() -> Self {
+        Self::with_clock(Arc::new(WallClock::new()), ObsConfig::default())
+    }
+
+    /// Simulated-clock bus; the caller keeps the clock and advances it.
+    pub fn sim(clock: Arc<SimClock>) -> Self {
+        Self::with_clock(clock, ObsConfig::default())
+    }
+
+    pub fn with_clock(clock: Arc<dyn ObsClock>, cfg: ObsConfig) -> Self {
+        Obs {
+            clock,
+            inner: Mutex::new(LogInner {
+                next_seq: 0,
+                events: Vec::new(),
+                ring: VecDeque::with_capacity(cfg.ring_capacity.min(1024)),
+                workers: HashMap::new(),
+            }),
+            dumps: Mutex::new(Vec::new()),
+            metrics: Metrics::new(),
+            cfg,
+        }
+    }
+
+    /// Current bus time in microseconds.
+    pub fn now_us(&self) -> u64 {
+        self.clock.now_us()
+    }
+
+    /// Emit one event whose kind may depend on the seq it is assigned
+    /// (span ids are their begin event's seq). Returns (seq, t_us).
+    fn emit_with(&self, f: impl FnOnce(u64) -> EventKind) -> (u64, u64) {
+        let tid = std::thread::current().id();
+        let mut inner = self.inner.lock().unwrap();
+        let t_us = self.clock.now_us();
+        let next_worker = inner.workers.len() as u32;
+        let worker = *inner.workers.entry(tid).or_insert(next_worker);
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        let e = Event { seq, t_us, worker, kind: f(seq) };
+        if self.cfg.record_log {
+            inner.events.push(e);
+        }
+        if self.cfg.ring_capacity > 0 {
+            if inner.ring.len() == self.cfg.ring_capacity {
+                inner.ring.pop_front();
+            }
+            inner.ring.push_back(e);
+        }
+        (seq, t_us)
+    }
+
+    /// Record an instantaneous event; returns its timestamp (callers
+    /// use it to anchor durations to the same clock, e.g. queue time
+    /// measured from the `Admit` event).
+    pub fn point(&self, kind: PointKind) -> u64 {
+        let name = kind.name();
+        let (_, t_us) = self.emit_with(|_| EventKind::Point(kind));
+        self.metrics.add(&format!("point.{name}"), 1);
+        t_us
+    }
+
+    /// Open a span. Close it with [`SpanGuard::finish`] to get the
+    /// exact (begin, end) microsecond pair; if the guard instead drops
+    /// during unwind, the drop emits the `SpanEnd` so traces stay
+    /// well-formed across panics.
+    pub fn span(&self, kind: SpanKind) -> SpanGuard<'_> {
+        let (seq, t_us) = self.emit_with(|seq| EventKind::SpanBegin { span: kind, id: seq });
+        SpanGuard { obs: self, kind, id: seq, begin_us: t_us, done: false }
+    }
+
+    fn end_span(&self, kind: SpanKind, id: u64, begin_us: u64) -> u64 {
+        let (_, end_us) = self.emit_with(|_| EventKind::SpanEnd { span: kind, id });
+        let name = kind.name();
+        self.metrics.add(&format!("span.{name}.count"), 1);
+        self.metrics.observe(&format!("span.{name}.us"), (end_us - begin_us) as f64);
+        end_us
+    }
+
+    /// Copy of the full event log (empty when `record_log` is off).
+    pub fn events(&self) -> Vec<Event> {
+        self.inner.lock().unwrap().events.clone()
+    }
+
+    /// Byte-stable rendering of the whole log, one event per line —
+    /// what the determinism suite compares across runs.
+    pub fn render(&self) -> String {
+        let inner = self.inner.lock().unwrap();
+        let mut out = String::new();
+        for e in &inner.events {
+            out.push_str(&e.render());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Snapshot the flight ring into the dump list. Called on worker
+    /// panic and breaker trip; tests read it back with
+    /// [`flight_dumps`](Self::flight_dumps).
+    pub fn dump_flight(&self, reason: &str) {
+        let events: Vec<Event> = {
+            let inner = self.inner.lock().unwrap();
+            inner.ring.iter().copied().collect()
+        };
+        self.metrics.add("flight.dumps", 1);
+        self.dumps.lock().unwrap().push(FlightDump { reason: reason.to_string(), events });
+    }
+
+    /// All flight dumps captured so far, oldest first.
+    pub fn flight_dumps(&self) -> Vec<FlightDump> {
+        self.dumps.lock().unwrap().clone()
+    }
+
+    /// The metrics registry (spans and points also feed it
+    /// automatically: `point.<name>` counters, `span.<name>.count`
+    /// counters, `span.<name>.us` histograms).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+}
+
+/// Open span handle. Prefer [`finish`](Self::finish) — it returns the
+/// exact (begin, end) microsecond pair so callers can report durations
+/// that reconcile with the trace to the bit. Dropping the guard —
+/// including during a panic's unwind — closes the span too, so the
+/// audit's "every span closed" invariant survives `catch_unwind`
+/// seams.
+pub struct SpanGuard<'a> {
+    obs: &'a Obs,
+    kind: SpanKind,
+    id: u64,
+    begin_us: u64,
+    done: bool,
+}
+
+impl SpanGuard<'_> {
+    /// The span id (`SpanBegin` event's seq) — what `Respond` terminal
+    /// events reference as `batch`.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    pub fn begin_us(&self) -> u64 {
+        self.begin_us
+    }
+
+    /// Close the span; returns (begin_us, end_us) from the bus clock.
+    pub fn finish(mut self) -> (u64, u64) {
+        self.done = true;
+        let end = self.obs.end_span(self.kind, self.id, self.begin_us);
+        (self.begin_us, end)
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if !self.done {
+            self.obs.end_span(self.kind, self.id, self.begin_us);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_events_when_nothing_emitted() {
+        let obs = Obs::wall();
+        assert!(obs.events().is_empty());
+        assert!(obs.flight_dumps().is_empty());
+        assert_eq!(obs.render(), "");
+    }
+
+    #[test]
+    fn span_ids_match_begin_seq_and_metrics_follow() {
+        let obs = Obs::wall();
+        let g = obs.span(SpanKind::Plan);
+        assert_eq!(g.id(), 0);
+        let (b, e) = g.finish();
+        assert!(e >= b);
+        let events = obs.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, EventKind::SpanBegin { span: SpanKind::Plan, id: 0 });
+        assert_eq!(events[1].kind, EventKind::SpanEnd { span: SpanKind::Plan, id: 0 });
+        let snap = obs.metrics().snapshot();
+        assert_eq!(snap.counter("span.plan.count"), 1);
+        assert_eq!(snap.histograms["span.plan.us"].count(), 1);
+    }
+
+    #[test]
+    fn dropped_guard_still_closes_the_span() {
+        let obs = Obs::wall();
+        {
+            let _g = obs.span(SpanKind::Exec);
+        }
+        let audit = TraceAudit::new(obs.events()).check().expect("drop closed the span");
+        assert_eq!(audit.span_count(SpanKind::Exec), 1);
+    }
+
+    #[test]
+    fn unwinding_past_a_guard_closes_the_span() {
+        let obs = Obs::wall();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g = obs.span(SpanKind::Exec);
+            panic!("boom");
+        }));
+        assert!(caught.is_err());
+        TraceAudit::new(obs.events()).check().expect("unwind closed the span");
+    }
+
+    #[test]
+    fn point_returns_clock_time_and_counts() {
+        let clock = Arc::new(SimClock::new());
+        let obs = Obs::sim(Arc::clone(&clock));
+        clock.advance(500);
+        let t = obs.point(PointKind::Reject { req: None });
+        assert_eq!(t, 500);
+        assert_eq!(obs.metrics().snapshot().counter("point.reject"), 1);
+    }
+
+    #[test]
+    fn flight_ring_is_bounded_and_dumps_latest() {
+        let clock = Arc::new(SimClock::new());
+        let obs = Obs::with_clock(clock, ObsConfig { ring_capacity: 4, record_log: true });
+        for i in 0..10u64 {
+            obs.point(PointKind::Admit { req: i });
+        }
+        obs.dump_flight("test");
+        let dumps = obs.flight_dumps();
+        assert_eq!(dumps.len(), 1);
+        assert_eq!(dumps[0].reason, "test");
+        assert_eq!(dumps[0].events.len(), 4, "ring bounded at capacity");
+        let seqs: Vec<u64> = dumps[0].events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9], "latest events, oldest first");
+        assert!(dumps[0].render().contains("flight recorder dump (test): 4 events"));
+    }
+
+    #[test]
+    fn sim_clock_traces_are_byte_identical() {
+        let run = || {
+            let clock = Arc::new(SimClock::new());
+            let obs = Obs::sim(Arc::clone(&clock));
+            obs.point(PointKind::Admit { req: 1 });
+            clock.advance(100);
+            let g = obs.span(SpanKind::Exec);
+            clock.advance(50);
+            let (b, e) = g.finish();
+            obs.point(PointKind::Respond {
+                req: 1,
+                batch: 1,
+                degraded: false,
+                abandoned: false,
+                queue_us: 100.0,
+                plan_us: 0.0,
+                exec_us: (e - b) as f64,
+                total_us: 150.0,
+            });
+            obs.render()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn record_log_off_keeps_ring_but_not_log() {
+        let obs = Obs::with_clock(
+            Arc::new(WallClock::new()),
+            ObsConfig { ring_capacity: 8, record_log: false },
+        );
+        obs.point(PointKind::Reject { req: None });
+        assert!(obs.events().is_empty());
+        obs.dump_flight("x");
+        assert_eq!(obs.flight_dumps()[0].events.len(), 1);
+    }
+}

@@ -1,0 +1,402 @@
+//! Metrics registry: counters, gauges, and fixed-bucket histograms.
+//!
+//! Everything is keyed by string in `BTreeMap`s so snapshots iterate in
+//! a stable order — the JSON export is deterministic without any
+//! sorting pass, which is what the `BENCH_obs.json` schema gate in
+//! `scripts/check.sh` relies on.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Number of histogram buckets. Bucket 0 holds everything `<= 1.0`
+/// (including negatives, zeros, subnormals, and negative NaN); buckets
+/// `1..=62` hold `(2^(i-1), 2^i]`; bucket 63 holds `+inf` / positive
+/// NaN and any finite overflow past `2^62`.
+pub const HIST_BUCKETS: usize = 64;
+
+/// Fixed power-of-two-bucket histogram over `f64` samples.
+///
+/// The bucket function is monotone non-decreasing under
+/// [`f64::total_cmp`] ordering, which gives the oracle property the
+/// property tests pin down: for any sample stream,
+/// `percentile(q) == upper_edge(bucket_of(x))` where `x` is the
+/// nearest-rank element of the `total_cmp`-sorted stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    buckets: [u64; HIST_BUCKETS],
+    count: u64,
+    /// Sum in insertion order (bit-exact reproducible for a fixed
+    /// stream, NaN-propagating like any f64 accumulation).
+    sum: f64,
+    /// Smallest / largest observed sample under `total_cmp`.
+    min: f64,
+    max: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Histogram { buckets: [0; HIST_BUCKETS], count: 0, sum: 0.0, min: f64::NAN, max: f64::NAN }
+    }
+
+    /// Bucket index for a sample. Total order: negative NaN sorts below
+    /// everything (`total_cmp`), so it lands in bucket 0 with the rest
+    /// of the `<= 1.0` mass; positive NaN sorts above `+inf` and lands
+    /// in the last bucket.
+    pub fn bucket_of(v: f64) -> usize {
+        if v.is_nan() {
+            return if v.is_sign_negative() { 0 } else { HIST_BUCKETS - 1 };
+        }
+        if v <= 1.0 {
+            return 0;
+        }
+        if v == f64::INFINITY {
+            return HIST_BUCKETS - 1;
+        }
+        // v > 1.0 finite: exponent e >= 0, v in [2^e, 2^(e+1)).
+        // Exact powers of two belong to the bucket they close,
+        // everything else to the next one up: (2^(i-1), 2^i] -> i.
+        let bits = v.to_bits();
+        let e = ((bits >> 52) & 0x7ff) as i64 - 1023;
+        let fraction = bits & ((1u64 << 52) - 1);
+        let idx = if fraction == 0 { e } else { e + 1 };
+        (idx as usize).clamp(1, HIST_BUCKETS - 2)
+    }
+
+    /// Inclusive upper edge of a bucket — the value `percentile`
+    /// reports for samples that fell in it.
+    pub fn upper_edge(idx: usize) -> f64 {
+        if idx == 0 {
+            1.0
+        } else if idx >= HIST_BUCKETS - 1 {
+            f64::INFINITY
+        } else {
+            (idx as u32 as f64).exp2()
+        }
+    }
+
+    pub fn observe(&mut self, v: f64) {
+        self.buckets[Self::bucket_of(v)] += 1;
+        self.sum += v;
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            if v.total_cmp(&self.min).is_lt() {
+                self.min = v;
+            }
+            if v.total_cmp(&self.max).is_gt() {
+                self.max = v;
+            }
+        }
+        self.count += 1;
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Smallest observed sample under `total_cmp`; NaN when empty.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observed sample under `total_cmp`; NaN when empty.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    pub fn buckets(&self) -> &[u64; HIST_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Nearest-rank percentile, reported as the upper edge of the
+    /// bucket holding the ranked sample (same rank convention as
+    /// `ServeStats::percentile`: `rank = ceil(q * n)` clamped to
+    /// `[1, n]`). Returns 0.0 when empty.
+    pub fn percentile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                return Self::upper_edge(i);
+            }
+        }
+        Self::upper_edge(HIST_BUCKETS - 1)
+    }
+
+    /// Element-wise merge (counts add, min/max combine, sums add).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.sum += other.sum;
+        if other.count > 0 {
+            if self.count == 0 {
+                self.min = other.min;
+                self.max = other.max;
+            } else {
+                if other.min.total_cmp(&self.min).is_lt() {
+                    self.min = other.min;
+                }
+                if other.max.total_cmp(&self.max).is_gt() {
+                    self.max = other.max;
+                }
+            }
+        }
+        self.count += other.count;
+    }
+}
+
+#[derive(Default)]
+struct MetricsInner {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// Thread-safe registry. One mutex: metric updates are rare relative
+/// to the arithmetic they measure, and a single lock keeps snapshots
+/// atomic (a snapshot never shows a counter from before an update and
+/// a histogram from after it).
+#[derive(Default)]
+pub struct Metrics {
+    inner: Mutex<MetricsInner>,
+}
+
+impl Metrics {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn inc(&self, name: &str) {
+        self.add(name, 1);
+    }
+
+    pub fn add(&self, name: &str, delta: u64) {
+        let mut m = self.inner.lock().unwrap();
+        *m.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        let mut m = self.inner.lock().unwrap();
+        m.gauges.insert(name.to_string(), value);
+    }
+
+    pub fn observe(&self, name: &str, value: f64) {
+        let mut m = self.inner.lock().unwrap();
+        m.histograms.entry(name.to_string()).or_default().observe(value);
+    }
+
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let m = self.inner.lock().unwrap();
+        MetricsSnapshot {
+            counters: m.counters.clone(),
+            gauges: m.gauges.clone(),
+            histograms: m.histograms.clone(),
+        }
+    }
+}
+
+/// Point-in-time copy of a [`Metrics`] registry. Mergeable so
+/// multi-device / multi-server runs can be combined into one export.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, f64>,
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsSnapshot {
+    /// Fold another snapshot into this one: counters add, gauges take
+    /// the other's value (last writer wins), histograms merge.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            self.gauges.insert(k.clone(), *v);
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(h);
+        }
+    }
+
+    /// Counter value, 0 when absent (fixed-schema exports read every
+    /// expected key through this).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Stable JSON rendering (BTreeMap order; no external dependency).
+    pub fn to_json(&self) -> String {
+        fn fmt_f64(v: f64) -> String {
+            if v.is_finite() {
+                format!("{v:.3}")
+            } else {
+                // JSON has no inf/nan literals; null keeps parsers alive.
+                "null".to_string()
+            }
+        }
+        let mut out = String::from("{\n  \"counters\": {");
+        let mut first = true;
+        for (k, v) in &self.counters {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("\n    \"{k}\": {v}"));
+        }
+        out.push_str("\n  },\n  \"gauges\": {");
+        let mut first = true;
+        for (k, v) in &self.gauges {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("\n    \"{k}\": {}", fmt_f64(*v)));
+        }
+        out.push_str("\n  },\n  \"histograms\": {");
+        let mut first = true;
+        for (k, h) in &self.histograms {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "\n    \"{k}\": {{ \"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"p50\": {}, \"p95\": {} }}",
+                h.count(),
+                fmt_f64(h.sum()),
+                fmt_f64(h.min()),
+                fmt_f64(h.max()),
+                fmt_f64(h.percentile(0.50)),
+                fmt_f64(h.percentile(0.95)),
+            ));
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges_are_exact_powers() {
+        assert_eq!(Histogram::bucket_of(0.5), 0);
+        assert_eq!(Histogram::bucket_of(1.0), 0);
+        assert_eq!(Histogram::bucket_of(1.0000001), 1);
+        assert_eq!(Histogram::bucket_of(2.0), 1);
+        assert_eq!(Histogram::bucket_of(2.0000001), 2);
+        assert_eq!(Histogram::bucket_of(4.0), 2);
+        assert_eq!(Histogram::bucket_of(1024.0), 10);
+        assert_eq!(Histogram::bucket_of(1025.0), 11);
+    }
+
+    #[test]
+    fn bucket_handles_edge_values() {
+        assert_eq!(Histogram::bucket_of(-0.0), 0);
+        assert_eq!(Histogram::bucket_of(0.0), 0);
+        assert_eq!(Histogram::bucket_of(f64::MIN_POSITIVE / 2.0), 0, "subnormal");
+        assert_eq!(Histogram::bucket_of(-1e300), 0);
+        assert_eq!(Histogram::bucket_of(f64::NEG_INFINITY), 0);
+        assert_eq!(Histogram::bucket_of(f64::INFINITY), HIST_BUCKETS - 1);
+        assert_eq!(Histogram::bucket_of(f64::NAN), HIST_BUCKETS - 1);
+        assert_eq!(Histogram::bucket_of(-f64::NAN), 0, "negative NaN sorts below all");
+        assert_eq!(Histogram::bucket_of(f64::MAX), HIST_BUCKETS - 2, "finite overflow clamps");
+    }
+
+    #[test]
+    fn bucket_is_monotone_under_total_cmp() {
+        let mut probes = vec![
+            -f64::NAN,
+            f64::NEG_INFINITY,
+            -1e300,
+            -2.5,
+            -0.0,
+            0.0,
+            f64::MIN_POSITIVE / 4.0,
+            0.5,
+            1.0,
+            1.5,
+            2.0,
+            3.0,
+            1024.0,
+            1e9,
+            f64::MAX,
+            f64::INFINITY,
+            f64::NAN,
+        ];
+        probes.sort_by(|a, b| a.total_cmp(b));
+        let idx: Vec<usize> = probes.iter().map(|&v| Histogram::bucket_of(v)).collect();
+        assert!(idx.windows(2).all(|w| w[0] <= w[1]), "non-monotone buckets: {idx:?}");
+    }
+
+    #[test]
+    fn percentile_matches_rank_convention() {
+        let mut h = Histogram::new();
+        for v in [3.0, 10.0, 100.0, 1000.0] {
+            h.observe(v);
+        }
+        // Ranks: p50 -> 2nd element (10.0, bucket 4, edge 16), p95 ->
+        // 4th (1000.0, bucket 10, edge 1024).
+        assert_eq!(h.percentile(0.50), 16.0);
+        assert_eq!(h.percentile(0.95), 1024.0);
+        assert_eq!(h.percentile(0.0), Histogram::upper_edge(Histogram::bucket_of(3.0)));
+        assert_eq!(Histogram::new().percentile(0.5), 0.0);
+    }
+
+    #[test]
+    fn merge_combines_exactly() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in [1.0, 5.0] {
+            a.observe(v);
+        }
+        for v in [200.0, -3.0] {
+            b.observe(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.sum(), 1.0 + 5.0 + 200.0 + -3.0);
+        assert_eq!(a.min(), -3.0);
+        assert_eq!(a.max(), 200.0);
+    }
+
+    #[test]
+    fn registry_snapshot_and_merge() {
+        let m = Metrics::new();
+        m.inc("a");
+        m.add("a", 2);
+        m.set_gauge("g", 1.5);
+        m.observe("h", 42.0);
+        let mut s1 = m.snapshot();
+        assert_eq!(s1.counter("a"), 3);
+        assert_eq!(s1.counter("missing"), 0);
+        let m2 = Metrics::new();
+        m2.inc("a");
+        m2.inc("b");
+        m2.observe("h", 7.0);
+        s1.merge(&m2.snapshot());
+        assert_eq!(s1.counter("a"), 4);
+        assert_eq!(s1.counter("b"), 1);
+        assert_eq!(s1.histograms["h"].count(), 2);
+        let json = s1.to_json();
+        assert!(json.contains("\"counters\""));
+        assert!(json.contains("\"p95\""));
+    }
+}

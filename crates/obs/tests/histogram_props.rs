@@ -1,0 +1,149 @@
+//! Property tests pinning `ctb_obs::Histogram` semantics to a naive
+//! sort-based oracle over arbitrary f64 streams — including ±0.0,
+//! subnormals, infinities, NaNs of both signs, and duplicates.
+//!
+//! The key property: the bucket function is monotone non-decreasing
+//! under `total_cmp`, so the histogram's nearest-rank percentile must
+//! equal the upper edge of the bucket holding the *oracle's*
+//! nearest-rank element. Count, min, max, and the insertion-order sum
+//! are exact (bit-compared, so NaN streams still verify).
+
+use ctb_obs::Histogram;
+use proptest::prelude::*;
+
+/// f64 stream element: weighted toward adversarial values.
+fn sample() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        Just(0.0f64),
+        Just(-0.0f64),
+        Just(1.0f64),
+        Just(2.0f64),
+        Just(1024.0f64),
+        Just(f64::MIN_POSITIVE),
+        Just(f64::MIN_POSITIVE / 8.0), // subnormal
+        Just(f64::MAX),
+        Just(f64::INFINITY),
+        Just(f64::NEG_INFINITY),
+        Just(f64::NAN),
+        Just(-f64::NAN),
+        -1.0e9f64..1.0e9f64,
+        0.0f64..100.0f64,
+    ]
+}
+
+/// Nearest-rank element of the `total_cmp`-sorted stream — the same
+/// rank convention `ServeStats::percentile` and
+/// `Histogram::percentile` use: `rank = ceil(q*n)` clamped to [1, n].
+fn oracle_rank_element(values: &[f64], q: f64) -> f64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn percentile_matches_sort_oracle(
+        values in proptest::collection::vec(sample(), 1..=80),
+        q in 0.0f64..=1.0f64,
+    ) {
+        let mut hist = Histogram::new();
+        for &v in &values {
+            hist.observe(v);
+        }
+        let expect = Histogram::upper_edge(Histogram::bucket_of(oracle_rank_element(&values, q)));
+        let got = hist.percentile(q);
+        prop_assert!(
+            got.to_bits() == expect.to_bits(),
+            "percentile({q}) = {got}, oracle bucket edge {expect}, stream {values:?}"
+        );
+    }
+
+    #[test]
+    fn fixed_quantiles_match_sort_oracle(values in proptest::collection::vec(sample(), 1..=80)) {
+        let mut hist = Histogram::new();
+        for &v in &values {
+            hist.observe(v);
+        }
+        for q in [0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            let expect =
+                Histogram::upper_edge(Histogram::bucket_of(oracle_rank_element(&values, q)));
+            prop_assert!(hist.percentile(q).to_bits() == expect.to_bits());
+        }
+    }
+
+    #[test]
+    fn count_sum_min_max_are_exact(values in proptest::collection::vec(sample(), 1..=80)) {
+        let mut hist = Histogram::new();
+        let mut naive_sum = 0.0f64;
+        for &v in &values {
+            hist.observe(v);
+            naive_sum += v;
+        }
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        prop_assert_eq!(hist.count(), values.len() as u64);
+        // Bit-exact sums, except that adding two NaNs is not bitwise
+        // commutative at the hardware level (the propagated payload
+        // depends on operand order) — there only NaN-ness is pinned.
+        if naive_sum.is_nan() {
+            prop_assert!(hist.sum().is_nan());
+        } else {
+            prop_assert!(hist.sum().to_bits() == naive_sum.to_bits(), "insertion-order sum is exact");
+        }
+        prop_assert!(hist.min().to_bits() == sorted[0].to_bits(), "min is total_cmp minimum");
+        prop_assert!(
+            hist.max().to_bits() == sorted[sorted.len() - 1].to_bits(),
+            "max is total_cmp maximum"
+        );
+        prop_assert_eq!(hist.buckets().iter().sum::<u64>(), values.len() as u64);
+    }
+
+    #[test]
+    fn bucket_is_monotone_under_total_cmp(values in proptest::collection::vec(sample(), 2..=80)) {
+        let mut sorted = values;
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        for w in sorted.windows(2) {
+            prop_assert!(
+                Histogram::bucket_of(w[0]) <= Histogram::bucket_of(w[1]),
+                "bucket_of not monotone: {} -> {}, {} -> {}",
+                w[0],
+                Histogram::bucket_of(w[0]),
+                w[1],
+                Histogram::bucket_of(w[1])
+            );
+        }
+    }
+
+    #[test]
+    fn merge_equals_observing_the_concatenation(
+        left in proptest::collection::vec(sample(), 0..=40),
+        right in proptest::collection::vec(sample(), 0..=40),
+    ) {
+        let mut a = Histogram::new();
+        for &v in &left {
+            a.observe(v);
+        }
+        let mut b = Histogram::new();
+        for &v in &right {
+            b.observe(v);
+        }
+        let mut whole = Histogram::new();
+        for &v in left.iter().chain(right.iter()) {
+            whole.observe(v);
+        }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert_eq!(a.buckets(), whole.buckets());
+        // Sums differ only by association order; min/max are exact.
+        if whole.count() > 0 {
+            prop_assert!(a.min().to_bits() == whole.min().to_bits());
+            prop_assert!(a.max().to_bits() == whole.max().to_bits());
+        }
+        for q in [0.5, 0.95] {
+            prop_assert!(a.percentile(q).to_bits() == whole.percentile(q).to_bits());
+        }
+    }
+}

@@ -57,8 +57,9 @@ use crate::retry::{Breaker, BreakerPolicy, RetryPolicy};
 use crate::stats::{ServeStats, StatsInner};
 use ctb_core::{ExecutionPlan, Framework, Session};
 use ctb_matrix::{GemmBatch, MatF32};
+use ctb_obs::{Obs, PointKind, SpanKind};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -96,15 +97,24 @@ impl Default for ServeConfig {
 
 /// One admitted request waiting to be batched.
 struct Pending {
+    /// Server-unique request id; ties the trace's `Admit` event to its
+    /// terminal event.
+    id: u64,
     req: GemmRequest,
     tx: mpsc::Sender<Result<GemmResult, ServeError>>,
     enqueued: Instant,
+    /// Admission time on the observability clock (0 when no bus is
+    /// installed). Kept alongside `enqueued` so instrumented runs
+    /// measure queue time on the *same* clock the trace records.
+    enqueued_us: u64,
 }
 
 /// One response route of a coalesced batch.
 struct Member {
+    id: u64,
     tx: mpsc::Sender<Result<GemmResult, ServeError>>,
     enqueued: Instant,
+    enqueued_us: u64,
     /// Times this request has been re-admitted after a worker panic.
     attempts: u32,
 }
@@ -127,6 +137,11 @@ struct Shared {
     /// The chaos seam; `None` (the default) costs one discriminant test
     /// per site.
     fault: Option<Arc<FaultInjector>>,
+    /// The observability seam; `None` (the default) costs one
+    /// discriminant test per site, same as `fault`.
+    obs: Option<Arc<Obs>>,
+    /// Request-id source for trace linkage.
+    req_ids: AtomicU64,
 }
 
 impl Shared {
@@ -156,11 +171,22 @@ impl Shared {
 
     /// Send a response, counting it as abandoned when the requester has
     /// dropped its ticket. Nothing the server computes vanishes
-    /// untracked.
-    fn respond(&self, tx: &mpsc::Sender<Result<GemmResult, ServeError>>, r: Result<GemmResult, ServeError>) {
-        if tx.send(r).is_err() {
+    /// untracked. Returns the abandoned flag so instrumentation can
+    /// record it on the terminal trace event.
+    fn respond(
+        &self,
+        tx: &mpsc::Sender<Result<GemmResult, ServeError>>,
+        r: Result<GemmResult, ServeError>,
+    ) -> bool {
+        let abandoned = tx.send(r).is_err();
+        if abandoned {
             self.stats.abandoned.fetch_add(1, Ordering::Relaxed);
         }
+        abandoned
+    }
+
+    fn obs(&self) -> Option<&Obs> {
+        self.obs.as_deref()
     }
 }
 
@@ -182,7 +208,7 @@ impl Server {
     /// several servers (or a server plus offline callers) share one
     /// plan cache and simulation memo.
     pub fn with_session(session: Arc<Session>, cfg: ServeConfig) -> Self {
-        Server::build(session, cfg, None)
+        Server::build(session, cfg, None, None)
     }
 
     /// Spawn a server with a chaos schedule attached. Every
@@ -194,10 +220,40 @@ impl Server {
         cfg: ServeConfig,
         injector: Arc<FaultInjector>,
     ) -> Self {
-        Server::build(session, cfg, Some(injector))
+        Server::build(session, cfg, Some(injector), None)
     }
 
-    fn build(session: Arc<Session>, cfg: ServeConfig, fault: Option<Arc<FaultInjector>>) -> Self {
+    /// Spawn a server with an observability bus installed: every hot
+    /// seam emits spans and point events to `obs`, and the bus is also
+    /// attached to the session so plan-cache activity lands in the same
+    /// trace. Takes the session by value because attaching the bus is a
+    /// consuming builder ([`Session::with_obs`]).
+    pub fn with_observer(session: Session, cfg: ServeConfig, obs: Arc<Obs>) -> Self {
+        Server::with_instrumentation(session, cfg, None, Some(obs))
+    }
+
+    /// Spawn a server with any combination of the chaos seam and the
+    /// observability bus — the chaos suites use both at once and
+    /// reconcile the resulting trace against the fault log exactly.
+    pub fn with_instrumentation(
+        session: Session,
+        cfg: ServeConfig,
+        fault: Option<Arc<FaultInjector>>,
+        obs: Option<Arc<Obs>>,
+    ) -> Self {
+        let session = match &obs {
+            Some(o) => session.with_obs(Arc::clone(o)),
+            None => session,
+        };
+        Server::build(Arc::new(session), cfg, fault, obs)
+    }
+
+    fn build(
+        session: Arc<Session>,
+        cfg: ServeConfig,
+        fault: Option<Arc<FaultInjector>>,
+        obs: Option<Arc<Obs>>,
+    ) -> Self {
         let shared = Arc::new(Shared {
             admission: BoundedQueue::new(cfg.queue_capacity),
             // The batcher is the only producer besides retry
@@ -209,6 +265,8 @@ impl Server {
             breaker: Breaker::new(cfg.breaker.clone()),
             retry_tokens: AtomicUsize::new(cfg.retry.retry_budget),
             fault,
+            obs,
+            req_ids: AtomicU64::new(0),
             cfg,
         });
 
@@ -248,13 +306,26 @@ impl Server {
             return Err(ServeError::Invalid(m));
         }
         // Injected queue saturation (non-blocking path only — `submit`'s
-        // contract is to block, not to report Full).
+        // contract is to block, not to report Full). Refused before
+        // admission, so the trace's reject carries no request id.
         if !blocking && self.shared.roll(FaultSite::AdmitReject) {
             self.shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            if let Some(o) = self.shared.obs() {
+                o.point(PointKind::Reject { req: None });
+            }
             return Err(ServeError::QueueFull);
         }
+        let id = self.shared.req_ids.fetch_add(1, Ordering::Relaxed);
+        // Admit is traced *before* the push: once the pending request is
+        // in the queue the batcher can emit downstream events for it,
+        // and the log must never show those ahead of the admission. A
+        // failed push is closed out with a request-carrying Reject.
+        let enqueued_us = match self.shared.obs() {
+            Some(o) => o.point(PointKind::Admit { req: id }),
+            None => 0,
+        };
         let (tx, rx) = mpsc::channel();
-        let pending = Pending { req, tx, enqueued: Instant::now() };
+        let pending = Pending { id, req, tx, enqueued: Instant::now(), enqueued_us };
         let pushed = if blocking {
             self.shared.admission.push(pending)
         } else {
@@ -267,6 +338,9 @@ impl Server {
             }
             Err(kind) => {
                 self.shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                if let Some(o) = self.shared.obs() {
+                    o.point(PointKind::Reject { req: Some(id) });
+                }
                 Err(match kind {
                     PushError::Full => ServeError::QueueFull,
                     PushError::Closed => ServeError::ShuttingDown,
@@ -293,6 +367,11 @@ impl Server {
     /// The attached chaos schedule, if any.
     pub fn fault_injector(&self) -> Option<&Arc<FaultInjector>> {
         self.shared.fault.as_ref()
+    }
+
+    /// The attached observability bus, if any.
+    pub fn observer(&self) -> Option<&Arc<Obs>> {
+        self.shared.obs.as_ref()
     }
 
     /// Requests currently waiting in the admission queue (monitoring
@@ -344,6 +423,9 @@ impl Drop for Server {
 /// Returns `None` when the server is fully drained.
 fn collect_window(shared: &Shared) -> Option<Vec<Pending>> {
     let first = shared.admission.pop()?;
+    // The first pop opens the batching window; the guard's drop at
+    // return closes the Coalesce span.
+    let _window = shared.obs().map(|o| o.span(SpanKind::Coalesce));
     let deadline = Instant::now() + shared.cfg.batch_window;
     let mut picked = vec![first];
     while picked.len() < shared.cfg.max_batch.max(1) {
@@ -372,7 +454,10 @@ fn batcher_loop(shared: &Shared) {
                     || shared.roll(FaultSite::Expire) =>
                 {
                     shared.stats.expired.fetch_add(1, Ordering::Relaxed);
-                    shared.respond(&p.tx, Err(ServeError::Expired));
+                    let abandoned = shared.respond(&p.tx, Err(ServeError::Expired));
+                    if let Some(o) = shared.obs() {
+                        o.point(PointKind::Expired { req: p.id, abandoned });
+                    }
                 }
                 _ => live.push(p),
             }
@@ -409,7 +494,13 @@ fn ship_group(shared: &Shared, alpha: f32, beta: f32, group: Vec<Pending>) {
         a.push(p.req.a);
         b.push(p.req.b);
         c.push(p.req.c);
-        members.push(Member { tx: p.tx, enqueued: p.enqueued, attempts: 0 });
+        members.push(Member {
+            id: p.id,
+            tx: p.tx,
+            enqueued: p.enqueued,
+            enqueued_us: p.enqueued_us,
+            attempts: 0,
+        });
     }
     match GemmBatch::from_parts(a, b, c, alpha, beta) {
         Ok(batch) => {
@@ -421,7 +512,11 @@ fn ship_group(shared: &Shared, alpha: f32, beta: f32, group: Vec<Pending>) {
         }
         Err(m) => {
             for member in members {
-                shared.respond(&member.tx, Err(ServeError::PlanFailed(m.clone())));
+                let abandoned =
+                    shared.respond(&member.tx, Err(ServeError::PlanFailed(m.clone())));
+                if let Some(o) = shared.obs() {
+                    o.point(PointKind::Failed { req: member.id, abandoned });
+                }
             }
         }
     }
@@ -443,12 +538,22 @@ fn run_job(shared: &Shared, job: Job) {
     }
 
     let n = job.batch.len();
+    let obs = shared.obs();
     let t_plan = Instant::now();
-    let queue_us: Vec<f64> = job
-        .members
-        .iter()
-        .map(|m| t_plan.duration_since(m.enqueued).as_secs_f64() * 1e6)
-        .collect();
+    // When the bus is installed, all reported durations come off its
+    // clock so (a) SimClock runs are reproducible and (b) the audit can
+    // demand exact equality between `RequestTiming` and the trace.
+    let t0_us = obs.map(|o| o.now_us());
+    let queue_us: Vec<f64> = match t0_us {
+        Some(t0) => {
+            job.members.iter().map(|m| t0.saturating_sub(m.enqueued_us) as f64).collect()
+        }
+        None => job
+            .members
+            .iter()
+            .map(|m| t_plan.duration_since(m.enqueued).as_secs_f64() * 1e6)
+            .collect(),
+    };
 
     // Open breaker: the coordinated path is suspect — go straight to
     // the baseline, consuming one of the breaker's open slots.
@@ -473,6 +578,10 @@ fn run_job(shared: &Shared, job: Job) {
             Ok(r) => r,
             Err(payload) => {
                 shared.stats.worker_panics.fetch_add(1, Ordering::Relaxed);
+                if let Some(o) = obs {
+                    o.point(PointKind::PanicCaught);
+                    o.dump_flight("planner panic");
+                }
                 Err(format!("planner panicked: {}", panic_message(&*payload)))
             }
         }
@@ -481,19 +590,35 @@ fn run_job(shared: &Shared, job: Job) {
         Ok(plan) => plan,
         Err(_m) => {
             shared.stats.plan_failures.fetch_add(1, Ordering::Relaxed);
+            if let Some(o) = obs {
+                o.point(PointKind::PlanFailure);
+            }
             if shared.breaker.record_failure() {
                 shared.stats.breaker_trips.fetch_add(1, Ordering::Relaxed);
+                if let Some(o) = obs {
+                    o.point(PointKind::BreakerTrip);
+                    o.dump_flight("breaker trip");
+                }
             }
-            let plan_us = t_plan.elapsed().as_secs_f64() * 1e6;
+            let plan_us = match (obs, t0_us) {
+                (Some(o), Some(t0)) => o.now_us().saturating_sub(t0) as f64,
+                _ => t_plan.elapsed().as_secs_f64() * 1e6,
+            };
             degrade_job(shared, job, &queue_us, plan_us, n);
             return;
         }
     };
-    let plan_us = t_plan.elapsed().as_secs_f64() * 1e6;
 
     // Execute — panic-isolated. A panic converts the batch into
-    // per-member retries instead of killing the worker.
+    // per-member retries instead of killing the worker. The exec span is
+    // opened *outside* the unwind boundary so a panicking batch still
+    // gets a closed span in the trace (and in any flight dump).
+    let exec_guard = obs.map(|o| o.span(SpanKind::Exec));
     let t_exec = Instant::now();
+    let plan_us = match (&exec_guard, t0_us) {
+        (Some(g), Some(t0)) => g.begin_us().saturating_sub(t0) as f64,
+        _ => t_plan.elapsed().as_secs_f64() * 1e6,
+    };
     let inject_panic = shared.roll(FaultSite::ExecPanic);
     let executed = catch_unwind(AssertUnwindSafe(|| {
         if inject_panic {
@@ -506,19 +631,57 @@ fn run_job(shared: &Shared, job: Job) {
     match executed {
         Ok((results, _report)) => {
             shared.breaker.record_success();
-            let exec_us = t_exec.elapsed().as_secs_f64() * 1e6;
+            let (batch_span, exec_us) = match exec_guard {
+                Some(g) => {
+                    let id = g.id();
+                    let (begin, end) = g.finish();
+                    (id, end.saturating_sub(begin) as f64)
+                }
+                None => (0, t_exec.elapsed().as_secs_f64() * 1e6),
+            };
             shared.stats.batches.fetch_add(1, Ordering::Relaxed);
+            if let Some(o) = obs {
+                o.point(PointKind::BatchExecuted { size: n });
+            }
             for ((member, c), queue_us) in job.members.into_iter().zip(results).zip(queue_us) {
                 let timing = RequestTiming { queue_us, plan_us, exec_us, batch_size: n };
-                shared.stats.record_latency(timing.total_us());
+                let total_us = timing.total_us();
+                shared.stats.record_latency(total_us);
                 shared.stats.completed.fetch_add(1, Ordering::Relaxed);
-                shared.respond(&member.tx, Ok(GemmResult { c, timing, degraded: false }));
+                let abandoned =
+                    shared.respond(&member.tx, Ok(GemmResult { c, timing, degraded: false }));
+                if let Some(o) = obs {
+                    o.point(PointKind::Respond {
+                        req: member.id,
+                        batch: batch_span,
+                        degraded: false,
+                        abandoned,
+                        queue_us,
+                        plan_us,
+                        exec_us,
+                        total_us,
+                    });
+                }
             }
         }
         Err(_payload) => {
+            // Close the span before snapshotting, so the flight ring
+            // holds the panicking batch's complete exec span.
+            if let Some(g) = exec_guard {
+                g.finish();
+            }
             shared.stats.worker_panics.fetch_add(1, Ordering::Relaxed);
+            if let Some(o) = obs {
+                o.point(PointKind::PanicCaught);
+            }
             if shared.breaker.record_failure() {
                 shared.stats.breaker_trips.fetch_add(1, Ordering::Relaxed);
+                if let Some(o) = obs {
+                    o.point(PointKind::BreakerTrip);
+                }
+            }
+            if let Some(o) = obs {
+                o.dump_flight("worker panic");
             }
             retry_or_degrade(shared, job, &queue_us, plan_us, n);
         }
@@ -537,6 +700,9 @@ fn retry_or_degrade(shared: &Shared, job: Job, queue_us: &[f64], plan_us: f64, n
         let single = member_batch(&batch, i, alpha, beta);
         if member.attempts <= shared.cfg.retry.max_retries && shared.take_retry_token() {
             shared.stats.retries.fetch_add(1, Ordering::Relaxed);
+            if let Some(o) = shared.obs() {
+                o.point(PointKind::Retry { req: member.id });
+            }
             let retry = Job { batch: single, members: vec![member] };
             if let Err((_closed, retry)) = shared.jobs.try_push(retry) {
                 // Shutdown already closed the job queue: resolve inline
@@ -601,10 +767,14 @@ fn degrade_member(
     plan_us: f64,
     n: usize,
 ) {
+    let obs = shared.obs();
     let t_exec = Instant::now();
     let inject_panic = shared.roll(FaultSite::DegradedPanic);
     let arch = shared.session.framework().arch();
     let single = member_batch(batch, i, batch.alpha, batch.beta);
+    // Span opened outside the unwind boundary, same as the coordinated
+    // path: a panicking baseline still leaves a closed span behind.
+    let exec_guard = obs.map(|o| o.span(SpanKind::DegradedExec));
     let out: Result<Vec<MatF32>, _> = catch_unwind(AssertUnwindSafe(|| {
         if inject_panic {
             std::panic::panic_any(INJECTED_DEGRADED_PANIC_MSG);
@@ -614,16 +784,48 @@ fn degrade_member(
     match out {
         Ok(mut results) => {
             let c = results.pop().expect("single-GEMM baseline yields one result");
-            let exec_us = t_exec.elapsed().as_secs_f64() * 1e6;
+            let (batch_span, exec_us) = match exec_guard {
+                Some(g) => {
+                    let id = g.id();
+                    let (begin, end) = g.finish();
+                    (id, end.saturating_sub(begin) as f64)
+                }
+                None => (0, t_exec.elapsed().as_secs_f64() * 1e6),
+            };
             let timing = RequestTiming { queue_us, plan_us, exec_us, batch_size: n };
-            shared.stats.record_latency(timing.total_us());
+            let total_us = timing.total_us();
+            shared.stats.record_latency(total_us);
             shared.stats.completed.fetch_add(1, Ordering::Relaxed);
             shared.stats.degraded.fetch_add(1, Ordering::Relaxed);
-            shared.respond(&member.tx, Ok(GemmResult { c, timing, degraded: true }));
+            let abandoned =
+                shared.respond(&member.tx, Ok(GemmResult { c, timing, degraded: true }));
+            if let Some(o) = obs {
+                o.point(PointKind::Respond {
+                    req: member.id,
+                    batch: batch_span,
+                    degraded: true,
+                    abandoned,
+                    queue_us,
+                    plan_us,
+                    exec_us,
+                    total_us,
+                });
+            }
         }
         Err(payload) => {
+            if let Some(g) = exec_guard {
+                g.finish();
+            }
             shared.stats.worker_panics.fetch_add(1, Ordering::Relaxed);
-            shared.respond(&member.tx, Err(ServeError::WorkerPanic(panic_message(&*payload))));
+            if let Some(o) = obs {
+                o.point(PointKind::PanicCaught);
+                o.dump_flight("degraded worker panic");
+            }
+            let abandoned = shared
+                .respond(&member.tx, Err(ServeError::WorkerPanic(panic_message(&*payload))));
+            if let Some(o) = obs {
+                o.point(PointKind::Failed { req: member.id, abandoned });
+            }
         }
     }
 }

@@ -16,13 +16,18 @@
 //! 4. **Exact accounting** — [`ServeStats`] reconciles against the
 //!    injector's [`FaultLog`] and the client-side tallies, whatever
 //!    the thread interleaving.
+//! 5. **Exact observability** — every schedule runs with the `ctb-obs`
+//!    bus installed; [`TraceAudit`] checks the structural invariants of
+//!    the trace (span nesting, one terminal per admission, additive
+//!    timings) and its counts reconcile `==` against [`ServeStats`].
 
 use ctb_core::{Framework, Session};
 use ctb_gpu_specs::ArchSpec;
 use ctb_matrix::{assert_bitwise_eq, GemmBatch, GemmShape, MatF32};
+use ctb_obs::{Obs, TraceAudit, TraceCounts};
 use ctb_serve::{
     BreakerPolicy, FaultConfig, FaultInjector, GemmRequest, RetryPolicy, ServeConfig, ServeError,
-    Server, Ticket,
+    ServeStats, Server, Ticket,
 };
 use std::sync::{Arc, Once};
 use std::time::Duration;
@@ -54,9 +59,42 @@ fn quiet_injected_panics() {
 fn server_with_faults(cfg: ServeConfig, faults: FaultConfig) -> (Server, Arc<FaultInjector>) {
     quiet_injected_panics();
     let injector = Arc::new(FaultInjector::new(faults));
-    let session = Arc::new(Session::new(Framework::new(ArchSpec::volta_v100())));
-    let server = Server::with_fault_injection(session, cfg, Arc::clone(&injector));
+    let session = Session::new(Framework::new(ArchSpec::volta_v100()));
+    let obs = Arc::new(Obs::wall());
+    let server =
+        Server::with_instrumentation(session, cfg, Some(Arc::clone(&injector)), Some(obs));
     (server, injector)
+}
+
+/// Every chaos schedule ends here: audit the trace's structural
+/// invariants, then reconcile its counts against the final stats with
+/// `==` — no tolerances. Any dropped, duplicated, or mis-attributed
+/// event fails one of these.
+fn audit_and_reconcile(obs: &Obs, stats: &ServeStats) -> TraceCounts {
+    let counts = TraceAudit::new(obs.events()).check().expect("trace invariants hold");
+    assert_eq!(counts.terminals(), counts.admits, "one terminal event per admitted request");
+    assert_eq!(counts.admits - counts.rejects_admitted, stats.submitted, "admits vs submitted");
+    assert_eq!(counts.rejects, stats.rejected, "reject events vs rejected");
+    assert_eq!(counts.responds, stats.completed, "respond events vs completed");
+    assert_eq!(counts.responds_degraded, stats.degraded, "degraded responds vs degraded");
+    assert_eq!(counts.expired, stats.expired, "expiry events vs expired");
+    assert_eq!(counts.panics_caught, stats.worker_panics, "panic events vs worker_panics");
+    assert_eq!(counts.plan_failures, stats.plan_failures, "plan-failure events vs plan_failures");
+    assert_eq!(counts.breaker_trips, stats.breaker_trips, "breaker events vs breaker_trips");
+    assert_eq!(counts.retries, stats.retries, "retry events vs retries");
+    assert_eq!(counts.batches, stats.batches, "batch events vs batches");
+    assert_eq!(
+        counts.batch_members,
+        stats.completed - stats.degraded,
+        "coordinated batch sizes vs coordinated completions"
+    );
+    assert_eq!(counts.abandoned(), stats.abandoned, "abandoned flags vs abandoned");
+    assert_eq!(counts.plan_cache_hits, stats.plan_cache.hits, "cache-hit events vs plan cache");
+    assert_eq!(
+        counts.plan_cache_misses, stats.plan_cache.misses,
+        "cache-miss events vs plan cache"
+    );
+    counts
 }
 
 /// Deterministic request + its bitwise-expected result.
@@ -115,7 +153,9 @@ fn plan_failure_storm_degrades_exactly_and_stays_bitwise_exact() {
         assert_bitwise_eq(&expected, std::slice::from_ref(&got.c), "storm result");
         degraded_seen += usize::from(got.degraded);
     }
+    let obs = Arc::clone(server.observer().expect("bus installed"));
     let stats = server.shutdown();
+    audit_and_reconcile(&obs, &stats);
     let log = injector.log();
     assert!(log.plan_fails > 0, "the storm actually fired: {log:?}");
     assert_eq!(stats.plan_failures, log.plan_fails, "every injected failure counted");
@@ -160,7 +200,9 @@ fn exec_panic_storm_retries_with_exact_accounting() {
             .expect("panics must retry or degrade, not error");
         assert_bitwise_eq(&expected, std::slice::from_ref(&got.c), "panic-storm result");
     }
+    let obs = Arc::clone(server.observer().expect("bus installed"));
     let stats = server.shutdown();
+    audit_and_reconcile(&obs, &stats);
     let log = injector.log();
     assert!(log.exec_panics > 0, "the storm actually fired: {log:?}");
     assert_eq!(stats.worker_panics, log.exec_panics, "every panic caught and counted");
@@ -209,7 +251,9 @@ fn slow_worker_and_deadline_storm_accounts_expiries_exactly() {
             Err(e) => panic!("unexpected error under slow/deadline storm: {e}"),
         }
     }
+    let obs = Arc::clone(server.observer().expect("bus installed"));
     let stats = server.shutdown();
+    audit_and_reconcile(&obs, &stats);
     let log = injector.log();
     assert!(log.expires > 0 && log.slow_workers > 0, "the storm actually fired: {log:?}");
     assert_eq!(stats.expired, log.expires, "only injected expiries fired");
@@ -250,7 +294,9 @@ fn queue_saturation_rejects_exactly_the_injected_admissions() {
         let got = t.wait_for(HANG_BOUND).expect("accepted requests complete");
         assert_bitwise_eq(&expected, std::slice::from_ref(&got.c), "saturation result");
     }
+    let obs = Arc::clone(server.observer().expect("bus installed"));
     let stats = server.shutdown();
+    audit_and_reconcile(&obs, &stats);
     let log = injector.log();
     assert!(log.admit_rejects > 0, "the storm actually fired: {log:?}");
     assert_eq!(rejected, log.admit_rejects, "only injected rejections fired");
@@ -332,9 +378,11 @@ fn combined_storm_conserves_every_request_and_reconciles_stats() {
         handles.into_iter().map(|h| h.join().expect("producer survives")).collect()
     });
     let server = Arc::into_inner(server).expect("sole owner after the scope");
+    let obs = Arc::clone(server.observer().expect("bus installed"));
     let stats = server.stats();
     let final_stats = server.shutdown();
     assert_eq!(stats, final_stats, "drain had already completed; shutdown adds nothing");
+    audit_and_reconcile(&obs, &final_stats);
 
     let log = injector.log();
     let (ok, expired, panicked) = tallies
@@ -393,7 +441,9 @@ fn breaker_trips_and_recovers_deterministically() {
         assert!(got.degraded, "nothing can succeed coordinated under a 100% panic rate");
         assert_bitwise_eq(&expected, std::slice::from_ref(&got.c), "breaker-cycle result");
     }
+    let obs = Arc::clone(server.observer().expect("bus installed"));
     let stats = server.shutdown();
+    audit_and_reconcile(&obs, &stats);
     let log = injector.log();
     // Single worker, single-member batches: the sequence is exactly
     // 6 panics → trip → 4 open (no planning, no panic roll) → 6 panics
@@ -434,7 +484,9 @@ fn zero_retry_budget_degrades_without_retrying() {
             .expect("budget exhaustion degrades, never errors");
         assert_bitwise_eq(&expected, std::slice::from_ref(&got.c), "no-budget result");
     }
+    let obs = Arc::clone(server.observer().expect("bus installed"));
     let stats = server.shutdown();
+    audit_and_reconcile(&obs, &stats);
     let log = injector.log();
     assert!(log.exec_panics > 0, "the storm actually fired: {log:?}");
     assert_eq!(stats.retries, 0, "a zero budget admits no retries at all");
@@ -464,7 +516,10 @@ fn dropped_tickets_are_counted_as_abandoned() {
         let (req, _) = request_and_expected(pool[i % pool.len()], 7000 + i as u64);
         drop(server.submit(req).expect("admitted"));
     }
+    let obs = Arc::clone(server.observer().expect("bus installed"));
     let stats = server.shutdown();
+    let counts = audit_and_reconcile(&obs, &stats);
     assert_eq!(stats.completed, N, "the server still computed every result");
     assert_eq!(stats.abandoned, N, "every undeliverable response was counted");
+    assert_eq!(counts.responds_abandoned, N, "the trace agrees on every abandonment");
 }

@@ -1,0 +1,214 @@
+//! Observability-specific serve tests.
+//!
+//! 1. `ServeStats::percentile` is pinned to two independent oracles: a
+//!    counting-based nearest-rank formulation (no sorting, no shared
+//!    code path) and the `ctb-obs` histogram's bucket-edge projection —
+//!    the same oracle the histogram property suite uses.
+//! 2. The flight recorder's panic-path contract: a worker panic's dump
+//!    must contain the panicking batch's *closed* Exec span, i.e. the
+//!    span guard outlives the `catch_unwind` boundary and finishes
+//!    before the ring is captured.
+
+use ctb_core::{Framework, Session};
+use ctb_gpu_specs::ArchSpec;
+use ctb_matrix::{GemmBatch, GemmShape};
+use ctb_obs::{EventKind, Histogram, Obs, PointKind, SpanKind, TraceAudit};
+use ctb_serve::{FaultConfig, FaultInjector, GemmRequest, ServeConfig, ServeStats, Server};
+use proptest::prelude::*;
+use std::cmp::Ordering;
+use std::sync::{Arc, Once};
+use std::time::Duration;
+
+const HANG_BOUND: Duration = Duration::from_secs(30);
+
+/// Injected panics unwind through `catch_unwind` by design; silence
+/// only *their* default-hook noise so real panics still print.
+fn quiet_injected_panics() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let payload = info.payload();
+            let msg = payload
+                .downcast_ref::<&str>()
+                .copied()
+                .or_else(|| payload.downcast_ref::<String>().map(String::as_str));
+            let injected = msg.is_some_and(|s| s.contains("ctb-serve injected fault"));
+            if !injected {
+                default(info);
+            }
+        }));
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: percentile vs independent oracles.
+// ---------------------------------------------------------------------------
+
+/// Latency-ish stream element, weighted toward adversarial values. The
+/// serving layer only ever records finite non-negative latencies, but
+/// the percentile helper must stay total over anything a future caller
+/// feeds it.
+fn sample() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        Just(0.0f64),
+        Just(-0.0f64),
+        Just(1.0f64),
+        Just(17.5f64),
+        Just(1024.0f64),
+        Just(f64::MIN_POSITIVE / 8.0), // subnormal
+        Just(f64::MAX),
+        Just(f64::INFINITY),
+        Just(f64::NEG_INFINITY),
+        Just(f64::NAN),
+        Just(-f64::NAN),
+        -1.0e9f64..1.0e9f64,
+        0.0f64..5.0e5f64,
+    ]
+}
+
+/// Counting-based nearest-rank: the `total_cmp`-smallest element with
+/// at least `ceil(q*n)` elements at or below it. No sort, so it shares
+/// nothing with the implementation under test.
+fn counting_oracle(values: &[f64], q: f64) -> f64 {
+    let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+    values
+        .iter()
+        .copied()
+        .filter(|x| values.iter().filter(|v| v.total_cmp(x) != Ordering::Greater).count() >= rank)
+        .min_by(|a, b| a.total_cmp(b))
+        .expect("the stream maximum always qualifies")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn percentile_matches_counting_oracle(
+        values in proptest::collection::vec(sample(), 1..=60),
+        q in 0.0f64..=1.0f64,
+    ) {
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let got = ServeStats::percentile(&sorted, q);
+        let expect = counting_oracle(&values, q);
+        prop_assert!(
+            got.to_bits() == expect.to_bits(),
+            "percentile({q}) = {got}, counting oracle {expect}, stream {values:?}"
+        );
+    }
+
+    /// The obs histogram's nearest-rank percentile must land on the
+    /// upper edge of the bucket holding `ServeStats::percentile`'s
+    /// answer for the same stream — the two implementations agree up to
+    /// the histogram's bucket resolution, for *any* input.
+    #[test]
+    fn percentile_agrees_with_histogram_bucket_projection(
+        values in proptest::collection::vec(sample(), 1..=60),
+        q in 0.0f64..=1.0f64,
+    ) {
+        let mut hist = Histogram::new();
+        for &v in &values {
+            hist.observe(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let exact = ServeStats::percentile(&sorted, q);
+        let expect = Histogram::upper_edge(Histogram::bucket_of(exact));
+        let got = hist.percentile(q);
+        prop_assert!(
+            got.to_bits() == expect.to_bits(),
+            "histogram percentile({q}) = {got}, bucket edge of exact {exact} is {expect}"
+        );
+    }
+}
+
+#[test]
+fn percentile_of_empty_stream_is_zero() {
+    assert_eq!(ServeStats::percentile(&[], 0.5), 0.0);
+    assert_eq!(ServeStats::percentile(&[], 1.0), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: flight-recorder dump on worker panic composes with
+// `catch_unwind` — the dump holds the panicking batch's closed span.
+// ---------------------------------------------------------------------------
+
+fn request(seed: u64) -> GemmRequest {
+    let batch = GemmBatch::random(&[GemmShape::new(32, 48, 64)], 1.0, 0.5, seed);
+    GemmRequest {
+        a: batch.a[0].clone(),
+        b: batch.b[0].clone(),
+        c: batch.c[0].clone(),
+        alpha: 1.0,
+        beta: 0.5,
+        deadline: None,
+    }
+}
+
+#[test]
+fn worker_panic_dump_contains_the_panicking_exec_span() {
+    // Every coordinated execution panics: each batch takes the
+    // retry-then-degrade path, so every batch produces a "worker panic"
+    // flight dump. The contract under test: the Exec span guard lives
+    // *outside* the `catch_unwind` boundary and is finished before the
+    // ring is captured, so each dump ends with the panicking batch's
+    // complete SpanBegin/SpanEnd pair followed by its PanicCaught mark.
+    quiet_injected_panics();
+    let injector = Arc::new(FaultInjector::new(FaultConfig::new(0x0B5CA11).exec_panic(1000)));
+    let obs = Arc::new(Obs::wall());
+    let session = Session::new(Framework::new(ArchSpec::volta_v100()));
+    let cfg = ServeConfig {
+        workers: 1,
+        max_batch: 4,
+        batch_window: Duration::ZERO,
+        ..ServeConfig::default()
+    };
+    let server =
+        Server::with_instrumentation(session, cfg, Some(injector), Some(Arc::clone(&obs)));
+
+    let tickets: Vec<_> =
+        (0..6).map(|seed| server.submit(request(seed)).expect("admitted")).collect();
+    for t in tickets {
+        t.wait_for(HANG_BOUND).expect("degraded path still completes every request");
+    }
+    let stats = server.shutdown();
+    assert!(stats.worker_panics >= 1, "the schedule must actually panic");
+    assert_eq!(stats.completed, 6, "zero drops through the panic storm");
+
+    let dumps = obs.flight_dumps();
+    let worker_dumps: Vec<_> = dumps.iter().filter(|d| d.reason == "worker panic").collect();
+    assert_eq!(
+        worker_dumps.len(),
+        stats.worker_panics,
+        "one flight dump per caught coordinated-path panic"
+    );
+    for dump in worker_dumps {
+        let panic_pos = dump
+            .events
+            .iter()
+            .rposition(|e| matches!(e.kind, EventKind::Point(PointKind::PanicCaught)))
+            .expect("a worker-panic dump records the PanicCaught mark");
+        let (end_pos, span_id) = dump.events[..panic_pos]
+            .iter()
+            .enumerate()
+            .rev()
+            .find_map(|(i, e)| match e.kind {
+                EventKind::SpanEnd { span: SpanKind::Exec, id } => Some((i, id)),
+                _ => None,
+            })
+            .expect("the panicking batch's Exec span is closed inside the dump");
+        assert!(
+            dump.events[..end_pos].iter().any(|e| matches!(
+                e.kind,
+                EventKind::SpanBegin { span: SpanKind::Exec, id } if id == span_id
+            )),
+            "the dump also holds the matching Exec span begin"
+        );
+    }
+
+    // The full trace still audits clean after all that unwinding.
+    let counts = TraceAudit::new(obs.events()).check().expect("trace invariants hold");
+    assert_eq!(counts.panics_caught, stats.worker_panics);
+    assert_eq!(counts.responds_degraded, stats.degraded);
+}

@@ -30,6 +30,14 @@ cargo test -q -p ctb-serve invariant_props
 echo "== cluster suite (multi-device routing + device-level chaos) =="
 cargo test -q -p ctb-cluster
 
+echo "== observability suite (event bus + trace audit + histogram props) =="
+cargo build --release -p ctb-obs
+cargo test -q -p ctb-obs
+cargo test -q -p ctb-serve --test obs
+
+echo "== observability harness + BENCH_obs.json schema gate =="
+cargo run -q -p ctb-bench --bin reproduce --release -- obs
+
 echo "== cluster demo compiles against the release profile =="
 cargo build --release --example cluster_demo
 
@@ -41,5 +49,8 @@ cargo clippy -p ctb-serve --all-targets -- -D warnings
 
 echo "== cargo clippy -p ctb-cluster --all-targets -- -D warnings =="
 cargo clippy -p ctb-cluster --all-targets -- -D warnings
+
+echo "== cargo clippy -p ctb-obs --all-targets -- -D warnings =="
+cargo clippy -p ctb-obs --all-targets -- -D warnings
 
 echo "check.sh: all gates passed"

@@ -23,6 +23,7 @@ pub use ctb_core as core;
 pub use ctb_forest as forest;
 pub use ctb_gpu_specs as gpu_specs;
 pub use ctb_matrix as matrix;
+pub use ctb_obs as obs;
 pub use ctb_serve as serve;
 pub use ctb_sim as sim;
 pub use ctb_tiling as tiling;
@@ -35,6 +36,7 @@ pub mod prelude {
     pub use ctb_core::{Framework, FrameworkConfig, RunOutcome, Session};
     pub use ctb_gpu_specs::{ArchSpec, Thresholds};
     pub use ctb_matrix::{GemmBatch, GemmShape};
+    pub use ctb_obs::{Obs, SimClock, TraceAudit};
     pub use ctb_serve::{GemmRequest, ServeConfig, Server};
     pub use ctb_sim::SimReport;
     pub use ctb_tiling::TilingStrategy;

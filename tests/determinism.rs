@@ -1,9 +1,16 @@
 //! Concurrent planning determinism: `Session::plan` raced from many
 //! threads must converge on one identical plan with consistent cache
 //! accounting — no double-counted misses, no divergent plans.
+//!
+//! Also home to the trace-determinism property: a served workload
+//! driven on a [`SimClock`] must render a byte-identical event log on
+//! every replay of the same seed.
 
+use ctb::obs::{EventKind, PointKind};
 use ctb::prelude::*;
+use proptest::prelude::*;
 use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
 
 fn shapes() -> Vec<GemmShape> {
     vec![GemmShape::new(48, 64, 96), GemmShape::new(16, 32, 128), GemmShape::new(64, 64, 64)]
@@ -111,4 +118,85 @@ fn racing_planners_over_distinct_workloads_keep_miss_len_invariant() {
     assert_eq!(stats.hits + stats.misses, THREADS * 3, "every call accounted exactly once");
     let sim = session.sim_stats();
     assert_eq!(sim.misses, session.sim_memo().len(), "no double-counted simulator runs: {sim:?}");
+}
+
+// ---------------------------------------------------------------------------
+// Trace determinism (ctb-obs): same seed + SimClock => byte-identical log.
+// ---------------------------------------------------------------------------
+
+/// Shape pool for the served trace; index picked by the property.
+const TRACE_SHAPES: [(usize, usize, usize); 5] =
+    [(16, 32, 64), (1, 48, 17), (33, 1, 129), (48, 80, 96), (17, 33, 41)];
+
+/// The terminal `Respond` point is emitted *after* the response channel
+/// delivers, so `Ticket::wait` returning does not yet guarantee the
+/// event is in the log. Poll for it before advancing the clock so every
+/// replay interleaves identically.
+fn wait_for_respond(obs: &Obs, req: u64) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let seen = obs.events().iter().any(|e| {
+            matches!(e.kind, EventKind::Point(PointKind::Respond { req: r, .. }) if r == req)
+        });
+        if seen {
+            return;
+        }
+        assert!(Instant::now() < deadline, "no terminal event for request {req}");
+        std::thread::yield_now();
+    }
+}
+
+/// Serve `picks` serially through a single-worker, single-batch server
+/// on a simulated clock and return the rendered event log.
+fn served_trace(seed: u64, picks: &[(usize, u64)]) -> String {
+    let clock = Arc::new(SimClock::new());
+    let obs = Arc::new(Obs::sim(Arc::clone(&clock)));
+    let session = Session::new(Framework::new(ArchSpec::volta_v100()));
+    let cfg = ServeConfig {
+        max_batch: 1,
+        batch_window: Duration::ZERO,
+        workers: 1,
+        ..ServeConfig::default()
+    };
+    let server = Server::with_instrumentation(session, cfg, None, Some(Arc::clone(&obs)));
+    for (k, &(which, advance_us)) in picks.iter().enumerate() {
+        clock.advance(advance_us);
+        let (m, n, kk) = TRACE_SHAPES[which % TRACE_SHAPES.len()];
+        let batch = GemmBatch::random(
+            &[GemmShape::new(m, n, kk)],
+            1.0,
+            0.5,
+            seed.wrapping_add(k as u64),
+        );
+        let req = GemmRequest {
+            a: batch.a[0].clone(),
+            b: batch.b[0].clone(),
+            c: batch.c[0].clone(),
+            alpha: 1.0,
+            beta: 0.5,
+            deadline: None,
+        };
+        let ticket = server.submit(req).expect("admitted");
+        ticket.wait().expect("request completes");
+        wait_for_respond(&obs, k as u64);
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.completed, picks.len(), "every pick completes");
+    TraceAudit::new(obs.events()).check().expect("trace invariants hold");
+    obs.render()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn served_trace_is_byte_identical_across_replays(
+        seed in 0u64..1_000_000,
+        picks in proptest::collection::vec((0usize..TRACE_SHAPES.len(), 0u64..500), 1..4),
+    ) {
+        let first = served_trace(seed, &picks);
+        let second = served_trace(seed, &picks);
+        prop_assert!(!first.is_empty(), "a served workload must produce events");
+        prop_assert_eq!(first, second);
+    }
 }
