@@ -40,7 +40,7 @@ fn main() {
         "perf" => run_perf(&arch),
         "serve" => run_serve(&arch),
         "chaos" => run_chaos(&arch),
-        "cluster" => run_cluster(),
+        "cluster" => run_cluster(&args[1..]),
         "obs" => run_obs(&arch),
         "all" => {
             run_tables();
@@ -178,10 +178,70 @@ fn run_obs(arch: &ArchSpec) {
     println!("   schema gate: {} key paths match {}\n", got.len(), golden_path.display());
 }
 
-fn run_cluster() {
+/// Parse `--flag value` pairs for the cluster harness. Unknown flags
+/// are an error so typos don't silently run the default sweep.
+fn cluster_config(args: &[String]) -> (ctb_bench::cluster_bench::ClusterBenchConfig, bool) {
+    use ctb_bench::cluster_bench::ClusterBenchConfig;
+    let mut cfg = ClusterBenchConfig::default();
+    let mut smoke = false;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| {
+                    eprintln!("flag {name} needs a value");
+                    std::process::exit(2);
+                })
+                .as_str()
+        };
+        let parse_list = |name: &str, v: &str| -> Vec<usize> {
+            v.split(',')
+                .map(|d| {
+                    d.trim().parse().unwrap_or_else(|_| {
+                        eprintln!("bad device count '{d}' for {name}");
+                        std::process::exit(2);
+                    })
+                })
+                .collect()
+        };
+        match flag.as_str() {
+            "--batches" => cfg.batches = value("--batches").parse().expect("usize batches"),
+            "--devices" => cfg.devices = parse_list("--devices", value("--devices")),
+            "--seed" => cfg.seed = value("--seed").parse().expect("u64 seed"),
+            "--event-devices" => {
+                cfg.event_devices = parse_list("--event-devices", value("--event-devices"));
+            }
+            "--requests" => {
+                cfg.event_requests = value("--requests").parse().expect("usize requests");
+            }
+            "--smoke" => smoke = true,
+            other => {
+                eprintln!(
+                    "unknown cluster flag '{other}'; expected --batches N, --devices a,b,c, \
+                     --seed S, --event-devices a,b,c, --requests R, --smoke"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    if smoke {
+        cfg = ClusterBenchConfig::smoke();
+    }
+    (cfg, smoke)
+}
+
+fn run_cluster(args: &[String]) {
     use ctb_bench::cluster_bench;
-    println!("== cluster harness: 1/2/4-device scaling + kill-one-device run ==");
-    let (r, path) = cluster_bench::run_and_write();
+    let (cfg, smoke) = cluster_config(args);
+    println!(
+        "== cluster harness: threaded scaling + kill run + discrete-event sweep{} ==",
+        if smoke { " (smoke)" } else { "" }
+    );
+    let (r, path) = if smoke {
+        cluster_bench::run_and_write_smoke()
+    } else {
+        cluster_bench::run_and_write(&cfg)
+    };
     for p in &r.scaling {
         println!(
             "   {} device(s) [{}]: makespan {:>9.1} sim us | {:>8.1} GFLOPS | \
@@ -199,7 +259,46 @@ fn run_cluster() {
         "   kill run: {}/{} completed | {} kill | {} re-routed | {} degraded | bitwise exact: {}",
         k.completed, k.batches, k.kills, k.reroutes, k.degraded, k.bitwise_exact
     );
-    println!("(json: {})\n", path.display());
+    for p in &r.event_scaling {
+        println!(
+            "   event engine {:>6} device(s): {:>8} requests | makespan {:>12.1} sim us | \
+             {:>9.0} events/s | util {:.2} | placement err {:.3} us | {} witnesses ({} mismatches)",
+            p.devices,
+            p.requests,
+            p.makespan_sim_us,
+            p.events_per_sec,
+            p.mean_utilization,
+            p.mean_abs_placement_err_us,
+            p.witnesses,
+            p.witness_mismatches
+        );
+    }
+    println!("(json: {})", path.display());
+
+    // Schema-drift gate, mirroring the obs harness: the exported key
+    // set must match the checked-in golden schema exactly.
+    let golden_path = cluster_bench::golden_schema_path();
+    let golden = std::fs::read_to_string(&golden_path)
+        .unwrap_or_else(|e| panic!("cannot read golden schema {}: {e}", golden_path.display()));
+    let golden: Vec<String> = golden.lines().map(str::to_string).collect();
+    let json = std::fs::read_to_string(&path).expect("re-read the report just written");
+    let got = ctb_bench::obs_bench::key_paths(&json);
+    if got != golden {
+        eprintln!("BENCH_cluster.json schema drift detected:");
+        for g in &golden {
+            if !got.contains(g) {
+                eprintln!("   missing key: {g}");
+            }
+        }
+        for g in &got {
+            if !golden.contains(g) {
+                eprintln!("   unexpected key: {g}");
+            }
+        }
+        eprintln!("update {} deliberately if this is intended", golden_path.display());
+        std::process::exit(1);
+    }
+    println!("   schema gate: {} key paths match {}\n", got.len(), golden_path.display());
 }
 
 fn run_tables() {

@@ -16,10 +16,19 @@
 //!    fastest device killed mid-load. Zero drops and bitwise-exact
 //!    results (checked against [`GemmBatch::reference_result_exact`])
 //!    are the acceptance bar, re-route counts are the evidence.
+//! 3. **Discrete-event scaling sweep** — the same scheduling policy on
+//!    the [`EventCluster`] engine, open-loop Table-2 load at 16 / 256 /
+//!    1k / 10k devices and ≥1M requests per run. Device count is a
+//!    `Vec` length here, not a thread count, so the sweep reports the
+//!    regime the threaded engine cannot reach: makespan, events/sec
+//!    engine throughput, placement error and mean utilization, with a
+//!    sampled witness subset keeping results bitwise-checkable.
 //!
 //! Results land in `BENCH_cluster.json` at the repository root.
 
-use ctb_cluster::{Cluster, ClusterConfig, StealPolicy};
+use ctb_cluster::{
+    Cluster, ClusterConfig, EventCluster, EventConfig, LoadGen, PlacementMode, StealPolicy,
+};
 use ctb_gpu_specs::ArchSpec;
 use ctb_matrix::{bitwise_mismatch, GemmBatch, GemmShape};
 use std::path::PathBuf;
@@ -67,11 +76,42 @@ pub struct KillRunReport {
     pub bitwise_exact: bool,
 }
 
+/// One pool size in the discrete-event scaling sweep.
+#[derive(Debug, Clone)]
+pub struct EventScalePoint {
+    /// Devices in the pool (a `Vec` length, not a thread count).
+    pub devices: usize,
+    /// Open-loop requests generated and retired.
+    pub requests: usize,
+    /// Load-generator seed.
+    pub seed: u64,
+    /// Simulated makespan (max per-device busy time), µs.
+    pub makespan_sim_us: f64,
+    /// Total simulated work across devices, µs.
+    pub total_sim_us: f64,
+    /// Timeline events popped over the run.
+    pub events_processed: u64,
+    /// Host wall seconds inside the engine loop.
+    pub wall_s: f64,
+    /// Engine throughput: events processed per host wall second.
+    pub events_per_sec: f64,
+    /// `total / (devices × makespan)` — how evenly the placer loaded
+    /// the pool.
+    pub mean_utilization: f64,
+    /// Mean |predicted − simulated| µs per completed request.
+    pub mean_abs_placement_err_us: f64,
+    /// Requests that executed for real and were bitwise-checked.
+    pub witnesses: usize,
+    /// Witness divergences from the exact oracle (must be 0).
+    pub witness_mismatches: usize,
+}
+
 /// The full tracked report.
 #[derive(Debug, Clone)]
 pub struct ClusterBenchReport {
     pub scaling: Vec<ClusterScalePoint>,
     pub kill_run: KillRunReport,
+    pub event_scaling: Vec<EventScalePoint>,
 }
 
 /// Mixed-shape workload for the sweep. Shapes are sized so no single
@@ -79,7 +119,7 @@ pub struct ClusterBenchReport {
 /// speedup then tracks per-device *clock* differences rather than SM
 /// counts, which is the regime where adding mid-range devices next to a
 /// V100 actually pays.
-fn workload(batches: usize) -> Vec<GemmBatch> {
+fn workload(batches: usize, seed: u64) -> Vec<GemmBatch> {
     let mix: [&[GemmShape]; 4] = [
         &[GemmShape::new(48, 48, 256); 3],
         &[GemmShape::new(32, 64, 128); 4],
@@ -87,8 +127,52 @@ fn workload(batches: usize) -> Vec<GemmBatch> {
         &[GemmShape::new(24, 24, 96); 6],
     ];
     (0..batches)
-        .map(|i| GemmBatch::random(mix[i % mix.len()], 1.0, 0.5, i as u64))
+        .map(|i| GemmBatch::random(mix[i % mix.len()], 1.0, 0.5, seed.wrapping_add(i as u64)))
         .collect()
+}
+
+/// Knobs of the tracked harness, every one surfaced as a `reproduce
+/// cluster` CLI flag; [`Default`] is the tracked configuration, and
+/// [`ClusterBenchConfig::smoke`] is the CI gate's quick variant.
+#[derive(Debug, Clone)]
+pub struct ClusterBenchConfig {
+    /// Batches through the threaded scaling sweep (`--batches`).
+    pub batches: usize,
+    /// Threaded pool sizes to sweep (`--devices`).
+    pub devices: Vec<usize>,
+    /// Base data seed for both engines' workloads (`--seed`).
+    pub seed: u64,
+    /// Event-engine pool sizes to sweep (`--event-devices`).
+    pub event_devices: Vec<usize>,
+    /// Open-loop requests per event-engine point (`--requests`).
+    pub event_requests: usize,
+}
+
+impl Default for ClusterBenchConfig {
+    fn default() -> Self {
+        ClusterBenchConfig {
+            batches: 40,
+            devices: vec![1, 2, 4],
+            seed: 0,
+            event_devices: vec![16, 256, 1024, 10_000],
+            event_requests: 1_000_000,
+        }
+    }
+}
+
+impl ClusterBenchConfig {
+    /// The CI smoke variant: one 256-device / 100k-request event point
+    /// plus a trimmed threaded sweep — exercises every report section
+    /// (the schema gate needs them all) in a few seconds.
+    pub fn smoke() -> Self {
+        ClusterBenchConfig {
+            batches: 8,
+            devices: vec![1, 2],
+            event_devices: vec![256],
+            event_requests: 100_000,
+            ..ClusterBenchConfig::default()
+        }
+    }
 }
 
 fn workload_flops(batches: &[GemmBatch]) -> f64 {
@@ -141,13 +225,14 @@ pub fn run_scale_point(n: usize, batches: &[GemmBatch]) -> ClusterScalePoint {
     }
 }
 
-/// The 1 / 2 / 4 device scaling sweep on one workload, with speedups
-/// normalized to the 1-device pool (the best single device — pool
-/// order is fastest-first).
-pub fn run_scaling_sweep(batches: usize) -> Vec<ClusterScalePoint> {
-    let work = workload(batches);
+/// The threaded device scaling sweep on one workload, with speedups
+/// normalized to the first (smallest) pool — pool order is
+/// fastest-first, so the default `[1, 2, 4]` normalizes to the best
+/// single device.
+pub fn run_scaling_sweep(batches: usize, devices: &[usize], seed: u64) -> Vec<ClusterScalePoint> {
+    let work = workload(batches, seed);
     let mut points: Vec<ClusterScalePoint> =
-        [1usize, 2, 4].iter().map(|&n| run_scale_point(n, &work)).collect();
+        devices.iter().map(|&n| run_scale_point(n, &work)).collect();
     let single = points[0].throughput_gflops;
     for p in &mut points {
         p.speedup_vs_single = p.throughput_gflops / single;
@@ -155,10 +240,64 @@ pub fn run_scaling_sweep(batches: usize) -> Vec<ClusterScalePoint> {
     points
 }
 
+/// Event-engine configuration for a sweep point: indexed placement
+/// above the auto threshold, deep queues (placement never has to
+/// spill), and a sampled witness subset (~256 per run) so results stay
+/// bitwise-checkable without executing a million real batches.
+fn event_sweep_config(requests: usize) -> EventConfig {
+    EventConfig {
+        queue_capacity: 1 << 16,
+        witness_every: (requests / 256).max(1),
+        placement: PlacementMode::Auto,
+        record_outcomes: false,
+        ..EventConfig::default()
+    }
+}
+
+/// One discrete-event sweep point: `requests` open-loop Table-2
+/// requests through a `devices`-wide heterogeneous pool. The arrival
+/// rate scales with pool size so every pool runs loaded rather than
+/// trickle-fed.
+pub fn run_event_scale_point(devices: usize, requests: usize, seed: u64) -> EventScalePoint {
+    let mut eng =
+        EventCluster::new(ArchSpec::pool_presets(devices), event_sweep_config(requests));
+    let mean_interarrival_ns = (20_000.0 / devices as f64).max(1.0);
+    eng.load(LoadGen::table2(seed, mean_interarrival_ns, requests));
+    let report = eng.run();
+    assert_eq!(report.requests, requests, "open loop must deliver every request");
+    assert_eq!(
+        report.stats.completed, requests,
+        "a fault-free sweep point completes everything"
+    );
+    assert_eq!(report.witness_mismatches, 0, "sampled witnesses must stay bitwise-exact");
+    EventScalePoint {
+        devices,
+        requests,
+        seed,
+        makespan_sim_us: report.stats.makespan_sim_us,
+        total_sim_us: report.stats.total_sim_us,
+        events_processed: report.events_processed,
+        wall_s: report.wall_elapsed_s,
+        events_per_sec: report.events_per_sec,
+        mean_utilization: report.stats.mean_utilization(),
+        mean_abs_placement_err_us: report.stats.mean_abs_placement_err_us,
+        witnesses: report.witnesses,
+        witness_mismatches: report.witness_mismatches,
+    }
+}
+
+/// The discrete-event scaling sweep across pool sizes.
+pub fn run_event_sweep(cfg: &ClusterBenchConfig) -> Vec<EventScalePoint> {
+    cfg.event_devices
+        .iter()
+        .map(|&n| run_event_scale_point(n, cfg.event_requests, cfg.seed))
+        .collect()
+}
+
 /// Burst into the 2-device pool, kill the fastest device while loaded,
 /// and verify the zero-drop / bitwise-exact contract.
-pub fn run_kill_run(batches: usize) -> KillRunReport {
-    let work = workload(batches);
+pub fn run_kill_run(batches: usize, seed: u64) -> KillRunReport {
+    let work = workload(batches, seed);
     let oracles: Vec<_> = work.iter().map(GemmBatch::reference_result_exact).collect();
     let cluster = Cluster::new(ArchSpec::pool_presets(2), sweep_config(batches.max(1)));
     let tickets: Vec<_> = work
@@ -213,18 +352,47 @@ pub fn render_json(r: &ClusterBenchReport) -> String {
             )
         })
         .collect();
+    let event_rows: Vec<String> = r
+        .event_scaling
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\n      \"devices\": {},\n      \"requests\": {},\n      \
+                 \"seed\": {},\n      \"makespan_sim_us\": {:.3},\n      \
+                 \"total_sim_us\": {:.3},\n      \"events_processed\": {},\n      \
+                 \"wall_s\": {:.6},\n      \"events_per_sec\": {:.0},\n      \
+                 \"mean_utilization\": {:.4},\n      \
+                 \"mean_abs_placement_err_us\": {:.6},\n      \"witnesses\": {},\n      \
+                 \"witness_mismatches\": {}\n    }}",
+                p.devices,
+                p.requests,
+                p.seed,
+                p.makespan_sim_us,
+                p.total_sim_us,
+                p.events_processed,
+                p.wall_s,
+                p.events_per_sec,
+                p.mean_utilization,
+                p.mean_abs_placement_err_us,
+                p.witnesses,
+                p.witness_mismatches
+            )
+        })
+        .collect();
     let k = &r.kill_run;
     format!(
         "{{\n  \"bench\": \"cluster\",\n  \"scaling\": [\n{}\n  ],\n  \"kill_run\": {{\n    \
          \"batches\": {},\n    \"completed\": {},\n    \"kills\": {},\n    \
-         \"reroutes\": {},\n    \"degraded\": {},\n    \"bitwise_exact\": {}\n  }}\n}}\n",
+         \"reroutes\": {},\n    \"degraded\": {},\n    \"bitwise_exact\": {}\n  }},\n  \
+         \"event_scaling\": [\n{}\n  ]\n}}\n",
         scaling_rows.join(",\n"),
         k.batches,
         k.completed,
         k.kills,
         k.reroutes,
         k.degraded,
-        k.bitwise_exact
+        k.bitwise_exact,
+        event_rows.join(",\n")
     )
 }
 
@@ -233,14 +401,36 @@ pub fn report_path() -> PathBuf {
     crate::bench_json_path("cluster")
 }
 
-/// Run the standard tracked configuration (40-batch sweep, 24-batch
-/// kill run) and write the report; returns it and the path written.
-pub fn run_and_write() -> (ClusterBenchReport, PathBuf) {
-    let report = ClusterBenchReport {
-        scaling: run_scaling_sweep(40),
-        kill_run: run_kill_run(24),
-    };
+/// Path of the checked-in golden schema the drift gate diffs against.
+pub fn golden_schema_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../scripts/BENCH_cluster.schema")
+}
+
+/// Run every section of the harness under `cfg`.
+pub fn run_report(cfg: &ClusterBenchConfig) -> ClusterBenchReport {
+    ClusterBenchReport {
+        scaling: run_scaling_sweep(cfg.batches, &cfg.devices, cfg.seed),
+        kill_run: run_kill_run((cfg.batches * 3) / 5, cfg.seed),
+        event_scaling: run_event_sweep(cfg),
+    }
+}
+
+/// Run `cfg` and write the tracked `BENCH_cluster.json`; returns the
+/// report and the path written.
+pub fn run_and_write(cfg: &ClusterBenchConfig) -> (ClusterBenchReport, PathBuf) {
+    let report = run_report(cfg);
     let path = crate::write_bench_json("cluster", &render_json(&report));
+    (report, path)
+}
+
+/// Run the smoke configuration and write it under `target/experiments/`
+/// (NOT the tracked root file — the CI gate must not clobber the
+/// tracked full-run numbers with smoke numbers).
+pub fn run_and_write_smoke() -> (ClusterBenchReport, PathBuf) {
+    let report = run_report(&ClusterBenchConfig::smoke());
+    let path = crate::experiments_dir().join("BENCH_cluster_smoke.json");
+    std::fs::write(&path, render_json(&report))
+        .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
     (report, path)
 }
 
@@ -250,7 +440,7 @@ mod tests {
 
     #[test]
     fn small_sweep_scales_and_stays_exact() {
-        let work = workload(6);
+        let work = workload(6, 0);
         let single = run_scale_point(1, &work);
         let pair = run_scale_point(2, &work);
         assert_eq!(single.devices, 1);
@@ -266,10 +456,39 @@ mod tests {
 
     #[test]
     fn small_kill_run_drops_nothing() {
-        let r = run_kill_run(6);
+        let r = run_kill_run(6, 0);
         assert_eq!(r.completed, 6);
         assert_eq!(r.kills, 1);
         assert!(r.bitwise_exact);
+    }
+
+    #[test]
+    fn small_event_point_reports_the_sweep_vocabulary() {
+        let p = run_event_scale_point(16, 2_000, 7);
+        assert_eq!(p.devices, 16);
+        assert_eq!(p.requests, 2_000);
+        assert!(p.makespan_sim_us > 0.0);
+        assert!(p.events_processed >= 2_000 * 3, "arrive + place + exec per request minimum");
+        assert!(p.events_per_sec > 0.0);
+        assert!(p.mean_utilization > 0.0 && p.mean_utilization <= 1.0 + 1e-9);
+        assert_eq!(p.mean_abs_placement_err_us, 0.0, "predictions reconcile exactly");
+        assert!(p.witnesses > 0, "the sampled witness subset is non-empty");
+        assert_eq!(p.witness_mismatches, 0);
+    }
+
+    #[test]
+    fn seed_changes_the_workload_but_not_the_contract() {
+        let a = run_event_scale_point(4, 400, 1);
+        let b = run_event_scale_point(4, 400, 2);
+        assert_ne!(
+            (a.makespan_sim_us, a.events_processed),
+            (b.makespan_sim_us, b.events_processed),
+            "different seeds must draw different loads"
+        );
+        // Same seed replays identically (wall time aside).
+        let c = run_event_scale_point(4, 400, 1);
+        assert_eq!(a.makespan_sim_us, c.makespan_sim_us);
+        assert_eq!(a.events_processed, c.events_processed);
     }
 
     #[test]
@@ -294,6 +513,20 @@ mod tests {
                 degraded: 0,
                 bitwise_exact: true,
             },
+            event_scaling: vec![EventScalePoint {
+                devices: 10_000,
+                requests: 1_000_000,
+                seed: 0,
+                makespan_sim_us: 1.0e6,
+                total_sim_us: 9.0e9,
+                events_processed: 4_000_000,
+                wall_s: 2.5,
+                events_per_sec: 1.6e6,
+                mean_utilization: 0.9,
+                mean_abs_placement_err_us: 0.0,
+                witnesses: 244,
+                witness_mismatches: 0,
+            }],
         };
         let json = render_json(&r);
         for key in [
@@ -309,6 +542,13 @@ mod tests {
             "\"kill_run\"",
             "\"reroutes\"",
             "\"bitwise_exact\"",
+            "\"event_scaling\"",
+            "\"requests\"",
+            "\"events_processed\"",
+            "\"events_per_sec\"",
+            "\"mean_utilization\"",
+            "\"witnesses\"",
+            "\"witness_mismatches\"",
         ] {
             assert!(json.contains(key), "missing key {key} in {json}");
         }

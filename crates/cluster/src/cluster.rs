@@ -625,9 +625,7 @@ fn try_place(
     let all_open = candidates
         .iter()
         .all(|c| shared.devices[c.device].breaker.is_open());
-    candidates.sort_by(|a, b| {
-        a.completion_us().total_cmp(&b.completion_us()).then(a.device.cmp(&b.device))
-    });
+    let candidates = placer::rank(candidates);
     let mut any_full = false;
     for c in &candidates {
         let dev = &shared.devices[c.device];

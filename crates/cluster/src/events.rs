@@ -1,0 +1,1604 @@
+//! Discrete-event cluster core: the threaded scheduler's decisions
+//! without the threads.
+//!
+//! The threaded [`crate::Cluster`] caps its scaling story at a handful
+//! of devices because every simulated GPU owns a real worker pool — host
+//! threads, not the analytical model, bound the sweep. This module
+//! replaces the thread structure with a single binary-heap timeline in
+//! *simulated* time: device count becomes a `Vec` length, and a 10k-
+//! device pool processing a million requests is just a larger heap.
+//!
+//! **Decision parity.** Placement, work stealing, breaker trips, kill
+//! re-routing and the per-mille [`FaultInjector`] draws all go through
+//! the exact same seams the threaded engine uses —
+//! [`placer::rank`]/[`placer::choose`](crate::placer::choose),
+//! [`placer::steal_beneficial`], [`Breaker`], and the shared
+//! [`PlanShare`] memo — in the same order a serially-driven threaded
+//! cluster consults them. The lockstep differential suite
+//! (`tests/lockstep.rs`) drives both engines over the chaos schedules
+//! and compares per-request routing decisions, reconciled
+//! [`ClusterStats`] and fault logs.
+//!
+//! **Witness-subset bitwise checking.** Executing a million GEMM
+//! batches functionally would make the host CPU the bottleneck again,
+//! so most requests carry only their shape signature: cost comes from
+//! the shared `SimMemo` (the identical number the placer compared), and
+//! completion is pure accounting. Every `witness_every`-th request is a
+//! *witness*: it materializes real matrices from its seed, runs the
+//! full coordinated plan through the functional executor, and bitwise-
+//! compares against `reference_result_exact`. The bitwise-exactness
+//! claim is thus continuously sampled across the run instead of paid on
+//! every request.
+//!
+//! **Determinism.** No wall clock, no OS scheduler: event order is
+//! `(SimTime, seq)` where `seq` is a monotonic tie-break assigned at
+//! schedule time. The same inputs therefore produce the same event
+//! sequence, the same decisions, and — with an [`Obs`] attached — a
+//! byte-identical trace (`tests/determinism.rs`).
+
+use crate::cluster::{ClusterConfig, StealPolicy};
+use crate::placer::{self, Candidate};
+use crate::stats::{ClusterInner, ClusterStats, DeviceStats};
+use ctb_core::{CacheStats, Framework, PlanShare, Session};
+use ctb_gpu_specs::ArchSpec;
+use ctb_matrix::{bitwise_mismatch, GemmBatch, GemmShape};
+use ctb_obs::{Obs, PointKind, SimClock, SpanKind};
+use ctb_serve::{BoundedQueue, Breaker, BreakerPolicy, FaultInjector, FaultSite, PushError};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Matrix fill parameters for witness batches; the lockstep harness
+/// builds its threaded-side batches with the same constants so both
+/// engines execute byte-identical inputs.
+pub const WITNESS_ALPHA: f32 = 1.0;
+/// See [`WITNESS_ALPHA`].
+pub const WITNESS_BETA: f32 = 0.5;
+
+/// Sim-time backoff before retrying an initial placement when every
+/// candidate queue is full — mirrors the threaded `submit` loop's 50 µs
+/// backpressure sleep.
+const BACKOFF_NS: u64 = 50_000;
+
+/// Healing-probe interval after a breaker trip.
+const PROBE_NS: u64 = 1_000_000;
+
+// ---------------------------------------------------------------------------
+// SimTime + Timeline
+// ---------------------------------------------------------------------------
+
+/// A typed simulated timestamp, in nanoseconds. Nanosecond granularity
+/// keeps distinct exponential inter-arrival draws distinct even at a
+/// million requests per simulated second; the [`Obs`] clock runs in
+/// microseconds, so [`SimTime::as_us`] truncates on the way out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    pub const ZERO: SimTime = SimTime(0);
+
+    pub fn from_us(us: u64) -> Self {
+        SimTime(us.saturating_mul(1_000))
+    }
+
+    pub fn plus(self, ns: u64) -> Self {
+        SimTime(self.0.saturating_add(ns))
+    }
+
+    pub fn as_ns(self) -> u64 {
+        self.0
+    }
+
+    pub fn as_us(self) -> u64 {
+        self.0 / 1_000
+    }
+}
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    ev: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.at.cmp(&other.at).then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// The event timeline: a min-heap keyed by `(SimTime, seq)`. The `seq`
+/// tie-break is assigned at schedule time, so events scheduled for the
+/// same instant pop in schedule order — FIFO among equals, which is
+/// what makes the engine's event order (and therefore its trace) a pure
+/// function of the inputs.
+pub struct Timeline<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    seq: u64,
+}
+
+impl<E> Default for Timeline<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Timeline<E> {
+    pub fn new() -> Self {
+        Timeline { heap: BinaryHeap::new(), seq: 0 }
+    }
+
+    /// Schedule `ev` at `at`; returns the tie-break seq assigned to it.
+    pub fn schedule(&mut self, at: SimTime, ev: E) -> u64 {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Entry { at, seq, ev }));
+        seq
+    }
+
+    /// Pop the earliest event (ties in schedule order).
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|Reverse(e)| (e.at, e.ev))
+    }
+
+    /// Timestamp of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| e.at)
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Events + jobs
+// ---------------------------------------------------------------------------
+
+/// One request in flight inside the event engine. Unlike the threaded
+/// `ClusterJob` it carries no matrices — only the shape signature the
+/// cost model needs — unless it is a witness (see module docs), in
+/// which case the matrices are rebuilt from `seed` at execution time.
+struct EvJob {
+    id: u64,
+    shapes: Arc<[GemmShape]>,
+    /// Data seed a witness materializes its matrices from.
+    seed: u64,
+    arrived: SimTime,
+    /// Predicted simulated µs on the device currently holding the job
+    /// (re-predicted on steal/re-route, exactly like the threaded path).
+    predicted_us: f64,
+    /// Times the job has been moved between devices.
+    attempts: u32,
+    stolen: bool,
+    witness: bool,
+}
+
+/// The fixed event vocabulary. Everything the threaded engine does with
+/// threads — queue polling, steal polling, breaker healing, kill drains
+/// — maps onto one of these six slots.
+enum Ev {
+    /// A request enters the system (admission + placement kickoff).
+    Arrive { job: EvJob },
+    /// A placement attempt for `job` runs now (initial or backoff retry).
+    PlaceDone { job: EvJob },
+    /// The device's currently running job finishes now.
+    ExecDone { device: usize },
+    /// An idle device looks for a saturated victim to steal from.
+    StealCheck { device: usize },
+    /// Post-trip healing probe: re-kick a recovered idle device.
+    BreakerProbe { device: usize },
+    /// Scheduled device failure (chaos schedules).
+    DeviceKill { device: usize },
+}
+
+/// What the fault dice decided a running job's end will look like. The
+/// rolls are drawn when the job *starts* — the same order the threaded
+/// worker draws them — and applied when its `ExecDone` fires.
+enum Fate {
+    Complete,
+    PlanFailed,
+    Panicked,
+}
+
+struct Running {
+    job: EvJob,
+    fate: Fate,
+}
+
+// ---------------------------------------------------------------------------
+// Devices + config
+// ---------------------------------------------------------------------------
+
+/// One simulated GPU in the event engine: the same parts as the
+/// threaded `Device` (session, bounded queue, breaker, optional chaos
+/// schedule) minus the worker threads — plain fields instead of
+/// atomics, because exactly one event handler touches them at a time.
+struct EvDevice {
+    id: usize,
+    session: Arc<Session>,
+    queue: BoundedQueue<EvJob>,
+    running: Option<Running>,
+    /// Predicted µs of work queued or running here. Same f64
+    /// add/subtract discipline as the threaded `AtomicF64` backlog, so
+    /// the two engines feed identical numbers to the placer.
+    backlog_us: f64,
+    busy_sim_us: f64,
+    alive: bool,
+    breaker: Breaker,
+    fault: Option<Arc<FaultInjector>>,
+    placements: usize,
+    completed: usize,
+    steals: usize,
+    reroutes_out: usize,
+    breaker_trips: usize,
+    /// A StealCheck event is already on the heap for this device.
+    steal_pending: bool,
+    /// A BreakerProbe event is already on the heap for this device.
+    probe_pending: bool,
+}
+
+impl EvDevice {
+    fn arch(&self) -> &ArchSpec {
+        self.session.framework().arch()
+    }
+
+    fn backlog(&self) -> f64 {
+        self.backlog_us.max(0.0)
+    }
+
+    fn roll(&self, site: FaultSite) -> bool {
+        match &self.fault {
+            Some(f) => f.roll(site),
+            None => false,
+        }
+    }
+
+    fn idle(&self) -> bool {
+        self.running.is_none() && self.queue.is_empty()
+    }
+
+    fn snapshot(&self) -> DeviceStats {
+        DeviceStats {
+            id: self.id,
+            name: self.arch().name,
+            placements: self.placements,
+            completed: self.completed,
+            steals: self.steals,
+            reroutes_out: self.reroutes_out,
+            breaker_trips: self.breaker_trips,
+            busy_sim_us: self.busy_sim_us,
+            backlog_us: self.backlog(),
+            queue_depth: self.queue.len(),
+            utilization: 0.0, // filled in by the engine snapshot
+            alive: self.alive,
+            breaker_open: self.breaker.is_open(),
+        }
+    }
+}
+
+/// How placement scans the pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementMode {
+    /// Exact O(devices) scan below 64 devices, indexed at or above.
+    Auto,
+    /// Always the exact scan the threaded engine performs — the mode
+    /// the lockstep suite runs in.
+    Exact,
+    /// Always the per-arch-class indexed argmin (O(classes · log n)).
+    Indexed,
+}
+
+/// Event-engine tuning knobs. The scheduling fields carry the same
+/// semantics (and defaults) as [`ClusterConfig`]; the extra fields
+/// control witness sampling and the placement index.
+#[derive(Debug, Clone)]
+pub struct EventConfig {
+    pub queue_capacity: usize,
+    pub steal: StealPolicy,
+    pub breaker: BreakerPolicy,
+    pub max_reroutes: u32,
+    /// Every n-th request executes for real and is bitwise-checked;
+    /// `0` disables witnesses, `1` checks everything.
+    pub witness_every: usize,
+    pub placement: PlacementMode,
+    /// Keep a per-request routing outcome log (the lockstep suite's
+    /// comparison payload); costs one small record per request.
+    pub record_outcomes: bool,
+}
+
+impl Default for EventConfig {
+    fn default() -> Self {
+        EventConfig::from(&ClusterConfig::default())
+    }
+}
+
+impl From<&ClusterConfig> for EventConfig {
+    fn from(c: &ClusterConfig) -> Self {
+        EventConfig {
+            queue_capacity: c.queue_capacity,
+            steal: c.steal.clone(),
+            breaker: c.breaker.clone(),
+            max_reroutes: c.max_reroutes,
+            witness_every: 1,
+            placement: PlacementMode::Exact,
+            record_outcomes: true,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Load generation
+// ---------------------------------------------------------------------------
+
+/// SplitMix64 output mixer (the same full-avalanche hash the fault
+/// injector uses; reproduced here because the injector keeps its
+/// private).
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A weighted shape-signature class in an open-loop workload mix.
+#[derive(Debug, Clone)]
+pub struct ShapeMix {
+    pub name: &'static str,
+    pub shapes: Arc<[GemmShape]>,
+    pub weight: u32,
+}
+
+/// Open-loop load generator: seeded exponential inter-arrivals over a
+/// weighted mix of batch shape signatures. Both the mix draw and the
+/// inter-arrival draw are pure functions of `(seed, n)`, so a generator
+/// is reproducible and two engines fed equal generators see the same
+/// arrival process.
+#[derive(Debug, Clone)]
+pub struct LoadGen {
+    seed: u64,
+    mean_interarrival_ns: f64,
+    mixes: Vec<ShapeMix>,
+    total_weight: u64,
+    remaining: usize,
+    drawn: u64,
+}
+
+impl LoadGen {
+    pub fn new(
+        seed: u64,
+        mean_interarrival_ns: f64,
+        requests: usize,
+        mixes: Vec<ShapeMix>,
+    ) -> Self {
+        assert!(!mixes.is_empty(), "a load needs at least one shape mix");
+        assert!(mean_interarrival_ns > 0.0, "inter-arrival mean must be positive");
+        let total_weight = mixes.iter().map(|m| m.weight as u64).sum::<u64>().max(1);
+        LoadGen { seed, mean_interarrival_ns, mixes, total_weight, remaining: requests, drawn: 0 }
+    }
+
+    /// The paper's Table 2 workload classes as a serving mix: one
+    /// representative batch signature per tiling-strategy regime
+    /// (small / medium / large / tall / wide / huge), weighted toward
+    /// the small end the way inference traffic is.
+    pub fn table2(seed: u64, mean_interarrival_ns: f64, requests: usize) -> Self {
+        fn sig(shapes: &[GemmShape]) -> Arc<[GemmShape]> {
+            shapes.into()
+        }
+        let mixes = vec![
+            ShapeMix { name: "small", shapes: sig(&[GemmShape::new(32, 32, 64); 4]), weight: 30 },
+            ShapeMix { name: "medium", shapes: sig(&[GemmShape::new(64, 64, 128); 3]), weight: 25 },
+            ShapeMix { name: "large", shapes: sig(&[GemmShape::new(128, 128, 256); 2]), weight: 15 },
+            ShapeMix { name: "tall", shapes: sig(&[GemmShape::new(256, 32, 64); 2]), weight: 12 },
+            ShapeMix { name: "wide", shapes: sig(&[GemmShape::new(32, 256, 64); 2]), weight: 12 },
+            ShapeMix { name: "huge", shapes: sig(&[GemmShape::new(256, 256, 512)]), weight: 6 },
+        ];
+        LoadGen::new(seed, mean_interarrival_ns, requests, mixes)
+    }
+
+    pub fn requests_remaining(&self) -> usize {
+        self.remaining
+    }
+
+    /// Draw the next request: `(inter-arrival ns since the previous
+    /// arrival, shape signature, data seed)`.
+    fn next(&mut self) -> Option<(u64, Arc<[GemmShape]>, u64)> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let n = self.drawn;
+        self.drawn += 1;
+        let h_mix = mix(self.seed ^ 0xA076_1D64_78BD_642F ^ n.wrapping_mul(0xE703_7ED1_A0B4_28DB));
+        let pick = h_mix % self.total_weight;
+        let mut acc = 0u64;
+        let mut shapes = self.mixes[0].shapes.clone();
+        for m in &self.mixes {
+            acc += m.weight as u64;
+            if pick < acc {
+                shapes = m.shapes.clone();
+                break;
+            }
+        }
+        // Exponential inter-arrival: invert a uniform draw built from
+        // the hash's top 53 bits (offset half a ULP so ln never sees 0).
+        let h_dt = mix(self.seed ^ 0x8EBC_6AF0_9C88_C6E3 ^ n.wrapping_mul(0x5899_65CC_7537_4CC3));
+        let u = ((h_dt >> 11) as f64 + 0.5) / (1u64 << 53) as f64;
+        let dt = (-u.ln() * self.mean_interarrival_ns).round().max(1.0) as u64;
+        Some((dt, shapes, mix(self.seed ^ n)))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Outcomes + report
+// ---------------------------------------------------------------------------
+
+/// Per-request routing outcome — the decision payload the lockstep
+/// suite compares against the threaded engine's `ClusterResult`s.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReqOutcome {
+    /// Completed with a result (coordinated or degraded).
+    Done { id: u64, device: usize, degraded: bool, stolen: bool, reroutes: u32 },
+    /// Rejected at admission: no live device could plan the shapes.
+    PlanRejected { id: u64 },
+    /// Terminal failure (degraded-path panic).
+    Failed { id: u64 },
+}
+
+/// What one engine run produced: the familiar [`ClusterStats`] plus the
+/// engine-level figures the scaling sweep reports.
+#[derive(Debug, Clone)]
+pub struct EngineReport {
+    pub stats: ClusterStats,
+    /// Requests that entered the system (explicit submits + load).
+    pub requests: usize,
+    /// Events popped off the timeline over the run.
+    pub events_processed: u64,
+    /// Host wall seconds spent inside [`EventCluster::run`].
+    pub wall_elapsed_s: f64,
+    /// `events_processed / wall_elapsed_s` — the engine-throughput
+    /// figure of merit for the scaling sweep.
+    pub events_per_sec: f64,
+    /// Requests that executed for real and were bitwise-checked.
+    pub witnesses: usize,
+    /// Witness results that diverged from `reference_result_exact`
+    /// (must be 0; reported rather than panicked so a sweep surfaces
+    /// the failure in its artifact).
+    pub witness_mismatches: usize,
+    /// Simulated timestamp of the last processed event.
+    pub horizon: SimTime,
+    /// Per-request outcomes when [`EventConfig::record_outcomes`] set.
+    pub outcomes: Vec<ReqOutcome>,
+}
+
+/// Why a placement attempt found no home (mirrors the threaded
+/// `PlaceFail`).
+struct PlaceFail {
+    job: EvJob,
+    any_full: bool,
+    plan_err: Option<String>,
+}
+
+/// Outcome of the indexed fast path.
+enum IndexedPlace {
+    Placed(usize),
+    /// No live device bid (all dead or every class failed to plan).
+    NoCandidate { job: EvJob, plan_err: Option<String> },
+    /// Best queue was full — retry with the exact spill-down scan.
+    Fallback(EvJob),
+}
+
+// ---------------------------------------------------------------------------
+// The engine
+// ---------------------------------------------------------------------------
+
+/// The discrete-event cluster engine. Single-threaded: construct,
+/// enqueue work ([`submit_at`](Self::submit_at) / [`load`](Self::load)
+/// / [`kill_at`](Self::kill_at)), then [`run`](Self::run) the timeline
+/// to exhaustion.
+/// `(arch class name, shape signature) → predicted µs` (or the
+/// planner's rejection, memoized so a poisoned signature is not
+/// re-planned per device).
+type PredictionCache = HashMap<(&'static str, Arc<[GemmShape]>), Result<f64, String>>;
+
+pub struct EventCluster {
+    cfg: EventConfig,
+    devices: Vec<EvDevice>,
+    share: Arc<PlanShare>,
+    timeline: Timeline<Ev>,
+    obs: Option<Arc<Obs>>,
+    clock: Option<Arc<SimClock>>,
+    stats: ClusterInner,
+    outcomes: Vec<ReqOutcome>,
+    /// Engine-level prediction cache: one `session.plan` +
+    /// `simulate_solution` per (arch class, shape signature); after
+    /// that a placement across 10k devices costs `classes` hash
+    /// lookups, not `devices` planner calls.
+    predictions: PredictionCache,
+    /// Device → arch-class index, and one representative device per
+    /// class (predictions are identical within a class).
+    class_of: Vec<usize>,
+    class_rep: Vec<usize>,
+    /// Per-class lazy min-heaps over `(backlog bits, device)`; stale
+    /// entries are discarded by value on peek.
+    index: Vec<BinaryHeap<Reverse<(u64, usize)>>>,
+    /// Sticky: once any breaker trips, placement falls back to the
+    /// exact scan so the open-window sidelining semantics stay
+    /// bit-for-bit with the threaded engine.
+    breaker_active: bool,
+    gen: Option<LoadGen>,
+    now: SimTime,
+    next_job_id: u64,
+    events_processed: u64,
+    requests: usize,
+    witnesses: usize,
+    witness_mismatches: usize,
+    /// Arrive events scheduled but not yet processed.
+    pending_arrivals: usize,
+    /// Requests admitted but not yet terminal.
+    open_jobs: usize,
+}
+
+impl EventCluster {
+    pub fn new(pool: Vec<ArchSpec>, cfg: EventConfig) -> Self {
+        let n = pool.len();
+        EventCluster::with_faults(pool, cfg, vec![None; n])
+    }
+
+    pub fn with_faults(
+        pool: Vec<ArchSpec>,
+        cfg: EventConfig,
+        faults: Vec<Option<Arc<FaultInjector>>>,
+    ) -> Self {
+        EventCluster::build(pool, cfg, faults, None, None)
+    }
+
+    /// Build with a fresh [`SimClock`]-backed [`Obs`] installed; the
+    /// engine steps the clock as it pops the heap, so the returned bus
+    /// records a deterministic trace in simulated time.
+    pub fn with_instrumentation(
+        pool: Vec<ArchSpec>,
+        cfg: EventConfig,
+        faults: Vec<Option<Arc<FaultInjector>>>,
+    ) -> (Self, Arc<Obs>) {
+        let clock = Arc::new(SimClock::new());
+        let obs = Arc::new(Obs::sim(Arc::clone(&clock)));
+        let eng = EventCluster::build(pool, cfg, faults, Some(Arc::clone(&obs)), Some(clock));
+        (eng, obs)
+    }
+
+    fn build(
+        pool: Vec<ArchSpec>,
+        cfg: EventConfig,
+        faults: Vec<Option<Arc<FaultInjector>>>,
+        obs: Option<Arc<Obs>>,
+        clock: Option<Arc<SimClock>>,
+    ) -> Self {
+        assert!(!pool.is_empty(), "a cluster needs at least one device");
+        assert_eq!(pool.len(), faults.len(), "one fault schedule slot per device");
+        let share = Arc::new(PlanShare::new());
+        let mut class_names: Vec<&'static str> = Vec::new();
+        let mut class_of = Vec::with_capacity(pool.len());
+        let mut class_rep = Vec::new();
+        let devices: Vec<EvDevice> = pool
+            .into_iter()
+            .zip(faults)
+            .enumerate()
+            .map(|(id, (arch, fault))| {
+                let class = match class_names.iter().position(|n| *n == arch.name) {
+                    Some(c) => c,
+                    None => {
+                        class_names.push(arch.name);
+                        class_rep.push(id);
+                        class_names.len() - 1
+                    }
+                };
+                class_of.push(class);
+                let s = Session::with_share(Framework::new(arch), Arc::clone(&share));
+                let session = Arc::new(match &obs {
+                    Some(o) => s.with_obs(Arc::clone(o)),
+                    None => s,
+                });
+                EvDevice {
+                    id,
+                    session,
+                    queue: BoundedQueue::new(cfg.queue_capacity),
+                    running: None,
+                    backlog_us: 0.0,
+                    busy_sim_us: 0.0,
+                    alive: true,
+                    breaker: Breaker::new(cfg.breaker.clone()),
+                    fault,
+                    placements: 0,
+                    completed: 0,
+                    steals: 0,
+                    reroutes_out: 0,
+                    breaker_trips: 0,
+                    steal_pending: false,
+                    probe_pending: false,
+                }
+            })
+            .collect();
+        // Seed every class heap with the all-idle state so the indexed
+        // path sees the whole pool from the first placement.
+        let mut index: Vec<BinaryHeap<Reverse<(u64, usize)>>> =
+            (0..class_rep.len()).map(|_| BinaryHeap::new()).collect();
+        for (id, class) in class_of.iter().enumerate() {
+            index[*class].push(Reverse((0u64, id)));
+        }
+        EventCluster {
+            cfg,
+            devices,
+            share,
+            timeline: Timeline::new(),
+            obs,
+            clock,
+            stats: ClusterInner::default(),
+            outcomes: Vec::new(),
+            predictions: HashMap::new(),
+            class_of,
+            class_rep,
+            index,
+            breaker_active: false,
+            gen: None,
+            now: SimTime::ZERO,
+            next_job_id: 0,
+            events_processed: 0,
+            requests: 0,
+            witnesses: 0,
+            witness_mismatches: 0,
+            pending_arrivals: 0,
+            open_jobs: 0,
+        }
+    }
+
+    pub fn devices(&self) -> usize {
+        self.devices.len()
+    }
+
+    pub fn share(&self) -> &Arc<PlanShare> {
+        &self.share
+    }
+
+    pub fn observer(&self) -> Option<&Arc<Obs>> {
+        self.obs.as_ref()
+    }
+
+    /// Schedule one request to arrive at `at`. Returns its job id.
+    pub fn submit_at(&mut self, at: SimTime, shapes: Arc<[GemmShape]>, seed: u64) -> u64 {
+        let id = self.next_job_id;
+        self.next_job_id += 1;
+        let witness = self.is_witness(id);
+        let job = EvJob {
+            id,
+            shapes,
+            seed,
+            arrived: at,
+            predicted_us: 0.0,
+            attempts: 0,
+            stolen: false,
+            witness,
+        };
+        self.pending_arrivals += 1;
+        self.timeline.schedule(at, Ev::Arrive { job });
+        id
+    }
+
+    /// Schedule a device kill at `at` (chaos schedules / sweeps).
+    pub fn kill_at(&mut self, at: SimTime, device: usize) {
+        assert!(device < self.devices.len(), "no such device");
+        self.timeline.schedule(at, Ev::DeviceKill { device });
+    }
+
+    /// Attach an open-loop load. Its first arrival is scheduled
+    /// relative to the current sim time, and each processed arrival
+    /// schedules the next — the heap never holds more than one pending
+    /// generated arrival.
+    pub fn load(&mut self, mut gen: LoadGen) {
+        if let Some((dt, shapes, seed)) = gen.next() {
+            let at = self.now.plus(dt);
+            self.submit_at(at, shapes, seed);
+        }
+        self.gen = Some(gen);
+    }
+
+    fn is_witness(&self, id: u64) -> bool {
+        match self.cfg.witness_every {
+            0 => false,
+            k => id.is_multiple_of(k as u64),
+        }
+    }
+
+    fn work_pending(&self) -> bool {
+        self.pending_arrivals > 0
+            || self.open_jobs > 0
+            || self.gen.as_ref().is_some_and(|g| g.requests_remaining() > 0)
+    }
+
+    fn obs(&self) -> Option<&Obs> {
+        self.obs.as_deref()
+    }
+
+    /// Run the timeline to exhaustion and report.
+    pub fn run(&mut self) -> EngineReport {
+        let t0 = Instant::now();
+        while let Some((t, ev)) = self.timeline.pop() {
+            debug_assert!(t >= self.now, "timeline popped out of order");
+            self.now = t;
+            if let Some(c) = &self.clock {
+                c.advance_to(t.as_us());
+            }
+            self.events_processed += 1;
+            self.dispatch(ev);
+        }
+        let wall = t0.elapsed().as_secs_f64();
+        EngineReport {
+            stats: self.stats_snapshot(),
+            requests: self.requests,
+            events_processed: self.events_processed,
+            wall_elapsed_s: wall,
+            events_per_sec: if wall > 0.0 { self.events_processed as f64 / wall } else { 0.0 },
+            witnesses: self.witnesses,
+            witness_mismatches: self.witness_mismatches,
+            horizon: self.now,
+            outcomes: std::mem::take(&mut self.outcomes),
+        }
+    }
+
+    /// Point-in-time [`ClusterStats`] in the threaded vocabulary.
+    pub fn stats_snapshot(&self) -> ClusterStats {
+        let mut devices: Vec<DeviceStats> = self.devices.iter().map(EvDevice::snapshot).collect();
+        let makespan = devices.iter().map(|d| d.busy_sim_us).fold(0.0, f64::max);
+        for d in &mut devices {
+            d.utilization = if makespan > 0.0 { d.busy_sim_us / makespan } else { 0.0 };
+        }
+        let mut plan_cache = CacheStats::default();
+        for dev in &self.devices {
+            let s = dev.session.stats();
+            plan_cache.hits += s.hits;
+            plan_cache.misses += s.misses;
+        }
+        let memo = self.share.sim_memo();
+        let sim_memo = CacheStats { hits: memo.hits(), misses: memo.misses() };
+        self.stats.snapshot(devices, plan_cache, sim_memo)
+    }
+
+    // -- event dispatch ---------------------------------------------------
+
+    fn dispatch(&mut self, ev: Ev) {
+        match ev {
+            Ev::Arrive { job } => self.on_arrive(job),
+            Ev::PlaceDone { job } => self.on_place(job),
+            Ev::ExecDone { device } => self.on_exec_done(device),
+            Ev::StealCheck { device } => self.on_steal_check(device),
+            Ev::BreakerProbe { device } => self.on_breaker_probe(device),
+            Ev::DeviceKill { device } => self.on_kill(device),
+        }
+    }
+
+    fn on_arrive(&mut self, job: EvJob) {
+        self.pending_arrivals -= 1;
+        self.open_jobs += 1;
+        self.requests += 1;
+        // Admit is traced before placement, mirroring the threaded
+        // submit path's ordering contract.
+        if let Some(o) = self.obs() {
+            o.point(PointKind::Admit { req: job.id });
+        }
+        // Keep the open-loop source primed: one pending generated
+        // arrival at a time.
+        if let Some(mut gen) = self.gen.take() {
+            let next = gen.next();
+            self.gen = Some(gen);
+            if let Some((dt, shapes, seed)) = next {
+                let at = self.now.plus(dt);
+                self.submit_at(at, shapes, seed);
+            }
+        }
+        self.timeline.schedule(self.now, Ev::PlaceDone { job });
+    }
+
+    fn on_place(&mut self, job: EvJob) {
+        let id = job.id;
+        match self.place_attempt(job, None) {
+            Ok(device) => {
+                self.stats.submitted.fetch_add(1, Ordering::Relaxed);
+                self.maybe_start(device);
+            }
+            Err(fail) if fail.any_full => {
+                // Backpressure: every candidate queue is full. The
+                // threaded submit loop sleeps 50 µs and retries; we
+                // reschedule the placement the same distance out.
+                self.timeline.schedule(self.now.plus(BACKOFF_NS), Ev::PlaceDone { job: fail.job });
+            }
+            Err(fail) => {
+                if fail.plan_err.is_some() {
+                    if let Some(o) = self.obs() {
+                        o.point(PointKind::Reject { req: Some(id) });
+                    }
+                    self.open_jobs -= 1;
+                    if self.cfg.record_outcomes {
+                        self.outcomes.push(ReqOutcome::PlanRejected { id });
+                    }
+                    return;
+                }
+                // No live device at all: degraded inline, like the
+                // threaded submit path.
+                self.stats.submitted.fetch_add(1, Ordering::Relaxed);
+                self.degrade_inline(fail.job);
+            }
+        }
+    }
+
+    fn on_exec_done(&mut self, device: usize) {
+        let Some(Running { job, fate }) = self.devices[device].running.take() else {
+            return;
+        };
+        match fate {
+            Fate::Complete => self.complete_job(device, job),
+            Fate::PlanFailed => {
+                self.stats.plan_failures.fetch_add(1, Ordering::Relaxed);
+                if let Some(o) = self.obs() {
+                    o.point(PointKind::PlanFailure);
+                }
+                self.fail_and_reroute(device, job);
+            }
+            Fate::Panicked => {
+                self.stats.worker_panics.fetch_add(1, Ordering::Relaxed);
+                if let Some(o) = self.obs() {
+                    o.point(PointKind::PanicCaught);
+                    o.dump_flight("worker panic");
+                }
+                self.fail_and_reroute(device, job);
+            }
+        }
+        self.maybe_start(device);
+        self.maybe_schedule_steal(device);
+    }
+
+    fn on_steal_check(&mut self, thief_idx: usize) {
+        self.devices[thief_idx].steal_pending = false;
+        let thief = &self.devices[thief_idx];
+        if !thief.alive || thief.breaker.is_open() || !thief.idle() {
+            return;
+        }
+        if self.try_steal(thief_idx) {
+            // Busy now; the next idle transition re-arms the check.
+            return;
+        }
+        self.maybe_schedule_steal(thief_idx);
+    }
+
+    fn on_breaker_probe(&mut self, device: usize) {
+        self.devices[device].probe_pending = false;
+        if !self.devices[device].alive {
+            return;
+        }
+        if self.devices[device].breaker.is_open() {
+            // Still serving the open window: probe again later.
+            if self.work_pending() {
+                self.devices[device].probe_pending = true;
+                self.timeline.schedule(self.now.plus(PROBE_NS), Ev::BreakerProbe { device });
+            }
+            return;
+        }
+        // Healed: an idle recovered device goes back to stealing.
+        self.maybe_schedule_steal(device);
+    }
+
+    fn on_kill(&mut self, device: usize) {
+        if !self.devices[device].alive {
+            return; // already dead
+        }
+        self.devices[device].alive = false;
+        self.stats.kills.fetch_add(1, Ordering::Relaxed);
+        if let Some(o) = self.obs() {
+            o.point(PointKind::Kill { device });
+        }
+        // Mirror the threaded kill: close the queue, then re-route
+        // everything that was waiting. A job mid-execution finishes
+        // normally (its ExecDone is already on the heap).
+        self.devices[device].queue.close();
+        self.drain_and_reroute(device);
+    }
+
+    // -- placement --------------------------------------------------------
+
+    /// Memoized prediction for `shapes` on device `dev_idx`'s arch
+    /// class — the same plan + `simulate_solution` number the threaded
+    /// `predict_us` computes, shared across all devices of the class.
+    fn predict_cached(&mut self, dev_idx: usize, shapes: &Arc<[GemmShape]>) -> Result<f64, String> {
+        let class = self.class_of[dev_idx];
+        let rep = self.class_rep[class];
+        let name = self.devices[rep].arch().name;
+        if let Some(r) = self.predictions.get(&(name, Arc::clone(shapes))) {
+            return r.clone();
+        }
+        let session = &self.devices[rep].session;
+        let r = session.plan(shapes).map(|plan| {
+            let fw = session.framework();
+            session.sim_memo().simulate_solution(
+                fw.arch(),
+                shapes,
+                &plan.solution,
+                plan.heuristic,
+                fw.thresholds(),
+            )
+        });
+        self.predictions.insert((name, Arc::clone(shapes)), r.clone());
+        r
+    }
+
+    fn use_index(&self, exclude: Option<usize>) -> bool {
+        if self.breaker_active || exclude.is_some() {
+            return false;
+        }
+        match self.cfg.placement {
+            PlacementMode::Exact => false,
+            PlacementMode::Indexed => true,
+            PlacementMode::Auto => self.devices.len() >= 64,
+        }
+    }
+
+    fn index_key(&self, device: usize) -> u64 {
+        // Backlogs are clamped non-negative, and non-negative IEEE
+        // doubles order identically to their bit patterns.
+        self.devices[device].backlog().to_bits()
+    }
+
+    /// Record `device`'s current backlog in its class heap (lazy
+    /// invalidation: older entries for the device go stale by value).
+    fn index_touch(&mut self, device: usize) {
+        let class = self.class_of[device];
+        let key = self.index_key(device);
+        self.index[class].push(Reverse((key, device)));
+    }
+
+    /// One placement attempt. The exact path mirrors the threaded
+    /// `try_place` line for line; the indexed path short-circuits the
+    /// scan with per-class argmins, which pick the same device whenever
+    /// no breaker is open and the best queue is not full — and fall
+    /// back to the exact scan otherwise. Returns the placed-on device.
+    fn place_attempt(
+        &mut self,
+        job: EvJob,
+        exclude: Option<usize>,
+    ) -> Result<usize, Box<PlaceFail>> {
+        if self.use_index(exclude) {
+            match self.place_indexed(job) {
+                IndexedPlace::Placed(d) => return Ok(d),
+                IndexedPlace::NoCandidate { job, plan_err } => {
+                    return Err(Box::new(PlaceFail { job, any_full: false, plan_err }))
+                }
+                IndexedPlace::Fallback(job) => return self.place_exact(job, exclude),
+            }
+        }
+        self.place_exact(job, exclude)
+    }
+
+    /// Indexed argmin placement: peek each class heap's valid head
+    /// (same within-class order as the global ranking, because the
+    /// predicted time is constant within a class), then compare class
+    /// winners with the identical completion-then-id ordering.
+    fn place_indexed(&mut self, mut job: EvJob) -> IndexedPlace {
+        let obs_arc = self.obs.clone();
+        let _place = obs_arc.as_ref().map(|o| o.span(SpanKind::Place));
+        let shapes = job.shapes.clone();
+        let mut plan_err: Option<String> = None;
+        let mut best: Option<Candidate> = None;
+        for class in 0..self.class_rep.len() {
+            let rep = self.class_rep[class];
+            let predicted_us = match self.predict_cached(rep, &shapes) {
+                Ok(v) => v,
+                Err(m) => {
+                    plan_err = Some(m);
+                    continue;
+                }
+            };
+            // Discard stale heads, then peek the class argmin.
+            let head = loop {
+                let Some(&Reverse((key, device))) = self.index[class].peek() else {
+                    break None;
+                };
+                if self.devices[device].alive && self.index_key(device) == key {
+                    break Some((key, device));
+                }
+                self.index[class].pop();
+            };
+            let Some((key, device)) = head else { continue };
+            let cand = Candidate { device, backlog_us: f64::from_bits(key), predicted_us };
+            let better = match &best {
+                None => true,
+                Some(b) => cand
+                    .completion_us()
+                    .total_cmp(&b.completion_us())
+                    .then(cand.device.cmp(&b.device))
+                    .is_lt(),
+            };
+            if better {
+                best = Some(cand);
+            }
+        }
+        let Some(c) = best else {
+            return IndexedPlace::NoCandidate { job, plan_err };
+        };
+        job.predicted_us = c.predicted_us;
+        self.devices[c.device].backlog_us += c.predicted_us;
+        match self.devices[c.device].queue.try_push(job) {
+            Ok(()) => {
+                self.finish_placement(c.device);
+                IndexedPlace::Placed(c.device)
+            }
+            Err((_kind, j)) => {
+                self.devices[c.device].backlog_us -= c.predicted_us;
+                IndexedPlace::Fallback(j)
+            }
+        }
+    }
+
+    /// The exact scan — a line-for-line mirror of the threaded
+    /// `try_place`, with predictions served from the class cache.
+    fn place_exact(
+        &mut self,
+        mut job: EvJob,
+        exclude: Option<usize>,
+    ) -> Result<usize, Box<PlaceFail>> {
+        let obs_arc = self.obs.clone();
+        let _place = obs_arc.as_ref().map(|o| o.span(SpanKind::Place));
+        let shapes = job.shapes.clone();
+        let mut candidates = Vec::with_capacity(self.devices.len());
+        let mut plan_err = None;
+        for i in 0..self.devices.len() {
+            if Some(i) == exclude || !self.devices[i].alive {
+                continue;
+            }
+            match self.predict_cached(i, &shapes) {
+                Ok(predicted_us) => candidates.push(Candidate {
+                    device: i,
+                    backlog_us: self.devices[i].backlog(),
+                    predicted_us,
+                }),
+                Err(m) => plan_err = Some(m),
+            }
+        }
+        if candidates.is_empty() {
+            return Err(Box::new(PlaceFail { job, any_full: false, plan_err }));
+        }
+        let all_open = candidates.iter().all(|c| self.devices[c.device].breaker.is_open());
+        let candidates = placer::rank(candidates);
+        let mut any_full = false;
+        for c in &candidates {
+            if !all_open && self.devices[c.device].breaker.consume_open() {
+                continue;
+            }
+            job.predicted_us = c.predicted_us;
+            self.devices[c.device].backlog_us += c.predicted_us;
+            match self.devices[c.device].queue.try_push(job) {
+                Ok(()) => {
+                    self.finish_placement(c.device);
+                    return Ok(c.device);
+                }
+                Err((kind, j)) => {
+                    self.devices[c.device].backlog_us -= c.predicted_us;
+                    any_full |= kind == PushError::Full;
+                    job = j;
+                }
+            }
+        }
+        Err(Box::new(PlaceFail { job, any_full, plan_err: None }))
+    }
+
+    fn finish_placement(&mut self, device: usize) {
+        self.devices[device].placements += 1;
+        self.stats.routed.fetch_add(1, Ordering::Relaxed);
+        if let Some(o) = self.obs() {
+            o.point(PointKind::Routed { device });
+        }
+        self.index_touch(device);
+    }
+
+    // -- execution --------------------------------------------------------
+
+    /// If `device` is idle and has queued work, start its front job.
+    fn maybe_start(&mut self, device: usize) {
+        if self.devices[device].running.is_some() {
+            return;
+        }
+        let Some(job) = self.devices[device].queue.try_pop() else {
+            return;
+        };
+        self.start_job(device, job);
+    }
+
+    /// Roll the job's fate (threaded worker order: slow stall → plan
+    /// failure → exec panic) and schedule its `ExecDone`.
+    fn start_job(&mut self, device: usize, job: EvJob) {
+        let dev = &self.devices[device];
+        // Injected worker stall: the threaded engine sleeps wall time;
+        // here the stall is sim time ahead of the work.
+        let stall_ns = match &dev.fault {
+            Some(f) => {
+                f.roll_slow().map(|d| d.as_nanos().min(u128::from(u64::MAX)) as u64).unwrap_or(0)
+            }
+            None => 0,
+        };
+        let fate = if dev.roll(FaultSite::PlanFail) {
+            Fate::PlanFailed
+        } else if dev.roll(FaultSite::ExecPanic) {
+            Fate::Panicked
+        } else {
+            Fate::Complete
+        };
+        let exec_ns = match fate {
+            // Never zero, so a completion cannot share its timestamp
+            // with the placement that caused it.
+            Fate::Complete => ((job.predicted_us * 1_000.0).round() as u64).max(1),
+            // Failures surface almost immediately; the threaded engine
+            // charges no simulated time for them either.
+            Fate::PlanFailed | Fate::Panicked => 1,
+        };
+        let done = self.now.plus(stall_ns + exec_ns);
+        self.devices[device].running = Some(Running { job, fate });
+        self.timeline.schedule(done, Ev::ExecDone { device });
+    }
+
+    /// Coordinated completion. Witnesses execute for real and are
+    /// bitwise-checked; everyone else completes by accounting, charging
+    /// the simulated time the placer predicted — which is the identical
+    /// number `SimReport::total_us` would report, because both read the
+    /// same memo entry. That shared source of truth is why
+    /// `mean_abs_placement_err_us` stays 0 on both engines.
+    fn complete_job(&mut self, device: usize, job: EvJob) {
+        let executed_us = if job.witness {
+            self.witnesses += 1;
+            let batch = GemmBatch::random(&job.shapes, WITNESS_ALPHA, WITNESS_BETA, job.seed);
+            // Plan first (warm cache), then the Exec span — the same
+            // span order the threaded worker produces.
+            let plan = self.devices[device]
+                .session
+                .plan(&batch.shapes)
+                .expect("witness plan is warm: placement already planned this signature");
+            let obs_arc = self.obs.clone();
+            let guard = obs_arc.as_ref().map(|o| o.span(SpanKind::Exec));
+            let (results, report) = self.devices[device].session.framework().execute(&batch, &plan);
+            if let Some(g) = guard {
+                g.finish();
+            }
+            let oracle = batch.reference_result_exact();
+            if bitwise_mismatch(&oracle, &results).is_some() {
+                self.witness_mismatches += 1;
+            }
+            report.total_us
+        } else {
+            if let Some(o) = self.obs() {
+                o.span(SpanKind::Exec).finish();
+            }
+            job.predicted_us
+        };
+        let dev = &mut self.devices[device];
+        dev.breaker.record_success();
+        dev.backlog_us -= job.predicted_us;
+        dev.busy_sim_us += executed_us;
+        dev.completed += 1;
+        self.stats.completed.fetch_add(1, Ordering::Relaxed);
+        self.stats.record_placement_err(job.predicted_us, executed_us);
+        let wall_us = self.now.as_ns().saturating_sub(job.arrived.as_ns()) as f64 / 1_000.0;
+        self.stats.record_latency(wall_us);
+        if let Some(o) = self.obs() {
+            o.point(PointKind::BatchDone { req: job.id, device, degraded: false, abandoned: false });
+        }
+        self.open_jobs -= 1;
+        if self.cfg.record_outcomes {
+            self.outcomes.push(ReqOutcome::Done {
+                id: job.id,
+                device,
+                degraded: false,
+                stolen: job.stolen,
+                reroutes: job.attempts,
+            });
+        }
+        self.index_touch(device);
+    }
+
+    /// Threaded `fail_and_reroute`, verbatim order: charge the breaker
+    /// (a trip drains the queue onto survivors *before* this job
+    /// moves), release the backlog, then re-route the failing job.
+    fn fail_and_reroute(&mut self, device: usize, job: EvJob) {
+        if self.devices[device].breaker.record_failure() {
+            self.devices[device].breaker_trips += 1;
+            self.stats.breaker_trips.fetch_add(1, Ordering::Relaxed);
+            self.breaker_active = true;
+            if let Some(o) = self.obs() {
+                o.point(PointKind::BreakerTrip);
+                o.dump_flight("breaker trip");
+            }
+            self.drain_and_reroute(device);
+            if !self.devices[device].probe_pending && self.work_pending() {
+                self.devices[device].probe_pending = true;
+                self.timeline.schedule(self.now.plus(PROBE_NS), Ev::BreakerProbe { device });
+            }
+        }
+        self.devices[device].backlog_us -= job.predicted_us;
+        self.index_touch(device);
+        self.reroute(job, device);
+    }
+
+    fn drain_and_reroute(&mut self, device: usize) {
+        while let Some(job) = self.devices[device].queue.try_pop() {
+            self.devices[device].backlog_us -= job.predicted_us;
+            self.reroute(job, device);
+        }
+        self.index_touch(device);
+    }
+
+    fn reroute(&mut self, mut job: EvJob, from: usize) {
+        job.attempts += 1;
+        self.stats.reroutes.fetch_add(1, Ordering::Relaxed);
+        self.devices[from].reroutes_out += 1;
+        if let Some(o) = self.obs() {
+            o.point(PointKind::Reroute { from });
+        }
+        if job.attempts > self.cfg.max_reroutes {
+            self.degrade_inline(job);
+            return;
+        }
+        match self.place_attempt(job, Some(from)) {
+            Ok(device) => self.maybe_start(device),
+            Err(fail) => self.degrade_inline(fail.job),
+        }
+    }
+
+    /// Terminal fallback, mirroring the threaded `degrade_inline`: the
+    /// strongest live device's architecture parametrises the baseline;
+    /// only witnesses actually run it (degraded results are bitwise-
+    /// exact too, so the sample proves the path).
+    fn degrade_inline(&mut self, job: EvJob) {
+        let donor = self.devices.iter().find(|d| d.alive).map_or(0, |d| d.id);
+        let inject = self.devices[donor].roll(FaultSite::DegradedPanic);
+        let obs_arc = self.obs.clone();
+        let guard = obs_arc.as_ref().map(|o| o.span(SpanKind::DegradedExec));
+        if inject {
+            // The injected baseline panic: span closed first, then the
+            // caught-panic bookkeeping, then the terminal Failed event
+            // — the threaded engine's exact tail.
+            if let Some(g) = guard {
+                g.finish();
+            }
+            self.stats.worker_panics.fetch_add(1, Ordering::Relaxed);
+            if let Some(o) = self.obs() {
+                o.point(PointKind::PanicCaught);
+                o.dump_flight("degraded worker panic");
+                o.point(PointKind::Failed { req: job.id, abandoned: false });
+            }
+            self.open_jobs -= 1;
+            if self.cfg.record_outcomes {
+                self.outcomes.push(ReqOutcome::Failed { id: job.id });
+            }
+            return;
+        }
+        if job.witness {
+            self.witnesses += 1;
+            let batch = GemmBatch::random(&job.shapes, WITNESS_ALPHA, WITNESS_BETA, job.seed);
+            let results = ctb_baselines::default_functional(self.devices[donor].arch(), &batch);
+            let oracle = batch.reference_result_exact();
+            if bitwise_mismatch(&oracle, &results).is_some() {
+                self.witness_mismatches += 1;
+            }
+        }
+        if let Some(g) = guard {
+            g.finish();
+        }
+        let wall_us = self.now.as_ns().saturating_sub(job.arrived.as_ns()) as f64 / 1_000.0;
+        self.stats.completed.fetch_add(1, Ordering::Relaxed);
+        self.stats.degraded.fetch_add(1, Ordering::Relaxed);
+        self.stats.record_latency(wall_us);
+        if let Some(o) = self.obs() {
+            o.point(PointKind::BatchDone {
+                req: job.id,
+                device: donor,
+                degraded: true,
+                abandoned: false,
+            });
+        }
+        self.open_jobs -= 1;
+        if self.cfg.record_outcomes {
+            self.outcomes.push(ReqOutcome::Done {
+                id: job.id,
+                device: donor,
+                degraded: true,
+                stolen: job.stolen,
+                reroutes: job.attempts,
+            });
+        }
+    }
+
+    // -- stealing ---------------------------------------------------------
+
+    fn maybe_schedule_steal(&mut self, device: usize) {
+        if !self.cfg.steal.enabled {
+            return;
+        }
+        let dev = &self.devices[device];
+        if !dev.alive || !dev.idle() || dev.steal_pending || !self.work_pending() {
+            return;
+        }
+        let poll_ns = self.cfg.steal.poll.as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.devices[device].steal_pending = true;
+        self.timeline.schedule(self.now.plus(poll_ns.max(1)), Ev::StealCheck { device });
+    }
+
+    /// The threaded `try_steal`, event-shaped: victim selection, the
+    /// `steal_beneficial` test, and the identity-checked claim all run
+    /// through the same seams.
+    fn try_steal(&mut self, thief_idx: usize) -> bool {
+        let mut victim: Option<(usize, f64)> = None;
+        for dev in &self.devices {
+            if dev.id == thief_idx || !dev.alive || dev.queue.is_empty() {
+                continue;
+            }
+            let backlog = dev.backlog();
+            if backlog >= self.cfg.steal.min_victim_backlog_us
+                && victim.is_none_or(|(_, b)| backlog > b)
+            {
+                victim = Some((dev.id, backlog));
+            }
+        }
+        let Some((victim_idx, victim_backlog)) = victim else {
+            return false;
+        };
+        let Some(shapes) = self.devices[victim_idx].queue.peek_map(|j| j.shapes.clone()) else {
+            return false;
+        };
+        let Ok(predicted_here) = self.predict_cached(thief_idx, &shapes) else {
+            return false;
+        };
+        if !placer::steal_beneficial(
+            victim_backlog,
+            predicted_here,
+            self.cfg.steal.min_victim_backlog_us,
+        ) {
+            return false;
+        }
+        let Some(mut job) = self.devices[victim_idx].queue.pop_if(|j| j.shapes == shapes) else {
+            return false;
+        };
+        self.devices[victim_idx].backlog_us -= job.predicted_us;
+        self.index_touch(victim_idx);
+        job.predicted_us = predicted_here;
+        job.stolen = true;
+        self.devices[thief_idx].backlog_us += predicted_here;
+        self.devices[thief_idx].steals += 1;
+        self.stats.steals.fetch_add(1, Ordering::Relaxed);
+        if let Some(o) = self.obs() {
+            o.point(PointKind::Steal { to: thief_idx, from: victim_idx });
+        }
+        self.index_touch(thief_idx);
+        self.start_job(thief_idx, job);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctb_serve::FaultConfig;
+    use std::time::Duration;
+
+    fn sig(shapes: &[GemmShape]) -> Arc<[GemmShape]> {
+        shapes.into()
+    }
+
+    fn quiet_cfg() -> EventConfig {
+        EventConfig::default()
+    }
+
+    #[test]
+    fn timeline_orders_by_time_then_schedule_order() {
+        let mut t: Timeline<u32> = Timeline::new();
+        t.schedule(SimTime(50), 1);
+        t.schedule(SimTime(10), 2);
+        t.schedule(SimTime(50), 3);
+        t.schedule(SimTime(10), 4);
+        assert_eq!(t.peek_time(), Some(SimTime(10)));
+        let order: Vec<(u64, u32)> = std::iter::from_fn(|| t.pop())
+            .map(|(at, ev)| (at.as_ns(), ev))
+            .collect();
+        // Equal timestamps pop FIFO in schedule order.
+        assert_eq!(order, vec![(10, 2), (10, 4), (50, 1), (50, 3)]);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn sim_time_units_convert() {
+        assert_eq!(SimTime::from_us(3).as_ns(), 3_000);
+        assert_eq!(SimTime(1_500).as_us(), 1);
+        assert_eq!(SimTime(1_500).plus(500).as_us(), 2);
+    }
+
+    #[test]
+    fn single_request_is_witnessed_and_bitwise_exact() {
+        let mut eng = EventCluster::new(ArchSpec::pool_presets(2), quiet_cfg());
+        eng.submit_at(
+            SimTime::ZERO,
+            sig(&[GemmShape::new(48, 64, 96), GemmShape::new(16, 32, 128)]),
+            7,
+        );
+        let report = eng.run();
+        assert_eq!(report.requests, 1);
+        assert_eq!(report.stats.submitted, 1);
+        assert_eq!(report.stats.completed, 1);
+        assert_eq!(report.stats.degraded, 0);
+        assert_eq!(report.witnesses, 1);
+        assert_eq!(report.witness_mismatches, 0, "witness must be bitwise-exact");
+        assert_eq!(report.stats.mean_abs_placement_err_us, 0.0);
+        assert!(matches!(
+            report.outcomes[..],
+            [ReqOutcome::Done { id: 0, degraded: false, stolen: false, reroutes: 0, .. }]
+        ));
+    }
+
+    #[test]
+    fn loadgen_is_deterministic_and_conserves_requests() {
+        let mut a = LoadGen::table2(11, 40_000.0, 64);
+        let mut b = LoadGen::table2(11, 40_000.0, 64);
+        let da: Vec<_> = std::iter::from_fn(|| a.next()).collect();
+        let db: Vec<_> = std::iter::from_fn(|| b.next()).collect();
+        assert_eq!(da.len(), 64);
+        assert_eq!(da, db, "same seed, same arrival process");
+        assert!(da.iter().all(|(dt, _, _)| *dt >= 1));
+        // More than one mix class gets drawn at 64 requests.
+        let distinct: std::collections::HashSet<usize> =
+            da.iter().map(|(_, s, _)| s.len()).collect();
+        assert!(distinct.len() > 1, "mix draws collapse to one class");
+    }
+
+    #[test]
+    fn open_loop_load_completes_every_request() {
+        let mut cfg = quiet_cfg();
+        cfg.witness_every = 97;
+        let mut eng = EventCluster::new(ArchSpec::pool_presets(4), cfg);
+        eng.load(LoadGen::table2(3, 30_000.0, 400));
+        let report = eng.run();
+        assert_eq!(report.requests, 400);
+        assert_eq!(report.stats.submitted, 400);
+        assert_eq!(report.stats.completed, 400);
+        assert_eq!(report.stats.degraded, 0);
+        assert!(report.witnesses >= 4);
+        assert_eq!(report.witness_mismatches, 0);
+        assert_eq!(report.stats.mean_abs_placement_err_us, 0.0);
+        assert!(report.events_processed as usize >= 3 * 400);
+    }
+
+    #[test]
+    fn same_inputs_same_outcomes_and_trace() {
+        let build = || {
+            let mut cfg = quiet_cfg();
+            cfg.witness_every = 5;
+            let (mut eng, obs) =
+                EventCluster::with_instrumentation(ArchSpec::pool_presets(3), cfg, vec![None; 3]);
+            eng.load(LoadGen::table2(21, 25_000.0, 120));
+            let report = eng.run();
+            (report, obs.render())
+        };
+        let (ra, ta) = build();
+        let (rb, tb) = build();
+        assert_eq!(ra.outcomes, rb.outcomes);
+        assert_eq!(ra.events_processed, rb.events_processed);
+        assert_eq!(ra.stats.makespan_sim_us, rb.stats.makespan_sim_us);
+        assert_eq!(ta, tb, "same inputs must render a byte-identical trace");
+    }
+
+    #[test]
+    fn indexed_placement_matches_exact_scan() {
+        let run = |mode: PlacementMode| {
+            let mut cfg = quiet_cfg();
+            cfg.witness_every = 0;
+            cfg.placement = mode;
+            let mut eng = EventCluster::new(ArchSpec::pool_presets(12), cfg);
+            // Tight inter-arrivals so queues build and spill-down and
+            // steals actually exercise the index.
+            eng.load(LoadGen::table2(9, 4_000.0, 500));
+            eng.run()
+        };
+        let exact = run(PlacementMode::Exact);
+        let indexed = run(PlacementMode::Indexed);
+        assert_eq!(exact.outcomes, indexed.outcomes, "index changed a routing decision");
+        assert_eq!(exact.stats.makespan_sim_us, indexed.stats.makespan_sim_us);
+        assert_eq!(exact.stats.steals, indexed.stats.steals);
+        assert_eq!(exact.stats.completed, 500);
+    }
+
+    #[test]
+    fn kill_reroutes_queued_work_to_survivors() {
+        let mut cfg = quiet_cfg();
+        cfg.witness_every = 3;
+        cfg.steal.enabled = false;
+        let mut eng = EventCluster::new(ArchSpec::pool_presets(2), cfg);
+        let shapes = sig(&[GemmShape::new(64, 64, 320); 2]);
+        for i in 0..10 {
+            eng.submit_at(SimTime::ZERO, shapes.clone(), i);
+        }
+        // Kill device 0 while its queue still holds work.
+        eng.kill_at(SimTime(5), 0);
+        let report = eng.run();
+        assert_eq!(report.stats.kills, 1);
+        assert_eq!(report.stats.completed, 10, "kill must not drop work");
+        assert!(report.stats.reroutes > 0, "queued batches re-route off the dead device");
+        assert_eq!(report.witness_mismatches, 0);
+        // Everything after the kill lands on (or finishes on) device 1
+        // or the degraded baseline — never the corpse.
+        let late_on_dead = report.outcomes.iter().any(|o| {
+            matches!(o, ReqOutcome::Done { device: 0, degraded: false, reroutes, .. } if *reroutes > 0)
+        });
+        assert!(!late_on_dead, "re-routed work must avoid the killed device");
+    }
+
+    #[test]
+    fn stalled_victim_gets_relieved_by_steals() {
+        // Device 0 stalls 2 ms (sim) per job, so its queue outlives
+        // device 1's; once device 1 idles, the model says moving the
+        // front batch wins and the steal fires.
+        let mut cfg = quiet_cfg();
+        cfg.witness_every = 0;
+        let fault = Arc::new(FaultInjector::new(
+            FaultConfig::new(5).slow_worker(1000, Duration::from_millis(2)),
+        ));
+        let mut eng = EventCluster::with_faults(
+            ArchSpec::pool_presets(2),
+            cfg,
+            vec![Some(fault), None],
+        );
+        let shapes = sig(&[GemmShape::new(64, 64, 128); 3]);
+        for i in 0..20 {
+            eng.submit_at(SimTime::ZERO, shapes.clone(), i);
+        }
+        let report = eng.run();
+        assert_eq!(report.stats.completed, 20);
+        assert!(report.stats.steals >= 1, "expected at least one steal, got stats {:?}", report.stats.steals);
+        let stolen = report
+            .outcomes
+            .iter()
+            .filter(|o| matches!(o, ReqOutcome::Done { stolen: true, .. }))
+            .count();
+        assert_eq!(stolen, report.stats.steals);
+    }
+
+    #[test]
+    fn exec_panics_trip_the_breaker_and_work_survives() {
+        let mut cfg = quiet_cfg();
+        cfg.witness_every = 4;
+        let fault = Arc::new(FaultInjector::new(FaultConfig::new(2).exec_panic(1000)));
+        let mut eng = EventCluster::with_faults(
+            ArchSpec::pool_presets(2),
+            cfg,
+            vec![Some(Arc::clone(&fault)), None],
+        );
+        let shapes = sig(&[GemmShape::new(48, 48, 256); 2]);
+        for i in 0..30 {
+            eng.submit_at(SimTime(i * 1_000), shapes.clone(), i);
+        }
+        let report = eng.run();
+        assert_eq!(report.stats.completed, 30, "every request still completes");
+        assert_eq!(report.stats.worker_panics, fault.log().exec_panics);
+        assert!(report.stats.breaker_trips >= 1, "8 consecutive panics must trip");
+        assert_eq!(report.witness_mismatches, 0);
+        // Jobs that failed on device 0 finish elsewhere.
+        assert!(report.stats.reroutes >= report.stats.worker_panics);
+    }
+}

@@ -37,11 +37,16 @@
 //! ```
 
 mod cluster;
+pub mod events;
 pub mod placer;
 mod stats;
 
 pub use cluster::{
     BatchTicket, Cluster, ClusterConfig, ClusterError, ClusterResult, StealPolicy,
+};
+pub use events::{
+    EngineReport, EventCluster, EventConfig, LoadGen, PlacementMode, ReqOutcome, ShapeMix,
+    SimTime, Timeline, WITNESS_ALPHA, WITNESS_BETA,
 };
 pub use placer::{choose, steal_beneficial, Candidate};
 pub use stats::{AtomicF64, ClusterInner, ClusterStats, DeviceStats};

@@ -42,6 +42,19 @@ pub fn choose(candidates: &[Candidate]) -> Option<usize> {
         .map(|c| c.device)
 }
 
+/// Order a full candidate slate best-first: ascending predicted
+/// completion, ties toward the lower device id. `rank(..)[0]` agrees
+/// with [`choose`]; the tail is the spill-down order a placer walks
+/// when better queues are full or sidelined. Both the threaded and the
+/// discrete-event cluster engines place through this one ranking, which
+/// is what makes their decisions comparable in the lockstep suite.
+pub fn rank(mut candidates: Vec<Candidate>) -> Vec<Candidate> {
+    candidates.sort_by(|a, b| {
+        a.completion_us().total_cmp(&b.completion_us()).then(a.device.cmp(&b.device))
+    });
+    candidates
+}
+
 /// Should an idle thief take the victim's front batch?
 ///
 /// Yes when the victim is saturated enough to bother
@@ -95,6 +108,19 @@ mod tests {
     #[test]
     fn singleton_always_wins() {
         assert_eq!(choose(&[c(3, 99.0, 1.0)]), Some(3));
+    }
+
+    #[test]
+    fn rank_agrees_with_choose_and_orders_the_spill() {
+        let slate = vec![c(2, 5.0, 5.0), c(0, 1000.0, 10.0), c(1, 0.0, 25.0)];
+        let ranked = rank(slate.clone());
+        assert_eq!(ranked[0].device, choose(&slate).unwrap());
+        let order: Vec<usize> = ranked.iter().map(|x| x.device).collect();
+        assert_eq!(order, vec![2, 1, 0]);
+        // Ties break toward the lower id at every rank, not just the head.
+        let tied = rank(vec![c(3, 0.0, 10.0), c(1, 5.0, 5.0), c(2, 10.0, 0.0)]);
+        let order: Vec<usize> = tied.iter().map(|x| x.device).collect();
+        assert_eq!(order, vec![1, 2, 3]);
     }
 
     #[test]

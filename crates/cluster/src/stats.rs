@@ -127,6 +127,19 @@ impl ClusterStats {
             flops / (self.makespan_sim_us * 1e-6) / 1e9
         }
     }
+
+    /// Mean per-device utilization: `total_sim_us / (devices × makespan)`,
+    /// i.e. how evenly the placer spread the simulated work across the
+    /// pool (1.0 = perfectly balanced, → 0 as devices idle). The scaling
+    /// sweep reports this per point — a 10k-device pool fed too few
+    /// requests shows its emptiness here rather than in the makespan.
+    pub fn mean_utilization(&self) -> f64 {
+        if self.makespan_sim_us <= 0.0 || self.devices.is_empty() {
+            0.0
+        } else {
+            self.total_sim_us / (self.devices.len() as f64 * self.makespan_sim_us)
+        }
+    }
 }
 
 /// Internal mutable counters behind [`ClusterStats`].
@@ -270,6 +283,8 @@ mod tests {
         // 65 µs of simulated work over a 40 µs makespan.
         let thr = s.sim_throughput_gflops(65.0e3);
         assert!((thr - 65.0e3 / 40.0e-6 / 1e9).abs() < 1e-9);
+        // 65 µs spread over 2 devices × 40 µs makespan.
+        assert!((s.mean_utilization() - 65.0 / 80.0).abs() < 1e-12);
     }
 
     #[test]

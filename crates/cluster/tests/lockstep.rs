@@ -1,0 +1,286 @@
+//! Lockstep differential suite: the discrete-event engine must make
+//! the *same decisions* as the threaded cluster on the chaos schedules.
+//!
+//! Methodology: the threaded engine is only deterministic when driven
+//! serially (submit → wait per batch keeps every backlog at zero at
+//! placement time and makes the per-device fault-injector draw order a
+//! pure function of the schedule). The event engine is driven with
+//! arrivals spaced far enough apart (1 simulated second) that the
+//! system drains between requests — the same closed-loop regime. Both
+//! engines then consult identical seams (placer ranking, breaker,
+//! per-mille injector) in identical order, so we can compare:
+//!
+//! - per-request routing outcomes (device, degraded, stolen, reroutes)
+//!   element-for-element in submission order,
+//! - reconciled [`ClusterStats`] counters with `==` (and the simulated
+//!   busy time / makespan, which accumulate the same memoized numbers
+//!   in the same per-device order, with exact equality),
+//! - the two injectors' [`FaultLog`]s,
+//!
+//! and separately audit the event engine's trace with the same
+//! [`TraceAudit`] + reconciliation the threaded chaos suite uses.
+
+use ctb_cluster::{
+    Cluster, ClusterConfig, ClusterStats, EventCluster, EventConfig, ReqOutcome, SimTime,
+    StealPolicy, WITNESS_ALPHA, WITNESS_BETA,
+};
+use ctb_gpu_specs::ArchSpec;
+use ctb_matrix::{GemmBatch, GemmShape};
+use ctb_obs::TraceAudit;
+use ctb_serve::{BreakerPolicy, FaultConfig, FaultInjector};
+use std::sync::{Arc, Once};
+use std::time::Duration;
+
+/// Inter-arrival gap on the event side: long enough that every request
+/// (including its re-route chain) retires before the next arrives.
+const GAP_NS: u64 = 1_000_000_000;
+
+fn quiet_injected_panics() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let payload = info.payload();
+            let msg = payload
+                .downcast_ref::<&str>()
+                .copied()
+                .or_else(|| payload.downcast_ref::<String>().map(String::as_str));
+            let injected = msg.is_some_and(|s| s.contains("ctb-serve injected fault"));
+            if !injected {
+                default(info);
+            }
+        }));
+    });
+}
+
+fn pool() -> Vec<ArchSpec> {
+    ArchSpec::pool_presets(2)
+}
+
+/// The chaos suite's 3-signature batch mix, built with the witness fill
+/// constants so both engines execute byte-identical matrices.
+fn mix_shapes(i: usize) -> Arc<[GemmShape]> {
+    let shape_mix: [&[GemmShape]; 3] = [
+        &[GemmShape::new(96, 96, 384); 2],
+        &[GemmShape::new(48, 64, 96), GemmShape::new(16, 32, 640)],
+        &[GemmShape::new(128, 32, 32); 4],
+    ];
+    shape_mix[i % shape_mix.len()].into()
+}
+
+/// Decision fingerprint of one completed request, extracted from either
+/// engine's result vocabulary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Decision {
+    device: usize,
+    degraded: bool,
+    stolen: bool,
+    reroutes: u32,
+}
+
+/// Drive the threaded cluster serially (closed loop) over `n` mixed
+/// batches and return the per-request decisions in submission order.
+fn drive_threaded(cluster: &Cluster, n: usize) -> Vec<Decision> {
+    (0..n)
+        .map(|i| {
+            let b = GemmBatch::random(&mix_shapes(i), WITNESS_ALPHA, WITNESS_BETA, i as u64);
+            let out = cluster.call(b).expect("lockstep batch completes");
+            Decision {
+                device: out.device,
+                degraded: out.degraded,
+                stolen: out.stolen,
+                reroutes: out.reroutes,
+            }
+        })
+        .collect()
+}
+
+/// Enqueue the same `n` requests on the event engine, spaced `GAP_NS`
+/// apart (closed-loop regime: the pool drains between arrivals).
+fn enqueue_event(eng: &mut EventCluster, n: usize) {
+    for i in 0..n {
+        eng.submit_at(SimTime(1 + i as u64 * GAP_NS), mix_shapes(i), i as u64);
+    }
+}
+
+fn event_decisions(outcomes: &[ReqOutcome]) -> Vec<Decision> {
+    outcomes
+        .iter()
+        .map(|o| match o {
+            ReqOutcome::Done { device, degraded, stolen, reroutes, .. } => Decision {
+                device: *device,
+                degraded: *degraded,
+                stolen: *stolen,
+                reroutes: *reroutes,
+            },
+            other => panic!("lockstep schedules produce only Done outcomes, got {other:?}"),
+        })
+        .collect()
+}
+
+/// Counter-for-counter reconciliation of the two engines' stats. The
+/// simulated-time aggregates compare exactly: both engines accumulate
+/// the same memoized per-batch numbers in the same per-device order.
+fn assert_stats_match(threaded: &ClusterStats, event: &ClusterStats) {
+    assert_eq!(threaded.submitted, event.submitted, "submitted");
+    assert_eq!(threaded.completed, event.completed, "completed");
+    assert_eq!(threaded.degraded, event.degraded, "degraded");
+    assert_eq!(threaded.routed, event.routed, "routed");
+    assert_eq!(threaded.steals, event.steals, "steals");
+    assert_eq!(threaded.reroutes, event.reroutes, "reroutes");
+    assert_eq!(threaded.worker_panics, event.worker_panics, "worker_panics");
+    assert_eq!(threaded.plan_failures, event.plan_failures, "plan_failures");
+    assert_eq!(threaded.breaker_trips, event.breaker_trips, "breaker_trips");
+    assert_eq!(threaded.kills, event.kills, "kills");
+    assert_eq!(threaded.makespan_sim_us, event.makespan_sim_us, "makespan_sim_us");
+    assert_eq!(threaded.total_sim_us, event.total_sim_us, "total_sim_us");
+    assert_eq!(
+        threaded.mean_abs_placement_err_us, event.mean_abs_placement_err_us,
+        "placement error"
+    );
+    assert_eq!(threaded.devices.len(), event.devices.len());
+    for (t, e) in threaded.devices.iter().zip(&event.devices) {
+        assert_eq!(t.placements, e.placements, "device {} placements", t.id);
+        assert_eq!(t.completed, e.completed, "device {} completed", t.id);
+        assert_eq!(t.steals, e.steals, "device {} steals", t.id);
+        assert_eq!(t.reroutes_out, e.reroutes_out, "device {} reroutes_out", t.id);
+        assert_eq!(t.breaker_trips, e.breaker_trips, "device {} breaker_trips", t.id);
+        assert_eq!(t.busy_sim_us, e.busy_sim_us, "device {} busy_sim_us", t.id);
+        assert_eq!(t.alive, e.alive, "device {} alive", t.id);
+    }
+}
+
+/// Audit the event engine's trace exactly like the threaded chaos
+/// suite audits its own: structural invariants plus `==`
+/// reconciliation against the final stats.
+fn audit_event_trace(obs: &ctb_obs::Obs, stats: &ClusterStats) {
+    let counts = TraceAudit::new(obs.events()).check().expect("event-trace invariants hold");
+    assert_eq!(counts.terminals(), counts.admits, "one terminal per admit");
+    assert_eq!(counts.admits - counts.rejects_admitted, stats.submitted, "admits vs submitted");
+    assert_eq!(counts.batch_done, stats.completed, "batch-done vs completed");
+    assert_eq!(counts.batch_done_degraded, stats.degraded, "degraded events vs degraded");
+    assert_eq!(counts.routed, stats.routed, "routed events vs routed");
+    assert_eq!(counts.steals, stats.steals, "steal events vs steals");
+    assert_eq!(counts.reroutes, stats.reroutes, "reroute events vs reroutes");
+    assert_eq!(counts.kills, stats.kills, "kill events vs kills");
+    assert_eq!(counts.panics_caught, stats.worker_panics, "panic events vs worker_panics");
+    assert_eq!(counts.plan_failures, stats.plan_failures, "plan-failure events");
+    assert_eq!(counts.breaker_trips, stats.breaker_trips, "breaker events");
+    assert_eq!(counts.plan_cache_hits, stats.plan_cache.hits, "cache-hit events");
+    assert_eq!(counts.plan_cache_misses, stats.plan_cache.misses, "cache-miss events");
+}
+
+/// Run one schedule on both engines and compare everything comparable.
+fn lockstep(
+    cfg: ClusterConfig,
+    n: usize,
+    threaded_faults: Vec<Option<Arc<FaultInjector>>>,
+    event_faults: Vec<Option<Arc<FaultInjector>>>,
+    kill_first: Option<usize>,
+) {
+    quiet_injected_panics();
+
+    // Threaded side, serial closed loop.
+    let cluster = Cluster::with_faults(pool(), cfg.clone(), threaded_faults.clone());
+    if let Some(dev) = kill_first {
+        cluster.kill_device(dev);
+    }
+    let threaded_decisions = drive_threaded(&cluster, n);
+    let threaded_stats = cluster.shutdown();
+
+    // Event side, same schedule, instrumented (the audit rides along).
+    let ev_cfg = EventConfig::from(&cfg);
+    let (mut eng, obs) =
+        EventCluster::with_instrumentation(pool(), ev_cfg, event_faults.clone());
+    if let Some(dev) = kill_first {
+        eng.kill_at(SimTime::ZERO, dev);
+    }
+    enqueue_event(&mut eng, n);
+    let report = eng.run();
+
+    assert_eq!(report.requests, n);
+    assert_eq!(report.witnesses, n, "lockstep runs witness every request");
+    assert_eq!(report.witness_mismatches, 0, "every witness is bitwise-exact");
+
+    let got = event_decisions(&report.outcomes);
+    assert_eq!(threaded_decisions, got, "per-request decisions diverged");
+    assert_stats_match(&threaded_stats, &report.stats);
+    audit_event_trace(&obs, &report.stats);
+
+    // The injectors drew identical decision sequences.
+    for (t, e) in threaded_faults.iter().zip(&event_faults) {
+        match (t, e) {
+            (Some(t), Some(e)) => assert_eq!(t.log(), e.log(), "fault logs diverged"),
+            (None, None) => {}
+            _ => panic!("schedule shape mismatch"),
+        }
+    }
+}
+
+fn injector(cfg: FaultConfig) -> Arc<FaultInjector> {
+    Arc::new(FaultInjector::new(cfg))
+}
+
+// -- the four chaos schedules, lockstepped ----------------------------------
+
+#[test]
+fn lockstep_breaker_opens_mid_load() {
+    let cfg = ClusterConfig {
+        breaker: BreakerPolicy { trip_threshold: 3, open_batches: 8 },
+        ..ClusterConfig::default()
+    };
+    let schedule = || vec![Some(injector(FaultConfig::new(0xA11CE).plan_fail(1000))), None];
+    lockstep(cfg, 24, schedule(), schedule(), None);
+}
+
+#[test]
+fn lockstep_exec_panic_storm() {
+    let cfg = ClusterConfig {
+        breaker: BreakerPolicy { trip_threshold: 6, open_batches: 4 },
+        ..ClusterConfig::default()
+    };
+    let schedule = || vec![Some(injector(FaultConfig::new(0x5EED).exec_panic(400))), None];
+    lockstep(cfg, 30, schedule(), schedule(), None);
+}
+
+#[test]
+fn lockstep_kill_device_routes_to_survivor() {
+    // The threaded mid-load kill is inherently racy (whatever is
+    // in-flight when the kill lands may retire on the corpse), so the
+    // deterministic lockstep variant kills device 0 *before* the load:
+    // both engines must route every batch to the survivor. The event
+    // engine's mid-load drain semantics are covered deterministically
+    // by its own unit suite (`kill_reroutes_queued_work_to_survivors`).
+    let cfg = ClusterConfig {
+        steal: StealPolicy { enabled: false, ..StealPolicy::default() },
+        ..ClusterConfig::default()
+    };
+    lockstep(cfg, 16, vec![None, None], vec![None, None], Some(0));
+}
+
+#[test]
+fn lockstep_chaos_on_every_device() {
+    let cfg = ClusterConfig {
+        breaker: BreakerPolicy { trip_threshold: 4, open_batches: 4 },
+        max_reroutes: 2,
+        ..ClusterConfig::default()
+    };
+    let schedule = || {
+        vec![
+            Some(injector(FaultConfig::new(0xD00D).plan_fail(250).exec_panic(150))),
+            Some(injector(
+                FaultConfig::new(0xF00D).exec_panic(250).slow_worker(100, Duration::from_micros(300)),
+            )),
+        ]
+    };
+    lockstep(cfg, 32, schedule(), schedule(), None);
+}
+
+// -- decision-parity spot checks beyond the chaos schedules -----------------
+
+#[test]
+fn lockstep_fault_free_routing_and_makespan() {
+    // No faults at all: the purest placement-parity check, with the
+    // simulated busy time reconciling exactly.
+    lockstep(ClusterConfig::default(), 18, vec![None, None], vec![None, None], None);
+}

@@ -463,4 +463,38 @@ mod tests {
         }
         assert!(ArchSpec::pool_presets(0).is_empty());
     }
+
+    #[test]
+    fn pool_presets_16_matches_golden_cycle() {
+        // Golden expansion for the discrete-event sweep's smallest pool
+        // size: two full passes through the six presets plus the first
+        // four again, deterministically. A 10k-device pool is this same
+        // cycle 1666 times over — if n=16 holds, any n holds.
+        let golden = [
+            "Tesla V100",
+            "Titan Xp",
+            "GTX 1080 Ti",
+            "Tesla P100",
+            "GTX Titan X",
+            "Tesla M60",
+            "Tesla V100",
+            "Titan Xp",
+            "GTX 1080 Ti",
+            "Tesla P100",
+            "GTX Titan X",
+            "Tesla M60",
+            "Tesla V100",
+            "Titan Xp",
+            "GTX 1080 Ti",
+            "Tesla P100",
+        ];
+        let pool = ArchSpec::pool_presets(16);
+        let names: Vec<_> = pool.iter().map(|a| a.name).collect();
+        assert_eq!(names, golden, "n=16 pool drifted from the golden preset cycle");
+        // Cycled entries are full clones of their preset, not variants.
+        for (i, a) in pool.iter().enumerate() {
+            assert_eq!(a.sms, pool[i % 6].sms);
+            assert_eq!(a.clock_ghz, pool[i % 6].clock_ghz);
+        }
+    }
 }

@@ -63,6 +63,23 @@ impl SimClock {
         let prev = self.now.swap(us, Ordering::SeqCst);
         assert!(us >= prev, "SimClock::set would rewind time ({us} < {prev})");
     }
+
+    /// Step the clock forward to `us` if that is ahead of the current
+    /// reading; a stale or equal target is a no-op. Returns whether the
+    /// clock moved. This is the seam the discrete-event engine drives:
+    /// the heap pops events in timestamp order, so each pop advances
+    /// the shared clock monotonically without ever tripping the
+    /// [`set`](Self::set) rewind panic on same-timestamp event runs.
+    pub fn advance_to(&self, us: u64) -> bool {
+        let mut cur = self.now.load(Ordering::SeqCst);
+        while us > cur {
+            match self.now.compare_exchange_weak(cur, us, Ordering::SeqCst, Ordering::SeqCst) {
+                Ok(_) => return true,
+                Err(seen) => cur = seen,
+            }
+        }
+        false
+    }
 }
 
 impl Default for SimClock {
@@ -106,5 +123,18 @@ mod tests {
         let c = SimClock::new();
         c.advance(10);
         c.set(5);
+    }
+
+    #[test]
+    fn advance_to_is_monotonic_and_idempotent() {
+        let c = SimClock::new();
+        assert!(c.advance_to(100));
+        assert_eq!(c.now_us(), 100);
+        // Equal and stale targets are no-ops, never a rewind panic.
+        assert!(!c.advance_to(100));
+        assert!(!c.advance_to(40));
+        assert_eq!(c.now_us(), 100);
+        assert!(c.advance_to(101));
+        assert_eq!(c.now_us(), 101);
     }
 }

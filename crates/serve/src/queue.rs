@@ -148,6 +148,16 @@ impl<T> BoundedQueue<T> {
         item
     }
 
+    /// Non-blocking unconditional pop: take the front item if one is
+    /// queued, never wait. This is the single-threaded seam the
+    /// discrete-event cluster engine drains device queues through — the
+    /// same bounded queue the threaded workers block on, minus the
+    /// blocking: capacity, close and steal (`pop_if`/`peek_map`)
+    /// semantics stay identical across both engines.
+    pub fn try_pop(&self) -> Option<T> {
+        self.pop_if(|_| true)
+    }
+
     /// Inspect the front item (without popping) under the lock. `None`
     /// when empty. Keep `f` cheap — it runs with the queue locked.
     pub fn peek_map<R>(&self, f: impl FnOnce(&T) -> R) -> Option<R> {
@@ -183,6 +193,22 @@ mod tests {
     use super::*;
     use std::sync::Arc;
     use std::time::Duration;
+
+    #[test]
+    fn try_pop_never_blocks_and_preserves_fifo() {
+        let q = BoundedQueue::new(4);
+        assert_eq!(q.try_pop(), None, "empty queue yields None immediately");
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.try_pop(), Some(1));
+        assert_eq!(q.try_pop(), Some(2));
+        assert_eq!(q.try_pop(), None);
+        // Closed queues still drain through try_pop.
+        q.push(3).unwrap();
+        q.close();
+        assert_eq!(q.try_pop(), Some(3));
+        assert_eq!(q.try_pop(), None);
+    }
 
     #[test]
     fn try_push_observes_capacity_and_returns_the_item() {

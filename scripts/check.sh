@@ -38,6 +38,12 @@ cargo test -q -p ctb-serve --test obs
 echo "== observability harness + BENCH_obs.json schema gate =="
 cargo run -q -p ctb-bench --bin reproduce --release -- obs
 
+echo "== cluster lockstep suite (event engine vs threaded, decision parity) =="
+cargo test -q -p ctb-cluster --test lockstep
+
+echo "== cluster smoke sweep (256 devices / 100k requests) + BENCH_cluster schema gate =="
+cargo run -q -p ctb-bench --bin reproduce --release -- cluster --smoke
+
 echo "== cluster demo compiles against the release profile =="
 cargo build --release --example cluster_demo
 

@@ -32,7 +32,10 @@ pub use ctb_tiling as tiling;
 pub mod prelude {
     pub use ctb_baselines::{cke, cublas_like, default_serial, magma_vbatch};
     pub use ctb_batching::{BatchPlan, BatchingHeuristic};
-    pub use ctb_cluster::{Cluster, ClusterConfig, ClusterStats, StealPolicy};
+    pub use ctb_cluster::{
+        Cluster, ClusterConfig, ClusterStats, EventCluster, EventConfig, LoadGen, PlacementMode,
+        SimTime, StealPolicy,
+    };
     pub use ctb_core::{Framework, FrameworkConfig, RunOutcome, Session};
     pub use ctb_gpu_specs::{ArchSpec, Thresholds};
     pub use ctb_matrix::{GemmBatch, GemmShape};
