@@ -7,13 +7,14 @@
 //!
 //! Sub-commands: `tables`, `motivation`, `fig8`, `fig9`, `fig10`,
 //! `fig11`, `googlenet`, `calibrate`, `perf`, `serve`, `chaos`,
-//! `cluster`, `obs`, `all`. Output is printed in the paper's row/series
-//! layout and mirrored as CSV under `target/experiments/`; `perf`,
-//! `serve`, `chaos`, `cluster` and `obs` additionally write the tracked
-//! `BENCH_executor.json` / `BENCH_serve.json` / `BENCH_chaos.json` /
-//! `BENCH_cluster.json` / `BENCH_obs.json` at the repository root
-//! (`obs` also diffs the exported key set against the golden schema in
-//! `scripts/BENCH_obs.schema` and fails on drift).
+//! `cluster`, `obs`, `replay`, `all`. Output is printed in the paper's
+//! row/series layout and mirrored as CSV under `target/experiments/`;
+//! `perf`, `serve`, `chaos`, `cluster`, `obs` and `replay` additionally
+//! write the tracked `BENCH_executor.json` / `BENCH_serve.json` /
+//! `BENCH_chaos.json` / `BENCH_cluster.json` / `BENCH_obs.json` /
+//! `BENCH_replay.json` at the repository root (`obs`, `cluster` and
+//! `replay` also diff the exported key set against the golden schema in
+//! `scripts/BENCH_<name>.schema` and fail on drift).
 
 use ctb_bench::figures::{fig11_portability, fig8_grid, fig9_grid, mean_speedup, CellResult};
 use ctb_bench::{ablations, calibrate, fans, googlenet_exp, motivation, tables, write_csv};
@@ -42,6 +43,7 @@ fn main() {
         "chaos" => run_chaos(&arch),
         "cluster" => run_cluster(&args[1..]),
         "obs" => run_obs(&arch),
+        "replay" => run_replay(&args[1..]),
         "all" => {
             run_tables();
             run_motivation(&arch);
@@ -59,7 +61,8 @@ fn main() {
             eprintln!(
                 "unknown experiment '{other}'; expected one of: tables, motivation, \
                  fig8, fig9, fig10, googlenet, fig11, calibrate, ablate, fans, splitk, \
-                 perf, serve, chaos, cluster, obs, plan <MxNxK,...>, custom <csv-file>, all"
+                 perf, serve, chaos, cluster, obs, replay, plan <MxNxK,...>, \
+                 custom <csv-file>, all"
             );
             std::process::exit(2);
         }
@@ -151,17 +154,20 @@ fn run_obs(arch: &ArchSpec) {
         }
     );
     println!("(json: {})", path.display());
+    schema_gate("BENCH_obs.json", &obs_bench::golden_schema_path(), &path);
+}
 
-    // Schema-drift gate: the exported key set must match the checked-in
-    // golden schema exactly; a drift is a deliberate, reviewed change.
-    let golden_path = obs_bench::golden_schema_path();
-    let golden = std::fs::read_to_string(&golden_path)
+/// Schema-drift gate shared by the JSON-writing harnesses: the exported
+/// key set must match the checked-in golden schema exactly; a drift is
+/// a deliberate, reviewed change.
+fn schema_gate(label: &str, golden_path: &std::path::Path, json_path: &std::path::Path) {
+    let golden = std::fs::read_to_string(golden_path)
         .unwrap_or_else(|e| panic!("cannot read golden schema {}: {e}", golden_path.display()));
     let golden: Vec<String> = golden.lines().map(str::to_string).collect();
-    let json = std::fs::read_to_string(&path).expect("re-read the report just written");
-    let got = obs_bench::key_paths(&json);
+    let json = std::fs::read_to_string(json_path).expect("re-read the report just written");
+    let got = ctb_bench::obs_bench::key_paths(&json);
     if got != golden {
-        eprintln!("BENCH_obs.json schema drift detected:");
+        eprintln!("{label} schema drift detected:");
         for g in &golden {
             if !got.contains(g) {
                 eprintln!("   missing key: {g}");
@@ -274,31 +280,88 @@ fn run_cluster(args: &[String]) {
         );
     }
     println!("(json: {})", path.display());
+    schema_gate("BENCH_cluster.json", &cluster_bench::golden_schema_path(), &path);
+}
 
-    // Schema-drift gate, mirroring the obs harness: the exported key
-    // set must match the checked-in golden schema exactly.
-    let golden_path = cluster_bench::golden_schema_path();
-    let golden = std::fs::read_to_string(&golden_path)
-        .unwrap_or_else(|e| panic!("cannot read golden schema {}: {e}", golden_path.display()));
-    let golden: Vec<String> = golden.lines().map(str::to_string).collect();
-    let json = std::fs::read_to_string(&path).expect("re-read the report just written");
-    let got = ctb_bench::obs_bench::key_paths(&json);
-    if got != golden {
-        eprintln!("BENCH_cluster.json schema drift detected:");
-        for g in &golden {
-            if !got.contains(g) {
-                eprintln!("   missing key: {g}");
+/// Parse `--flag value` pairs for the replay harness.
+fn replay_config(args: &[String]) -> (ctb_bench::replay_bench::ReplayBenchConfig, bool) {
+    use ctb_bench::replay_bench::ReplayBenchConfig;
+    let mut cfg = ReplayBenchConfig::default();
+    let mut smoke = false;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| {
+                    eprintln!("flag {name} needs a value");
+                    std::process::exit(2);
+                })
+                .as_str()
+        };
+        match flag.as_str() {
+            "--requests" => cfg.requests = value("--requests").parse().expect("usize requests"),
+            "--seed" => cfg.seed = value("--seed").parse().expect("u64 seed"),
+            "--panics" => {
+                cfg.exec_panic_per_mille = value("--panics").parse().expect("u32 per-mille");
+            }
+            "--smoke" => smoke = true,
+            other => {
+                eprintln!(
+                    "unknown replay flag '{other}'; expected --requests N, --seed S, \
+                     --panics PER_MILLE, --smoke"
+                );
+                std::process::exit(2);
             }
         }
-        for g in &got {
-            if !golden.contains(g) {
-                eprintln!("   unexpected key: {g}");
-            }
-        }
-        eprintln!("update {} deliberately if this is intended", golden_path.display());
+    }
+    if smoke {
+        cfg = ReplayBenchConfig::smoke();
+    }
+    (cfg, smoke)
+}
+
+fn run_replay(args: &[String]) {
+    use ctb_bench::replay_bench;
+    let (cfg, smoke) = replay_config(args);
+    println!(
+        "== replay harness: record a seeded panic storm, re-run + crash/restore it exactly{} ==",
+        if smoke { " (smoke)" } else { "" }
+    );
+    let (r, path) = if smoke {
+        replay_bench::run_and_write_smoke()
+    } else {
+        replay_bench::run_and_write(&cfg)
+    };
+    println!(
+        "   recorded: {} requests (seed {:#x}, {}‰ exec panics) -> {} events | \
+         {} completed, {} failed | {} panics caught, {} breaker trips",
+        r.cfg.requests,
+        r.cfg.seed,
+        r.cfg.exec_panic_per_mille,
+        r.recorded.events_processed,
+        r.recorded.completed,
+        r.recorded.failed,
+        r.recorded.worker_panics,
+        r.recorded.breaker_trips
+    );
+    println!(
+        "   flight recorder: {} dumps ({} events) | trace {} bytes",
+        r.recorded.flight_dumps, r.recorded.dump_events, r.recorded.trace_bytes
+    );
+    println!(
+        "   re-run from scratch identical: {} | crash at event {} ({} byte checkpoint), \
+         resume identical: {}",
+        r.replay.rerun_identical,
+        r.replay.resume_offset,
+        r.replay.checkpoint_bytes,
+        r.replay.resume_identical
+    );
+    println!("(json: {})", path.display());
+    if !r.replay.rerun_identical || !r.replay.resume_identical {
+        eprintln!("replay divergence: the recorded failure did not re-execute identically");
         std::process::exit(1);
     }
-    println!("   schema gate: {} key paths match {}\n", got.len(), golden_path.display());
+    schema_gate("BENCH_replay.json", &replay_bench::golden_schema_path(), &path);
 }
 
 fn run_tables() {

@@ -15,6 +15,7 @@ pub mod googlenet_exp;
 pub mod motivation;
 pub mod obs_bench;
 pub mod perf;
+pub mod replay_bench;
 pub mod serve_bench;
 pub mod tables;
 

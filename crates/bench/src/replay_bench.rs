@@ -1,0 +1,373 @@
+//! `reproduce replay` — the deterministic failure-replay harness.
+//!
+//! The serving stack's debugging story rests on one claim: a recorded
+//! failure can be re-executed exactly. This harness proves it end to
+//! end on the discrete-event cluster engine:
+//!
+//! 1. **Record** — a seeded exec-panic storm runs through an
+//!    instrumented 2-device pool. Every injected panic snapshots the
+//!    flight-recorder ring ([`ctb_obs::Obs::dump_flight`]); the run
+//!    ends with a full obs trace and a set of flight dumps.
+//! 2. **Re-run** — a brand-new engine with the same seeds replays the
+//!    scenario from scratch. Its trace bytes and flight dumps must be
+//!    identical to the recording.
+//! 3. **Resume** — a third engine runs to the midpoint of the recorded
+//!    event count, checkpoints via `ctb-savestate`, is dropped (the
+//!    "crash"), and the blob is restored into a fresh engine that runs
+//!    the remainder. The resumed trace and dumps must *also* match the
+//!    recording byte for byte — crash/restore changes nothing.
+//!
+//! Results land in `BENCH_replay.json` at the repository root; the
+//! `--smoke` variant writes `target/experiments/BENCH_replay_smoke.json`
+//! so CI never clobbers tracked full-run numbers.
+
+use ctb_cluster::{
+    ClusterConfig, ClusterStats, EventCluster, EventConfig, ReqOutcome, SimTime,
+};
+use ctb_gpu_specs::ArchSpec;
+use ctb_matrix::GemmShape;
+use ctb_obs::Obs;
+use ctb_serve::{BreakerPolicy, FaultConfig, FaultInjector};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Closed-loop inter-arrival gap (matches the chaos suites).
+const GAP_NS: u64 = 1_000_000_000;
+
+/// Knobs of the replay harness, each surfaced as a `reproduce replay`
+/// CLI flag; [`Default`] is the tracked configuration.
+#[derive(Debug, Clone)]
+pub struct ReplayBenchConfig {
+    /// Requests driven through the pool (`--requests`).
+    pub requests: usize,
+    /// Fault-injector seed — the identity of the recorded failure
+    /// (`--seed`).
+    pub seed: u64,
+    /// Injected exec-panic rate on the fastest device (`--panics`).
+    pub exec_panic_per_mille: u32,
+}
+
+impl Default for ReplayBenchConfig {
+    fn default() -> Self {
+        ReplayBenchConfig { requests: 160, seed: 0x5EED, exec_panic_per_mille: 350 }
+    }
+}
+
+impl ReplayBenchConfig {
+    /// The CI smoke variant: the same storm at a request count that
+    /// finishes in seconds while still catching panics and tripping
+    /// the breaker (the schema gate needs every section populated).
+    pub fn smoke() -> Self {
+        ReplayBenchConfig { requests: 48, ..ReplayBenchConfig::default() }
+    }
+}
+
+/// What the recording run produced.
+#[derive(Debug, Clone)]
+pub struct RecordedRun {
+    pub events_processed: u64,
+    pub completed: usize,
+    /// Requests that exhausted re-routes and failed terminally.
+    pub failed: usize,
+    pub worker_panics: usize,
+    pub breaker_trips: usize,
+    /// Flight-recorder snapshots captured (one per panic / trip).
+    pub flight_dumps: usize,
+    /// Events across all flight dumps.
+    pub dump_events: usize,
+    /// Rendered obs trace size — the byte string both replays must hit.
+    pub trace_bytes: usize,
+}
+
+/// Outcome of the two replay checks.
+#[derive(Debug, Clone)]
+pub struct ReplayCheck {
+    /// From-scratch re-run reproduced trace + dumps + outcomes exactly.
+    pub rerun_identical: bool,
+    /// Event offset the crash/restore replay checkpointed at.
+    pub resume_offset: u64,
+    /// Size of the savestate blob at that offset.
+    pub checkpoint_bytes: usize,
+    /// Checkpoint → crash → restore → run reproduced everything exactly.
+    pub resume_identical: bool,
+}
+
+/// The full tracked report.
+#[derive(Debug, Clone)]
+pub struct ReplayBenchReport {
+    pub cfg: ReplayBenchConfig,
+    pub recorded: RecordedRun,
+    pub replay: ReplayCheck,
+    pub wall_ms: f64,
+}
+
+/// Everything observable about a finished run — the comparison unit of
+/// the harness (wall time deliberately excluded).
+#[derive(PartialEq)]
+struct Recording {
+    outcomes: Vec<ReqOutcome>,
+    stats: ClusterStats,
+    events_processed: u64,
+    trace: String,
+    dumps: Vec<String>,
+}
+
+/// The chaos suites' 3-signature batch mix.
+fn mix_shapes(i: usize) -> Arc<[GemmShape]> {
+    let shape_mix: [&[GemmShape]; 3] = [
+        &[GemmShape::new(96, 96, 384); 2],
+        &[GemmShape::new(48, 64, 96), GemmShape::new(16, 32, 640)],
+        &[GemmShape::new(128, 32, 32); 4],
+    ];
+    shape_mix[i % shape_mix.len()].into()
+}
+
+/// Build the scenario's instrumented engine with every request already
+/// on the timeline: an exec-panic storm on the fastest device of a
+/// 2-device pool, breaker tuned to trip mid-run.
+fn build(cfg: &ReplayBenchConfig) -> (EventCluster, Arc<Obs>) {
+    let cluster_cfg = ClusterConfig {
+        breaker: BreakerPolicy { trip_threshold: 2, open_batches: 4 },
+        ..ClusterConfig::default()
+    };
+    let faults = vec![
+        Some(Arc::new(FaultInjector::new(
+            FaultConfig::new(cfg.seed).exec_panic(cfg.exec_panic_per_mille),
+        ))),
+        None,
+    ];
+    let (mut eng, obs) = EventCluster::with_instrumentation(
+        ArchSpec::pool_presets(2),
+        EventConfig::from(&cluster_cfg),
+        faults,
+    );
+    for i in 0..cfg.requests {
+        eng.submit_at(SimTime(1 + i as u64 * GAP_NS), mix_shapes(i), i as u64);
+    }
+    (eng, obs)
+}
+
+fn run_to_completion(mut eng: EventCluster, obs: &Obs) -> Recording {
+    let report = eng.run();
+    assert_eq!(report.witness_mismatches, 0, "every witness stays bitwise-exact");
+    Recording {
+        outcomes: report.outcomes,
+        stats: report.stats,
+        events_processed: report.events_processed,
+        trace: obs.render(),
+        dumps: obs.flight_dumps().iter().map(ctb_obs::FlightDump::render).collect(),
+    }
+}
+
+/// Run the scenario uninterrupted and keep the raw recording around for
+/// the replay comparisons.
+fn record(cfg: &ReplayBenchConfig) -> (Recording, usize) {
+    let (eng, obs) = build(cfg);
+    let dump_events: usize;
+    let rec = {
+        let r = run_to_completion(eng, &obs);
+        dump_events = obs.flight_dumps().iter().map(|d| d.events.len()).sum();
+        r
+    };
+    assert!(
+        rec.stats.worker_panics > 0 && !rec.dumps.is_empty(),
+        "the replay harness needs a recorded failure to replay \
+         (seed {:#x} at {}‰ caught no panic)",
+        cfg.seed,
+        cfg.exec_panic_per_mille
+    );
+    (rec, dump_events)
+}
+
+/// Re-run the scenario from scratch on a brand-new engine.
+fn rerun(cfg: &ReplayBenchConfig) -> Recording {
+    let (eng, obs) = build(cfg);
+    run_to_completion(eng, &obs)
+}
+
+/// Run to `offset` events, checkpoint, drop the engine (the "crash"),
+/// restore the blob into a fresh engine and run the remainder.
+fn resume(cfg: &ReplayBenchConfig, offset: u64) -> (Recording, usize) {
+    let (mut eng, _obs) = build(cfg);
+    assert_eq!(eng.run_steps(offset), offset, "offset beyond scenario length");
+    let blob = eng.checkpoint();
+    let blob_len = blob.len();
+    drop(eng);
+    let (restored, obs) =
+        EventCluster::restore(ArchSpec::pool_presets(2), &blob).expect("checkpoint restores");
+    let obs = obs.expect("instrumented checkpoint hands back its obs");
+    (run_to_completion(restored, &obs), blob_len)
+}
+
+/// Run every section of the harness under `cfg`.
+pub fn run_report(cfg: &ReplayBenchConfig) -> ReplayBenchReport {
+    let t0 = Instant::now();
+    let (recorded, dump_events) = record(cfg);
+    let rerun_identical = rerun(cfg) == recorded;
+    let resume_offset = (recorded.events_processed / 2).max(1);
+    let (resumed, checkpoint_bytes) = resume(cfg, resume_offset);
+    let resume_identical = resumed == recorded;
+    let failed = recorded
+        .outcomes
+        .iter()
+        .filter(|o| matches!(o, ReqOutcome::Failed { .. }))
+        .count();
+    ReplayBenchReport {
+        cfg: cfg.clone(),
+        recorded: RecordedRun {
+            events_processed: recorded.events_processed,
+            completed: recorded.stats.completed,
+            failed,
+            worker_panics: recorded.stats.worker_panics,
+            breaker_trips: recorded.stats.breaker_trips,
+            flight_dumps: recorded.dumps.len(),
+            dump_events,
+            trace_bytes: recorded.trace.len(),
+        },
+        replay: ReplayCheck {
+            rerun_identical,
+            resume_offset,
+            checkpoint_bytes,
+            resume_identical,
+        },
+        wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+    }
+}
+
+/// Serialize the report as the tracked JSON schema.
+pub fn render_json(r: &ReplayBenchReport) -> String {
+    format!(
+        "{{\n  \"bench\": \"replay\",\n  \"scenario\": {{\n    \"devices\": 2,\n    \
+         \"requests\": {},\n    \"seed\": {},\n    \"exec_panic_per_mille\": {}\n  }},\n  \
+         \"recorded\": {{\n    \"events_processed\": {},\n    \"completed\": {},\n    \
+         \"failed\": {},\n    \"worker_panics\": {},\n    \"breaker_trips\": {},\n    \
+         \"flight_dumps\": {},\n    \"dump_events\": {},\n    \"trace_bytes\": {}\n  }},\n  \
+         \"replay\": {{\n    \"rerun_identical\": {},\n    \"resume_offset\": {},\n    \
+         \"checkpoint_bytes\": {},\n    \"resume_identical\": {}\n  }},\n  \
+         \"wall_ms\": {:.3}\n}}\n",
+        r.cfg.requests,
+        r.cfg.seed,
+        r.cfg.exec_panic_per_mille,
+        r.recorded.events_processed,
+        r.recorded.completed,
+        r.recorded.failed,
+        r.recorded.worker_panics,
+        r.recorded.breaker_trips,
+        r.recorded.flight_dumps,
+        r.recorded.dump_events,
+        r.recorded.trace_bytes,
+        r.replay.rerun_identical,
+        r.replay.resume_offset,
+        r.replay.checkpoint_bytes,
+        r.replay.resume_identical,
+        r.wall_ms
+    )
+}
+
+/// Path of the tracked report: `BENCH_replay.json` at the repo root.
+pub fn report_path() -> PathBuf {
+    crate::bench_json_path("replay")
+}
+
+/// Path of the checked-in golden schema the drift gate diffs against.
+pub fn golden_schema_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../scripts/BENCH_replay.schema")
+}
+
+/// Run `cfg` and write the tracked `BENCH_replay.json`; returns the
+/// report and the path written.
+pub fn run_and_write(cfg: &ReplayBenchConfig) -> (ReplayBenchReport, PathBuf) {
+    let report = run_report(cfg);
+    let path = crate::write_bench_json("replay", &render_json(&report));
+    (report, path)
+}
+
+/// Run the smoke configuration and write it under `target/experiments/`
+/// (NOT the tracked root file — the CI gate must not clobber the
+/// tracked full-run numbers with smoke numbers).
+pub fn run_and_write_smoke() -> (ReplayBenchReport, PathBuf) {
+    let report = run_report(&ReplayBenchConfig::smoke());
+    let path = crate::experiments_dir().join("BENCH_replay_smoke.json");
+    std::fs::write(&path, render_json(&report))
+        .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    (report, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_scenario_records_and_replays_exactly() {
+        let r = run_report(&ReplayBenchConfig::smoke());
+        assert!(r.recorded.worker_panics > 0, "the storm must catch panics");
+        assert!(r.recorded.flight_dumps > 0, "every panic snapshots the flight ring");
+        assert!(r.recorded.dump_events > 0);
+        assert!(r.recorded.trace_bytes > 0);
+        assert!(r.replay.rerun_identical, "from-scratch re-run must be byte-identical");
+        assert!(r.replay.resume_identical, "crash/restore replay must be byte-identical");
+        assert!(r.replay.checkpoint_bytes > 0);
+        assert!(r.replay.resume_offset > 0);
+    }
+
+    #[test]
+    fn different_seeds_record_different_failures() {
+        let a = record(&ReplayBenchConfig::smoke()).0;
+        let b = record(&ReplayBenchConfig { seed: 0xBAD5EED, ..ReplayBenchConfig::smoke() }).0;
+        assert_ne!(a.trace, b.trace, "the seed is the identity of the recorded failure");
+    }
+
+    #[test]
+    fn json_schema_has_stable_keys() {
+        let r = ReplayBenchReport {
+            cfg: ReplayBenchConfig::default(),
+            recorded: RecordedRun {
+                events_processed: 1000,
+                completed: 150,
+                failed: 10,
+                worker_panics: 40,
+                breaker_trips: 2,
+                flight_dumps: 42,
+                dump_events: 500,
+                trace_bytes: 90_000,
+            },
+            replay: ReplayCheck {
+                rerun_identical: true,
+                resume_offset: 500,
+                checkpoint_bytes: 7_000,
+                resume_identical: true,
+            },
+            wall_ms: 120.0,
+        };
+        let json = render_json(&r);
+        for key in [
+            "\"bench\"",
+            "\"scenario\"",
+            "\"requests\"",
+            "\"seed\"",
+            "\"exec_panic_per_mille\"",
+            "\"recorded\"",
+            "\"events_processed\"",
+            "\"worker_panics\"",
+            "\"flight_dumps\"",
+            "\"dump_events\"",
+            "\"trace_bytes\"",
+            "\"replay\"",
+            "\"rerun_identical\"",
+            "\"resume_offset\"",
+            "\"checkpoint_bytes\"",
+            "\"resume_identical\"",
+            "\"wall_ms\"",
+        ] {
+            assert!(json.contains(key), "missing key {key} in {json}");
+        }
+    }
+
+    #[test]
+    fn report_path_is_the_repo_root() {
+        let p = report_path();
+        assert!(p.ends_with("BENCH_replay.json"));
+        assert!(p.parent().unwrap().join("Cargo.toml").exists());
+    }
+}

@@ -42,13 +42,17 @@ use crate::stats::{ClusterInner, ClusterStats, DeviceStats};
 use ctb_core::{CacheStats, Framework, PlanShare, Session};
 use ctb_gpu_specs::ArchSpec;
 use ctb_matrix::{bitwise_mismatch, GemmBatch, GemmShape};
-use ctb_obs::{Obs, PointKind, SimClock, SpanKind};
-use ctb_serve::{BoundedQueue, Breaker, BreakerPolicy, FaultInjector, FaultSite, PushError};
+use ctb_obs::{Obs, ObsClock, PointKind, SimClock, SpanKind};
+use ctb_savestate::{Reader, SavestateError, Writer};
+use ctb_serve::{
+    BoundedQueue, Breaker, BreakerPolicy, FaultConfig, FaultInjector, FaultLog, FaultSite,
+    PushError, FAULT_SITES,
+};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Matrix fill parameters for witness batches; the lockstep harness
 /// builds its threaded-side batches with the same constants so both
@@ -165,6 +169,49 @@ impl<E> Timeline<E> {
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
     }
+
+    /// Serialize the pending entries sorted by `(at, seq)` — pop order,
+    /// which is also the unique byte-stable order — plus the tie-break
+    /// counter, via `f` for the event payloads.
+    fn save_with(&self, w: &mut Writer, mut f: impl FnMut(&mut Writer, &E)) {
+        w.u64(self.seq);
+        let mut entries: Vec<&Entry<E>> = self.heap.iter().map(|Reverse(e)| e).collect();
+        entries.sort_by_key(|e| (e.at, e.seq));
+        w.len_prefix(entries.len());
+        for e in entries {
+            w.u64(e.at.as_ns());
+            w.u64(e.seq);
+            f(w, &e.ev);
+        }
+    }
+
+    /// Rebuild a timeline serialized by [`Timeline::save_with`]. The
+    /// restored heap holds the same `(at, seq, ev)` set, so its pop
+    /// order — and every tie-break the resumed run assigns from `seq`
+    /// onward — is identical to the original's.
+    fn load_with(
+        r: &mut Reader<'_>,
+        mut f: impl FnMut(&mut Reader<'_>) -> Result<E, SavestateError>,
+    ) -> Result<Self, SavestateError> {
+        let seq = r.u64()?;
+        let entries = r.seq(|r| {
+            let at = SimTime(r.u64()?);
+            let entry_seq = r.u64()?;
+            let ev = f(r)?;
+            Ok(Entry { at, seq: entry_seq, ev })
+        })?;
+        let mut heap = BinaryHeap::with_capacity(entries.len());
+        for e in entries {
+            if e.seq >= seq {
+                return Err(SavestateError::Corrupt(format!(
+                    "timeline entry seq {} not below the tie-break counter {seq}",
+                    e.seq
+                )));
+            }
+            heap.push(Reverse(e));
+        }
+        Ok(Timeline { heap, seq })
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -175,6 +222,7 @@ impl<E> Timeline<E> {
 /// `ClusterJob` it carries no matrices — only the shape signature the
 /// cost model needs — unless it is a witness (see module docs), in
 /// which case the matrices are rebuilt from `seed` at execution time.
+#[derive(Clone)]
 struct EvJob {
     id: u64,
     shapes: Arc<[GemmShape]>,
@@ -735,19 +783,50 @@ impl EventCluster {
         self.obs.as_deref()
     }
 
+    /// Process the next pending event. Returns `false` when the
+    /// timeline is exhausted. Between any two calls the engine sits at
+    /// an *event boundary* — the granularity [`checkpoint`](Self::checkpoint)
+    /// snapshots at.
+    pub fn step(&mut self) -> bool {
+        let Some((t, ev)) = self.timeline.pop() else {
+            return false;
+        };
+        debug_assert!(t >= self.now, "timeline popped out of order");
+        self.now = t;
+        if let Some(c) = &self.clock {
+            c.advance_to(t.as_us());
+        }
+        self.events_processed += 1;
+        self.dispatch(ev);
+        true
+    }
+
+    /// Process at most `max` events; returns how many actually ran
+    /// (fewer only when the timeline drained first).
+    pub fn run_steps(&mut self, max: u64) -> u64 {
+        let mut n = 0;
+        while n < max && self.step() {
+            n += 1;
+        }
+        n
+    }
+
     /// Run the timeline to exhaustion and report.
     pub fn run(&mut self) -> EngineReport {
         let t0 = Instant::now();
-        while let Some((t, ev)) = self.timeline.pop() {
-            debug_assert!(t >= self.now, "timeline popped out of order");
-            self.now = t;
-            if let Some(c) = &self.clock {
-                c.advance_to(t.as_us());
-            }
-            self.events_processed += 1;
-            self.dispatch(ev);
-        }
-        let wall = t0.elapsed().as_secs_f64();
+        while self.step() {}
+        self.report_with_wall(t0.elapsed().as_secs_f64())
+    }
+
+    /// Assemble the report for the work processed so far without
+    /// running anything — the partial-run counterpart of [`run`](Self::run)
+    /// (host-throughput figures read 0; there was no timed run).
+    /// Drains the recorded outcomes, like `run` does.
+    pub fn report(&mut self) -> EngineReport {
+        self.report_with_wall(0.0)
+    }
+
+    fn report_with_wall(&mut self, wall: f64) -> EngineReport {
         EngineReport {
             stats: self.stats_snapshot(),
             requests: self.requests,
@@ -1391,6 +1470,687 @@ impl EventCluster {
         self.index_touch(thief_idx);
         self.start_job(thief_idx, job);
         true
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Savestate
+// ---------------------------------------------------------------------------
+
+fn save_shapes(w: &mut Writer, shapes: &[GemmShape]) {
+    w.len_prefix(shapes.len());
+    for s in shapes {
+        w.u64(s.m as u64);
+        w.u64(s.n as u64);
+        w.u64(s.k as u64);
+    }
+}
+
+fn load_shapes(r: &mut Reader<'_>) -> Result<Arc<[GemmShape]>, SavestateError> {
+    let v = r.seq(|r| {
+        Ok(GemmShape::new(r.u64()? as usize, r.u64()? as usize, r.u64()? as usize))
+    })?;
+    Ok(v.into())
+}
+
+fn save_job(w: &mut Writer, j: &EvJob) {
+    w.u64(j.id);
+    save_shapes(w, &j.shapes);
+    w.u64(j.seed);
+    w.u64(j.arrived.as_ns());
+    w.f64(j.predicted_us);
+    w.u32(j.attempts);
+    w.bool(j.stolen);
+    w.bool(j.witness);
+}
+
+fn load_job(r: &mut Reader<'_>) -> Result<EvJob, SavestateError> {
+    Ok(EvJob {
+        id: r.u64()?,
+        shapes: load_shapes(r)?,
+        seed: r.u64()?,
+        arrived: SimTime(r.u64()?),
+        predicted_us: r.f64()?,
+        attempts: r.u32()?,
+        stolen: r.bool()?,
+        witness: r.bool()?,
+    })
+}
+
+fn save_ev(w: &mut Writer, ev: &Ev) {
+    match ev {
+        Ev::Arrive { job } => {
+            w.u8(0);
+            save_job(w, job);
+        }
+        Ev::PlaceDone { job } => {
+            w.u8(1);
+            save_job(w, job);
+        }
+        Ev::ExecDone { device } => {
+            w.u8(2);
+            w.len_prefix(*device);
+        }
+        Ev::StealCheck { device } => {
+            w.u8(3);
+            w.len_prefix(*device);
+        }
+        Ev::BreakerProbe { device } => {
+            w.u8(4);
+            w.len_prefix(*device);
+        }
+        Ev::DeviceKill { device } => {
+            w.u8(5);
+            w.len_prefix(*device);
+        }
+    }
+}
+
+fn load_ev(r: &mut Reader<'_>) -> Result<Ev, SavestateError> {
+    Ok(match r.u8()? {
+        0 => Ev::Arrive { job: load_job(r)? },
+        1 => Ev::PlaceDone { job: load_job(r)? },
+        2 => Ev::ExecDone { device: r.len_prefix()? },
+        3 => Ev::StealCheck { device: r.len_prefix()? },
+        4 => Ev::BreakerProbe { device: r.len_prefix()? },
+        5 => Ev::DeviceKill { device: r.len_prefix()? },
+        t => return Err(SavestateError::Corrupt(format!("bad event tag {t}"))),
+    })
+}
+
+fn save_fate(w: &mut Writer, f: &Fate) {
+    w.u8(match f {
+        Fate::Complete => 0,
+        Fate::PlanFailed => 1,
+        Fate::Panicked => 2,
+    });
+}
+
+fn load_fate(r: &mut Reader<'_>) -> Result<Fate, SavestateError> {
+    Ok(match r.u8()? {
+        0 => Fate::Complete,
+        1 => Fate::PlanFailed,
+        2 => Fate::Panicked,
+        t => return Err(SavestateError::Corrupt(format!("bad fate tag {t}"))),
+    })
+}
+
+fn save_outcome(w: &mut Writer, o: &ReqOutcome) {
+    match o {
+        ReqOutcome::Done { id, device, degraded, stolen, reroutes } => {
+            w.u8(0);
+            w.u64(*id);
+            w.len_prefix(*device);
+            w.bool(*degraded);
+            w.bool(*stolen);
+            w.u32(*reroutes);
+        }
+        ReqOutcome::PlanRejected { id } => {
+            w.u8(1);
+            w.u64(*id);
+        }
+        ReqOutcome::Failed { id } => {
+            w.u8(2);
+            w.u64(*id);
+        }
+    }
+}
+
+fn load_outcome(r: &mut Reader<'_>) -> Result<ReqOutcome, SavestateError> {
+    Ok(match r.u8()? {
+        0 => ReqOutcome::Done {
+            id: r.u64()?,
+            device: r.len_prefix()?,
+            degraded: r.bool()?,
+            stolen: r.bool()?,
+            reroutes: r.u32()?,
+        },
+        1 => ReqOutcome::PlanRejected { id: r.u64()? },
+        2 => ReqOutcome::Failed { id: r.u64()? },
+        t => return Err(SavestateError::Corrupt(format!("bad outcome tag {t}"))),
+    })
+}
+
+fn save_cfg(w: &mut Writer, c: &EventConfig) {
+    w.len_prefix(c.queue_capacity);
+    w.bool(c.steal.enabled);
+    w.f64(c.steal.min_victim_backlog_us);
+    w.u64(c.steal.poll.as_nanos().min(u128::from(u64::MAX)) as u64);
+    w.len_prefix(c.breaker.trip_threshold);
+    w.len_prefix(c.breaker.open_batches);
+    w.u32(c.max_reroutes);
+    w.len_prefix(c.witness_every);
+    w.u8(match c.placement {
+        PlacementMode::Auto => 0,
+        PlacementMode::Exact => 1,
+        PlacementMode::Indexed => 2,
+    });
+    w.bool(c.record_outcomes);
+}
+
+fn load_cfg(r: &mut Reader<'_>) -> Result<EventConfig, SavestateError> {
+    Ok(EventConfig {
+        queue_capacity: r.len_prefix()?,
+        steal: StealPolicy {
+            enabled: r.bool()?,
+            min_victim_backlog_us: r.f64()?,
+            poll: Duration::from_nanos(r.u64()?),
+        },
+        breaker: BreakerPolicy {
+            trip_threshold: r.len_prefix()?,
+            open_batches: r.len_prefix()?,
+        },
+        max_reroutes: r.u32()?,
+        witness_every: r.len_prefix()?,
+        placement: match r.u8()? {
+            0 => PlacementMode::Auto,
+            1 => PlacementMode::Exact,
+            2 => PlacementMode::Indexed,
+            t => return Err(SavestateError::Corrupt(format!("bad placement tag {t}"))),
+        },
+        record_outcomes: r.bool()?,
+    })
+}
+
+fn save_fault(w: &mut Writer, f: &FaultInjector) {
+    let cfg = f.config();
+    w.u64(cfg.seed);
+    w.u32(cfg.admit_reject_per_mille);
+    w.u32(cfg.expire_per_mille);
+    w.u32(cfg.plan_fail_per_mille);
+    w.u32(cfg.exec_panic_per_mille);
+    w.u32(cfg.degraded_panic_per_mille);
+    w.u32(cfg.slow_worker_per_mille);
+    w.u64(cfg.slow_delay.as_nanos().min(u128::from(u64::MAX)) as u64);
+    let (draws, fired) = f.state();
+    for v in draws {
+        w.len_prefix(v);
+    }
+    for v in fired {
+        w.len_prefix(v);
+    }
+}
+
+fn load_fault(r: &mut Reader<'_>) -> Result<FaultInjector, SavestateError> {
+    let mut cfg = FaultConfig::new(r.u64()?);
+    cfg.admit_reject_per_mille = r.u32()?;
+    cfg.expire_per_mille = r.u32()?;
+    cfg.plan_fail_per_mille = r.u32()?;
+    cfg.exec_panic_per_mille = r.u32()?;
+    cfg.degraded_panic_per_mille = r.u32()?;
+    cfg.slow_worker_per_mille = r.u32()?;
+    cfg.slow_delay = Duration::from_nanos(r.u64()?);
+    let mut draws = [0usize; FAULT_SITES];
+    for v in &mut draws {
+        *v = r.len_prefix()?;
+    }
+    let mut fired = [0usize; FAULT_SITES];
+    for v in &mut fired {
+        *v = r.len_prefix()?;
+    }
+    Ok(FaultInjector::with_state(cfg, draws, fired))
+}
+
+fn save_gen(w: &mut Writer, g: &LoadGen) {
+    w.u64(g.seed);
+    w.f64(g.mean_interarrival_ns);
+    w.len_prefix(g.mixes.len());
+    for m in &g.mixes {
+        w.str(m.name);
+        save_shapes(w, &m.shapes);
+        w.u32(m.weight);
+    }
+    w.u64(g.total_weight);
+    w.len_prefix(g.remaining);
+    w.u64(g.drawn);
+}
+
+/// Map a restored mix-class name back to a `&'static str`: the known
+/// [`LoadGen::table2`] classes intern for free; anything else leaks one
+/// small allocation per distinct name per process — bounded by the
+/// restore call sites, which are test/replay harnesses.
+fn intern_mix_name(s: String) -> &'static str {
+    for known in ["small", "medium", "large", "tall", "wide", "huge"] {
+        if known == s {
+            return known;
+        }
+    }
+    Box::leak(s.into_boxed_str())
+}
+
+fn load_gen(r: &mut Reader<'_>) -> Result<LoadGen, SavestateError> {
+    Ok(LoadGen {
+        seed: r.u64()?,
+        mean_interarrival_ns: r.f64()?,
+        mixes: r.seq(|r| {
+            Ok(ShapeMix {
+                name: intern_mix_name(r.str()?),
+                shapes: load_shapes(r)?,
+                weight: r.u32()?,
+            })
+        })?,
+        total_weight: r.u64()?,
+        remaining: r.len_prefix()?,
+        drawn: r.u64()?,
+    })
+}
+
+fn save_stats(w: &mut Writer, s: &ClusterInner) {
+    for v in [
+        &s.submitted,
+        &s.completed,
+        &s.degraded,
+        &s.routed,
+        &s.steals,
+        &s.reroutes,
+        &s.worker_panics,
+        &s.plan_failures,
+        &s.breaker_trips,
+        &s.kills,
+    ] {
+        w.len_prefix(v.load(Ordering::Relaxed));
+    }
+    w.f64(s.err_abs_sum_us.load());
+    w.len_prefix(s.err_count.load(Ordering::Relaxed));
+    let lat = s.latencies();
+    w.len_prefix(lat.len());
+    for v in lat {
+        w.f64(v);
+    }
+}
+
+fn load_stats(r: &mut Reader<'_>, s: &ClusterInner) -> Result<(), SavestateError> {
+    for slot in [
+        &s.submitted,
+        &s.completed,
+        &s.degraded,
+        &s.routed,
+        &s.steals,
+        &s.reroutes,
+        &s.worker_panics,
+        &s.plan_failures,
+        &s.breaker_trips,
+        &s.kills,
+    ] {
+        slot.store(r.len_prefix()?, Ordering::Relaxed);
+    }
+    s.err_abs_sum_us.set(r.f64()?);
+    s.err_count.store(r.len_prefix()?, Ordering::Relaxed);
+    s.set_latencies(r.seq(|r| r.f64())?);
+    Ok(())
+}
+
+/// Checkpoint / restore / migration. The engine is single-threaded, so
+/// any moment between [`EventCluster::step`] calls is a consistent
+/// *event boundary*: no half-dispatched event exists, every pending
+/// cause lives on the timeline, and every decision source (fault
+/// cursors, breaker runs, memoized sims, the tie-break counter) is a
+/// plain value. [`checkpoint`](Self::checkpoint) serializes exactly
+/// those values — no wall-clock, no addresses — which is why a restored
+/// engine re-runs the remainder of the schedule decision-for-decision
+/// and byte-for-byte (trace included); `tests/savestate.rs` enforces
+/// this differentially at swept crash points over the chaos schedules.
+impl EventCluster {
+    /// Serialize the engine's complete state at the current event
+    /// boundary into a versioned blob.
+    pub fn checkpoint(&self) -> Vec<u8> {
+        let mut w = Writer::with_header();
+        save_cfg(&mut w, &self.cfg);
+        w.bool(self.obs.is_some());
+        // -- engine scalars
+        w.u64(self.now.as_ns());
+        w.u64(self.next_job_id);
+        w.u64(self.events_processed);
+        w.len_prefix(self.requests);
+        w.len_prefix(self.witnesses);
+        w.len_prefix(self.witness_mismatches);
+        w.len_prefix(self.pending_arrivals);
+        w.len_prefix(self.open_jobs);
+        w.bool(self.breaker_active);
+        // -- open-loop load source
+        match &self.gen {
+            Some(g) => {
+                w.bool(true);
+                save_gen(&mut w, g);
+            }
+            None => w.bool(false),
+        }
+        // -- devices (pool order)
+        w.len_prefix(self.devices.len());
+        for d in &self.devices {
+            w.str(d.arch().name);
+            w.bool(d.alive);
+            let (items, closed) = d.queue.snapshot_with(EvJob::clone);
+            w.bool(closed);
+            w.len_prefix(items.len());
+            for j in &items {
+                save_job(&mut w, j);
+            }
+            match &d.running {
+                Some(Running { job, fate }) => {
+                    w.bool(true);
+                    save_job(&mut w, job);
+                    save_fate(&mut w, fate);
+                }
+                None => w.bool(false),
+            }
+            w.f64(d.backlog_us);
+            w.f64(d.busy_sim_us);
+            let (consecutive, open_remaining) = d.breaker.state();
+            w.len_prefix(consecutive);
+            w.len_prefix(open_remaining);
+            match &d.fault {
+                Some(f) => {
+                    w.bool(true);
+                    save_fault(&mut w, f);
+                }
+                None => w.bool(false),
+            }
+            w.len_prefix(d.placements);
+            w.len_prefix(d.completed);
+            w.len_prefix(d.steals);
+            w.len_prefix(d.reroutes_out);
+            w.len_prefix(d.breaker_trips);
+            w.bool(d.steal_pending);
+            w.bool(d.probe_pending);
+            // Plan-cache accounting, pinned back after the restore
+            // replans (replanning would otherwise count as misses).
+            let s = d.session.stats();
+            w.len_prefix(s.hits);
+            w.len_prefix(s.misses);
+            w.len_prefix(d.session.plan_failures());
+        }
+        // -- timeline (pending events + tie-break counter)
+        self.timeline.save_with(&mut w, save_ev);
+        // -- shared plans + simulation memo
+        self.share.save(&mut w);
+        // -- engine prediction cache, sorted for byte-stable output
+        type PredEntry<'a> = (&'a (&'static str, Arc<[GemmShape]>), &'a Result<f64, String>);
+        let mut preds: Vec<PredEntry<'_>> = self.predictions.iter().collect();
+        preds.sort_by_key(|((name, shapes), _)| {
+            (*name, shapes.iter().map(|s| (s.m, s.n, s.k)).collect::<Vec<_>>())
+        });
+        w.len_prefix(preds.len());
+        for ((name, shapes), res) in preds {
+            w.str(name);
+            save_shapes(&mut w, shapes);
+            match res {
+                Ok(us) => {
+                    w.u8(0);
+                    w.f64(*us);
+                }
+                Err(m) => {
+                    w.u8(1);
+                    w.str(m);
+                }
+            }
+        }
+        // -- recorded outcomes
+        w.len_prefix(self.outcomes.len());
+        for o in &self.outcomes {
+            save_outcome(&mut w, o);
+        }
+        // -- cluster-wide counters + latency log
+        save_stats(&mut w, &self.stats);
+        // -- instrumentation state, last: restore replays plans first
+        // (which emits events), then overwrites the log with this.
+        if let (Some(clock), Some(obs)) = (&self.clock, &self.obs) {
+            w.u64(clock.now_us());
+            obs.save_state(&mut w);
+        }
+        w.into_bytes()
+    }
+
+    /// Rebuild an engine from a [`checkpoint`](Self::checkpoint) blob.
+    /// `pool` must be the same architecture sequence the checkpointed
+    /// engine was built over (checked by name, per device — a typed
+    /// [`SavestateError::Mismatch`] otherwise). Returns the engine and,
+    /// when the checkpoint was instrumented, its freshly attached
+    /// [`Obs`] (the caller's handle for trace comparison).
+    ///
+    /// Restore order matters and is fixed: sessions are rebuilt first,
+    /// the shared memo loads, plans are *replanned* through their
+    /// fingerprint-matched sessions (every candidate simulation hits
+    /// the restored memo, so this is cheap and bitwise-faithful), then
+    /// the cache counters are pinned back over the replanning traffic,
+    /// and the obs log is overwritten last — discarding the plan spans
+    /// replanning just emitted.
+    pub fn restore(
+        pool: Vec<ArchSpec>,
+        bytes: &[u8],
+    ) -> Result<(Self, Option<Arc<Obs>>), SavestateError> {
+        let (mut r, _version) = Reader::with_header(bytes)?;
+        let cfg = load_cfg(&mut r)?;
+        let (clock, obs) = if r.bool()? {
+            let clock = Arc::new(SimClock::new());
+            let obs = Arc::new(Obs::sim(Arc::clone(&clock)));
+            (Some(clock), Some(obs))
+        } else {
+            (None, None)
+        };
+        let now = SimTime(r.u64()?);
+        let next_job_id = r.u64()?;
+        let events_processed = r.u64()?;
+        let requests = r.len_prefix()?;
+        let witnesses = r.len_prefix()?;
+        let witness_mismatches = r.len_prefix()?;
+        let pending_arrivals = r.len_prefix()?;
+        let open_jobs = r.len_prefix()?;
+        let breaker_active = r.bool()?;
+        let gen = if r.bool()? { Some(load_gen(&mut r)?) } else { None };
+
+        let n_devices = r.len_prefix()?;
+        if n_devices != pool.len() {
+            return Err(SavestateError::Mismatch(format!(
+                "checkpoint holds {n_devices} devices, restore pool holds {}",
+                pool.len()
+            )));
+        }
+        let share = Arc::new(PlanShare::new());
+        let mut class_names: Vec<&'static str> = Vec::new();
+        let mut class_of = Vec::with_capacity(n_devices);
+        let mut class_rep = Vec::new();
+        let mut devices = Vec::with_capacity(n_devices);
+        let mut session_stats = Vec::with_capacity(n_devices);
+        for (id, arch) in pool.into_iter().enumerate() {
+            let saved_name = r.str()?;
+            if saved_name != arch.name {
+                return Err(SavestateError::Mismatch(format!(
+                    "device {id}: checkpoint arch {saved_name:?}, restore pool has {:?}",
+                    arch.name
+                )));
+            }
+            let class = match class_names.iter().position(|n| *n == arch.name) {
+                Some(c) => c,
+                None => {
+                    class_names.push(arch.name);
+                    class_rep.push(id);
+                    class_names.len() - 1
+                }
+            };
+            class_of.push(class);
+            let s = Session::with_share(Framework::new(arch), Arc::clone(&share));
+            let session = Arc::new(match &obs {
+                Some(o) => s.with_obs(Arc::clone(o)),
+                None => s,
+            });
+            let alive = r.bool()?;
+            let closed = r.bool()?;
+            let items = r.seq(load_job)?;
+            let queue = BoundedQueue::restore(cfg.queue_capacity, closed, items);
+            let running = if r.bool()? {
+                let job = load_job(&mut r)?;
+                let fate = load_fate(&mut r)?;
+                Some(Running { job, fate })
+            } else {
+                None
+            };
+            let backlog_us = r.f64()?;
+            let busy_sim_us = r.f64()?;
+            let consecutive = r.len_prefix()?;
+            let open_remaining = r.len_prefix()?;
+            let breaker = Breaker::restore(cfg.breaker.clone(), consecutive, open_remaining);
+            let fault = if r.bool()? { Some(Arc::new(load_fault(&mut r)?)) } else { None };
+            let placements = r.len_prefix()?;
+            let completed = r.len_prefix()?;
+            let steals = r.len_prefix()?;
+            let reroutes_out = r.len_prefix()?;
+            let breaker_trips = r.len_prefix()?;
+            let steal_pending = r.bool()?;
+            let probe_pending = r.bool()?;
+            let hits = r.len_prefix()?;
+            let misses = r.len_prefix()?;
+            let plan_failures = r.len_prefix()?;
+            session_stats.push((hits, misses, plan_failures));
+            devices.push(EvDevice {
+                id,
+                session,
+                queue,
+                running,
+                backlog_us,
+                busy_sim_us,
+                alive,
+                breaker,
+                fault,
+                placements,
+                completed,
+                steals,
+                reroutes_out,
+                breaker_trips,
+                steal_pending,
+                probe_pending,
+            });
+        }
+        let timeline = Timeline::load_with(&mut r, load_ev)?;
+        {
+            let sessions: Vec<&Session> = devices.iter().map(|d| &*d.session).collect();
+            share.restore_with_sessions(&mut r, &sessions)?;
+        }
+        for (d, (hits, misses, plan_failures)) in devices.iter().zip(session_stats) {
+            d.session.set_stats(CacheStats { hits, misses });
+            d.session.set_plan_failures(plan_failures);
+        }
+        let n_preds = r.len_prefix()?;
+        let mut predictions = PredictionCache::with_capacity(n_preds.min(4096));
+        for _ in 0..n_preds {
+            let name = r.str()?;
+            let Some(interned) = class_names.iter().copied().find(|n| *n == name) else {
+                return Err(SavestateError::Mismatch(format!(
+                    "prediction cache names arch {name:?}, absent from the restore pool"
+                )));
+            };
+            let shapes = load_shapes(&mut r)?;
+            let res = match r.u8()? {
+                0 => Ok(r.f64()?),
+                1 => Err(r.str()?),
+                t => return Err(SavestateError::Corrupt(format!("bad prediction tag {t}"))),
+            };
+            predictions.insert((interned, shapes), res);
+        }
+        let outcomes = r.seq(load_outcome)?;
+        let stats = ClusterInner::default();
+        load_stats(&mut r, &stats)?;
+        if let (Some(clock), Some(obs)) = (&clock, &obs) {
+            clock.set(r.u64()?);
+            obs.restore_state(&mut r)?;
+        }
+        r.expect_end()?;
+        // Per-class index heaps restart from the live backlogs: the
+        // original heap's extra entries are stale-by-value and thus
+        // semantically invisible, so one fresh entry per alive device
+        // reproduces the same argmin choices.
+        let index = (0..class_rep.len()).map(|_| BinaryHeap::new()).collect();
+        let mut eng = EventCluster {
+            cfg,
+            devices,
+            share,
+            timeline,
+            obs: obs.clone(),
+            clock,
+            stats,
+            outcomes,
+            predictions,
+            class_of,
+            class_rep,
+            index,
+            breaker_active,
+            gen,
+            now,
+            next_job_id,
+            events_processed,
+            requests,
+            witnesses,
+            witness_mismatches,
+            pending_arrivals,
+            open_jobs,
+        };
+        for id in 0..eng.devices.len() {
+            if eng.devices[id].alive {
+                eng.index_touch(id);
+            }
+        }
+        Ok((eng, obs))
+    }
+
+    /// Take `device` out of service and export its *queued* jobs as a
+    /// portable blob — the migration half of a planned drain. Like
+    /// [`kill_at`](Self::kill_at) the device is marked dead, its queue
+    /// closed, and a job mid-execution still completes here (its
+    /// `ExecDone` is already on the heap); unlike a kill, the queued
+    /// work leaves this engine instead of re-routing, so a peer can
+    /// [`import_jobs`](Self::import_jobs) it with zero drops.
+    pub fn halt_and_export(&mut self, device: usize) -> Vec<u8> {
+        assert!(device < self.devices.len(), "no such device");
+        if self.devices[device].alive {
+            self.devices[device].alive = false;
+            self.stats.kills.fetch_add(1, Ordering::Relaxed);
+            if let Some(o) = self.obs() {
+                o.point(PointKind::Kill { device });
+            }
+            self.devices[device].queue.close();
+        }
+        let mut jobs = Vec::new();
+        while let Some(job) = self.devices[device].queue.try_pop() {
+            self.devices[device].backlog_us -= job.predicted_us;
+            self.open_jobs -= 1;
+            jobs.push(job);
+        }
+        let mut w = Writer::with_header();
+        w.len_prefix(jobs.len());
+        for j in &jobs {
+            save_job(&mut w, j);
+        }
+        w.into_bytes()
+    }
+
+    /// Admit jobs exported by a peer's [`halt_and_export`](Self::halt_and_export):
+    /// each re-enters through the normal arrival path at the current
+    /// sim time under a fresh engine-local id (ids are engine-scoped),
+    /// keeping its shape signature, data seed and witness flag. Returns
+    /// how many jobs were admitted.
+    pub fn import_jobs(&mut self, bytes: &[u8]) -> Result<usize, SavestateError> {
+        let (mut r, _version) = Reader::with_header(bytes)?;
+        let jobs = r.seq(load_job)?;
+        r.expect_end()?;
+        let n = jobs.len();
+        for mut job in jobs {
+            job.id = self.next_job_id;
+            self.next_job_id += 1;
+            job.arrived = self.now;
+            job.attempts = 0;
+            self.pending_arrivals += 1;
+            self.timeline.schedule(self.now, Ev::Arrive { job });
+        }
+        Ok(n)
+    }
+
+    /// Per-device injected-fault accounting (`None` where no chaos
+    /// schedule is attached). A restored engine owns *fresh* injectors
+    /// rebuilt from serialized cursors, so differential suites compare
+    /// fault history through this seam rather than through the `Arc`s
+    /// they passed at construction.
+    pub fn fault_logs(&self) -> Vec<Option<FaultLog>> {
+        self.devices.iter().map(|d| d.fault.as_ref().map(|f| f.log())).collect()
     }
 }
 

@@ -30,6 +30,11 @@ impl AtomicF64 {
             })
             .expect("closure always returns Some");
     }
+
+    /// Overwrite with an exact bit pattern (savestate restore).
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
 }
 
 /// Point-in-time view of one device in the pool.
@@ -163,6 +168,19 @@ pub struct ClusterInner {
 impl ClusterInner {
     pub fn record_latency(&self, us: f64) {
         self.latencies_us.lock().unwrap_or_else(|e| e.into_inner()).push(us);
+    }
+
+    /// Recorded request latencies in insertion order — the savestate
+    /// serialization view (the snapshot sorts a copy; the stored order
+    /// is what a resumed run must keep appending to so save → resume →
+    /// save stays byte-identical).
+    pub fn latencies(&self) -> Vec<f64> {
+        self.latencies_us.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// Overwrite the latency log (savestate restore).
+    pub fn set_latencies(&self, latencies: Vec<f64>) {
+        *self.latencies_us.lock().unwrap_or_else(|e| e.into_inner()) = latencies;
     }
 
     pub fn record_placement_err(&self, predicted_us: f64, simulated_us: f64) {

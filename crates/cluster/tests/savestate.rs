@@ -1,0 +1,456 @@
+//! Crash-point differential suite: `checkpoint` at swept event offsets
+//! and `restore` into a fresh engine must change *nothing* observable
+//! about the rest of the run.
+//!
+//! Methodology: every chaos schedule the lockstep suite runs (plus the
+//! fault-free baseline) is executed twice per crash point —
+//!
+//! 1. uninterrupted, recording the full fingerprint: per-request
+//!    outcomes, the final [`ClusterStats`] (`==`, including the exact
+//!    `f64` busy/makespan aggregates), the per-device [`FaultLog`]s,
+//!    the rendered obs trace bytes and the flight-recorder dumps;
+//! 2. interrupted: run `offset` events, `checkpoint()`, drop the
+//!    engine, `restore()` the blob into a brand-new engine (fresh
+//!    sessions, fresh injectors, fresh obs) and run the remainder.
+//!
+//! The resumed fingerprint must equal the uninterrupted one field for
+//! field and byte for byte — and the blob itself must survive
+//! save → load → save byte-identically at every crash point.
+//!
+//! The suite also pins the golden on-disk fixture
+//! (`tests/fixtures/savestate_v1.bin`) for format-version discipline,
+//! exercises queue migration between two engine instances
+//! (`halt_and_export` → `import_jobs`, zero drops), and round-trips
+//! randomized mid-run states under proptest.
+
+use ctb_cluster::{ClusterConfig, EventCluster, EventConfig, ReqOutcome, SimTime, StealPolicy};
+use ctb_gpu_specs::ArchSpec;
+use ctb_matrix::GemmShape;
+use ctb_obs::Obs;
+use ctb_savestate::{SavestateError, FORMAT_VERSION, MAGIC};
+use ctb_serve::{BreakerPolicy, FaultConfig, FaultInjector, FaultLog};
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Closed-loop inter-arrival gap (matches the lockstep suite).
+const GAP_NS: u64 = 1_000_000_000;
+
+fn pool() -> Vec<ArchSpec> {
+    ArchSpec::pool_presets(2)
+}
+
+/// The chaos suite's 3-signature batch mix.
+fn mix_shapes(i: usize) -> Arc<[GemmShape]> {
+    let shape_mix: [&[GemmShape]; 3] = [
+        &[GemmShape::new(96, 96, 384); 2],
+        &[GemmShape::new(48, 64, 96), GemmShape::new(16, 32, 640)],
+        &[GemmShape::new(128, 32, 32); 4],
+    ];
+    shape_mix[i % shape_mix.len()].into()
+}
+
+fn injector(cfg: FaultConfig) -> Option<Arc<FaultInjector>> {
+    Some(Arc::new(FaultInjector::new(cfg)))
+}
+
+/// One reproducible scenario: an event-engine config, a fault schedule
+/// and a request count, mirroring the lockstep chaos schedules.
+struct Schedule {
+    cfg: ClusterConfig,
+    n: usize,
+    faults: fn() -> Vec<Option<Arc<FaultInjector>>>,
+    kill_first: Option<usize>,
+}
+
+fn breaker_opens_mid_load() -> Schedule {
+    Schedule {
+        cfg: ClusterConfig {
+            breaker: BreakerPolicy { trip_threshold: 3, open_batches: 8 },
+            ..ClusterConfig::default()
+        },
+        n: 24,
+        faults: || vec![injector(FaultConfig::new(0xA11CE).plan_fail(1000)), None],
+        kill_first: None,
+    }
+}
+
+fn exec_panic_storm() -> Schedule {
+    Schedule {
+        cfg: ClusterConfig {
+            breaker: BreakerPolicy { trip_threshold: 6, open_batches: 4 },
+            ..ClusterConfig::default()
+        },
+        n: 30,
+        faults: || vec![injector(FaultConfig::new(0x5EED).exec_panic(400)), None],
+        kill_first: None,
+    }
+}
+
+fn kill_device_routes_to_survivor() -> Schedule {
+    Schedule {
+        cfg: ClusterConfig {
+            steal: StealPolicy { enabled: false, ..StealPolicy::default() },
+            ..ClusterConfig::default()
+        },
+        n: 16,
+        faults: || vec![None, None],
+        kill_first: Some(0),
+    }
+}
+
+fn chaos_on_every_device() -> Schedule {
+    Schedule {
+        cfg: ClusterConfig {
+            breaker: BreakerPolicy { trip_threshold: 4, open_batches: 4 },
+            max_reroutes: 2,
+            ..ClusterConfig::default()
+        },
+        n: 32,
+        faults: || {
+            vec![
+                injector(FaultConfig::new(0xD00D).plan_fail(250).exec_panic(150)),
+                injector(
+                    FaultConfig::new(0xF00D)
+                        .exec_panic(250)
+                        .slow_worker(100, Duration::from_micros(300)),
+                ),
+            ]
+        },
+        kill_first: None,
+    }
+}
+
+fn fault_free() -> Schedule {
+    Schedule {
+        cfg: ClusterConfig::default(),
+        n: 18,
+        faults: || vec![None, None],
+        kill_first: None,
+    }
+}
+
+/// Build the schedule's instrumented engine with every request already
+/// on the timeline.
+fn build(s: &Schedule) -> (EventCluster, Arc<Obs>) {
+    let ev_cfg = EventConfig::from(&s.cfg);
+    let (mut eng, obs) = EventCluster::with_instrumentation(pool(), ev_cfg, (s.faults)());
+    if let Some(dev) = s.kill_first {
+        eng.kill_at(SimTime::ZERO, dev);
+    }
+    for i in 0..s.n {
+        eng.submit_at(SimTime(1 + i as u64 * GAP_NS), mix_shapes(i), i as u64);
+    }
+    (eng, obs)
+}
+
+/// Everything observable about a finished run.
+#[derive(Debug, PartialEq)]
+struct Fingerprint {
+    outcomes: Vec<ReqOutcome>,
+    stats: ctb_cluster::ClusterStats,
+    fault_logs: Vec<Option<FaultLog>>,
+    events_processed: u64,
+    trace: String,
+    dumps: Vec<String>,
+}
+
+fn finish(mut eng: EventCluster, obs: &Obs) -> Fingerprint {
+    let report = eng.run();
+    assert_eq!(report.witness_mismatches, 0, "every witness stays bitwise-exact");
+    Fingerprint {
+        outcomes: report.outcomes,
+        stats: report.stats,
+        fault_logs: eng.fault_logs(),
+        events_processed: report.events_processed,
+        trace: obs.render(),
+        dumps: obs.flight_dumps().iter().map(ctb_obs::FlightDump::render).collect(),
+    }
+}
+
+/// Checkpoint after `offset` events, restore into a fresh engine, run
+/// the remainder, and return the resumed fingerprint (asserting
+/// save → load → save byte-identity on the way).
+fn resume_from(s: &Schedule, offset: u64) -> Fingerprint {
+    let (mut eng, _obs) = build(s);
+    assert_eq!(eng.run_steps(offset), offset, "offset beyond schedule length");
+    let blob = eng.checkpoint();
+    drop(eng); // the "crash"
+    let (restored, obs) = EventCluster::restore(pool(), &blob).expect("checkpoint restores");
+    let obs = obs.expect("instrumented checkpoint hands back its obs");
+    assert_eq!(blob, restored.checkpoint(), "save -> load -> save must be byte-identical");
+    finish(restored, &obs)
+}
+
+/// The crash points swept per schedule: early, quarter, half,
+/// three-quarter marks of the uninterrupted event count.
+fn crash_points(total_events: u64) -> Vec<u64> {
+    let mut points = vec![1, total_events / 4, total_events / 2, 3 * total_events / 4];
+    points.retain(|&p| p > 0 && p < total_events);
+    points.dedup();
+    assert!(points.len() >= 3, "schedule too short to sweep ({total_events} events)");
+    points
+}
+
+fn differential(s: Schedule) {
+    let (eng, obs) = build(&s);
+    let baseline = finish(eng, &obs);
+    assert_eq!(baseline.stats.completed + count_failed(&baseline.outcomes), s.n);
+    for offset in crash_points(baseline.events_processed) {
+        let resumed = resume_from(&s, offset);
+        assert_eq!(resumed.outcomes, baseline.outcomes, "decisions diverged at offset {offset}");
+        assert_eq!(resumed.stats, baseline.stats, "stats diverged at offset {offset}");
+        assert_eq!(resumed.fault_logs, baseline.fault_logs, "fault logs diverged at {offset}");
+        assert_eq!(resumed.events_processed, baseline.events_processed);
+        assert_eq!(resumed.trace, baseline.trace, "trace bytes diverged at offset {offset}");
+        assert_eq!(resumed.dumps, baseline.dumps, "flight dumps diverged at offset {offset}");
+    }
+}
+
+fn count_failed(outcomes: &[ReqOutcome]) -> usize {
+    outcomes
+        .iter()
+        .filter(|o| matches!(o, ReqOutcome::Failed { .. } | ReqOutcome::PlanRejected { .. }))
+        .count()
+}
+
+// -- the chaos schedules, crash-swept ---------------------------------------
+
+#[test]
+fn crash_restore_breaker_opens_mid_load() {
+    differential(breaker_opens_mid_load());
+}
+
+#[test]
+fn crash_restore_exec_panic_storm() {
+    differential(exec_panic_storm());
+}
+
+#[test]
+fn crash_restore_kill_device_routes_to_survivor() {
+    differential(kill_device_routes_to_survivor());
+}
+
+#[test]
+fn crash_restore_chaos_on_every_device() {
+    differential(chaos_on_every_device());
+}
+
+#[test]
+fn crash_restore_fault_free() {
+    differential(fault_free());
+}
+
+// -- typed rejection of worlds that do not match ----------------------------
+
+#[test]
+fn restore_rejects_wrong_pool_with_typed_mismatch() {
+    let (mut eng, _obs) = build(&fault_free());
+    eng.run_steps(5);
+    let blob = eng.checkpoint();
+    // Wrong device count.
+    let Err(err) = EventCluster::restore(ArchSpec::pool_presets(3), &blob) else {
+        panic!("3-device pool restored a 2-device checkpoint");
+    };
+    assert!(matches!(err, SavestateError::Mismatch(_)), "got {err:?}");
+    // Right count, wrong arch order.
+    let mut swapped = pool();
+    swapped.reverse();
+    let Err(err) = EventCluster::restore(swapped, &blob) else {
+        panic!("swapped pool restored a mismatched checkpoint");
+    };
+    assert!(matches!(err, SavestateError::Mismatch(_)), "got {err:?}");
+}
+
+// -- queue migration --------------------------------------------------------
+
+/// A killed device's queue drains into a *different engine instance*
+/// through the savestate wire format with zero drops: every job either
+/// completes on the source's survivors or on the target pool.
+#[test]
+fn halted_device_queue_migrates_to_peer_engine_with_zero_drops() {
+    let mut cfg = EventConfig::from(&ClusterConfig::default());
+    cfg.steal.enabled = false; // keep jobs parked where they were placed
+    cfg.witness_every = 3;
+    let n = 12;
+
+    let mut source = EventCluster::new(pool(), cfg.clone());
+    let shapes: Arc<[GemmShape]> = [GemmShape::new(64, 64, 320); 2].into();
+    for i in 0..n {
+        source.submit_at(SimTime::ZERO, shapes.clone(), i as u64);
+    }
+    // Process all arrivals + placements so queues are populated, then
+    // pull device 0 out of service and export its queue.
+    source.run_steps(2 * n as u64);
+    let blob = source.halt_and_export(0);
+
+    let mut target = EventCluster::new(pool(), cfg);
+    let migrated = target.import_jobs(&blob).expect("exported jobs import cleanly");
+    assert!(migrated > 0, "device 0 should have had queued work to migrate");
+
+    let source_report = source.run();
+    let target_report = target.run();
+    assert_eq!(source_report.witness_mismatches + target_report.witness_mismatches, 0);
+    assert_eq!(
+        source_report.stats.completed + target_report.stats.completed,
+        n,
+        "migration dropped work (source {} + target {} != {n})",
+        source_report.stats.completed,
+        target_report.stats.completed,
+    );
+    assert_eq!(target_report.requests, migrated);
+    assert_eq!(source_report.stats.kills, 1, "halt counts as removing the device");
+    // Truncated migration blobs fail typed, not by panic.
+    assert!(matches!(
+        EventCluster::new(pool(), EventConfig::from(&ClusterConfig::default()))
+            .import_jobs(&blob[..blob.len().saturating_sub(3)]),
+        Err(SavestateError::Corrupt(_))
+    ));
+}
+
+// -- golden fixture + format-version discipline -----------------------------
+
+fn fixture_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/savestate_v1.bin")
+}
+
+/// The fixture's construction: the exec-panic storm checkpointed 40
+/// events in. Fully deterministic, so regeneration is byte-stable.
+fn fixture_bytes() -> Vec<u8> {
+    let (mut eng, _obs) = build(&exec_panic_storm());
+    assert_eq!(eng.run_steps(40), 40);
+    eng.checkpoint()
+}
+
+/// The committed fixture must match what the current build serializes.
+/// If a codec change broke this on purpose, bump [`FORMAT_VERSION`] and
+/// regenerate:
+/// `CTB_WRITE_FIXTURE=1 cargo test -p ctb-cluster --test savestate golden`.
+#[test]
+fn golden_fixture_matches_current_format_and_resumes() {
+    let bytes = fixture_bytes();
+    let path = fixture_path();
+    if std::env::var("CTB_WRITE_FIXTURE").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &bytes).unwrap();
+    }
+    let on_disk = std::fs::read(&path).expect(
+        "golden fixture missing — regenerate with \
+         CTB_WRITE_FIXTURE=1 cargo test -p ctb-cluster --test savestate golden",
+    );
+    assert_eq!(
+        on_disk, bytes,
+        "savestate layout changed without a FORMAT_VERSION bump + fixture regeneration"
+    );
+    // And the fixture actually resumes: the rest of the storm completes
+    // with bitwise-exact witnesses, identical to the uninterrupted run.
+    let (restored, obs) = EventCluster::restore(pool(), &on_disk).expect("fixture restores");
+    let resumed = finish(restored, &obs.expect("fixture is instrumented"));
+    let (eng, obs) = build(&exec_panic_storm());
+    let baseline = finish(eng, &obs);
+    assert_eq!(resumed, baseline, "fixture-resumed run diverged from the uninterrupted run");
+}
+
+/// Version skew: a blob stamped with a *newer* format version loads as
+/// a typed [`SavestateError::UnsupportedVersion`] — never a panic, and
+/// never a silent misparse.
+#[test]
+fn newer_format_version_fails_typed_not_panicking() {
+    let mut bytes = fixture_bytes();
+    let bumped = FORMAT_VERSION + 1;
+    bytes[MAGIC.len()..MAGIC.len() + 4].copy_from_slice(&bumped.to_le_bytes());
+    let Err(err) = EventCluster::restore(pool(), &bytes) else {
+        panic!("version-bumped blob restored successfully");
+    };
+    assert_eq!(
+        err,
+        SavestateError::UnsupportedVersion { found: bumped, supported: FORMAT_VERSION }
+    );
+}
+
+/// Truncation anywhere in the blob is a typed `Corrupt`, not a panic.
+#[test]
+fn truncated_fixture_fails_typed_not_panicking() {
+    let bytes = fixture_bytes();
+    for cut in [9, bytes.len() / 3, bytes.len() / 2, bytes.len() - 1] {
+        match EventCluster::restore(pool(), &bytes[..cut]) {
+            Err(SavestateError::Corrupt(_)) => {}
+            Err(e) => panic!("truncation at {cut} gave the wrong error kind: {e:?}"),
+            Ok(_) => panic!("truncation at {cut} restored successfully"),
+        }
+    }
+}
+
+// -- recorded regression corpus ---------------------------------------------
+
+/// Replays the boundary cases recorded in
+/// `tests/savestate.proptest-regressions`. The vendored proptest shim
+/// does not persist or replay regression files itself, so the corpus
+/// is pinned here by hand (see `scripts/check.sh`, which runs this
+/// test by name as the regression gate).
+#[test]
+fn regression_corpus_replays_recorded_boundary_cases() {
+    let s = chaos_on_every_device();
+    let (eng, obs) = build(&s);
+    let baseline = finish(eng, &obs);
+    let cases: [(&str, u64); 3] = [
+        // Checkpoint before the first event: restore must replay the
+        // whole schedule, untouched timeline included.
+        ("checkpoint-before-first-event", 0),
+        // Checkpoint at drain: nothing left to run, yet outcomes,
+        // stats and the trace must all survive the round trip.
+        ("checkpoint-at-drain", baseline.events_processed),
+        // Checkpoint inside a breaker open window, mid fault storm.
+        ("checkpoint-mid-breaker-window", baseline.events_processed / 3),
+    ];
+    for (name, offset) in cases {
+        let resumed = resume_from(&s, offset);
+        assert_eq!(resumed, baseline, "regression case {name:?} (offset {offset}) diverged");
+    }
+}
+
+// -- randomized round-trips -------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any reachable mid-run engine state survives
+    /// checkpoint → restore → checkpoint byte-identically, and the
+    /// resumed run finishes the schedule with bitwise-exact witnesses.
+    #[test]
+    fn random_states_round_trip_byte_identically(
+        seed in 0u64..2_000,
+        n in 4usize..24,
+        steps in 0u64..120,
+        plan_fail in 0u32..400,
+        exec_panic in 0u32..400,
+        instrumented in 0u32..2,
+    ) {
+        let mut cfg = EventConfig::from(&ClusterConfig::default());
+        cfg.witness_every = 5;
+        let faults = vec![
+            injector(FaultConfig::new(seed).plan_fail(plan_fail).exec_panic(exec_panic)),
+            None,
+        ];
+        let mut eng = if instrumented == 1 {
+            EventCluster::with_instrumentation(pool(), cfg, faults).0
+        } else {
+            EventCluster::with_faults(pool(), cfg, faults)
+        };
+        for i in 0..n {
+            // Tight spacing so queues, re-routes and breaker windows
+            // all appear among the sampled states.
+            eng.submit_at(SimTime(1 + i as u64 * 50_000), mix_shapes(i), seed ^ i as u64);
+        }
+        eng.run_steps(steps);
+        let blob = eng.checkpoint();
+        let (restored, _obs) = EventCluster::restore(pool(), &blob).expect("restore");
+        prop_assert_eq!(&blob, &restored.checkpoint());
+        let report = {
+            let mut restored = restored;
+            restored.run()
+        };
+        prop_assert_eq!(report.witness_mismatches, 0);
+        prop_assert_eq!(report.requests, n);
+    }
+}

@@ -148,6 +148,91 @@ impl SimMemo {
     pub fn is_empty(&self) -> bool {
         self.map.lock().is_empty()
     }
+
+    /// Serialize every cached `(key, simulated µs)` entry plus the
+    /// hit/miss counters. Entries are written sorted by key so the
+    /// blob is independent of `HashMap` iteration order (save → load →
+    /// save is byte-identical).
+    pub fn save(&self, w: &mut ctb_savestate::Writer) {
+        let map = self.map.lock();
+        let mut entries: Vec<(&SimKey, &f64)> = map.iter().collect();
+        entries.sort_by(|(a, _), (b, _)| {
+            (a.context, a.threads, &a.strategies, heuristic_tag(a.heuristic)).cmp(&(
+                b.context,
+                b.threads,
+                &b.strategies,
+                heuristic_tag(b.heuristic),
+            ))
+        });
+        w.len_prefix(entries.len());
+        for (k, &us) in entries {
+            w.u64(k.context);
+            w.u32(k.threads);
+            w.len_prefix(k.strategies.len());
+            for &s in &k.strategies {
+                w.u8(s);
+            }
+            w.u8(heuristic_tag(k.heuristic));
+            w.f64(us);
+        }
+        w.len_prefix(self.hits());
+        w.len_prefix(self.misses());
+    }
+
+    /// Load entries saved by [`SimMemo::save`] into this memo and
+    /// force the counters to the saved values. Restored times are the
+    /// exact `f64` bit patterns the original computed, so every
+    /// post-restore simulation that hits the memo replays the original
+    /// run bitwise.
+    pub fn load(&self, r: &mut ctb_savestate::Reader<'_>) -> Result<(), ctb_savestate::SavestateError> {
+        let entries = r.seq(|r| {
+            let context = r.u64()?;
+            let threads = r.u32()?;
+            let strategies = r.seq(|r| r.u8())?;
+            let heuristic = heuristic_from_tag(r.u8()?)?;
+            let us = r.f64()?;
+            Ok((SimKey { context, threads, strategies, heuristic }, us))
+        })?;
+        let hits = r.len_prefix()?;
+        let misses = r.len_prefix()?;
+        {
+            let mut map = self.map.lock();
+            for (k, us) in entries {
+                map.insert(k, us);
+            }
+        }
+        self.set_counters(hits, misses);
+        Ok(())
+    }
+
+    /// Force the hit/miss counters (savestate restore: replanning
+    /// against the restored memo inflates `hits`, so the engine
+    /// rebuilds plans first and then pins the counters back to the
+    /// checkpointed values).
+    pub fn set_counters(&self, hits: usize, misses: usize) {
+        self.hits.store(hits, Ordering::Relaxed);
+        self.misses.store(misses, Ordering::Relaxed);
+    }
+}
+
+/// Stable on-disk discriminant for [`BatchingHeuristic`].
+fn heuristic_tag(h: BatchingHeuristic) -> u8 {
+    match h {
+        BatchingHeuristic::OneTilePerBlock => 0,
+        BatchingHeuristic::Threshold => 1,
+        BatchingHeuristic::Binary => 2,
+    }
+}
+
+fn heuristic_from_tag(tag: u8) -> Result<BatchingHeuristic, ctb_savestate::SavestateError> {
+    match tag {
+        0 => Ok(BatchingHeuristic::OneTilePerBlock),
+        1 => Ok(BatchingHeuristic::Threshold),
+        2 => Ok(BatchingHeuristic::Binary),
+        t => Err(ctb_savestate::SavestateError::Corrupt(format!(
+            "bad batching-heuristic tag {t}"
+        ))),
+    }
 }
 
 #[cfg(test)]
@@ -183,6 +268,63 @@ mod tests {
         assert_eq!(memo.misses(), 3);
         assert_eq!(memo.hits(), 3);
         assert_eq!(memo.len(), 3);
+    }
+
+    #[test]
+    fn memo_save_load_round_trips_bitwise_and_rewrites_identically() {
+        let (arch, th, shapes) = setup();
+        let sol = select_tiling(&shapes, &th);
+        let memo = SimMemo::new();
+        for h in [
+            BatchingHeuristic::OneTilePerBlock,
+            BatchingHeuristic::Threshold,
+            BatchingHeuristic::Binary,
+        ] {
+            memo.simulate_solution(&arch, &shapes, &sol, h, &th);
+        }
+        memo.simulate_solution(&arch, &shapes, &sol, BatchingHeuristic::Binary, &th);
+
+        let mut w = ctb_savestate::Writer::new();
+        memo.save(&mut w);
+        let bytes = w.into_bytes();
+
+        let restored = SimMemo::new();
+        let mut r = ctb_savestate::Reader::new(&bytes);
+        restored.load(&mut r).unwrap();
+        r.expect_end().unwrap();
+        assert_eq!(restored.len(), memo.len());
+        assert_eq!(restored.hits(), memo.hits());
+        assert_eq!(restored.misses(), memo.misses());
+        // Restored lookups are hits returning the exact stored bits.
+        let orig = memo.simulate_solution(&arch, &shapes, &sol, BatchingHeuristic::Binary, &th);
+        let got = restored.simulate_solution(&arch, &shapes, &sol, BatchingHeuristic::Binary, &th);
+        assert_eq!(orig.to_bits(), got.to_bits());
+        // save(load(save(x))) is byte-identical (counters were bumped
+        // identically by the lookups above).
+        let mut w2 = ctb_savestate::Writer::new();
+        restored.save(&mut w2);
+        assert_eq!(w2.into_bytes(), {
+            let mut w3 = ctb_savestate::Writer::new();
+            memo.save(&mut w3);
+            w3.into_bytes()
+        });
+    }
+
+    #[test]
+    fn memo_load_rejects_bad_heuristic_tag_with_typed_error() {
+        let mut w = ctb_savestate::Writer::new();
+        w.len_prefix(1);
+        w.u64(1);
+        w.u32(128);
+        w.len_prefix(0);
+        w.u8(9); // no such heuristic
+        w.f64(1.0);
+        w.len_prefix(0);
+        w.len_prefix(0);
+        let bytes = w.into_bytes();
+        let memo = SimMemo::new();
+        let err = memo.load(&mut ctb_savestate::Reader::new(&bytes)).unwrap_err();
+        assert!(matches!(err, ctb_savestate::SavestateError::Corrupt(_)));
     }
 
     #[test]

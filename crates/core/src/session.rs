@@ -70,6 +70,86 @@ impl PlanShare {
     pub fn cached_plans_total(&self) -> usize {
         self.plans.lock().len()
     }
+
+    /// Serialize the share: the simulation memo (entries + counters)
+    /// followed by every plan-cache key, sorted. Plan *bodies* are not
+    /// serialized — `ExecutionPlan` is a pure deterministic function of
+    /// the planning context and the shapes, and with the memo restored
+    /// first a re-plan replays every candidate simulation from the
+    /// memo, rebuilding bit-identical plans for free. Keys-only blobs
+    /// stay small and can never smuggle a stale plan past a code
+    /// change.
+    pub fn save(&self, w: &mut ctb_savestate::Writer) {
+        self.sim_memo.save(w);
+        let plans = self.plans.lock();
+        let mut keys: Vec<&(u64, Vec<GemmShape>)> = plans.keys().collect();
+        keys.sort_by_key(|(fp, shapes)| {
+            (*fp, shapes.iter().map(|s| (s.m, s.n, s.k)).collect::<Vec<_>>())
+        });
+        w.len_prefix(keys.len());
+        for (fp, shapes) in keys {
+            w.u64(*fp);
+            w.len_prefix(shapes.len());
+            for s in shapes {
+                w.u64(s.m as u64);
+                w.u64(s.n as u64);
+                w.u64(s.k as u64);
+            }
+        }
+    }
+
+    /// Restore a blob written by [`PlanShare::save`] into this share.
+    /// `sessions` must be attached to *this* share and must cover every
+    /// planning fingerprint in the blob — each saved key is re-planned
+    /// through its matching session (all candidate simulations hit the
+    /// just-restored memo), then the memo counters are pinned back to
+    /// the checkpointed values so the rebuild leaves no accounting
+    /// trace. The caller owns the sessions' own counters: re-planning
+    /// counts as misses on them (and emits obs events when a bus is
+    /// attached), so restore session stats / obs state *after* this.
+    ///
+    /// A fingerprint with no matching session — e.g. a `Forest`-policy
+    /// session, whose fingerprint is noncified precisely because its
+    /// selector state is not reproducible — is a typed
+    /// [`Mismatch`](ctb_savestate::SavestateError::Mismatch).
+    pub fn restore_with_sessions(
+        &self,
+        r: &mut ctb_savestate::Reader<'_>,
+        sessions: &[&Session],
+    ) -> Result<(), ctb_savestate::SavestateError> {
+        use ctb_savestate::SavestateError;
+        for s in sessions {
+            if !std::ptr::eq(Arc::as_ptr(&s.share), self) {
+                return Err(SavestateError::Mismatch(
+                    "restore_with_sessions: session not attached to this share".into(),
+                ));
+            }
+        }
+        self.sim_memo.load(r)?;
+        let (memo_hits, memo_misses) = (self.sim_memo.hits(), self.sim_memo.misses());
+        let keys = r.seq(|r| {
+            let fp = r.u64()?;
+            let shapes = r.seq(|r| {
+                let (m, n, k) = (r.u64()?, r.u64()?, r.u64()?);
+                Ok(GemmShape::new(m as usize, n as usize, k as usize))
+            })?;
+            Ok((fp, shapes))
+        })?;
+        for (fp, shapes) in keys {
+            let session = sessions.iter().find(|s| s.fp == fp).ok_or_else(|| {
+                SavestateError::Mismatch(format!(
+                    "no session matches planning fingerprint {fp:#018x} \
+                     (unshareable context, e.g. a Forest-policy session?)"
+                ))
+            })?;
+            session.plan(&shapes).map_err(|e| {
+                SavestateError::Mismatch(format!("re-planning saved key failed: {e}"))
+            })?;
+        }
+        // Undo the rebuild's accounting pollution (replans hit the memo).
+        self.sim_memo.set_counters(memo_hits, memo_misses);
+        Ok(())
+    }
 }
 
 /// Serial tag handed to each `Forest`-policy session: the on-line
@@ -285,6 +365,25 @@ impl Session {
     pub fn framework(&self) -> &Framework {
         &self.framework
     }
+
+    /// This session's planning-context fingerprint within its share —
+    /// the key half a savestate stores next to each cached plan's
+    /// shape signature.
+    pub fn fingerprint(&self) -> u64 {
+        self.fp
+    }
+
+    /// Force the cache counters (savestate restore: the rebuild in
+    /// [`PlanShare::restore_with_sessions`] counts its re-plans here,
+    /// so the engine pins the checkpointed values back afterwards).
+    pub fn set_stats(&self, stats: CacheStats) {
+        *self.stats.lock() = stats;
+    }
+
+    /// Force the failed-planning counter (savestate restore).
+    pub fn set_plan_failures(&self, n: usize) {
+        self.plan_failures.store(n, Ordering::Relaxed);
+    }
 }
 
 #[cfg(test)]
@@ -432,6 +531,65 @@ mod tests {
         b.plan(&shapes()).unwrap();
         assert_eq!(b.stats().misses, 1, "stateful selectors never share entries");
         assert_eq!(share.cached_plans_total(), 2);
+    }
+
+    #[test]
+    fn plan_share_save_restore_rebuilds_identical_plans_without_new_simulations() {
+        let share = Arc::new(PlanShare::new());
+        let s = Session::with_share(Framework::new(ArchSpec::volta_v100()), Arc::clone(&share));
+        let original = s.plan(&shapes()).unwrap();
+        s.plan(&[GemmShape::new(128, 128, 64)]).unwrap();
+        let mut w = ctb_savestate::Writer::new();
+        share.save(&mut w);
+        let bytes = w.into_bytes();
+
+        let share2 = Arc::new(PlanShare::new());
+        let r2 = Session::with_share(Framework::new(ArchSpec::volta_v100()), Arc::clone(&share2));
+        let mut rd = ctb_savestate::Reader::new(&bytes);
+        share2.restore_with_sessions(&mut rd, &[&r2]).unwrap();
+        rd.expect_end().unwrap();
+
+        assert_eq!(share2.cached_plans_total(), 2);
+        // Memo accounting is pinned back to the checkpoint, so the
+        // rebuild is invisible: no new simulator runs, no new hits.
+        assert_eq!(share2.sim_memo().misses(), share.sim_memo().misses());
+        assert_eq!(share2.sim_memo().hits(), share.sim_memo().hits());
+        // A lookup of a restored key is a hit producing the identical plan.
+        r2.set_stats(CacheStats::default());
+        let rebuilt = r2.plan(&shapes()).unwrap();
+        assert_eq!(r2.stats(), CacheStats { hits: 1, misses: 0 });
+        assert_eq!(original.plan, rebuilt.plan, "re-planned plan is identical");
+        assert_eq!(original.heuristic, rebuilt.heuristic);
+        // save(restored) == save(original): keys are written sorted.
+        let mut w2 = ctb_savestate::Writer::new();
+        share2.save(&mut w2);
+        assert_eq!(w2.into_bytes(), bytes);
+    }
+
+    #[test]
+    fn plan_share_restore_rejects_unknown_fingerprints_with_typed_mismatch() {
+        let share = Arc::new(PlanShare::new());
+        let s = Session::with_share(Framework::new(ArchSpec::volta_v100()), Arc::clone(&share));
+        s.plan(&shapes()).unwrap();
+        let mut w = ctb_savestate::Writer::new();
+        share.save(&mut w);
+        let bytes = w.into_bytes();
+
+        // Restoring with a session for a *different* arch: no session
+        // matches the saved fingerprint.
+        let share2 = Arc::new(PlanShare::new());
+        let wrong = Session::with_share(Framework::new(ArchSpec::maxwell_m60()), Arc::clone(&share2));
+        let err = share2
+            .restore_with_sessions(&mut ctb_savestate::Reader::new(&bytes), &[&wrong])
+            .unwrap_err();
+        assert!(matches!(err, ctb_savestate::SavestateError::Mismatch(_)));
+
+        // A session attached to some other share is rejected outright.
+        let stray = Session::new(Framework::new(ArchSpec::volta_v100()));
+        let err = share2
+            .restore_with_sessions(&mut ctb_savestate::Reader::new(&bytes), &[&stray])
+            .unwrap_err();
+        assert!(matches!(err, ctb_savestate::SavestateError::Mismatch(_)));
     }
 
     #[test]

@@ -199,6 +199,187 @@ impl Event {
     }
 }
 
+fn span_tag(s: SpanKind) -> u8 {
+    match s {
+        SpanKind::Plan => 0,
+        SpanKind::Autotune => 1,
+        SpanKind::Exec => 2,
+        SpanKind::DegradedExec => 3,
+        SpanKind::Coalesce => 4,
+        SpanKind::Place => 5,
+    }
+}
+
+fn span_from_tag(tag: u8) -> Result<SpanKind, ctb_savestate::SavestateError> {
+    SpanKind::ALL
+        .get(tag as usize)
+        .copied()
+        .ok_or_else(|| ctb_savestate::SavestateError::Corrupt(format!("bad span tag {tag}")))
+}
+
+fn save_opt_u64(w: &mut ctb_savestate::Writer, v: Option<u64>) {
+    match v {
+        Some(x) => {
+            w.bool(true);
+            w.u64(x);
+        }
+        None => w.bool(false),
+    }
+}
+
+fn load_opt_u64(
+    r: &mut ctb_savestate::Reader<'_>,
+) -> Result<Option<u64>, ctb_savestate::SavestateError> {
+    Ok(if r.bool()? { Some(r.u64()?) } else { None })
+}
+
+impl ctb_savestate::Savestate for Event {
+    fn save(&self, w: &mut ctb_savestate::Writer) {
+        w.u64(self.seq);
+        w.u64(self.t_us);
+        w.u32(self.worker);
+        match self.kind {
+            EventKind::SpanBegin { span, id } => {
+                w.u8(0);
+                w.u8(span_tag(span));
+                w.u64(id);
+            }
+            EventKind::SpanEnd { span, id } => {
+                w.u8(1);
+                w.u8(span_tag(span));
+                w.u64(id);
+            }
+            EventKind::Point(p) => {
+                w.u8(2);
+                match p {
+                    PointKind::Admit { req } => {
+                        w.u8(0);
+                        w.u64(req);
+                    }
+                    PointKind::Reject { req } => {
+                        w.u8(1);
+                        save_opt_u64(w, req);
+                    }
+                    PointKind::Retry { req } => {
+                        w.u8(2);
+                        w.u64(req);
+                    }
+                    PointKind::PanicCaught => w.u8(3),
+                    PointKind::PlanFailure => w.u8(4),
+                    PointKind::BreakerTrip => w.u8(5),
+                    PointKind::BatchExecuted { size } => {
+                        w.u8(6);
+                        w.u64(size as u64);
+                    }
+                    PointKind::Respond {
+                        req,
+                        batch,
+                        degraded,
+                        abandoned,
+                        queue_us,
+                        plan_us,
+                        exec_us,
+                        total_us,
+                    } => {
+                        w.u8(7);
+                        w.u64(req);
+                        w.u64(batch);
+                        w.bool(degraded);
+                        w.bool(abandoned);
+                        w.f64(queue_us);
+                        w.f64(plan_us);
+                        w.f64(exec_us);
+                        w.f64(total_us);
+                    }
+                    PointKind::Expired { req, abandoned } => {
+                        w.u8(8);
+                        w.u64(req);
+                        w.bool(abandoned);
+                    }
+                    PointKind::Failed { req, abandoned } => {
+                        w.u8(9);
+                        w.u64(req);
+                        w.bool(abandoned);
+                    }
+                    PointKind::PlanCacheHit => w.u8(10),
+                    PointKind::PlanCacheMiss => w.u8(11),
+                    PointKind::Routed { device } => {
+                        w.u8(12);
+                        w.u64(device as u64);
+                    }
+                    PointKind::Steal { to, from } => {
+                        w.u8(13);
+                        w.u64(to as u64);
+                        w.u64(from as u64);
+                    }
+                    PointKind::Reroute { from } => {
+                        w.u8(14);
+                        w.u64(from as u64);
+                    }
+                    PointKind::Kill { device } => {
+                        w.u8(15);
+                        w.u64(device as u64);
+                    }
+                    PointKind::BatchDone { req, device, degraded, abandoned } => {
+                        w.u8(16);
+                        w.u64(req);
+                        w.u64(device as u64);
+                        w.bool(degraded);
+                        w.bool(abandoned);
+                    }
+                }
+            }
+        }
+    }
+
+    fn load(r: &mut ctb_savestate::Reader<'_>) -> Result<Self, ctb_savestate::SavestateError> {
+        use ctb_savestate::SavestateError;
+        let seq = r.u64()?;
+        let t_us = r.u64()?;
+        let worker = r.u32()?;
+        let kind = match r.u8()? {
+            0 => EventKind::SpanBegin { span: span_from_tag(r.u8()?)?, id: r.u64()? },
+            1 => EventKind::SpanEnd { span: span_from_tag(r.u8()?)?, id: r.u64()? },
+            2 => EventKind::Point(match r.u8()? {
+                0 => PointKind::Admit { req: r.u64()? },
+                1 => PointKind::Reject { req: load_opt_u64(r)? },
+                2 => PointKind::Retry { req: r.u64()? },
+                3 => PointKind::PanicCaught,
+                4 => PointKind::PlanFailure,
+                5 => PointKind::BreakerTrip,
+                6 => PointKind::BatchExecuted { size: r.u64()? as usize },
+                7 => PointKind::Respond {
+                    req: r.u64()?,
+                    batch: r.u64()?,
+                    degraded: r.bool()?,
+                    abandoned: r.bool()?,
+                    queue_us: r.f64()?,
+                    plan_us: r.f64()?,
+                    exec_us: r.f64()?,
+                    total_us: r.f64()?,
+                },
+                8 => PointKind::Expired { req: r.u64()?, abandoned: r.bool()? },
+                9 => PointKind::Failed { req: r.u64()?, abandoned: r.bool()? },
+                10 => PointKind::PlanCacheHit,
+                11 => PointKind::PlanCacheMiss,
+                12 => PointKind::Routed { device: r.u64()? as usize },
+                13 => PointKind::Steal { to: r.u64()? as usize, from: r.u64()? as usize },
+                14 => PointKind::Reroute { from: r.u64()? as usize },
+                15 => PointKind::Kill { device: r.u64()? as usize },
+                16 => PointKind::BatchDone {
+                    req: r.u64()?,
+                    device: r.u64()? as usize,
+                    degraded: r.bool()?,
+                    abandoned: r.bool()?,
+                },
+                t => return Err(SavestateError::Corrupt(format!("bad point tag {t}"))),
+            }),
+            t => return Err(SavestateError::Corrupt(format!("bad event-kind tag {t}"))),
+        };
+        Ok(Event { seq, t_us, worker, kind })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -220,6 +401,73 @@ mod tests {
             PointKind::BatchDone { req: 0, device: 0, degraded: false, abandoned: false }.name(),
             PointKind::ALL_NAMES[16]
         );
+    }
+
+    #[test]
+    fn event_codec_round_trips_every_kind_bitwise() {
+        use ctb_savestate::{Reader, Savestate as _, Writer};
+        let mut kinds: Vec<EventKind> = Vec::new();
+        for s in SpanKind::ALL {
+            kinds.push(EventKind::SpanBegin { span: s, id: 7 });
+            kinds.push(EventKind::SpanEnd { span: s, id: 7 });
+        }
+        kinds.extend([
+            EventKind::Point(PointKind::Admit { req: 3 }),
+            EventKind::Point(PointKind::Reject { req: None }),
+            EventKind::Point(PointKind::Reject { req: Some(9) }),
+            EventKind::Point(PointKind::Retry { req: 4 }),
+            EventKind::Point(PointKind::PanicCaught),
+            EventKind::Point(PointKind::PlanFailure),
+            EventKind::Point(PointKind::BreakerTrip),
+            EventKind::Point(PointKind::BatchExecuted { size: 12 }),
+            EventKind::Point(PointKind::Respond {
+                req: 1,
+                batch: 2,
+                degraded: true,
+                abandoned: false,
+                queue_us: 1.5,
+                plan_us: f64::from_bits(0x7FF8_0000_0000_0001), // NaN payload
+                exec_us: -0.0,
+                total_us: 3.25,
+            }),
+            EventKind::Point(PointKind::Expired { req: 5, abandoned: true }),
+            EventKind::Point(PointKind::Failed { req: 6, abandoned: false }),
+            EventKind::Point(PointKind::PlanCacheHit),
+            EventKind::Point(PointKind::PlanCacheMiss),
+            EventKind::Point(PointKind::Routed { device: 3 }),
+            EventKind::Point(PointKind::Steal { to: 1, from: 2 }),
+            EventKind::Point(PointKind::Reroute { from: 0 }),
+            EventKind::Point(PointKind::Kill { device: 9 }),
+            EventKind::Point(PointKind::BatchDone { req: 8, device: 1, degraded: false, abandoned: true }),
+        ]);
+        for (i, kind) in kinds.into_iter().enumerate() {
+            let e = Event { seq: i as u64, t_us: 1000 + i as u64, worker: (i % 3) as u32, kind };
+            let mut w = Writer::new();
+            e.save(&mut w);
+            let bytes = w.into_bytes();
+            let mut r = Reader::new(&bytes);
+            let back = Event::load(&mut r).unwrap();
+            r.expect_end().unwrap();
+            // render() covers every field debug-formatted, so equal
+            // renders == equal events, bitwise f64s included.
+            assert_eq!(back.render(), e.render());
+        }
+    }
+
+    #[test]
+    fn event_codec_rejects_bad_tags_with_typed_errors() {
+        use ctb_savestate::{Reader, Savestate as _, SavestateError, Writer};
+        let mut w = Writer::new();
+        w.u64(0);
+        w.u64(0);
+        w.u32(0);
+        w.u8(2); // point…
+        w.u8(99); // …with an invalid point tag
+        let bytes = w.into_bytes();
+        assert!(matches!(
+            Event::load(&mut Reader::new(&bytes)),
+            Err(SavestateError::Corrupt(_))
+        ));
     }
 
     #[test]

@@ -217,6 +217,84 @@ impl Obs {
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
     }
+
+    /// Serialize the bus state a deterministic resume depends on: the
+    /// config, `next_seq`, the full event log, the flight ring, and
+    /// every captured dump. The thread→worker-id map is deliberately
+    /// *not* saved — dense ids are assigned in first-emission order,
+    /// so the restoring process's emitting thread re-acquires the same
+    /// dense id the original's did. The metrics registry is not part
+    /// of the byte-compared surface (`render()` covers events only)
+    /// and is left to re-accumulate.
+    pub fn save_state(&self, w: &mut ctb_savestate::Writer) {
+        use ctb_savestate::Savestate as _;
+        w.len_prefix(self.cfg.ring_capacity);
+        w.bool(self.cfg.record_log);
+        let inner = self.inner.lock().unwrap();
+        w.u64(inner.next_seq);
+        w.len_prefix(inner.events.len());
+        for e in &inner.events {
+            e.save(w);
+        }
+        w.len_prefix(inner.ring.len());
+        for e in &inner.ring {
+            e.save(w);
+        }
+        drop(inner);
+        let dumps = self.dumps.lock().unwrap();
+        w.len_prefix(dumps.len());
+        for d in dumps.iter() {
+            w.str(&d.reason);
+            w.len_prefix(d.events.len());
+            for e in &d.events {
+                e.save(w);
+            }
+        }
+    }
+
+    /// Overwrite this bus's state with a blob written by
+    /// [`Obs::save_state`]. The receiving bus must have been built
+    /// with the same config (typed `Mismatch` otherwise). Events
+    /// emitted on this bus before the restore — e.g. by plan-cache
+    /// rebuilding during an engine restore — are discarded wholesale,
+    /// which is why engine restores apply the obs blob *last*.
+    pub fn restore_state(
+        &self,
+        r: &mut ctb_savestate::Reader<'_>,
+    ) -> Result<(), ctb_savestate::SavestateError> {
+        use ctb_savestate::{Savestate as _, SavestateError};
+        let ring_capacity = r.len_prefix()?;
+        let record_log = r.bool()?;
+        if ring_capacity != self.cfg.ring_capacity || record_log != self.cfg.record_log {
+            return Err(SavestateError::Mismatch(format!(
+                "obs config differs: blob (ring {ring_capacity}, log {record_log}) vs \
+                 bus (ring {}, log {})",
+                self.cfg.ring_capacity, self.cfg.record_log
+            )));
+        }
+        let next_seq = r.u64()?;
+        let events = r.seq(Event::load)?;
+        let ring = r.seq(Event::load)?;
+        if ring.len() > ring_capacity {
+            return Err(SavestateError::Corrupt(format!(
+                "flight ring holds {} events, capacity {ring_capacity}",
+                ring.len()
+            )));
+        }
+        let dumps = r.seq(|r| {
+            let reason = r.str()?;
+            let events = r.seq(Event::load)?;
+            Ok(FlightDump { reason, events })
+        })?;
+        let mut inner = self.inner.lock().unwrap();
+        inner.next_seq = next_seq;
+        inner.events = events;
+        inner.ring = ring.into();
+        inner.workers.clear();
+        drop(inner);
+        *self.dumps.lock().unwrap() = dumps;
+        Ok(())
+    }
 }
 
 /// Open span handle. Prefer [`finish`](Self::finish) — it returns the
@@ -359,6 +437,73 @@ mod tests {
             obs.render()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn save_restore_resumes_byte_identical_traces() {
+        // Two buses run the same scripted workload; one is checkpointed
+        // mid-script and restored into a fresh bus which finishes the
+        // script. Final renders must agree byte-for-byte.
+        let script_prefix = |obs: &Obs, clock: &SimClock| {
+            obs.point(PointKind::Admit { req: 1 });
+            clock.advance(100);
+            let g = obs.span(SpanKind::Exec);
+            clock.advance(50);
+            g.finish();
+            obs.dump_flight("mid-script dump");
+        };
+        let script_suffix = |obs: &Obs, clock: &SimClock| {
+            clock.advance(25);
+            obs.point(PointKind::BatchDone { req: 1, device: 0, degraded: false, abandoned: false });
+        };
+
+        let clock_a = Arc::new(SimClock::new());
+        let a = Obs::sim(Arc::clone(&clock_a));
+        script_prefix(&a, &clock_a);
+        script_suffix(&a, &clock_a);
+
+        let clock_b = Arc::new(SimClock::new());
+        let b = Obs::sim(Arc::clone(&clock_b));
+        script_prefix(&b, &clock_b);
+        let mut w = ctb_savestate::Writer::new();
+        b.save_state(&mut w);
+        let bytes = w.into_bytes();
+
+        let clock_c = Arc::new(SimClock::new());
+        let c = Obs::sim(Arc::clone(&clock_c));
+        // Pollution emitted before the restore is discarded by it.
+        c.point(PointKind::PlanCacheMiss);
+        let mut r = ctb_savestate::Reader::new(&bytes);
+        c.restore_state(&mut r).unwrap();
+        r.expect_end().unwrap();
+        clock_c.set(clock_b.now_us());
+        script_suffix(&c, &clock_c);
+
+        assert_eq!(c.render(), a.render(), "resumed trace is byte-identical");
+        assert_eq!(c.flight_dumps().len(), 1);
+        assert_eq!(c.flight_dumps()[0].render(), a.flight_dumps()[0].render());
+    }
+
+    #[test]
+    fn restore_rejects_config_mismatch_and_corrupt_rings() {
+        let a = Obs::with_clock(Arc::new(SimClock::new()), ObsConfig { ring_capacity: 4, record_log: true });
+        a.point(PointKind::PanicCaught);
+        let mut w = ctb_savestate::Writer::new();
+        a.save_state(&mut w);
+        let bytes = w.into_bytes();
+
+        let wrong_cfg = Obs::with_clock(Arc::new(SimClock::new()), ObsConfig { ring_capacity: 8, record_log: true });
+        assert!(matches!(
+            wrong_cfg.restore_state(&mut ctb_savestate::Reader::new(&bytes)),
+            Err(ctb_savestate::SavestateError::Mismatch(_))
+        ));
+
+        // Truncation surfaces as Corrupt, never a panic.
+        let same_cfg = Obs::with_clock(Arc::new(SimClock::new()), ObsConfig { ring_capacity: 4, record_log: true });
+        assert!(matches!(
+            same_cfg.restore_state(&mut ctb_savestate::Reader::new(&bytes[..bytes.len() - 3])),
+            Err(ctb_savestate::SavestateError::Corrupt(_))
+        ));
     }
 
     #[test]

@@ -1,0 +1,363 @@
+//! Versioned, deterministic binary savestate codec.
+//!
+//! Dependency-free leaf crate shared by `ctb-core`, `ctb-serve`,
+//! `ctb-obs` and `ctb-cluster` for checkpoint/restore of the whole
+//! serving stack (the idiom of dust's `Savestate` derive, hand-written
+//! the way the `ctb-forest` text codec is). The rules that make a
+//! savestate *deterministic*:
+//!
+//! * little-endian fixed-width integers, `f64`/`f32` stored as IEEE
+//!   bit patterns (`to_bits`) so values round-trip *bitwise*, NaN
+//!   payloads included;
+//! * every unordered container is serialized in a sorted order chosen
+//!   by the caller, so save → load → save is byte-identical;
+//! * no wall-clock anywhere in a blob — time is typed sim-time carried
+//!   as integers.
+//!
+//! Every blob starts with [`MAGIC`] + a `u32` [`FORMAT_VERSION`].
+//! Decoding never panics on malformed input: all reader paths return a
+//! typed [`SavestateError`], and length prefixes clamp pre-allocation
+//! (a forged count cannot OOM the loader).
+
+use std::fmt;
+
+/// Leading magic of every savestate blob.
+pub const MAGIC: [u8; 4] = *b"CTBS";
+
+/// Current savestate format version. Bump on any layout change; the
+/// reader rejects *newer* versions with a typed error and keeps
+/// loading every older version it still understands.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Cap on speculative pre-allocation while decoding length-prefixed
+/// containers. Real lengths above this are still decoded — the vector
+/// just grows incrementally instead of trusting the prefix.
+const PREALLOC_CAP: usize = 4096;
+
+/// Typed decoding failure. Never a panic: corrupt, truncated or
+/// version-skewed blobs all surface as values of this enum.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SavestateError {
+    /// The blob's format version is newer than this build understands.
+    UnsupportedVersion { found: u32, supported: u32 },
+    /// The blob is structurally invalid: bad magic, truncated buffer,
+    /// an out-of-range enum tag, or trailing garbage.
+    Corrupt(String),
+    /// The blob is well-formed but does not match the world it is
+    /// being restored into (wrong pool arch, wrong queue capacity, an
+    /// unshareable planning fingerprint, ...).
+    Mismatch(String),
+}
+
+impl fmt::Display for SavestateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SavestateError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported savestate version {found} (this build reads <= {supported})"
+            ),
+            SavestateError::Corrupt(why) => write!(f, "corrupt savestate: {why}"),
+            SavestateError::Mismatch(why) => write!(f, "savestate mismatch: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for SavestateError {}
+
+/// Append-only binary writer. All methods are infallible; call
+/// [`Writer::into_bytes`] to take the finished blob.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    pub fn new() -> Self {
+        Writer { buf: Vec::new() }
+    }
+
+    /// Writer pre-seeded with the blob header ([`MAGIC`] +
+    /// [`FORMAT_VERSION`]).
+    pub fn with_header() -> Self {
+        let mut w = Writer::new();
+        w.buf.extend_from_slice(&MAGIC);
+        w.u32(FORMAT_VERSION);
+        w
+    }
+
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn bool(&mut self, v: bool) {
+        self.buf.push(v as u8);
+    }
+
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// `usize` carried as `u64` (blob layout is architecture-free).
+    pub fn len_prefix(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// `f64` as its IEEE bit pattern — bitwise round-trip, NaNs kept.
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    pub fn f32(&mut self, v: f32) {
+        self.u32(v.to_bits());
+    }
+
+    pub fn str(&mut self, s: &str) {
+        self.len_prefix(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+}
+
+/// Checked binary reader over a savestate blob. Every accessor
+/// validates bounds and returns [`SavestateError::Corrupt`] instead of
+/// panicking when the blob lies.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Reader that first validates [`MAGIC`] and the format version,
+    /// returning the version found in the blob (always `<=`
+    /// [`FORMAT_VERSION`] on success).
+    pub fn with_header(buf: &'a [u8]) -> Result<(Self, u32), SavestateError> {
+        let mut r = Reader::new(buf);
+        let magic = r.take(MAGIC.len())?;
+        if magic != MAGIC {
+            return Err(SavestateError::Corrupt(format!(
+                "bad magic {magic:?} (expected {MAGIC:?})"
+            )));
+        }
+        let version = r.u32()?;
+        if version > FORMAT_VERSION {
+            return Err(SavestateError::UnsupportedVersion {
+                found: version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        Ok((r, version))
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SavestateError> {
+        if self.remaining() < n {
+            return Err(SavestateError::Corrupt(format!(
+                "truncated: wanted {n} bytes at offset {}, {} left",
+                self.pos,
+                self.remaining()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn u8(&mut self) -> Result<u8, SavestateError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn bool(&mut self) -> Result<bool, SavestateError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(SavestateError::Corrupt(format!("bad bool byte {b}"))),
+        }
+    }
+
+    pub fn u32(&mut self) -> Result<u32, SavestateError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    pub fn u64(&mut self) -> Result<u64, SavestateError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    /// Length prefix, bounds-checked against the bytes actually left
+    /// so a forged count fails fast instead of allocating.
+    pub fn len_prefix(&mut self) -> Result<usize, SavestateError> {
+        let v = self.u64()?;
+        if v > (self.remaining() as u64) && v > u32::MAX as u64 {
+            return Err(SavestateError::Corrupt(format!("absurd length {v}")));
+        }
+        Ok(v as usize)
+    }
+
+    pub fn f64(&mut self) -> Result<f64, SavestateError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    pub fn f32(&mut self) -> Result<f32, SavestateError> {
+        Ok(f32::from_bits(self.u32()?))
+    }
+
+    pub fn str(&mut self) -> Result<String, SavestateError> {
+        let n = self.len_prefix()?;
+        let b = self.take(n)?;
+        String::from_utf8(b.to_vec())
+            .map_err(|e| SavestateError::Corrupt(format!("bad utf-8 string: {e}")))
+    }
+
+    /// Decode a length-prefixed sequence via `f`, with clamped
+    /// pre-allocation.
+    pub fn seq<T>(
+        &mut self,
+        mut f: impl FnMut(&mut Self) -> Result<T, SavestateError>,
+    ) -> Result<Vec<T>, SavestateError> {
+        let n = self.len_prefix()?;
+        let mut out = Vec::with_capacity(n.min(PREALLOC_CAP));
+        for _ in 0..n {
+            out.push(f(self)?);
+        }
+        Ok(out)
+    }
+
+    /// Assert the whole blob was consumed — trailing garbage is
+    /// corruption, not padding.
+    pub fn expect_end(&self) -> Result<(), SavestateError> {
+        if self.remaining() != 0 {
+            return Err(SavestateError::Corrupt(format!(
+                "{} trailing bytes after end of state",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// A type that can serialize itself into a [`Writer`] and rebuild
+/// itself from a [`Reader`]. Implemented next to each type's private
+/// fields (per-crate), never via reflection.
+pub trait Savestate: Sized {
+    fn save(&self, w: &mut Writer);
+    fn load(r: &mut Reader<'_>) -> Result<Self, SavestateError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip_bitwise() {
+        let mut w = Writer::with_header();
+        w.u8(7);
+        w.bool(true);
+        w.u32(0xDEAD_BEEF);
+        w.u64(u64::MAX - 1);
+        w.f64(f64::from_bits(0x7FF8_0000_0000_1234)); // NaN with payload
+        w.f64(-0.0);
+        w.str("θ=256");
+        let bytes = w.into_bytes();
+
+        let (mut r, v) = Reader::with_header(&bytes).unwrap();
+        assert_eq!(v, FORMAT_VERSION);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert!(r.bool().unwrap());
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.f64().unwrap().to_bits(), 0x7FF8_0000_0000_1234);
+        assert_eq!(r.f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(r.str().unwrap(), "θ=256");
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn newer_version_is_a_typed_error() {
+        let mut w = Writer::new();
+        w.bytes(&MAGIC);
+        w.u32(FORMAT_VERSION + 1);
+        let err = Reader::with_header(&w.into_bytes()).unwrap_err();
+        assert_eq!(
+            err,
+            SavestateError::UnsupportedVersion {
+                found: FORMAT_VERSION + 1,
+                supported: FORMAT_VERSION
+            }
+        );
+    }
+
+    #[test]
+    fn bad_magic_truncation_and_trailing_bytes_are_corrupt_not_panics() {
+        assert!(matches!(
+            Reader::with_header(b"NOPE\x01\x00\x00\x00"),
+            Err(SavestateError::Corrupt(_))
+        ));
+        // Truncated mid-header and mid-value.
+        assert!(matches!(
+            Reader::with_header(&MAGIC[..3]),
+            Err(SavestateError::Corrupt(_))
+        ));
+        let mut w = Writer::with_header();
+        w.u64(42);
+        let bytes = w.into_bytes();
+        let (mut r, _) = Reader::with_header(&bytes[..bytes.len() - 1]).unwrap();
+        assert!(matches!(r.u64(), Err(SavestateError::Corrupt(_))));
+        // Trailing garbage.
+        let (r, _) = Reader::with_header(&bytes).unwrap();
+        assert!(matches!(r.expect_end(), Err(SavestateError::Corrupt(_))));
+    }
+
+    #[test]
+    fn forged_sequence_count_fails_without_allocating() {
+        let mut w = Writer::with_header();
+        w.u64(u64::MAX / 2); // forged length prefix, no payload
+        let bytes = w.into_bytes();
+        let (mut r, _) = Reader::with_header(&bytes).unwrap();
+        assert!(matches!(
+            r.seq(|r| r.u64()),
+            Err(SavestateError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn seq_round_trips_and_errors_are_displayable() {
+        let mut w = Writer::new();
+        w.len_prefix(3);
+        for x in [1u64, 2, 3] {
+            w.u64(x);
+        }
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.seq(|r| r.u64()).unwrap(), vec![1, 2, 3]);
+        let e = SavestateError::UnsupportedVersion { found: 9, supported: 1 };
+        assert!(e.to_string().contains("version 9"));
+    }
+}

@@ -246,7 +246,41 @@ impl FaultInjector {
     pub fn draws(&self, site: FaultSite) -> usize {
         self.draws[site as usize].load(Ordering::Relaxed)
     }
+
+    /// The injector's full RNG state: per-site `(draws, fired)`
+    /// cursors in [`FaultSite`] discriminant order. Because the n-th
+    /// decision at a site is a pure function of `(seed, site, n)`,
+    /// these cursors (plus the config) are *all* the state there is —
+    /// an injector rebuilt by [`FaultInjector::with_state`] continues
+    /// the exact decision stream the original would have drawn next.
+    pub fn state(&self) -> ([usize; N_SITES], [usize; N_SITES]) {
+        let ld = |a: &[AtomicUsize; N_SITES]| {
+            let mut out = [0usize; N_SITES];
+            for (o, v) in out.iter_mut().zip(a.iter()) {
+                *o = v.load(Ordering::Relaxed);
+            }
+            out
+        };
+        (ld(&self.draws), ld(&self.fired))
+    }
+
+    /// Rebuild an injector mid-stream from [`FaultInjector::state`]
+    /// cursors (savestate restore).
+    pub fn with_state(cfg: FaultConfig, draws: [usize; N_SITES], fired: [usize; N_SITES]) -> Self {
+        let inj = FaultInjector::new(cfg);
+        for (slot, v) in inj.draws.iter().zip(draws) {
+            slot.store(v, Ordering::Relaxed);
+        }
+        for (slot, v) in inj.fired.iter().zip(fired) {
+            slot.store(v, Ordering::Relaxed);
+        }
+        inj
+    }
 }
+
+/// Number of [`FaultSite`] variants — the length of the cursor arrays
+/// exchanged by [`FaultInjector::state`] / [`FaultInjector::with_state`].
+pub const FAULT_SITES: usize = N_SITES;
 
 #[cfg(test)]
 mod tests {
@@ -299,6 +333,35 @@ mod tests {
         let fired = (0..2000).filter(|_| inj.roll(FaultSite::Expire)).count();
         // 10% nominal; generous bounds, the stream is only pseudo-random.
         assert!((100..=320).contains(&fired), "got {fired} of 2000 at 10%");
+    }
+
+    #[test]
+    fn restored_cursors_continue_the_exact_decision_stream() {
+        let cfg = FaultConfig::new(0xC0FFEE).exec_panic(300).plan_fail(200);
+        let original = FaultInjector::new(cfg.clone());
+        // Burn an uneven prefix of draws across two sites.
+        for _ in 0..37 {
+            original.roll(FaultSite::ExecPanic);
+        }
+        for _ in 0..11 {
+            original.roll(FaultSite::PlanFail);
+        }
+        let (draws, fired) = original.state();
+        let restored = FaultInjector::with_state(cfg, draws, fired);
+        assert_eq!(restored.log(), original.log(), "fired counts carry over");
+        // Both continue with byte-identical decision streams.
+        for _ in 0..100 {
+            assert_eq!(
+                restored.roll(FaultSite::ExecPanic),
+                original.roll(FaultSite::ExecPanic)
+            );
+            assert_eq!(
+                restored.roll(FaultSite::PlanFail),
+                original.roll(FaultSite::PlanFail)
+            );
+        }
+        assert_eq!(restored.log(), original.log());
+        assert_eq!(restored.state(), original.state());
     }
 
     #[test]

@@ -53,7 +53,7 @@ mod server;
 mod stats;
 
 pub use fault::{
-    panic_message, FaultConfig, FaultInjector, FaultLog, FaultSite,
+    panic_message, FaultConfig, FaultInjector, FaultLog, FaultSite, FAULT_SITES,
     INJECTED_DEGRADED_PANIC_MSG, INJECTED_PANIC_MSG,
 };
 pub use queue::{BoundedQueue, PopTimedOut, PushError};

@@ -186,6 +186,38 @@ impl<T> BoundedQueue<T> {
     pub fn is_empty(&self) -> bool {
         self.lock().q.is_empty()
     }
+
+    /// Whether [`BoundedQueue::close`] has been called. Part of the
+    /// queue's *observable* state: a restored queue must answer this
+    /// exactly like the original did, or a `try_push` that used to see
+    /// `Closed` would see `Full`/`Ok` after a restore.
+    pub fn is_closed(&self) -> bool {
+        self.lock().closed
+    }
+
+    /// Snapshot every queued item (front to back, via `f`) together
+    /// with the closed flag, under one lock acquisition — the
+    /// serialization view of the queue. Keep `f` cheap: it runs with
+    /// the queue locked.
+    pub fn snapshot_with<R>(&self, mut f: impl FnMut(&T) -> R) -> (Vec<R>, bool) {
+        let st = self.lock();
+        (st.q.iter().map(&mut f).collect(), st.closed)
+    }
+
+    /// Rebuild a queue from serialized state: same clamped capacity,
+    /// same closed flag, same items in FIFO order. The restored queue
+    /// is observably identical — `capacity()`, `is_closed()`, `len()`,
+    /// `try_push`-on-closed and `pop_if` all answer as the original
+    /// would have (capacity goes through the same `max(1)` clamp as
+    /// [`BoundedQueue::new`], so a clamped original round-trips).
+    pub fn restore(capacity: usize, closed: bool, items: Vec<T>) -> Self {
+        BoundedQueue {
+            state: Mutex::new(State { q: VecDeque::from(items), closed }),
+            capacity: capacity.max(1),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -300,6 +332,43 @@ mod tests {
         q.push(42).unwrap();
         assert_eq!(q.peek_map(|&v| v * 2), Some(84));
         assert_eq!(q.len(), 1, "peek leaves the item in place");
+    }
+
+    #[test]
+    fn restored_queue_reports_the_original_observable_state() {
+        // Original: capacity 3, two items popped to one, then closed.
+        let q = BoundedQueue::new(3);
+        q.push(10).unwrap();
+        q.push(20).unwrap();
+        assert_eq!(q.pop(), Some(10));
+        q.close();
+
+        let (items, closed) = q.snapshot_with(|&v| v);
+        assert_eq!((items.as_slice(), closed), (&[20][..], true));
+
+        let r = BoundedQueue::restore(q.capacity(), closed, items);
+        assert_eq!(r.capacity(), q.capacity());
+        assert_eq!(r.is_closed(), q.is_closed());
+        assert_eq!(r.len(), q.len());
+        // try_push on the restored closed queue sees Closed (never
+        // Full/Ok), exactly like the original.
+        assert_eq!(r.try_push(99), Err((PushError::Closed, 99)));
+        assert_eq!(q.try_push(99), Err((PushError::Closed, 99)));
+        // pop_if still drains the surviving item, then closed+drained.
+        assert_eq!(r.pop_if(|&v| v == 20), Some(20));
+        assert_eq!(r.pop(), None, "closed + drained");
+        assert!(r.is_closed(), "drained queue stays closed");
+    }
+
+    #[test]
+    fn restored_clamped_capacity_round_trips() {
+        let q = BoundedQueue::<i32>::new(0);
+        let (items, closed) = q.snapshot_with(|&v| v);
+        let r = BoundedQueue::restore(q.capacity(), closed, items);
+        assert_eq!(r.capacity(), 1, "clamp survives the round-trip");
+        assert!(!r.is_closed());
+        r.try_push(1).unwrap();
+        assert_eq!(r.try_push(2), Err((PushError::Full, 2)));
     }
 
     #[test]

@@ -127,6 +127,30 @@ impl Breaker {
     pub fn is_open(&self) -> bool {
         self.open_remaining.load(Ordering::Relaxed) > 0
     }
+
+    /// Observable breaker state `(consecutive failures, open slots
+    /// remaining)` — with the policy, everything needed to rebuild the
+    /// breaker mid-run (savestate serialization view).
+    pub fn state(&self) -> (usize, usize) {
+        (
+            self.consecutive.load(Ordering::Relaxed),
+            self.open_remaining.load(Ordering::Relaxed),
+        )
+    }
+
+    pub fn policy(&self) -> &BreakerPolicy {
+        &self.policy
+    }
+
+    /// Rebuild a breaker mid-run from [`Breaker::state`] (savestate
+    /// restore): same policy, same failure run, same open slots.
+    pub fn restore(policy: BreakerPolicy, consecutive: usize, open_remaining: usize) -> Self {
+        Breaker {
+            policy,
+            consecutive: AtomicUsize::new(consecutive),
+            open_remaining: AtomicUsize::new(open_remaining),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -175,6 +199,26 @@ mod tests {
             assert!(!b.record_failure());
         }
         assert!(!b.is_open());
+    }
+
+    #[test]
+    fn restored_breaker_continues_mid_run() {
+        let b = Breaker::new(BreakerPolicy { trip_threshold: 3, open_batches: 4 });
+        b.record_failure();
+        b.record_failure();
+        let (consecutive, open) = b.state();
+        assert_eq!((consecutive, open), (2, 0));
+        let r = Breaker::restore(b.policy().clone(), consecutive, open);
+        assert!(r.record_failure(), "third failure after restore trips");
+        assert!(r.is_open());
+        // An open breaker round-trips its remaining slots too.
+        let (c2, o2) = r.state();
+        let r2 = Breaker::restore(r.policy().clone(), c2, o2);
+        assert_eq!(r2.state(), r.state());
+        for _ in 0..4 {
+            assert!(r2.consume_open());
+        }
+        assert!(!r2.is_open());
     }
 
     #[test]

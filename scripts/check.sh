@@ -27,6 +27,9 @@ cargo test -q -p ctb-serve --test chaos
 echo "== property suites (bounded-queue invariants) =="
 cargo test -q -p ctb-serve invariant_props
 
+echo "== property regression corpus (pinned shrunk cases) =="
+cargo test -q --test properties regression_corpus_replays_recorded_cases
+
 echo "== cluster suite (multi-device routing + device-level chaos) =="
 cargo test -q -p ctb-cluster
 
@@ -41,8 +44,20 @@ cargo run -q -p ctb-bench --bin reproduce --release -- obs
 echo "== cluster lockstep suite (event engine vs threaded, decision parity) =="
 cargo test -q -p ctb-cluster --test lockstep
 
+echo "== savestate codec (versioned binary reader/writer) =="
+cargo test -q -p ctb-savestate
+
+echo "== savestate crash-point differential suite (checkpoint/restore replay) =="
+cargo test -q -p ctb-cluster --test savestate
+
+echo "== savestate regression corpus (pinned crash-boundary cases) =="
+cargo test -q -p ctb-cluster --test savestate regression_corpus_replays_recorded_boundary_cases
+
 echo "== cluster smoke sweep (256 devices / 100k requests) + BENCH_cluster schema gate =="
 cargo run -q -p ctb-bench --bin reproduce --release -- cluster --smoke
+
+echo "== replay harness smoke (record -> re-run -> crash/restore) + BENCH_replay schema gate =="
+cargo run -q -p ctb-bench --bin reproduce --release -- replay --smoke
 
 echo "== cluster demo compiles against the release profile =="
 cargo build --release --example cluster_demo
@@ -58,5 +73,8 @@ cargo clippy -p ctb-cluster --all-targets -- -D warnings
 
 echo "== cargo clippy -p ctb-obs --all-targets -- -D warnings =="
 cargo clippy -p ctb-obs --all-targets -- -D warnings
+
+echo "== cargo clippy -p ctb-savestate --all-targets -- -D warnings =="
+cargo clippy -p ctb-savestate --all-targets -- -D warnings
 
 echo "check.sh: all gates passed"

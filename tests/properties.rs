@@ -170,6 +170,33 @@ proptest! {
     }
 }
 
+/// Replays the regression corpus recorded in
+/// `tests/properties.proptest-regressions`. The vendored proptest shim
+/// does not read that file at runtime, so every `cc` line's shrunk case
+/// is pinned here as a plain assertion and `scripts/check.sh` runs this
+/// test by name as the regression gate; when a property fails, record
+/// the shrunk case in the file AND here.
+#[test]
+fn regression_corpus_replays_recorded_cases() {
+    let arch = ArchSpec::volta_v100();
+    let fw = Framework::new(arch);
+    // cc 3d4e6c…47dba: shrinks to b = 1, mn = 37, k = 65
+    // cc a13cfc…cf3a73: shrinks to b = 2, mn = 62, k = 217
+    for (b, mn, k) in [(1usize, 37usize, 65usize), (2, 62, 217)] {
+        let t1 = fw.simulate_only(&ctb::matrix::gen::uniform_case(b, mn, mn, k)).unwrap().total_us;
+        let tk = fw
+            .simulate_only(&ctb::matrix::gen::uniform_case(b, mn, mn, 2 * k))
+            .unwrap()
+            .total_us;
+        assert!(tk >= t1 * 0.95, "K-monotonicity regression (b={b}, mn={mn}, k={k}): {t1} -> {tk}");
+        let tb = fw
+            .simulate_only(&ctb::matrix::gen::uniform_case(2 * b, mn, mn, k))
+            .unwrap()
+            .total_us;
+        assert!(tb >= t1 * 0.95, "B-monotonicity regression (b={b}, mn={mn}, k={k}): {t1} -> {tb}");
+    }
+}
+
 fn any_mat(rows: usize, cols: usize, seed: u64) -> ctb::matrix::MatF32 {
     ctb::matrix::MatF32::random(rows, cols, seed)
 }
