@@ -7,14 +7,15 @@
 //!
 //! Sub-commands: `tables`, `motivation`, `fig8`, `fig9`, `fig10`,
 //! `fig11`, `googlenet`, `calibrate`, `perf`, `serve`, `chaos`,
-//! `cluster`, `obs`, `replay`, `all`. Output is printed in the paper's
-//! row/series layout and mirrored as CSV under `target/experiments/`;
-//! `perf`, `serve`, `chaos`, `cluster`, `obs` and `replay` additionally
-//! write the tracked `BENCH_executor.json` / `BENCH_serve.json` /
-//! `BENCH_chaos.json` / `BENCH_cluster.json` / `BENCH_obs.json` /
-//! `BENCH_replay.json` at the repository root (`obs`, `cluster` and
-//! `replay` also diff the exported key set against the golden schema in
-//! `scripts/BENCH_<name>.schema` and fail on drift).
+//! `cluster`, `obs`, `replay`, `storm`, `all`. Output is printed in the
+//! paper's row/series layout and mirrored as CSV under
+//! `target/experiments/`; `perf`, `serve`, `chaos`, `cluster`, `obs`,
+//! `replay` and `storm` additionally write the tracked
+//! `BENCH_executor.json` / `BENCH_serve.json` / `BENCH_chaos.json` /
+//! `BENCH_cluster.json` / `BENCH_obs.json` / `BENCH_replay.json` /
+//! `BENCH_storm.json` at the repository root (`obs`, `cluster`,
+//! `replay` and `storm` also diff the exported key set against the
+//! golden schema in `scripts/BENCH_<name>.schema` and fail on drift).
 
 use ctb_bench::figures::{fig11_portability, fig8_grid, fig9_grid, mean_speedup, CellResult};
 use ctb_bench::{ablations, calibrate, fans, googlenet_exp, motivation, tables, write_csv};
@@ -44,6 +45,7 @@ fn main() {
         "cluster" => run_cluster(&args[1..]),
         "obs" => run_obs(&arch),
         "replay" => run_replay(&args[1..]),
+        "storm" => run_storm(&arch, &args[1..]),
         "all" => {
             run_tables();
             run_motivation(&arch);
@@ -61,7 +63,7 @@ fn main() {
             eprintln!(
                 "unknown experiment '{other}'; expected one of: tables, motivation, \
                  fig8, fig9, fig10, googlenet, fig11, calibrate, ablate, fans, splitk, \
-                 perf, serve, chaos, cluster, obs, replay, plan <MxNxK,...>, \
+                 perf, serve, chaos, cluster, obs, replay, storm, plan <MxNxK,...>, \
                  custom <csv-file>, all"
             );
             std::process::exit(2);
@@ -362,6 +364,61 @@ fn run_replay(args: &[String]) {
         std::process::exit(1);
     }
     schema_gate("BENCH_replay.json", &replay_bench::golden_schema_path(), &path);
+}
+
+fn run_storm(arch: &ArchSpec, args: &[String]) {
+    use ctb_bench::storm_bench;
+    let smoke = match args {
+        [] => false,
+        [flag] if flag == "--smoke" => true,
+        _ => {
+            eprintln!("unknown storm flags {args:?}; expected at most --smoke");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "== storm harness: distinct-shape storm vs two plan-cache arms{} ==",
+        if smoke { " (smoke)" } else { "" }
+    );
+    let (r, path) = if smoke {
+        storm_bench::run_and_write_smoke(arch)
+    } else {
+        storm_bench::run_and_write(arch)
+    };
+    println!(
+        "   {} requests over a {}-signature space ({} hot shapes, cache bound {})",
+        r.requests, r.cfg.shape_space, r.cfg.hot_shapes, r.cfg.capacity_total
+    );
+    for (label, a) in [("baseline", &r.baseline), ("sharded ", &r.sharded)] {
+        println!(
+            "   {label}: {} shard(s) {:<10} | hit rate {:>5.1}% ({} hits / {} misses) | \
+             {} denied | p50 {:>7.0} us | p95 {:>7.0} us | {:>6.0} req/s",
+            a.shards,
+            a.admission,
+            100.0 * a.hit_rate,
+            a.plan_cache_hits,
+            a.plan_cache_misses,
+            a.denied,
+            a.p50_us,
+            a.p95_us,
+            a.throughput_rps
+        );
+    }
+    println!(
+        "   sharded vs baseline: hit rate {:+.1} pp | p95 {:.2}x",
+        100.0 * (r.sharded.hit_rate - r.baseline.hit_rate),
+        if r.sharded.p95_us > 0.0 { r.baseline.p95_us / r.sharded.p95_us } else { 0.0 }
+    );
+    println!("(json: {})", path.display());
+    if r.sharded.hit_rate < r.baseline.hit_rate {
+        eprintln!(
+            "storm regression: sharded+Bloom hit rate {:.4} fell below the unsharded \
+             baseline {:.4}",
+            r.sharded.hit_rate, r.baseline.hit_rate
+        );
+        std::process::exit(1);
+    }
+    schema_gate("BENCH_storm.json", &storm_bench::golden_schema_path(), &path);
 }
 
 fn run_tables() {

@@ -17,6 +17,7 @@ pub mod obs_bench;
 pub mod perf;
 pub mod replay_bench;
 pub mod serve_bench;
+pub mod storm_bench;
 pub mod tables;
 
 pub use calibrate::{calibrate_tlp_threshold, CalibrationPoint};

@@ -1,0 +1,418 @@
+//! `reproduce storm` — plan-cache admission under a distinct-shape storm.
+//!
+//! Drives the `ctb-serve` async front door with a closed-loop workload
+//! drawn from a huge shape space (10^6 distinct signatures at the full
+//! scale): a small hot set of repeated signatures carries half the
+//! traffic, the rest are effectively one-off shapes. The same seeded
+//! request streams run twice against two bounded plan caches of equal
+//! total capacity:
+//!
+//! * **baseline** — one shard, admit-everything (every one-off shape is
+//!   inserted and churns the FIFO, evicting hot entries), and
+//! * **sharded** — 16 independently locked shards gated by the Bloom
+//!   "seen twice" doorkeeper (one-off shapes are planned but never
+//!   cached, so the hot set stays resident).
+//!
+//! Coalescing is disabled (`max_batch: 1`) so the cache key stream is
+//! exactly the per-request shape stream — the point of this harness is
+//! cache admission, not batching, and per-request keys make the two
+//! arms directly comparable. Every served result is still verified
+//! bitwise against the exact oracle. Full runs land in
+//! `BENCH_storm.json` at the repository root (`--smoke` writes
+//! `target/experiments/BENCH_storm_smoke.json` instead) and the
+//! exported key set is diffed against `scripts/BENCH_storm.schema`.
+
+use ctb_core::{AdmissionPolicy, Framework, PlanShare, PlanShareConfig, Session};
+use ctb_gpu_specs::ArchSpec;
+use ctb_matrix::{bitwise_mismatch, GemmBatch, GemmShape};
+use ctb_serve::{GemmRequest, ServeConfig, Server};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Workload knobs; the same config (and therefore the same seeded
+/// request streams) is replayed against both cache arms.
+#[derive(Debug, Clone)]
+pub struct StormBenchConfig {
+    /// Closed-loop producer threads.
+    pub producers: usize,
+    /// Requests per producer.
+    pub per_producer: usize,
+    /// Size of the sampled shape space (distinct `MxNxK` signatures).
+    pub shape_space: usize,
+    /// Hot signatures that carry [`Self::hot_per_mille`] of the traffic.
+    pub hot_shapes: usize,
+    /// Per-mille of requests drawn from the hot set.
+    pub hot_per_mille: u32,
+    /// Total cached-plan capacity of each arm (split across shards in
+    /// the sharded arm).
+    pub capacity_total: usize,
+    /// Shard count of the sharded arm.
+    pub shards: usize,
+    /// Stream seed (also salts the Bloom gate).
+    pub seed: u64,
+}
+
+impl Default for StormBenchConfig {
+    fn default() -> Self {
+        StormBenchConfig {
+            producers: 4,
+            per_producer: 1_500,
+            shape_space: 1_000_000,
+            hot_shapes: 32,
+            hot_per_mille: 500,
+            capacity_total: 256,
+            shards: 16,
+            seed: 0x57_0F_A1,
+        }
+    }
+}
+
+impl StormBenchConfig {
+    /// Scaled-down configuration for the CI gate: same storm structure
+    /// (cold churn far exceeding the cache bound), two orders of
+    /// magnitude fewer requests.
+    pub fn smoke() -> Self {
+        StormBenchConfig {
+            producers: 2,
+            per_producer: 150,
+            hot_shapes: 8,
+            capacity_total: 32,
+            shards: 8,
+            ..StormBenchConfig::default()
+        }
+    }
+}
+
+/// Service-level numbers for one cache arm.
+#[derive(Debug, Clone)]
+pub struct StormArm {
+    /// Shards behind the plan cache.
+    pub shards: usize,
+    /// `"admit_all"` or `"seen_twice"`.
+    pub admission: &'static str,
+    /// Plan-cache hits over the run.
+    pub plan_cache_hits: usize,
+    /// Plan-cache misses (distinct signatures + churn re-plans).
+    pub plan_cache_misses: usize,
+    /// hits / (hits + misses).
+    pub hit_rate: f64,
+    /// Insert attempts the admission gate let through.
+    pub admitted: usize,
+    /// Insert attempts denied (first sightings under "seen twice").
+    pub denied: usize,
+    /// Doorkeeper tag slots overwritten by colliding keys.
+    pub evicted_tags: usize,
+    /// End-to-end wall time of the closed loop.
+    pub wall_ms: f64,
+    /// Completed requests per second.
+    pub throughput_rps: f64,
+    /// Median request latency, µs.
+    pub p50_us: f64,
+    /// 95th-percentile request latency, µs.
+    pub p95_us: f64,
+}
+
+/// The tracked report: one workload, two cache arms.
+#[derive(Debug, Clone)]
+pub struct StormBenchReport {
+    pub cfg: StormBenchConfig,
+    /// Requests completed per arm (`producers * per_producer`).
+    pub requests: usize,
+    /// One shard, admit-all.
+    pub baseline: StormArm,
+    /// Sharded, Bloom "seen twice".
+    pub sharded: StormArm,
+}
+
+/// SplitMix64 — the stream generator; one independent stream per
+/// producer so both arms replay identical request sequences.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Map an index of the shape space to a distinct small signature
+/// (`M`, `N`, `K` each in `1..=100`, so a space of 100^3 = 10^6).
+fn shape_at(index: usize) -> GemmShape {
+    GemmShape::new(1 + index % 100, 1 + (index / 100) % 100, 1 + (index / 10_000) % 100)
+}
+
+/// The `i`-th request of producer `t`: hot with probability
+/// `hot_per_mille`, otherwise a uniform draw from the shape space.
+fn request_shape(cfg: &StormBenchConfig, t: usize, i: usize) -> GemmShape {
+    let mut state = cfg.seed ^ ((t as u64) << 32) ^ i as u64;
+    let roll = splitmix64(&mut state);
+    if (roll % 1000) < cfg.hot_per_mille as u64 {
+        // Hot set: spread through the space so shards share the load.
+        let hot = splitmix64(&mut state) as usize % cfg.hot_shapes;
+        shape_at(hot * (cfg.shape_space / cfg.hot_shapes))
+    } else {
+        shape_at(splitmix64(&mut state) as usize % cfg.shape_space)
+    }
+}
+
+/// Run the storm once against a cache built from `share_cfg`; every
+/// request flows through the async front door and is verified bitwise
+/// against the exact oracle.
+fn run_arm(arch: &ArchSpec, cfg: &StormBenchConfig, share_cfg: PlanShareConfig) -> StormArm {
+    let share = Arc::new(PlanShare::with_config(share_cfg));
+    let session = Arc::new(Session::with_share(Framework::new(arch.clone()), share));
+    let server = Arc::new(Server::with_session(
+        session,
+        ServeConfig {
+            max_batch: 1,
+            batch_window: Duration::from_micros(50),
+            queue_capacity: 64,
+            workers: 2,
+            ..ServeConfig::default()
+        },
+    ));
+
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..cfg.producers)
+        .map(|t| {
+            let server = Arc::clone(&server);
+            let cfg = cfg.clone();
+            std::thread::spawn(move || {
+                let front = server.front();
+                for i in 0..cfg.per_producer {
+                    let shape = request_shape(&cfg, t, i);
+                    let seed = (t * 1_000_000 + i) as u64;
+                    let batch = GemmBatch::random(&[shape], 1.0, 0.5, seed);
+                    let expected = batch.reference_result_exact();
+                    let got = front
+                        .try_submit(GemmRequest {
+                            a: batch.a[0].clone(),
+                            b: batch.b[0].clone(),
+                            c: batch.c[0].clone(),
+                            alpha: batch.alpha,
+                            beta: batch.beta,
+                            deadline: None,
+                        })
+                        .expect("storm submit admitted")
+                        .wait()
+                        .expect("storm request completed");
+                    assert!(
+                        bitwise_mismatch(&expected, std::slice::from_ref(&got.c)).is_none(),
+                        "producer {t} request {i}: served result diverged from oracle"
+                    );
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("producer thread panicked");
+    }
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let server = Arc::into_inner(server).expect("all producers joined");
+    let stats = server.shutdown();
+    let requests = cfg.producers * cfg.per_producer;
+    assert_eq!(stats.completed, requests, "the storm completed everything it submitted");
+
+    StormArm {
+        shards: stats.plan_shards,
+        admission: match share_cfg.admission {
+            AdmissionPolicy::AdmitAll => "admit_all",
+            AdmissionPolicy::SeenTwice { .. } => "seen_twice",
+        },
+        plan_cache_hits: stats.plan_cache.hits,
+        plan_cache_misses: stats.plan_cache.misses,
+        hit_rate: stats.plan_cache.hit_rate(),
+        admitted: stats.cache_admission.admitted,
+        denied: stats.cache_admission.denied,
+        evicted_tags: stats.cache_admission.evicted_tags,
+        wall_ms,
+        throughput_rps: requests as f64 / (wall_ms / 1e3),
+        p50_us: stats.p50_us,
+        p95_us: stats.p95_us,
+    }
+}
+
+/// Run both arms over the identical seeded streams.
+pub fn run_storm_bench(arch: &ArchSpec, cfg: &StormBenchConfig) -> StormBenchReport {
+    let baseline = run_arm(
+        arch,
+        cfg,
+        PlanShareConfig {
+            shards: 1,
+            capacity_per_shard: Some(cfg.capacity_total),
+            admission: AdmissionPolicy::AdmitAll,
+        },
+    );
+    let sharded = run_arm(
+        arch,
+        cfg,
+        PlanShareConfig {
+            shards: cfg.shards,
+            capacity_per_shard: Some(cfg.capacity_total.div_ceil(cfg.shards)),
+            admission: AdmissionPolicy::SeenTwice { seed: cfg.seed, slots_log2: 12 },
+        },
+    );
+    StormBenchReport {
+        cfg: cfg.clone(),
+        requests: cfg.producers * cfg.per_producer,
+        baseline,
+        sharded,
+    }
+}
+
+fn render_arm(out: &mut String, label: &str, a: &StormArm, last: bool) {
+    out.push_str(&format!(
+        "  \"{label}\": {{\n    \"shards\": {},\n    \"admission\": \"{}\",\n    \
+         \"plan_cache_hits\": {},\n    \"plan_cache_misses\": {},\n    \
+         \"hit_rate\": {:.4},\n    \"admitted\": {},\n    \"denied\": {},\n    \
+         \"evicted_tags\": {},\n    \"wall_ms\": {:.3},\n    \"throughput_rps\": {:.1},\n    \
+         \"p50_us\": {:.1},\n    \"p95_us\": {:.1}\n  }}{}\n",
+        a.shards,
+        a.admission,
+        a.plan_cache_hits,
+        a.plan_cache_misses,
+        a.hit_rate,
+        a.admitted,
+        a.denied,
+        a.evicted_tags,
+        a.wall_ms,
+        a.throughput_rps,
+        a.p50_us,
+        a.p95_us,
+        if last { "" } else { "," }
+    ));
+}
+
+/// Serialize the report as the tracked JSON schema.
+pub fn render_json(arch: &ArchSpec, r: &StormBenchReport) -> String {
+    let mut out = format!(
+        "{{\n  \"bench\": \"storm\",\n  \"arch\": \"{}\",\n  \"producers\": {},\n  \
+         \"requests\": {},\n  \"shape_space\": {},\n  \"hot_shapes\": {},\n  \
+         \"capacity_total\": {},\n",
+        arch.name, r.cfg.producers, r.requests, r.cfg.shape_space, r.cfg.hot_shapes,
+        r.cfg.capacity_total
+    );
+    render_arm(&mut out, "baseline", &r.baseline, false);
+    render_arm(&mut out, "sharded", &r.sharded, true);
+    out.push_str("}\n");
+    out
+}
+
+/// Path of the tracked report at the repo root.
+pub fn report_path() -> PathBuf {
+    crate::bench_json_path("storm")
+}
+
+/// Path of the checked-in golden schema the gate diffs against.
+pub fn golden_schema_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../scripts/BENCH_storm.schema")
+}
+
+/// Run the full tracked configuration and write `BENCH_storm.json`.
+pub fn run_and_write(arch: &ArchSpec) -> (StormBenchReport, PathBuf) {
+    let report = run_storm_bench(arch, &StormBenchConfig::default());
+    let path = crate::write_bench_json("storm", &render_json(arch, &report));
+    (report, path)
+}
+
+/// Run the smoke configuration and write
+/// `target/experiments/BENCH_storm_smoke.json`, leaving the tracked
+/// root report to full runs only.
+pub fn run_and_write_smoke(arch: &ArchSpec) -> (StormBenchReport, PathBuf) {
+    let report = run_storm_bench(arch, &StormBenchConfig::smoke());
+    let path = crate::experiments_dir().join("BENCH_storm_smoke.json");
+    std::fs::write(&path, render_json(arch, &report)).expect("write BENCH_storm_smoke.json");
+    (report, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic_and_mostly_distinct() {
+        let cfg = StormBenchConfig::smoke();
+        let a: Vec<GemmShape> = (0..50).map(|i| request_shape(&cfg, 1, i)).collect();
+        let b: Vec<GemmShape> = (0..50).map(|i| request_shape(&cfg, 1, i)).collect();
+        assert_eq!(a, b, "streams are a pure function of (seed, producer, index)");
+        let distinct: std::collections::HashSet<String> =
+            a.iter().map(|s| s.to_string()).collect();
+        assert!(distinct.len() > 10, "a storm draws many distinct shapes, got {}", distinct.len());
+    }
+
+    #[test]
+    fn shape_space_is_injective_over_the_first_million() {
+        let mut seen = std::collections::HashSet::new();
+        for index in (0..1_000_000).step_by(997) {
+            assert!(seen.insert(shape_at(index).to_string()), "index {index} collides");
+        }
+        assert_eq!(shape_at(0), GemmShape::new(1, 1, 1));
+        assert_eq!(shape_at(999_999), GemmShape::new(100, 100, 100));
+    }
+
+    #[test]
+    fn tiny_storm_reports_sane_numbers_per_arm() {
+        let cfg = StormBenchConfig {
+            producers: 2,
+            per_producer: 20,
+            hot_shapes: 4,
+            capacity_total: 8,
+            shards: 4,
+            ..StormBenchConfig::default()
+        };
+        let r = run_storm_bench(&ArchSpec::volta_v100(), &cfg);
+        assert_eq!(r.requests, 40);
+        assert_eq!(r.baseline.shards, 1);
+        assert_eq!(r.sharded.shards, 4);
+        assert_eq!(r.baseline.admission, "admit_all");
+        assert_eq!(r.sharded.admission, "seen_twice");
+        assert_eq!(r.baseline.denied, 0, "admit-all never denies");
+        assert!(r.sharded.denied > 0, "one-off shapes are denied by the doorkeeper");
+        for a in [&r.baseline, &r.sharded] {
+            assert_eq!(a.plan_cache_hits + a.plan_cache_misses, 40);
+            assert!((0.0..=1.0).contains(&a.hit_rate));
+            assert!(a.p95_us >= a.p50_us);
+        }
+    }
+
+    #[test]
+    fn json_schema_has_stable_keys() {
+        let arm = StormArm {
+            shards: 1,
+            admission: "admit_all",
+            plan_cache_hits: 0,
+            plan_cache_misses: 0,
+            hit_rate: 0.0,
+            admitted: 0,
+            denied: 0,
+            evicted_tags: 0,
+            wall_ms: 0.0,
+            throughput_rps: 0.0,
+            p50_us: 0.0,
+            p95_us: 0.0,
+        };
+        let r = StormBenchReport {
+            cfg: StormBenchConfig::default(),
+            requests: 0,
+            baseline: arm.clone(),
+            sharded: arm,
+        };
+        let json = render_json(&ArchSpec::volta_v100(), &r);
+        let golden = std::fs::read_to_string(golden_schema_path())
+            .expect("golden schema checked in");
+        let golden: Vec<String> = golden.lines().map(str::to_string).collect();
+        assert_eq!(
+            crate::obs_bench::key_paths(&json),
+            golden,
+            "BENCH_storm.json schema drifted; update scripts/BENCH_storm.schema deliberately"
+        );
+    }
+
+    #[test]
+    fn report_path_is_the_repo_root() {
+        let p = report_path();
+        assert!(p.ends_with("BENCH_storm.json"));
+        assert!(p.parent().unwrap().join("Cargo.toml").exists());
+    }
+}

@@ -39,7 +39,7 @@
 use crate::cluster::{ClusterConfig, StealPolicy};
 use crate::placer::{self, Candidate};
 use crate::stats::{ClusterInner, ClusterStats, DeviceStats};
-use ctb_core::{CacheStats, Framework, PlanShare, Session};
+use ctb_core::{AdmissionPolicy, CacheStats, Framework, PlanShare, PlanShareConfig, Session};
 use ctb_gpu_specs::ArchSpec;
 use ctb_matrix::{bitwise_mismatch, GemmBatch, GemmShape};
 use ctb_obs::{Obs, ObsClock, PointKind, SimClock, SpanKind};
@@ -369,6 +369,10 @@ pub struct EventConfig {
     /// Keep a per-request routing outcome log (the lockstep suite's
     /// comparison payload); costs one small record per request.
     pub record_outcomes: bool,
+    /// Shard/capacity/admission layout of the shared plan cache. Part
+    /// of the checkpoint (v2), so a restored engine rebuilds the same
+    /// cache geometry the blob's gate and shard images describe.
+    pub share: PlanShareConfig,
 }
 
 impl Default for EventConfig {
@@ -387,6 +391,7 @@ impl From<&ClusterConfig> for EventConfig {
             witness_every: 1,
             placement: PlacementMode::Exact,
             record_outcomes: true,
+            share: PlanShareConfig::default(),
         }
     }
 }
@@ -640,7 +645,7 @@ impl EventCluster {
     ) -> Self {
         assert!(!pool.is_empty(), "a cluster needs at least one device");
         assert_eq!(pool.len(), faults.len(), "one fault schedule slot per device");
-        let share = Arc::new(PlanShare::new());
+        let share = Arc::new(PlanShare::with_config(cfg.share));
         let mut class_names: Vec<&'static str> = Vec::new();
         let mut class_of = Vec::with_capacity(pool.len());
         let mut class_rep = Vec::new();
@@ -1626,6 +1631,22 @@ fn save_cfg(w: &mut Writer, c: &EventConfig) {
         PlacementMode::Indexed => 2,
     });
     w.bool(c.record_outcomes);
+    w.len_prefix(c.share.shards);
+    match c.share.capacity_per_shard {
+        Some(cap) => {
+            w.bool(true);
+            w.len_prefix(cap);
+        }
+        None => w.bool(false),
+    }
+    match c.share.admission {
+        AdmissionPolicy::AdmitAll => w.u8(0),
+        AdmissionPolicy::SeenTwice { seed, slots_log2 } => {
+            w.u8(1);
+            w.u64(seed);
+            w.u32(slots_log2);
+        }
+    }
 }
 
 fn load_cfg(r: &mut Reader<'_>) -> Result<EventConfig, SavestateError> {
@@ -1649,6 +1670,15 @@ fn load_cfg(r: &mut Reader<'_>) -> Result<EventConfig, SavestateError> {
             t => return Err(SavestateError::Corrupt(format!("bad placement tag {t}"))),
         },
         record_outcomes: r.bool()?,
+        share: PlanShareConfig {
+            shards: r.len_prefix()?,
+            capacity_per_shard: if r.bool()? { Some(r.len_prefix()?) } else { None },
+            admission: match r.u8()? {
+                0 => AdmissionPolicy::AdmitAll,
+                1 => AdmissionPolicy::SeenTwice { seed: r.u64()?, slots_log2: r.u32()? },
+                t => return Err(SavestateError::Corrupt(format!("bad admission tag {t}"))),
+            },
+        },
     })
 }
 
@@ -1919,7 +1949,17 @@ impl EventCluster {
         pool: Vec<ArchSpec>,
         bytes: &[u8],
     ) -> Result<(Self, Option<Arc<Obs>>), SavestateError> {
-        let (mut r, _version) = Reader::with_header(bytes)?;
+        let (mut r, version) = Reader::with_header(bytes)?;
+        // v2 extended the embedded `PlanShare` image (shard layout,
+        // capacity bound, admission gate), so a v1 checkpoint no longer
+        // describes a decodable engine. `import_jobs` still accepts v1
+        // exports — the job layout is unchanged.
+        if version < 2 {
+            return Err(SavestateError::Mismatch(format!(
+                "cluster checkpoint format v{version} predates the sharded \
+                 plan-cache layout (v2); re-checkpoint with the current engine"
+            )));
+        }
         let cfg = load_cfg(&mut r)?;
         let (clock, obs) = if r.bool()? {
             let clock = Arc::new(SimClock::new());
@@ -1946,7 +1986,10 @@ impl EventCluster {
                 pool.len()
             )));
         }
-        let share = Arc::new(PlanShare::new());
+        // The cfg (loaded above) carries the share's shard/capacity/
+        // admission layout, so the receiving share matches the gate and
+        // shard images embedded later in the blob.
+        let share = Arc::new(PlanShare::with_config(cfg.share));
         let mut class_names: Vec<&'static str> = Vec::new();
         let mut class_of = Vec::with_capacity(n_devices);
         let mut class_rep = Vec::new();

@@ -18,12 +18,17 @@
 //! save → load → save byte-identically at every crash point.
 //!
 //! The suite also pins the golden on-disk fixture
-//! (`tests/fixtures/savestate_v1.bin`) for format-version discipline,
-//! exercises queue migration between two engine instances
-//! (`halt_and_export` → `import_jobs`, zero drops), and round-trips
-//! randomized mid-run states under proptest.
+//! (`tests/fixtures/savestate_v2.bin`) for format-version discipline —
+//! since v2 the embedded `PlanShare` image carries the shard layout,
+//! the optional capacity bound and the Bloom admission gate, and one
+//! crash-swept schedule runs with a `SeenTwice` gate over a bounded
+//! sharded cache so the gate's tag slots and the shard maps round-trip
+//! under fire. The suite further exercises queue migration between two
+//! engine instances (`halt_and_export` → `import_jobs`, zero drops)
+//! and round-trips randomized mid-run states under proptest.
 
 use ctb_cluster::{ClusterConfig, EventCluster, EventConfig, ReqOutcome, SimTime, StealPolicy};
+use ctb_core::{AdmissionPolicy, PlanShareConfig};
 use ctb_gpu_specs::ArchSpec;
 use ctb_matrix::GemmShape;
 use ctb_obs::Obs;
@@ -61,6 +66,9 @@ struct Schedule {
     n: usize,
     faults: fn() -> Vec<Option<Arc<FaultInjector>>>,
     kill_first: Option<usize>,
+    /// Plan-cache shard/capacity/admission layout (default = 16 shards,
+    /// unbounded, admit-all — the pre-v2 behaviour).
+    share: PlanShareConfig,
 }
 
 fn breaker_opens_mid_load() -> Schedule {
@@ -72,6 +80,7 @@ fn breaker_opens_mid_load() -> Schedule {
         n: 24,
         faults: || vec![injector(FaultConfig::new(0xA11CE).plan_fail(1000)), None],
         kill_first: None,
+        share: PlanShareConfig::default(),
     }
 }
 
@@ -84,6 +93,7 @@ fn exec_panic_storm() -> Schedule {
         n: 30,
         faults: || vec![injector(FaultConfig::new(0x5EED).exec_panic(400)), None],
         kill_first: None,
+        share: PlanShareConfig::default(),
     }
 }
 
@@ -96,6 +106,7 @@ fn kill_device_routes_to_survivor() -> Schedule {
         n: 16,
         faults: || vec![None, None],
         kill_first: Some(0),
+        share: PlanShareConfig::default(),
     }
 }
 
@@ -118,6 +129,7 @@ fn chaos_on_every_device() -> Schedule {
             ]
         },
         kill_first: None,
+        share: PlanShareConfig::default(),
     }
 }
 
@@ -127,13 +139,35 @@ fn fault_free() -> Schedule {
         n: 18,
         faults: || vec![None, None],
         kill_first: None,
+        share: PlanShareConfig::default(),
+    }
+}
+
+/// The v2 coverage schedule: a `SeenTwice` Bloom gate over a bounded
+/// 4-shard cache, under an exec-panic storm. First sightings of each
+/// signature are denied caching, second sightings admit — so the
+/// checkpoint taken mid-run embeds a live gate (occupied tag slots,
+/// possibly evictions) and partially filled shards, and the crash sweep
+/// proves all of it replays exactly.
+fn bloom_gated_bounded_cache() -> Schedule {
+    Schedule {
+        cfg: ClusterConfig::default(),
+        n: 24,
+        faults: || vec![injector(FaultConfig::new(0xB100).exec_panic(300)), None],
+        kill_first: None,
+        share: PlanShareConfig {
+            shards: 4,
+            capacity_per_shard: Some(8),
+            admission: AdmissionPolicy::SeenTwice { seed: 0xCAFE, slots_log2: 6 },
+        },
     }
 }
 
 /// Build the schedule's instrumented engine with every request already
 /// on the timeline.
 fn build(s: &Schedule) -> (EventCluster, Arc<Obs>) {
-    let ev_cfg = EventConfig::from(&s.cfg);
+    let mut ev_cfg = EventConfig::from(&s.cfg);
+    ev_cfg.share = s.share;
     let (mut eng, obs) = EventCluster::with_instrumentation(pool(), ev_cfg, (s.faults)());
     if let Some(dev) = s.kill_first {
         eng.kill_at(SimTime::ZERO, dev);
@@ -241,6 +275,25 @@ fn crash_restore_fault_free() {
     differential(fault_free());
 }
 
+/// Bloom gate + bounded shards under fire: every crash point must
+/// round-trip the gate's tag slots, the admission counters and the
+/// partially filled shard maps byte-identically, and the resumed run's
+/// admission decisions must match the uninterrupted run's exactly.
+#[test]
+fn crash_restore_bloom_gated_bounded_cache() {
+    let s = bloom_gated_bounded_cache();
+    // The gate must actually deny and admit during this schedule, or
+    // the sweep proves nothing about it.
+    let (eng, obs) = build(&s);
+    let share = Arc::clone(eng.share());
+    let baseline = finish(eng, &obs);
+    let adm = share.admission_stats();
+    assert!(adm.denied > 0, "schedule never exercised a first-sighting denial");
+    assert!(adm.admitted > 0, "schedule never admitted a second sighting");
+    drop(baseline);
+    differential(s);
+}
+
 // -- typed rejection of worlds that do not match ----------------------------
 
 #[test]
@@ -311,7 +364,7 @@ fn halted_device_queue_migrates_to_peer_engine_with_zero_drops() {
 // -- golden fixture + format-version discipline -----------------------------
 
 fn fixture_path() -> std::path::PathBuf {
-    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/savestate_v1.bin")
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/savestate_v2.bin")
 }
 
 /// The fixture's construction: the exec-panic storm checkpointed 40
@@ -366,6 +419,21 @@ fn newer_format_version_fails_typed_not_panicking() {
         err,
         SavestateError::UnsupportedVersion { found: bumped, supported: FORMAT_VERSION }
     );
+}
+
+/// Version skew the other way: a v1 checkpoint predates the sharded
+/// plan-cache image, so the cluster restore rejects it with a typed
+/// [`SavestateError::Mismatch`] instead of misparsing the payload.
+/// (`import_jobs` still accepts v1 exports — the job layout did not
+/// change in v2.)
+#[test]
+fn v1_checkpoint_is_rejected_with_typed_mismatch() {
+    let mut bytes = fixture_bytes();
+    bytes[MAGIC.len()..MAGIC.len() + 4].copy_from_slice(&1u32.to_le_bytes());
+    let Err(err) = EventCluster::restore(pool(), &bytes) else {
+        panic!("v1-stamped checkpoint restored successfully");
+    };
+    assert!(matches!(err, SavestateError::Mismatch(_)), "got {err:?}");
 }
 
 /// Truncation anywhere in the blob is a typed `Corrupt`, not a panic.

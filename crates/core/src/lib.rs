@@ -19,6 +19,7 @@
 //! * temporally, by lowering it to a [`ctb_sim::KernelDesc`]
 //!   ([`lowering`]) and running the timing simulator.
 
+pub mod admission;
 pub mod autotune;
 pub mod dynamic;
 pub mod framework;
@@ -34,6 +35,7 @@ pub use interface::{execute_plan, execute_plan_unpacked};
 pub use memo::SimMemo;
 pub use lowering::{lower_plan, tile_pass};
 pub use selector::OnlineSelector;
-pub use session::{CacheStats, PlanShare, Session};
+pub use admission::{AdmissionPolicy, AdmissionStats, BloomGate};
+pub use session::{CacheStats, PlanShare, PlanShareConfig, Session};
 pub use dynamic::{plan_dynamic, simulate_dynamic};
 pub use splitk::{plan_splitk, run_splitk};

@@ -8,12 +8,13 @@
 //! exactly that: a concurrent plan cache keyed by the batch's shape
 //! signature.
 
+use crate::admission::{AdmissionPolicy, AdmissionStats, BloomGate};
 use crate::framework::{BatchingPolicy, ExecutionPlan, Framework, RunOutcome};
 use crate::memo::{fnv1a, SimMemo};
 use ctb_matrix::{GemmBatch, GemmShape};
 use ctb_obs::{Obs, PointKind, SpanKind};
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -45,18 +46,107 @@ impl CacheStats {
 /// the fingerprint covers the architecture, the thresholds and the
 /// batching policy, so sessions with incompatible planning contexts can
 /// share one `PlanShare` without ever observing each other's plans.
-#[derive(Default)]
+///
+/// The map is split by key hash into independently locked shards so a
+/// storm of concurrent lookups from many sessions never serializes on
+/// one mutex, and inserts can be gated by a Bloom "seen twice"
+/// admission doorkeeper ([`AdmissionPolicy::SeenTwice`]) so one-shot
+/// shapes never pollute a capacity-bounded cache. [`PlanShare::new`]
+/// keeps the historical behaviour exactly: admit-all, unbounded
+/// (sharding alone is behaviour-invisible).
 pub struct PlanShare {
-    plans: Mutex<PlanMap>,
+    shards: Vec<Mutex<Shard>>,
+    shard_mask: u64,
+    capacity_per_shard: Option<usize>,
+    gate: Option<BloomGate>,
+    admitted: AtomicUsize,
+    denied: AtomicUsize,
     sim_memo: SimMemo,
 }
 
-/// Shared plans keyed by `(context fingerprint, shape signature)`.
-type PlanMap = HashMap<(u64, Vec<GemmShape>), Arc<ExecutionPlan>>;
+/// Construction-time layout + admission configuration for [`PlanShare`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanShareConfig {
+    /// Independently locked shards (rounded up to a power of two,
+    /// minimum 1).
+    pub shards: usize,
+    /// Per-shard entry bound; `None` (default) is unbounded. A full
+    /// shard evicts its oldest entry (FIFO) to make room for an
+    /// admitted insert.
+    pub capacity_per_shard: Option<usize>,
+    /// Insert gating policy; [`AdmissionPolicy::AdmitAll`] by default.
+    pub admission: AdmissionPolicy,
+}
+
+impl Default for PlanShareConfig {
+    fn default() -> Self {
+        PlanShareConfig {
+            shards: 16,
+            capacity_per_shard: None,
+            admission: AdmissionPolicy::AdmitAll,
+        }
+    }
+}
+
+/// One lock's worth of the plan cache.
+#[derive(Default)]
+struct Shard {
+    map: PlanMap,
+    /// Insertion order, maintained only under a capacity bound (FIFO
+    /// eviction); empty when the share is unbounded.
+    fifo: VecDeque<PlanKey>,
+}
+
+/// `(context fingerprint, shape signature)`.
+type PlanKey = (u64, Vec<GemmShape>);
+type PlanMap = HashMap<PlanKey, Arc<ExecutionPlan>>;
+
+/// Hash of a plan-cache key, used for shard selection and as the Bloom
+/// doorkeeper key. FNV-1a over the fingerprint and every shape, so it
+/// is stable across processes (savestate replay lands keys in the same
+/// shards).
+fn plan_key_hash(fp: u64, shapes: &[GemmShape]) -> u64 {
+    let mut h = fnv1a(0xCBF2_9CE4_8422_2325, &fp.to_le_bytes());
+    for s in shapes {
+        h = fnv1a(h, &(s.m as u64).to_le_bytes());
+        h = fnv1a(h, &(s.n as u64).to_le_bytes());
+        h = fnv1a(h, &(s.k as u64).to_le_bytes());
+    }
+    // FNV-1a's low bits cluster for structured inputs (power-of-two
+    // shape dims); the shard index is taken from the low bits, so
+    // finalize with a full-avalanche mix.
+    crate::admission::mix(h)
+}
+
+impl Default for PlanShare {
+    fn default() -> Self {
+        PlanShare::with_config(PlanShareConfig::default())
+    }
+}
 
 impl PlanShare {
     pub fn new() -> Self {
         PlanShare::default()
+    }
+
+    /// A share with an explicit shard/capacity/admission configuration.
+    pub fn with_config(cfg: PlanShareConfig) -> Self {
+        let shards = cfg.shards.max(1).next_power_of_two();
+        let gate = match cfg.admission {
+            AdmissionPolicy::AdmitAll => None,
+            AdmissionPolicy::SeenTwice { seed, slots_log2 } => {
+                Some(BloomGate::new(seed, slots_log2))
+            }
+        };
+        PlanShare {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            shard_mask: (shards as u64) - 1,
+            capacity_per_shard: cfg.capacity_per_shard,
+            gate,
+            admitted: AtomicUsize::new(0),
+            denied: AtomicUsize::new(0),
+            sim_memo: SimMemo::default(),
+        }
     }
 
     /// The candidate-simulation memo shared by every attached session.
@@ -68,21 +158,71 @@ impl PlanShare {
 
     /// Total cached plans across every planning context in the share.
     pub fn cached_plans_total(&self) -> usize {
-        self.plans.lock().len()
+        self.shards.iter().map(|s| s.lock().map.len()).sum()
     }
 
-    /// Serialize the share: the simulation memo (entries + counters)
-    /// followed by every plan-cache key, sorted. Plan *bodies* are not
-    /// serialized — `ExecutionPlan` is a pure deterministic function of
-    /// the planning context and the shapes, and with the memo restored
-    /// first a re-plan replays every candidate simulation from the
-    /// memo, rebuilding bit-identical plans for free. Keys-only blobs
-    /// stay small and can never smuggle a stale plan past a code
-    /// change.
+    /// Number of independently locked shards (a power of two).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Entry count per shard, in shard-index order.
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.lock().map.len()).collect()
+    }
+
+    /// The per-shard entry bound (`None` = unbounded).
+    pub fn capacity_per_shard(&self) -> Option<usize> {
+        self.capacity_per_shard
+    }
+
+    /// Admission-gate counters. All zero under
+    /// [`AdmissionPolicy::AdmitAll`] (no gate decisions are taken).
+    pub fn admission_stats(&self) -> AdmissionStats {
+        AdmissionStats {
+            admitted: self.admitted.load(Ordering::Relaxed),
+            denied: self.denied.load(Ordering::Relaxed),
+            evicted_tags: self.gate.as_ref().map_or(0, |g| g.evicted_tags()),
+        }
+    }
+
+    /// The shard responsible for `key_hash`.
+    fn shard_for(&self, key_hash: u64) -> &Mutex<Shard> {
+        &self.shards[(key_hash & self.shard_mask) as usize]
+    }
+
+    /// Consult the admission gate for an insert of `key_hash`. Counts
+    /// the decision. Always `true` without a gate.
+    fn admit(&self, key_hash: u64) -> bool {
+        match &self.gate {
+            None => true,
+            Some(g) => {
+                if g.observe(key_hash) {
+                    self.admitted.fetch_add(1, Ordering::Relaxed);
+                    true
+                } else {
+                    self.denied.fetch_add(1, Ordering::Relaxed);
+                    false
+                }
+            }
+        }
+    }
+
+    /// Serialize the share: the simulation memo (entries + counters),
+    /// every plan-cache key (sorted), then the shard layout and
+    /// admission-gate state. Plan *bodies* are not serialized —
+    /// `ExecutionPlan` is a pure deterministic function of the planning
+    /// context and the shapes, and with the memo restored first a
+    /// re-plan replays every candidate simulation from the memo,
+    /// rebuilding bit-identical plans for free. Keys-only blobs stay
+    /// small and can never smuggle a stale plan past a code change.
     pub fn save(&self, w: &mut ctb_savestate::Writer) {
         self.sim_memo.save(w);
-        let plans = self.plans.lock();
-        let mut keys: Vec<&(u64, Vec<GemmShape>)> = plans.keys().collect();
+        // Lock every shard for a consistent snapshot; keys are written
+        // globally sorted so save → restore → save is byte-identical
+        // regardless of shard layout or map iteration order.
+        let guards: Vec<_> = self.shards.iter().map(|s| s.lock()).collect();
+        let mut keys: Vec<&PlanKey> = guards.iter().flat_map(|g| g.map.keys()).collect();
         keys.sort_by_key(|(fp, shapes)| {
             (*fp, shapes.iter().map(|s| (s.m, s.n, s.k)).collect::<Vec<_>>())
         });
@@ -96,6 +236,25 @@ impl PlanShare {
                 w.u64(s.k as u64);
             }
         }
+        drop(guards);
+        // v2 section: layout + admission state.
+        w.u64(self.shards.len() as u64);
+        match self.capacity_per_shard {
+            None => w.u8(0),
+            Some(cap) => {
+                w.u8(1);
+                w.u64(cap as u64);
+            }
+        }
+        match &self.gate {
+            None => w.u8(0),
+            Some(g) => {
+                w.u8(1);
+                g.save(w);
+            }
+        }
+        w.u64(self.admitted.load(Ordering::Relaxed) as u64);
+        w.u64(self.denied.load(Ordering::Relaxed) as u64);
     }
 
     /// Restore a blob written by [`PlanShare::save`] into this share.
@@ -104,14 +263,20 @@ impl PlanShare {
     /// through its matching session (all candidate simulations hit the
     /// just-restored memo), then the memo counters are pinned back to
     /// the checkpointed values so the rebuild leaves no accounting
-    /// trace. The caller owns the sessions' own counters: re-planning
-    /// counts as misses on them (and emits obs events when a bus is
-    /// attached), so restore session stats / obs state *after* this.
+    /// trace. Replayed inserts bypass the admission gate (the key *was*
+    /// cached at checkpoint time; the gate's own state is restored from
+    /// the blob afterwards). The caller owns the sessions' own
+    /// counters: re-planning counts as misses on them (and emits obs
+    /// events when a bus is attached), so restore session stats / obs
+    /// state *after* this.
     ///
-    /// A fingerprint with no matching session — e.g. a `Forest`-policy
-    /// session, whose fingerprint is noncified precisely because its
-    /// selector state is not reproducible — is a typed
-    /// [`Mismatch`](ctb_savestate::SavestateError::Mismatch).
+    /// The blob's shard count, capacity bound and gate geometry must
+    /// match this share's configuration — a capacity-bounded replay
+    /// into a different layout could evict differently than the donor
+    /// ever did. A fingerprint with no matching session — e.g. a
+    /// `Forest`-policy session, whose fingerprint is noncified
+    /// precisely because its selector state is not reproducible — is a
+    /// typed [`Mismatch`](ctb_savestate::SavestateError::Mismatch).
     pub fn restore_with_sessions(
         &self,
         r: &mut ctb_savestate::Reader<'_>,
@@ -142,12 +307,41 @@ impl PlanShare {
                      (unshareable context, e.g. a Forest-policy session?)"
                 ))
             })?;
-            session.plan(&shapes).map_err(|e| {
+            session.plan_inner(&shapes, true).map_err(|e| {
                 SavestateError::Mismatch(format!("re-planning saved key failed: {e}"))
             })?;
         }
         // Undo the rebuild's accounting pollution (replans hit the memo).
         self.sim_memo.set_counters(memo_hits, memo_misses);
+        // v2 section: layout + admission state.
+        let shard_count = r.u64()? as usize;
+        if shard_count != self.shards.len() {
+            return Err(SavestateError::Mismatch(format!(
+                "share has {} shards, blob has {shard_count}",
+                self.shards.len()
+            )));
+        }
+        let capacity = match r.u8()? {
+            0 => None,
+            _ => Some(r.u64()? as usize),
+        };
+        if capacity != self.capacity_per_shard {
+            return Err(SavestateError::Mismatch(format!(
+                "share capacity {:?} does not match blob {capacity:?}",
+                self.capacity_per_shard
+            )));
+        }
+        match (r.u8()?, &self.gate) {
+            (0, None) => {}
+            (1, Some(g)) => g.load(r)?,
+            (flag, _) => {
+                return Err(SavestateError::Mismatch(format!(
+                    "blob gate flag {flag} does not match configured admission policy"
+                )));
+            }
+        }
+        self.admitted.store(r.u64()? as usize, Ordering::Relaxed);
+        self.denied.store(r.u64()? as usize, Ordering::Relaxed);
         Ok(())
     }
 }
@@ -260,11 +454,25 @@ impl Session {
 
     /// The plan for `shapes`, computed on first use and cached.
     pub fn plan(&self, shapes: &[GemmShape]) -> Result<Arc<ExecutionPlan>, String> {
+        self.plan_inner(shapes, false)
+    }
+
+    /// Lookup-or-plan with an optional admission-gate bypass
+    /// (`force_admit`), used by savestate replay: a key that *was*
+    /// cached at checkpoint time must land back in the cache regardless
+    /// of what the (not-yet-restored) gate would say.
+    pub(crate) fn plan_inner(
+        &self,
+        shapes: &[GemmShape],
+        force_admit: bool,
+    ) -> Result<Arc<ExecutionPlan>, String> {
         // Span covers the whole lookup-or-plan; the guard's drop emits
         // the end even on the early returns.
         let _plan_span = self.obs.as_deref().map(|o| o.span(SpanKind::Plan));
         let key = (self.fp, shapes.to_vec());
-        if let Some(plan) = self.share.plans.lock().get(&key) {
+        let key_hash = plan_key_hash(self.fp, shapes);
+        let shard = self.share.shard_for(key_hash);
+        if let Some(plan) = shard.lock().map.get(&key) {
             self.stats.lock().hits += 1;
             if let Some(o) = self.obs.as_deref() {
                 o.point(PointKind::PlanCacheHit);
@@ -277,7 +485,9 @@ impl Session {
         // Only the insert that actually populates the cache counts as a
         // miss — a racer that loses is answered from the winner's entry
         // and counts as a hit, so summed misses == distinct cached keys
-        // holds even under first-caller races and shared caches.
+        // holds even under first-caller races and shared caches (an
+        // admission-denied planning event still counts as a miss: the
+        // plan was computed, not served from the cache).
         let plan = {
             // The cold path is the paper's expensive phase: candidate
             // tiling enumeration + batching coordination + simulation.
@@ -290,8 +500,9 @@ impl Session {
                 }
             }
         };
-        let mut cache = self.share.plans.lock();
-        match cache.entry(key) {
+        let mut guard = shard.lock();
+        let sh = &mut *guard;
+        match sh.map.entry(key) {
             std::collections::hash_map::Entry::Occupied(e) => {
                 self.stats.lock().hits += 1;
                 if let Some(o) = self.obs.as_deref() {
@@ -304,7 +515,28 @@ impl Session {
                 if let Some(o) = self.obs.as_deref() {
                     o.point(PointKind::PlanCacheMiss);
                 }
-                Ok(Arc::clone(v.insert(plan)))
+                // The gate decision runs under the shard lock, so all
+                // sightings of a given key are serialized ("seen
+                // twice" can never be fabricated by a same-key race).
+                if force_admit || self.share.admit(key_hash) {
+                    let fifo_key = self.share.capacity_per_shard.map(|_| v.key().clone());
+                    let plan = Arc::clone(v.insert(plan));
+                    if let Some(cap) = self.share.capacity_per_shard {
+                        sh.fifo.push_back(fifo_key.expect("computed above"));
+                        while sh.map.len() > cap {
+                            let oldest = sh.fifo.pop_front().expect("fifo tracks map");
+                            sh.map.remove(&oldest);
+                        }
+                    }
+                    Ok(plan)
+                } else {
+                    // First sighting under SeenTwice: the plan is
+                    // served but not cached.
+                    if let Some(o) = self.obs.as_deref() {
+                        o.point(PointKind::PlanCacheDenied);
+                    }
+                    Ok(plan)
+                }
             }
         }
     }
@@ -344,7 +576,11 @@ impl Session {
     /// planning context (other contexts in a shared [`PlanShare`] are
     /// not counted).
     pub fn cached_plans(&self) -> usize {
-        self.share.plans.lock().keys().filter(|(fp, _)| *fp == self.fp).count()
+        self.share
+            .shards
+            .iter()
+            .map(|s| s.lock().map.keys().filter(|(fp, _)| *fp == self.fp).count())
+            .sum()
     }
 
     /// Planning attempts that returned an error. Failed plans are never
@@ -359,7 +595,11 @@ impl Session {
     /// after retuning thresholds). Other contexts sharing the same
     /// [`PlanShare`] keep their entries.
     pub fn clear(&self) {
-        self.share.plans.lock().retain(|(fp, _), _| *fp != self.fp);
+        for shard in &self.share.shards {
+            let mut guard = shard.lock();
+            guard.map.retain(|(fp, _), _| *fp != self.fp);
+            guard.fifo.retain(|(fp, _)| *fp != self.fp);
+        }
     }
 
     pub fn framework(&self) -> &Framework {
@@ -590,6 +830,149 @@ mod tests {
             .restore_with_sessions(&mut ctb_savestate::Reader::new(&bytes), &[&stray])
             .unwrap_err();
         assert!(matches!(err, ctb_savestate::SavestateError::Mismatch(_)));
+    }
+
+    #[test]
+    fn seen_twice_admission_caches_only_on_second_sighting() {
+        let share = Arc::new(PlanShare::with_config(PlanShareConfig {
+            admission: AdmissionPolicy::SeenTwice { seed: 7, slots_log2: 10 },
+            ..PlanShareConfig::default()
+        }));
+        let s = Session::with_share(Framework::new(ArchSpec::volta_v100()), Arc::clone(&share));
+
+        // First sighting: planned and served, but not cached.
+        s.plan(&shapes()).unwrap();
+        assert_eq!(share.cached_plans_total(), 0, "first sighting is not cached");
+        assert_eq!(share.admission_stats().denied, 1);
+        assert_eq!(s.stats(), CacheStats { hits: 0, misses: 1 }, "a planning event is a miss");
+
+        // Second sighting: admitted.
+        s.plan(&shapes()).unwrap();
+        assert_eq!(share.cached_plans_total(), 1);
+        assert_eq!(share.admission_stats(), AdmissionStats { admitted: 1, denied: 1, evicted_tags: 0 });
+        assert_eq!(s.stats(), CacheStats { hits: 0, misses: 2 });
+
+        // Third sighting: a plain cache hit, no new gate decision.
+        s.plan(&shapes()).unwrap();
+        assert_eq!(s.stats(), CacheStats { hits: 1, misses: 2 });
+        assert_eq!(share.admission_stats(), AdmissionStats { admitted: 1, denied: 1, evicted_tags: 0 });
+    }
+
+    #[test]
+    fn capacity_bound_evicts_oldest_entry_fifo() {
+        let share = Arc::new(PlanShare::with_config(PlanShareConfig {
+            shards: 1,
+            capacity_per_shard: Some(2),
+            admission: AdmissionPolicy::AdmitAll,
+        }));
+        let s = Session::with_share(Framework::new(ArchSpec::volta_v100()), Arc::clone(&share));
+        let sig = |m: usize| vec![GemmShape::new(m, 32, 32)];
+        s.plan(&sig(16)).unwrap();
+        s.plan(&sig(32)).unwrap();
+        assert_eq!(share.cached_plans_total(), 2);
+        s.plan(&sig(48)).unwrap();
+        assert_eq!(share.cached_plans_total(), 2, "bound holds");
+        // The oldest signature (16) was evicted: looking it up again is
+        // a fresh miss; 32 and 48 are still resident hits.
+        s.set_stats(CacheStats::default());
+        s.plan(&sig(32)).unwrap();
+        s.plan(&sig(48)).unwrap();
+        assert_eq!(s.stats(), CacheStats { hits: 2, misses: 0 });
+        s.plan(&sig(16)).unwrap();
+        assert_eq!(s.stats(), CacheStats { hits: 2, misses: 1 }, "evicted key re-misses");
+    }
+
+    #[test]
+    fn sharding_distributes_entries_and_preserves_totals() {
+        let share = Arc::new(PlanShare::with_config(PlanShareConfig {
+            shards: 8,
+            ..PlanShareConfig::default()
+        }));
+        assert_eq!(share.shard_count(), 8);
+        let s = Session::with_share(Framework::new(ArchSpec::volta_v100()), Arc::clone(&share));
+        for m in 1..=12usize {
+            s.plan(&[GemmShape::new(m * 8, 32, 32)]).unwrap();
+        }
+        let sizes = share.shard_sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), 12);
+        assert_eq!(share.cached_plans_total(), 12);
+        assert_eq!(s.cached_plans(), 12);
+        assert!(sizes.iter().filter(|&&n| n > 0).count() > 1, "keys spread across shards");
+        // Shard counts are rounded up to a power of two.
+        assert_eq!(PlanShare::with_config(PlanShareConfig { shards: 5, ..Default::default() }).shard_count(), 8);
+        assert_eq!(PlanShare::with_config(PlanShareConfig { shards: 0, ..Default::default() }).shard_count(), 1);
+    }
+
+    #[test]
+    fn configured_share_save_restore_round_trips_gate_state() {
+        let cfg = PlanShareConfig {
+            shards: 4,
+            capacity_per_shard: Some(8),
+            admission: AdmissionPolicy::SeenTwice { seed: 11, slots_log2: 8 },
+        };
+        let share = Arc::new(PlanShare::with_config(cfg));
+        let s = Session::with_share(Framework::new(ArchSpec::volta_v100()), Arc::clone(&share));
+        // Two sightings of one signature (cached), one of another
+        // (denied, gate remembers it).
+        s.plan(&shapes()).unwrap();
+        s.plan(&shapes()).unwrap();
+        s.plan(&[GemmShape::new(128, 128, 64)]).unwrap();
+        let mut w = ctb_savestate::Writer::new();
+        share.save(&mut w);
+        let bytes = w.into_bytes();
+
+        let share2 = Arc::new(PlanShare::with_config(cfg));
+        let r2 = Session::with_share(Framework::new(ArchSpec::volta_v100()), Arc::clone(&share2));
+        let mut rd = ctb_savestate::Reader::new(&bytes);
+        share2.restore_with_sessions(&mut rd, &[&r2]).unwrap();
+        rd.expect_end().unwrap();
+
+        assert_eq!(share2.cached_plans_total(), 1, "replay bypasses the gate for cached keys");
+        assert_eq!(share2.admission_stats(), share.admission_stats(), "counters pinned back");
+        // Byte-identity: save(restored) == save(original), before any
+        // further traffic mutates the restored share.
+        let mut w2 = ctb_savestate::Writer::new();
+        share2.save(&mut w2);
+        assert_eq!(w2.into_bytes(), bytes);
+        // The gate remembered the denied key: its next sighting admits.
+        r2.plan(&[GemmShape::new(128, 128, 64)]).unwrap();
+        assert_eq!(share2.cached_plans_total(), 2, "restored gate state carries first sightings");
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_share_layout() {
+        let share = Arc::new(PlanShare::with_config(PlanShareConfig {
+            shards: 4,
+            ..PlanShareConfig::default()
+        }));
+        let s = Session::with_share(Framework::new(ArchSpec::volta_v100()), Arc::clone(&share));
+        s.plan(&shapes()).unwrap();
+        let mut w = ctb_savestate::Writer::new();
+        share.save(&mut w);
+        let bytes = w.into_bytes();
+
+        let check = |cfg: PlanShareConfig| {
+            let share2 = Arc::new(PlanShare::with_config(cfg));
+            let r2 =
+                Session::with_share(Framework::new(ArchSpec::volta_v100()), Arc::clone(&share2));
+            share2
+                .restore_with_sessions(&mut ctb_savestate::Reader::new(&bytes), &[&r2])
+                .unwrap_err()
+        };
+        let err = check(PlanShareConfig { shards: 8, ..PlanShareConfig::default() });
+        assert!(matches!(err, ctb_savestate::SavestateError::Mismatch(_)), "shard count pinned");
+        let err = check(PlanShareConfig {
+            shards: 4,
+            capacity_per_shard: Some(2),
+            ..PlanShareConfig::default()
+        });
+        assert!(matches!(err, ctb_savestate::SavestateError::Mismatch(_)), "capacity pinned");
+        let err = check(PlanShareConfig {
+            shards: 4,
+            capacity_per_shard: None,
+            admission: AdmissionPolicy::SeenTwice { seed: 1, slots_log2: 4 },
+        });
+        assert!(matches!(err, ctb_savestate::SavestateError::Mismatch(_)), "gate presence pinned");
     }
 
     #[test]

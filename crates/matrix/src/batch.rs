@@ -252,12 +252,12 @@ mod tests {
         let shapes = vec![GemmShape::new(17, 9, 23), GemmShape::new(40, 33, 64)];
         let b = GemmBatch::random(&shapes, 0.7, 1.3, 11);
         let exact = b.reference_result_exact();
-        for i in 0..b.len() {
+        for (i, expected) in exact.iter().enumerate() {
             let mut c = b.c[i].clone();
             gemm_ref(b.alpha, &b.a[i], &b.b[i], b.beta, &mut c);
             crate::compare::assert_bitwise_eq(
                 std::slice::from_ref(&c),
-                std::slice::from_ref(&exact[i]),
+                std::slice::from_ref(expected),
                 "exact oracle",
             );
         }

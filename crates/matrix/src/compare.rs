@@ -131,7 +131,7 @@ mod tests {
         let mut a = MatF32::zeros(2, 2);
         a.set(0, 1, f32::NAN);
         let b = a.clone();
-        assert_eq!(bitwise_mismatch(&[a.clone()], &[b.clone()]), None);
+        assert_eq!(bitwise_mismatch(&[a.clone()], std::slice::from_ref(&b)), None);
         assert_bitwise_eq(&[a.clone()], &[b], "identical NaNs");
 
         // A differently signed zero is a bitwise mismatch even though

@@ -16,14 +16,16 @@ pub fn gemm_ref(alpha: f32, a: &MatF32, b: &MatF32, beta: f32, c: &mut MatF32) {
     assert_eq!(b.rows(), k, "inner dimensions must agree");
     assert_eq!(c.rows(), m, "C rows");
     assert_eq!(c.cols(), n, "C cols");
+    // Detach C once up front; per-element `set` would re-check the
+    // copy-on-write refcount on every store.
+    let cs = c.as_mut_slice();
     for i in 0..m {
         for j in 0..n {
             let mut acc = 0.0f32;
             for p in 0..k {
                 acc += a.get(i, p) * b.get(p, j);
             }
-            let v = alpha * acc + beta * c.get(i, j);
-            c.set(i, j, v);
+            cs[i * n + j] = alpha * acc + beta * cs[i * n + j];
         }
     }
 }

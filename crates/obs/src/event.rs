@@ -107,6 +107,11 @@ pub enum PointKind {
     PlanCacheHit,
     /// Plan cache miss (this call built and inserted the plan).
     PlanCacheMiss,
+    /// Plan cache insert turned away by the Bloom "seen twice"
+    /// admission gate (first sighting of the key: the plan was served
+    /// but not cached). Always accompanied by a
+    /// [`PlanCacheMiss`](PointKind::PlanCacheMiss).
+    PlanCacheDenied,
     /// Cluster: batch placed on a device queue.
     Routed { device: usize },
     /// Cluster: idle device stole a batch from a victim's queue.
@@ -136,6 +141,7 @@ impl PointKind {
             PointKind::Failed { .. } => "failed",
             PointKind::PlanCacheHit => "plan_cache_hit",
             PointKind::PlanCacheMiss => "plan_cache_miss",
+            PointKind::PlanCacheDenied => "plan_cache_denied",
             PointKind::Routed { .. } => "routed",
             PointKind::Steal { .. } => "steal",
             PointKind::Reroute { .. } => "reroute",
@@ -146,7 +152,7 @@ impl PointKind {
 
     /// Names of every point kind, in a fixed order (JSON schema
     /// stability — exports emit all of them even when zero).
-    pub const ALL_NAMES: [&'static str; 17] = [
+    pub const ALL_NAMES: [&'static str; 18] = [
         "admit",
         "reject",
         "retry",
@@ -159,6 +165,7 @@ impl PointKind {
         "failed",
         "plan_cache_hit",
         "plan_cache_miss",
+        "plan_cache_denied",
         "routed",
         "steal",
         "reroute",
@@ -327,6 +334,9 @@ impl ctb_savestate::Savestate for Event {
                         w.bool(degraded);
                         w.bool(abandoned);
                     }
+                    // Appended after the cluster tags so every tag
+                    // value stays stable across format versions.
+                    PointKind::PlanCacheDenied => w.u8(17),
                 }
             }
         }
@@ -372,6 +382,7 @@ impl ctb_savestate::Savestate for Event {
                     degraded: r.bool()?,
                     abandoned: r.bool()?,
                 },
+                17 => PointKind::PlanCacheDenied,
                 t => return Err(SavestateError::Corrupt(format!("bad point tag {t}"))),
             }),
             t => return Err(SavestateError::Corrupt(format!("bad event-kind tag {t}"))),
@@ -399,8 +410,9 @@ mod tests {
         assert_eq!(PointKind::Reject { req: None }.name(), PointKind::ALL_NAMES[1]);
         assert_eq!(
             PointKind::BatchDone { req: 0, device: 0, degraded: false, abandoned: false }.name(),
-            PointKind::ALL_NAMES[16]
+            PointKind::ALL_NAMES[17]
         );
+        assert_eq!(PointKind::PlanCacheDenied.name(), PointKind::ALL_NAMES[12]);
     }
 
     #[test]
@@ -434,6 +446,7 @@ mod tests {
             EventKind::Point(PointKind::Failed { req: 6, abandoned: false }),
             EventKind::Point(PointKind::PlanCacheHit),
             EventKind::Point(PointKind::PlanCacheMiss),
+            EventKind::Point(PointKind::PlanCacheDenied),
             EventKind::Point(PointKind::Routed { device: 3 }),
             EventKind::Point(PointKind::Steal { to: 1, from: 2 }),
             EventKind::Point(PointKind::Reroute { from: 0 }),

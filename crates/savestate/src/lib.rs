@@ -27,7 +27,13 @@ pub const MAGIC: [u8; 4] = *b"CTBS";
 /// Current savestate format version. Bump on any layout change; the
 /// reader rejects *newer* versions with a typed error and keeps
 /// loading every older version it still understands.
-pub const FORMAT_VERSION: u32 = 1;
+///
+/// History: v1 was the original cluster checkpoint layout; v2 extended
+/// the embedded `PlanShare` image with the shard layout, the optional
+/// per-shard capacity bound and the Bloom admission gate, so v1 blobs
+/// no longer decode (the cluster restore rejects them with a typed
+/// [`SavestateError::Mismatch`]).
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Cap on speculative pre-allocation while decoding length-prefixed
 /// containers. Real lengths above this are still decoded — the vector

@@ -46,6 +46,7 @@
 //! server's accounting against the injector's [`FaultLog`] exactly.
 
 mod fault;
+mod front;
 mod queue;
 mod request;
 mod retry;
@@ -56,6 +57,7 @@ pub use fault::{
     panic_message, FaultConfig, FaultInjector, FaultLog, FaultSite, FAULT_SITES,
     INJECTED_DEGRADED_PANIC_MSG, INJECTED_PANIC_MSG,
 };
+pub use front::AsyncFront;
 pub use queue::{BoundedQueue, PopTimedOut, PushError};
 pub use request::{GemmRequest, GemmResult, RequestTiming, ServeError, Ticket};
 pub use retry::{Breaker, BreakerPolicy, RetryPolicy};

@@ -73,18 +73,85 @@ impl<T> BoundedQueue<T> {
     /// caller can route it elsewhere (the serving layer's no-drop
     /// guarantee depends on this: a retry re-pushed against a closed
     /// queue must still be resolvable inline).
+    ///
+    /// Saturation is checked *before* the closed flag: a push that
+    /// finds the queue at capacity reports `Full` even when a `close`
+    /// raced in just ahead of it. The queue being full is the
+    /// backpressure signal the saturation metrics are built on —
+    /// attributing it to shutdown instead would silently drop those
+    /// rejects from the backpressure accounting (the old behaviour;
+    /// see `closed_full_queue_reports_full_not_closed`). `Closed` is
+    /// reported only when a slot would otherwise have been free.
     pub fn try_push(&self, item: T) -> Result<(), (PushError, T)> {
         let mut st = self.lock();
-        if st.closed {
-            return Err((PushError::Closed, item));
-        }
         if st.q.len() >= self.capacity {
             return Err((PushError::Full, item));
+        }
+        if st.closed {
+            return Err((PushError::Closed, item));
         }
         st.q.push_back(item);
         drop(st);
         self.not_empty.notify_one();
         Ok(())
+    }
+
+    /// Submission batching: move items from the front of `buf` into the
+    /// queue while there is capacity, under a single lock acquisition.
+    /// Returns how many were pushed plus the blocker that stopped the
+    /// flush (`None` when `buf` was fully drained). Same error priority
+    /// as [`BoundedQueue::try_push`]: `Full` when the queue is at
+    /// capacity (even if also closed), `Closed` otherwise.
+    pub fn try_push_many(&self, buf: &mut VecDeque<T>) -> (usize, Option<PushError>) {
+        if buf.is_empty() {
+            return (0, None);
+        }
+        let mut pushed = 0usize;
+        let blocker;
+        let mut st = self.lock();
+        loop {
+            if st.q.len() >= self.capacity {
+                blocker = Some(PushError::Full);
+                break;
+            }
+            if st.closed {
+                blocker = Some(PushError::Closed);
+                break;
+            }
+            match buf.pop_front() {
+                Some(item) => {
+                    st.q.push_back(item);
+                    pushed += 1;
+                }
+                None => {
+                    blocker = None;
+                    break;
+                }
+            }
+        }
+        drop(st);
+        if pushed > 0 {
+            self.not_empty.notify_all();
+        }
+        (pushed, blocker)
+    }
+
+    /// Park until the queue has free capacity or is closed. Returns
+    /// `true` when a slot was free and the queue still open at wake-up
+    /// time, `false` once the queue is closed (a closed queue never
+    /// accepts another item, full or not). Used by the async front
+    /// door's `drain` to wait out backpressure without spinning.
+    pub fn wait_not_full(&self) -> bool {
+        let mut st = self.lock();
+        loop {
+            if st.closed {
+                return false;
+            }
+            if st.q.len() < self.capacity {
+                return true;
+            }
+            st = self.not_full.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
     }
 
     /// Blocking pop: `None` only when the queue is closed *and* fully
@@ -301,6 +368,70 @@ mod tests {
     }
 
     #[test]
+    fn closed_full_queue_reports_full_not_closed() {
+        // Regression: a close racing in ahead of a try_push against a
+        // saturated queue used to report Closed, so the reject vanished
+        // from the backpressure accounting (saturation counters key off
+        // Full). Capacity must win over the closed flag.
+        let q = BoundedQueue::new(1);
+        q.push(1).unwrap();
+        q.close();
+        assert_eq!(q.try_push(2), Err((PushError::Full, 2)), "saturation attribution survives close");
+        // Once the close is observable through a free slot, Closed is
+        // the right answer again.
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.try_push(2), Err((PushError::Closed, 2)));
+    }
+
+    #[test]
+    fn try_push_many_flushes_under_one_lock() {
+        let q = BoundedQueue::new(3);
+        let mut buf: VecDeque<i32> = (1..=2).collect();
+        assert_eq!(q.try_push_many(&mut buf), (2, None), "buffer fits: fully drained");
+        assert!(buf.is_empty());
+
+        let mut buf: VecDeque<i32> = (3..=6).collect();
+        assert_eq!(q.try_push_many(&mut buf), (1, Some(PushError::Full)), "stops at capacity");
+        assert_eq!(buf, VecDeque::from(vec![4, 5, 6]), "unpushed tail stays buffered in order");
+        assert_eq!(q.len(), 3);
+
+        q.close();
+        assert_eq!(q.try_push_many(&mut buf), (0, Some(PushError::Full)), "full wins over closed");
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.try_push_many(&mut buf), (0, Some(PushError::Closed)), "closed with free slots");
+        assert_eq!(buf.len(), 3, "nothing lost on a closed queue");
+        // FIFO across the flushes: 1 popped above, 2 and 3 remain.
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+
+        let mut empty: VecDeque<i32> = VecDeque::new();
+        assert_eq!(q.try_push_many(&mut empty), (0, None), "empty buffer is a no-op");
+    }
+
+    #[test]
+    fn wait_not_full_wakes_on_pop_and_close() {
+        // Free slot + open queue: returns true immediately.
+        let q = Arc::new(BoundedQueue::new(1));
+        assert!(q.wait_not_full());
+
+        // Full queue: parks until the consumer frees a slot.
+        q.push(1).unwrap();
+        let q2 = Arc::clone(&q);
+        let waiter = std::thread::spawn(move || q2.wait_not_full());
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(q.pop(), Some(1));
+        assert!(waiter.join().unwrap(), "slot freed while open");
+
+        // Full queue + close: wakes with false (will never accept).
+        q.push(2).unwrap();
+        let q2 = Arc::clone(&q);
+        let waiter = std::thread::spawn(move || q2.wait_not_full());
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert!(!waiter.join().unwrap(), "closed queue reports false even while full");
+    }
+
+    #[test]
     fn pop_until_times_out_when_idle() {
         let q: BoundedQueue<i32> = BoundedQueue::new(1);
         let deadline = Instant::now() + Duration::from_millis(5);
@@ -410,10 +541,12 @@ mod invariant_props {
             match op % 3 {
                 0 => {
                     let r = q.try_push(next_id);
-                    if closed {
-                        prop_assert_eq!(r, Err((PushError::Closed, next_id)));
-                    } else if model.len() >= cap {
+                    // Full is checked before Closed: saturation keeps
+                    // its backpressure attribution even after a close.
+                    if model.len() >= cap {
                         prop_assert_eq!(r, Err((PushError::Full, next_id)));
+                    } else if closed {
+                        prop_assert_eq!(r, Err((PushError::Closed, next_id)));
                     } else {
                         prop_assert_eq!(r, Ok(()));
                         model.push_back(next_id);

@@ -95,18 +95,19 @@ impl Default for ServeConfig {
     }
 }
 
-/// One admitted request waiting to be batched.
-struct Pending {
+/// One admitted request waiting to be batched. Built by the blocking
+/// admission path here and by the buffering [`crate::AsyncFront`].
+pub(crate) struct Pending {
     /// Server-unique request id; ties the trace's `Admit` event to its
     /// terminal event.
-    id: u64,
-    req: GemmRequest,
-    tx: mpsc::Sender<Result<GemmResult, ServeError>>,
-    enqueued: Instant,
+    pub(crate) id: u64,
+    pub(crate) req: GemmRequest,
+    pub(crate) tx: mpsc::Sender<Result<GemmResult, ServeError>>,
+    pub(crate) enqueued: Instant,
     /// Admission time on the observability clock (0 when no bus is
     /// installed). Kept alongside `enqueued` so instrumented runs
     /// measure queue time on the *same* clock the trace records.
-    enqueued_us: u64,
+    pub(crate) enqueued_us: u64,
 }
 
 /// One response route of a coalesced batch.
@@ -120,32 +121,32 @@ struct Member {
 }
 
 /// A coalesced batch (or a single-member retry) ready for a worker.
-struct Job {
+pub(crate) struct Job {
     batch: GemmBatch,
     members: Vec<Member>,
 }
 
-struct Shared {
-    cfg: ServeConfig,
-    session: Arc<Session>,
-    admission: BoundedQueue<Pending>,
-    jobs: BoundedQueue<Job>,
-    stats: StatsInner,
-    breaker: Breaker,
+pub(crate) struct Shared {
+    pub(crate) cfg: ServeConfig,
+    pub(crate) session: Arc<Session>,
+    pub(crate) admission: BoundedQueue<Pending>,
+    pub(crate) jobs: BoundedQueue<Job>,
+    pub(crate) stats: StatsInner,
+    pub(crate) breaker: Breaker,
     /// Remaining server-lifetime retry budget.
-    retry_tokens: AtomicUsize,
+    pub(crate) retry_tokens: AtomicUsize,
     /// The chaos seam; `None` (the default) costs one discriminant test
     /// per site.
-    fault: Option<Arc<FaultInjector>>,
+    pub(crate) fault: Option<Arc<FaultInjector>>,
     /// The observability seam; `None` (the default) costs one
     /// discriminant test per site, same as `fault`.
-    obs: Option<Arc<Obs>>,
+    pub(crate) obs: Option<Arc<Obs>>,
     /// Request-id source for trace linkage.
-    req_ids: AtomicU64,
+    pub(crate) req_ids: AtomicU64,
 }
 
 impl Shared {
-    fn roll(&self, site: FaultSite) -> bool {
+    pub(crate) fn roll(&self, site: FaultSite) -> bool {
         match &self.fault {
             Some(f) => f.roll(site),
             None => false,
@@ -173,7 +174,7 @@ impl Shared {
     /// dropped its ticket. Nothing the server computes vanishes
     /// untracked. Returns the abandoned flag so instrumentation can
     /// record it on the terminal trace event.
-    fn respond(
+    pub(crate) fn respond(
         &self,
         tx: &mpsc::Sender<Result<GemmResult, ServeError>>,
         r: Result<GemmResult, ServeError>,
@@ -185,7 +186,7 @@ impl Shared {
         abandoned
     }
 
-    fn obs(&self) -> Option<&Obs> {
+    pub(crate) fn obs(&self) -> Option<&Obs> {
         self.obs.as_deref()
     }
 }
@@ -301,6 +302,14 @@ impl Server {
         self.submit(req)?.wait()
     }
 
+    /// An asynchronous, never-blocking front door over this server's
+    /// admission queue. Producers get a [`Ticket`] immediately; requests
+    /// the queue cannot take right now are buffered in the front and
+    /// flushed in submission batches. See [`crate::AsyncFront`].
+    pub fn front(&self) -> crate::AsyncFront {
+        crate::AsyncFront::new(Arc::clone(&self.shared))
+    }
+
     fn admit(&self, req: GemmRequest, blocking: bool) -> Result<Ticket, ServeError> {
         if let Err(m) = req.validate() {
             return Err(ServeError::Invalid(m));
@@ -350,10 +359,14 @@ impl Server {
     }
 
     /// Point-in-time accounting: request/batch/resilience counters plus
-    /// the shared session's plan-cache and simulation-memo statistics.
+    /// the shared session's plan-cache, shard/admission-gate and
+    /// simulation-memo statistics.
     pub fn stats(&self) -> ServeStats {
+        let share = self.shared.session.share();
         self.shared.stats.snapshot(
             self.shared.session.stats(),
+            share.shard_count(),
+            share.admission_stats(),
             self.shared.session.sim_stats(),
             self.shared.breaker.is_open(),
         )

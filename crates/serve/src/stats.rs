@@ -1,6 +1,6 @@
 //! Server-wide counters and the [`ServeStats`] snapshot.
 
-use ctb_core::CacheStats;
+use ctb_core::{AdmissionStats, CacheStats};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -42,6 +42,11 @@ pub struct ServeStats {
     pub breaker_open: bool,
     /// Shared-session plan cache (hits = re-used shape signatures).
     pub plan_cache: CacheStats,
+    /// Number of independently locked shards behind `plan_cache`.
+    pub plan_shards: usize,
+    /// Cache-admission gate counters (all zero under
+    /// [`ctb_core::AdmissionPolicy::AdmitAll`], the default).
+    pub cache_admission: AdmissionStats,
     /// Candidate-simulation memo behind the planner.
     pub sim_memo: CacheStats,
     /// Median end-to-end request latency, µs.
@@ -83,11 +88,14 @@ impl StatsInner {
         self.latencies_us.lock().unwrap_or_else(|e| e.into_inner()).push(us);
     }
 
-    /// Snapshot the counters together with session cache statistics and
-    /// the breaker's point-in-time state.
+    /// Snapshot the counters together with session cache statistics
+    /// (exact counters plus the shard/admission-gate view of the shared
+    /// plan cache) and the breaker's point-in-time state.
     pub fn snapshot(
         &self,
         plan_cache: CacheStats,
+        plan_shards: usize,
+        cache_admission: AdmissionStats,
         sim_memo: CacheStats,
         breaker_open: bool,
     ) -> ServeStats {
@@ -110,6 +118,8 @@ impl StatsInner {
             breaker_trips: self.breaker_trips.load(Ordering::Relaxed),
             breaker_open,
             plan_cache,
+            plan_shards,
+            cache_admission,
             sim_memo,
             p50_us: percentile(&lat, 0.50),
             p95_us: percentile(&lat, 0.95),
@@ -171,7 +181,7 @@ mod tests {
         inner.batches.store(4, Ordering::Relaxed);
         inner.record_latency(5.0);
         inner.record_latency(15.0);
-        let s = inner.snapshot(CacheStats::default(), CacheStats::default(), false);
+        let s = inner.snapshot(CacheStats::default(), 0, AdmissionStats::default(), CacheStats::default(), false);
         assert_eq!(s.mean_batch_size, 3.0);
         assert_eq!(s.p50_us, 5.0);
         assert_eq!(s.p95_us, 15.0);
@@ -187,7 +197,7 @@ mod tests {
         inner.degraded.store(5, Ordering::Relaxed);
         inner.abandoned.store(1, Ordering::Relaxed);
         inner.breaker_trips.store(6, Ordering::Relaxed);
-        let s = inner.snapshot(CacheStats::default(), CacheStats::default(), true);
+        let s = inner.snapshot(CacheStats::default(), 0, AdmissionStats::default(), CacheStats::default(), true);
         assert_eq!(
             (s.retries, s.worker_panics, s.plan_failures, s.degraded, s.abandoned, s.breaker_trips),
             (3, 2, 4, 5, 1, 6)
@@ -213,7 +223,7 @@ mod tests {
             })
             .collect();
         for _ in 0..50 {
-            let s = inner.snapshot(CacheStats::default(), CacheStats::default(), false);
+            let s = inner.snapshot(CacheStats::default(), 0, AdmissionStats::default(), CacheStats::default(), false);
             assert!(s.p50_us <= s.p95_us, "p50 {} > p95 {}", s.p50_us, s.p95_us);
             assert!(s.p95_us < 4000.0, "percentile outside any recorded value");
             assert!(s.completed <= 2000);
@@ -221,7 +231,7 @@ mod tests {
         for r in recorders {
             r.join().expect("recorder ok");
         }
-        let s = inner.snapshot(CacheStats::default(), CacheStats::default(), false);
+        let s = inner.snapshot(CacheStats::default(), 0, AdmissionStats::default(), CacheStats::default(), false);
         assert_eq!(s.completed, 2000);
         assert!(s.p50_us <= s.p95_us);
     }

@@ -24,8 +24,14 @@ cargo test -q --test determinism
 echo "== chaos suite (seeded fault injection against ctb-serve) =="
 cargo test -q -p ctb-serve --test chaos
 
+echo "== async front door differential suite (blocking vs buffered admission) =="
+cargo test -q -p ctb-serve --test async_front
+
 echo "== property suites (bounded-queue invariants) =="
 cargo test -q -p ctb-serve invariant_props
+
+echo "== property suites (Bloom admission-gate invariants) =="
+cargo test -q --test properties bloom_gate
 
 echo "== property regression corpus (pinned shrunk cases) =="
 cargo test -q --test properties regression_corpus_replays_recorded_cases
@@ -59,11 +65,20 @@ cargo run -q -p ctb-bench --bin reproduce --release -- cluster --smoke
 echo "== replay harness smoke (record -> re-run -> crash/restore) + BENCH_replay schema gate =="
 cargo run -q -p ctb-bench --bin reproduce --release -- replay --smoke
 
+echo "== storm harness smoke (plan-cache admission under distinct-shape storm) + BENCH_storm schema gate =="
+cargo run -q -p ctb-bench --bin reproduce --release -- storm --smoke
+
 echo "== cluster demo compiles against the release profile =="
 cargo build --release --example cluster_demo
 
 echo "== cargo clippy --all-targets -- -D warnings =="
 cargo clippy --all-targets -- -D warnings
+
+echo "== cargo clippy -p ctb-core --all-targets -- -D warnings =="
+cargo clippy -p ctb-core --all-targets -- -D warnings
+
+echo "== cargo clippy -p ctb-matrix --all-targets -- -D warnings =="
+cargo clippy -p ctb-matrix --all-targets -- -D warnings
 
 echo "== cargo clippy -p ctb-serve --all-targets -- -D warnings =="
 cargo clippy -p ctb-serve --all-targets -- -D warnings

@@ -319,6 +319,74 @@ fn plan_share_fanout_storm_inserts_each_signature_once() {
     );
 }
 
+/// The fan-out storm again, but over a *sharded* share: splitting the
+/// cache into independently locked shards must not change the exact
+/// accounting — misses still equal distinct signatures, share-wide,
+/// whatever the interleaving — and under the default admit-all policy
+/// the admission counters stay untouched.
+#[test]
+fn sharded_plan_share_fanout_storm_keeps_exact_miss_accounting() {
+    const SESSIONS: usize = 8;
+    const ROUNDS: usize = 3;
+
+    let storm: Vec<Vec<GemmShape>> = (0..12)
+        .map(|i| vec![GemmShape::new(16 + 8 * i, 24 + 4 * i, 32 + 16 * i); 1 + i % 3])
+        .collect();
+
+    let share = Arc::new(ctb::core::PlanShare::with_config(ctb::core::PlanShareConfig {
+        shards: 8,
+        capacity_per_shard: None,
+        admission: ctb::core::AdmissionPolicy::AdmitAll,
+    }));
+    let sessions: Vec<Arc<Session>> = (0..SESSIONS)
+        .map(|_| {
+            Arc::new(Session::with_share(
+                Framework::new(ArchSpec::volta_v100()),
+                Arc::clone(&share),
+            ))
+        })
+        .collect();
+
+    let barrier = Arc::new(Barrier::new(SESSIONS));
+    let handles: Vec<_> = sessions
+        .iter()
+        .enumerate()
+        .map(|(t, session)| {
+            let session = Arc::clone(session);
+            let barrier = Arc::clone(&barrier);
+            let storm = storm.clone();
+            std::thread::spawn(move || {
+                barrier.wait();
+                for round in 0..ROUNDS {
+                    for i in 0..storm.len() {
+                        let w = &storm[(t + round + i) % storm.len()];
+                        session.plan(w).expect("plannable");
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("storm thread ok");
+    }
+
+    assert_eq!(share.shard_count(), 8);
+    assert_eq!(share.cached_plans_total(), storm.len(), "one insert per distinct signature");
+    assert_eq!(
+        share.shard_sizes().iter().sum::<usize>(),
+        storm.len(),
+        "shards partition the cache exactly"
+    );
+    let (hits, misses) = sessions
+        .iter()
+        .map(|s| s.stats())
+        .fold((0, 0), |(h, m), st| (h + st.hits, m + st.misses));
+    assert_eq!(misses, storm.len(), "sharding must not change miss accounting");
+    assert_eq!(hits + misses, SESSIONS * ROUNDS * storm.len(), "every plan() call accounted");
+    let adm = share.admission_stats();
+    assert_eq!((adm.admitted, adm.denied), (0, 0), "admit-all leaves the gate counters at zero");
+}
+
 /// The fan-out storm again, but over a [`PlanShare`] *restored from a
 /// savestate checkpoint*: one restorer session replans the serialized
 /// keys (misses == distinct signatures, every candidate simulation a
