@@ -5,27 +5,70 @@
 //! cargo run -p ctb-bench --bin reproduce --release -- fig9
 //! ```
 //!
-//! Sub-commands: `tables`, `motivation`, `fig8`, `fig9`, `fig10`,
-//! `fig11`, `googlenet`, `calibrate`, `perf`, `serve`, `chaos`,
-//! `cluster`, `obs`, `replay`, `storm`, `all`. Output is printed in the
-//! paper's row/series layout and mirrored as CSV under
-//! `target/experiments/`; `perf`, `serve`, `chaos`, `cluster`, `obs`,
-//! `replay` and `storm` additionally write the tracked
-//! `BENCH_executor.json` / `BENCH_serve.json` / `BENCH_chaos.json` /
-//! `BENCH_cluster.json` / `BENCH_obs.json` / `BENCH_replay.json` /
-//! `BENCH_storm.json` at the repository root (`obs`, `cluster`,
-//! `replay` and `storm` also diff the exported key set against the
-//! golden schema in `scripts/BENCH_<name>.schema` and fail on drift).
+//! Run `reproduce --help` (or any unknown sub-command) for the full
+//! listing. Paper experiments (`tables`, `motivation`, `fig8`, `fig9`,
+//! `fig10`, `googlenet`, `fig11`, `tlp`, `ablate`, `fans`, `splitk`)
+//! print the paper's row/series layout and mirror CSV under
+//! `target/experiments/`; the serving harnesses (`perf`, `serve`,
+//! `chaos`, `cluster`, `obs`, `replay`, `storm`, `calibrate`)
+//! additionally write a tracked `BENCH_<name>.json` at the repository
+//! root, and those with a checked-in golden schema diff the exported
+//! key set against `scripts/BENCH_<name>.schema` and fail on drift.
 
 use ctb_bench::figures::{fig11_portability, fig8_grid, fig9_grid, mean_speedup, CellResult};
 use ctb_bench::{ablations, calibrate, fans, googlenet_exp, motivation, tables, write_csv};
 use ctb_gpu_specs::{ArchSpec, Thresholds};
+
+/// The complete sub-command and flag listing — printed by `--help` and
+/// on any unknown sub-command or flag, so every entry point is
+/// discoverable from the binary itself.
+fn usage() -> &'static str {
+    "usage: reproduce [SUBCOMMAND] [FLAGS]   (default: all)
+
+paper experiments (print the paper's layout; CSV under target/experiments/):
+  tables              Tables 1-2 and the 4.2.3 worked example
+  motivation          single-GEMM efficiency rows (paper 1)
+  fig8                tiling engine vs MAGMA vbatch grid
+  fig9                coordinated tiling + batching vs MAGMA vbatch grid
+  fig10               GoogleNet inception-layer speedups
+  googlenet           GoogleNet end-to-end inference (paper 7.3)
+  fig11               sensitivity across GPU architectures
+  tlp                 offline TLP-threshold calibration sweep (papers 4.2.3 / 7)
+  ablate              DESIGN.md design-choice ablations
+  fans                SqueezeNet / ResNet / backward fan extensions
+  splitk              split-K extension on TLP-starved large-K GEMMs
+  plan <MxNxK,...>    explain tiling/batching decisions for a shape list
+  custom <file>       run every executor on a workload file (M,N,K per line)
+  all                 every paper experiment above (not the harnesses)
+
+serving harnesses (write BENCH_<name>.json at the repo root; those with a
+checked-in scripts/BENCH_<name>.schema also gate on schema drift):
+  perf                executor / reference / autotune / fig9-grid timings
+  serve               4-producer closed loop through ctb-serve
+  chaos               fault-rate sweep over the resilience layer
+  cluster             threaded scaling + kill run + discrete-event sweep
+      --batches N --devices a,b,c --seed S --event-devices a,b,c
+      --requests R --smoke
+  obs                 instrumented serve loop + trace audit
+  replay              record a seeded panic storm, re-run + crash/restore
+      --requests N --seed S --panics PER_MILLE --smoke
+  storm               distinct-shape storm vs two plan-cache arms
+      --smoke
+  calibrate           closed loop: record drifted trace -> fit corrections ->
+                      retrain selector -> hot-swap replay (gates on strictly
+                      lower placement error)
+      --devices N --requests N --seed S --drift-seed S --smoke
+
+flags: --help | -h | help    print this listing
+"
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let what = args.first().map(String::as_str).unwrap_or("all");
     let arch = ArchSpec::volta_v100();
     match what {
+        "--help" | "-h" | "help" => print!("{}", usage()),
         "tables" => run_tables(),
         "motivation" => run_motivation(&arch),
         "fig8" => run_grid(&arch, 8),
@@ -33,7 +76,7 @@ fn main() {
         "fig10" => run_fig10(&arch),
         "googlenet" => run_googlenet(&arch),
         "fig11" => run_fig11(),
-        "calibrate" => run_calibrate(),
+        "tlp" => run_tlp_calibrate(),
         "ablate" => run_ablations(&arch),
         "plan" => run_plan_explain(&arch, args.get(1).map(String::as_str)),
         "custom" => run_custom(&arch, args.get(1).map(String::as_str)),
@@ -46,6 +89,7 @@ fn main() {
         "obs" => run_obs(&arch),
         "replay" => run_replay(&args[1..]),
         "storm" => run_storm(&arch, &args[1..]),
+        "calibrate" => run_calibrate_loop(&args[1..]),
         "all" => {
             run_tables();
             run_motivation(&arch);
@@ -54,21 +98,121 @@ fn main() {
             run_fig10(&arch);
             run_googlenet(&arch);
             run_fig11();
-            run_calibrate();
+            run_tlp_calibrate();
             run_ablations(&arch);
             run_fans(&arch);
             run_splitk_demo(&arch);
         }
         other => {
-            eprintln!(
-                "unknown experiment '{other}'; expected one of: tables, motivation, \
-                 fig8, fig9, fig10, googlenet, fig11, calibrate, ablate, fans, splitk, \
-                 perf, serve, chaos, cluster, obs, replay, storm, plan <MxNxK,...>, \
-                 custom <csv-file>, all"
-            );
+            eprintln!("unknown experiment '{other}'\n\n{}", usage());
             std::process::exit(2);
         }
     }
+}
+
+/// Parse `--flag value` pairs for the calibration loop.
+fn calibrate_config(args: &[String]) -> (ctb_bench::calib_bench::CalibBenchConfig, bool) {
+    use ctb_bench::calib_bench::CalibBenchConfig;
+    let mut cfg = CalibBenchConfig::default();
+    let mut smoke = false;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| {
+                    eprintln!("flag {name} needs a value");
+                    std::process::exit(2);
+                })
+                .as_str()
+        };
+        match flag.as_str() {
+            "--devices" => cfg.devices = value("--devices").parse().expect("usize devices"),
+            "--requests" => cfg.requests = value("--requests").parse().expect("usize requests"),
+            "--seed" => cfg.seed = value("--seed").parse().expect("u64 seed"),
+            "--drift-seed" => {
+                cfg.drift_seed = value("--drift-seed").parse().expect("u64 drift seed");
+            }
+            "--smoke" => smoke = true,
+            other => {
+                eprintln!(
+                    "unknown calibrate flag '{other}'; expected --devices N, --requests N, \
+                     --seed S, --drift-seed S, --smoke"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    if smoke {
+        cfg = CalibBenchConfig::smoke();
+    }
+    (cfg, smoke)
+}
+
+fn run_calibrate_loop(args: &[String]) {
+    use ctb_bench::calib_bench;
+    let (cfg, smoke) = calibrate_config(args);
+    println!(
+        "== calibration loop: record drifted trace -> fit -> retrain -> hot-swap replay{} ==",
+        if smoke { " (smoke)" } else { "" }
+    );
+    let (r, path) = if smoke {
+        calib_bench::run_and_write_smoke()
+    } else {
+        calib_bench::run_and_write(&cfg)
+    };
+    println!(
+        "   record: {} decisions over {} devices (drift seed {}) | mean placement err {:.3} us | \
+         {} witness mismatches",
+        r.record.decisions, r.cfg.devices, r.cfg.drift_seed, r.record.mean_abs_err_us,
+        r.record.witness_mismatches
+    );
+    println!(
+        "   fit: {} arches ({} corrected) from {} cases | in-sample err {:.3} -> {:.3} us",
+        r.fit_arches, r.fit_corrected, r.fit_cases, r.fit_err_before_us, r.fit_err_after_us
+    );
+    println!(
+        "   retrain: {} | {} signatures, {} label flips | regret {:.3} -> {:.3} us | \
+         forest {} trees / {} nodes / depth {} -> {} trees / {} nodes / depth {}",
+        if r.retrain_accepted { "accepted" } else { "rejected (baseline kept)" },
+        r.retrain_signatures,
+        r.retrain_label_flips,
+        r.regret_before_us,
+        r.regret_after_us,
+        r.forest_before.trees,
+        r.forest_before.total_nodes,
+        r.forest_before.max_depth,
+        r.forest_after.trees,
+        r.forest_after.total_nodes,
+        r.forest_after.max_depth
+    );
+    println!("   profile: v{} blob, {} bytes, byte-stable round-trip", 1, r.profile_bytes);
+    println!(
+        "   replay: mean placement err {:.3} us ({:+.1}% vs record) | swap arm: epoch {} \
+         installed mid-run, {} completed, {} dropped",
+        r.replay.mean_abs_err_us,
+        -r.err_reduction_pct(),
+        r.swap_version,
+        r.swap_completed,
+        r.swap_dropped
+    );
+    println!("(json: {})", path.display());
+    if r.replay.mean_abs_err_us >= r.record.mean_abs_err_us {
+        eprintln!(
+            "calibration regression: replay error {:.4} us did not fall below the recorded \
+             {:.4} us",
+            r.replay.mean_abs_err_us, r.record.mean_abs_err_us
+        );
+        std::process::exit(1);
+    }
+    if r.swap_dropped > 0 || r.record.witness_mismatches + r.replay.witness_mismatches > 0 {
+        eprintln!(
+            "calibration regression: {} dropped in the swap arm, {} witness mismatches",
+            r.swap_dropped,
+            r.record.witness_mismatches + r.replay.witness_mismatches
+        );
+        std::process::exit(1);
+    }
+    schema_gate("BENCH_calibrate.json", &calib_bench::golden_schema_path(), &path);
 }
 
 fn run_perf(arch: &ArchSpec) {
@@ -562,7 +706,7 @@ fn run_fig11() {
     println!("(csv: {})\n", path.display());
 }
 
-fn run_calibrate() {
+fn run_tlp_calibrate() {
     println!("== Offline TLP-threshold calibration (papers 4.2.3 / 7) ==");
     let mut csv = Vec::new();
     for arch in ArchSpec::all_presets() {

@@ -1,0 +1,457 @@
+//! `reproduce calibrate` — the closed calibration loop, end to end.
+//!
+//! One seeded workload runs three times over a drifted device pool
+//! (every device's true clocks/bandwidth/latency diverge from the
+//! nominal `ArchSpec` the cost model sees, so predictions are
+//! systematically wrong):
+//!
+//! 1. **record** — a hot-swappable event cluster serves the workload
+//!    with the pristine model, logging every placement decision
+//!    (raw model µs, corrected prediction, measured µs) and an obs
+//!    trace that `ctb_calib` reconciles against the decision log;
+//! 2. **calibrate** — `ctb-calib` fits per-arch least-squares
+//!    corrections from the recording, retrains the §5 selector on the
+//!    trace's shape signatures, and packs both into a versioned
+//!    [`CalibProfile`] (round-tripped through its wire format here, so
+//!    the report always covers the serialized artifact);
+//! 3. **replay** — the identical workload runs again with the profile
+//!    installed; mean placement error must drop strictly. A fourth
+//!    **swap** arm installs the profile *mid-run* and must complete
+//!    every request.
+//!
+//! Full runs land in `BENCH_calibrate.json` at the repository root
+//! (`--smoke` writes `target/experiments/BENCH_calibrate_smoke.json`)
+//! and the key set is diffed against `scripts/BENCH_calibrate.schema`.
+
+use ctb_calib::{
+    fit_decisions, forest_shape, retrain_selector, CalibProfile, ForestShape, ProfileMeta,
+    TraceDataset, PROFILE_VERSION,
+};
+use ctb_cluster::{
+    EngineReport, EventCluster, EventConfig, GroundTruth, LoadGen, ReqOutcome, ShapeMix,
+};
+use ctb_core::selector::OnlineSelector;
+use ctb_gpu_specs::{ArchSpec, Thresholds};
+use ctb_matrix::GemmShape;
+use ctb_obs::TraceAudit;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Workload + calibration knobs; every arm replays the same seeded
+/// stream over the same drifted pool.
+#[derive(Debug, Clone)]
+pub struct CalibBenchConfig {
+    /// Devices in the pool (fastest-first presets, cycled).
+    pub devices: usize,
+    /// Requests per arm.
+    pub requests: usize,
+    /// Load-stream seed.
+    pub seed: u64,
+    /// Ground-truth drift seed (which way each device's reality
+    /// diverges from its nominal spec).
+    pub drift_seed: u64,
+    /// Mean inter-arrival gap of the Poisson arrivals, ns.
+    pub mean_interarrival_ns: f64,
+    /// Execute a correctness witness every N completions.
+    pub witness_every: usize,
+}
+
+impl Default for CalibBenchConfig {
+    fn default() -> Self {
+        CalibBenchConfig {
+            devices: 6,
+            requests: 2_400,
+            seed: 0xCA11B,
+            drift_seed: 11,
+            mean_interarrival_ns: 2_000.0,
+            witness_every: 16,
+        }
+    }
+}
+
+impl CalibBenchConfig {
+    /// Scaled-down configuration for the CI gate: same loop, an order
+    /// of magnitude fewer requests.
+    pub fn smoke() -> Self {
+        CalibBenchConfig { devices: 4, requests: 320, witness_every: 32, ..Default::default() }
+    }
+}
+
+/// What one run of the workload measured.
+#[derive(Debug, Clone)]
+pub struct CalibArm {
+    /// Placement decisions recorded.
+    pub decisions: usize,
+    /// Mean |predicted − measured| placement error, µs.
+    pub mean_abs_err_us: f64,
+    /// Correctness witnesses that diverged (must be 0).
+    pub witness_mismatches: usize,
+}
+
+/// The tracked report: record → calibrate → replay (+ mid-run swap).
+#[derive(Debug, Clone)]
+pub struct CalibBenchReport {
+    pub cfg: CalibBenchConfig,
+    pub record: CalibArm,
+    pub replay: CalibArm,
+    /// Architectures seen in the trace / of those, non-identity fits.
+    pub fit_arches: usize,
+    pub fit_corrected: usize,
+    /// Regression rows across arches.
+    pub fit_cases: usize,
+    /// In-sample mean |model − actual| before/after correction, µs.
+    pub fit_err_before_us: f64,
+    pub fit_err_after_us: f64,
+    /// Did the retrained selector pass its regret gate?
+    pub retrain_accepted: bool,
+    /// Distinct shape signatures the retrainer extracted.
+    pub retrain_signatures: usize,
+    /// Signatures whose faster-heuristic label flipped under the
+    /// corrected model.
+    pub retrain_label_flips: usize,
+    /// Mean corrected-µs selection regret, baseline vs retrained.
+    pub regret_before_us: f64,
+    pub regret_after_us: f64,
+    /// Structure of the selector forest before/after retraining
+    /// (identical when the candidate was rejected).
+    pub forest_before: ForestShape,
+    pub forest_after: ForestShape,
+    /// Serialized profile size, bytes (always round-tripped).
+    pub profile_bytes: usize,
+    /// Calibration epoch after the mid-run install.
+    pub swap_version: u64,
+    /// Requests completed / dropped by the swap arm.
+    pub swap_completed: usize,
+    pub swap_dropped: usize,
+}
+
+impl CalibBenchReport {
+    /// Placement-error reduction of replay vs record, percent.
+    pub fn err_reduction_pct(&self) -> f64 {
+        if self.record.mean_abs_err_us <= 0.0 {
+            return 0.0;
+        }
+        100.0 * (1.0 - self.replay.mean_abs_err_us / self.record.mean_abs_err_us)
+    }
+}
+
+/// The calibration workload: `table2`'s six classes plus six more
+/// signatures, so the retrainer sees enough distinct shapes to learn
+/// from (its [`ctb_calib::retrain::MIN_SIGNATURES`] floor).
+fn calib_mixes() -> Vec<ShapeMix> {
+    fn sig(shapes: &[GemmShape]) -> Arc<[GemmShape]> {
+        shapes.into()
+    }
+    vec![
+        ShapeMix { name: "small", shapes: sig(&[GemmShape::new(32, 32, 64); 4]), weight: 18 },
+        ShapeMix { name: "medium", shapes: sig(&[GemmShape::new(64, 64, 128); 3]), weight: 15 },
+        ShapeMix { name: "large", shapes: sig(&[GemmShape::new(128, 128, 256); 2]), weight: 9 },
+        ShapeMix { name: "tall", shapes: sig(&[GemmShape::new(256, 32, 64); 2]), weight: 8 },
+        ShapeMix { name: "wide", shapes: sig(&[GemmShape::new(32, 256, 64); 2]), weight: 8 },
+        ShapeMix { name: "huge", shapes: sig(&[GemmShape::new(256, 256, 512)]), weight: 4 },
+        ShapeMix { name: "sliver", shapes: sig(&[GemmShape::new(16, 16, 512); 6]), weight: 10 },
+        ShapeMix { name: "square", shapes: sig(&[GemmShape::new(96, 96, 96); 2]), weight: 8 },
+        ShapeMix { name: "deep", shapes: sig(&[GemmShape::new(48, 48, 384); 2]), weight: 6 },
+        ShapeMix { name: "skinny-k", shapes: sig(&[GemmShape::new(128, 128, 32); 2]), weight: 6 },
+        ShapeMix { name: "row", shapes: sig(&[GemmShape::new(8, 256, 128); 3]), weight: 4 },
+        ShapeMix { name: "col", shapes: sig(&[GemmShape::new(256, 8, 128); 3]), weight: 4 },
+    ]
+}
+
+fn calib_load(cfg: &CalibBenchConfig) -> LoadGen {
+    LoadGen::new(cfg.seed, cfg.mean_interarrival_ns, cfg.requests, calib_mixes())
+}
+
+fn engine_config(cfg: &CalibBenchConfig) -> EventConfig {
+    EventConfig { witness_every: cfg.witness_every, ..EventConfig::default() }
+}
+
+fn arm_from(report: &EngineReport) -> CalibArm {
+    let ds = TraceDataset::from_recording(report, None)
+        .expect("recorded arm always yields decisions");
+    CalibArm {
+        decisions: ds.decisions.len(),
+        mean_abs_err_us: ds.mean_abs_err_us(),
+        witness_mismatches: report.witness_mismatches,
+    }
+}
+
+/// One run of the workload over the drifted pool. `profile` installs
+/// before traffic (replay arm); `instrument` additionally records an
+/// obs trace for reconciliation.
+fn run_arm(
+    cfg: &CalibBenchConfig,
+    profile: Option<&CalibProfile>,
+    instrument: bool,
+) -> (EngineReport, Option<ctb_obs::TraceCounts>) {
+    let pool = ArchSpec::pool_presets(cfg.devices);
+    let (mut cluster, obs) = EventCluster::swappable(pool.clone(), engine_config(cfg), instrument);
+    cluster.set_ground_truth(GroundTruth::drift(&pool, cfg.drift_seed));
+    cluster.record_decisions(true);
+    if let Some(p) = profile {
+        p.install(cluster.share().calib());
+    }
+    cluster.load(calib_load(cfg));
+    let report = cluster.run();
+    let counts = obs.map(|o| {
+        TraceAudit::new(o.events()).check().expect("calibration trace audits clean")
+    });
+    (report, counts)
+}
+
+/// Record → fit → retrain → pack → replay → mid-run swap.
+pub fn run_calib_bench(cfg: &CalibBenchConfig) -> CalibBenchReport {
+    // 1. Record under the pristine model, instrumented.
+    let (recording, counts) = run_arm(cfg, None, true);
+    let dataset = TraceDataset::from_recording(&recording, counts.as_ref())
+        .expect("recording ingests");
+
+    // 2. Fit corrections and retrain the selector from the trace.
+    let fit = fit_decisions(&dataset.decisions);
+    let arch = ArchSpec::volta_v100();
+    let thresholds = Thresholds::for_arch(&arch);
+    let baseline = OnlineSelector::pretrained_v100();
+    let corrections = fit.correction_set();
+    let retrained = retrain_selector(&arch, &thresholds, &dataset.decisions, &corrections, &baseline);
+    let forest_before = forest_shape(baseline.forest());
+    let (selector_forest, forest_after, retrain_accepted, signatures, label_flips, regret) =
+        match &retrained {
+            Some((sel, rep)) => (
+                Some(sel.forest().clone()),
+                rep.shape_after.clone(),
+                true,
+                rep.signatures,
+                rep.label_flips,
+                (rep.regret_before_us, rep.regret_after_us),
+            ),
+            None => (None, forest_before.clone(), false, 0, 0, (0.0, 0.0)),
+        };
+
+    // 3. Pack the profile and prove its wire format round-trips.
+    let profile = CalibProfile {
+        corrections,
+        selector_forest,
+        meta: ProfileMeta {
+            source_decisions: dataset.decisions.len() as u64,
+            trained_cases: signatures as u64,
+            drift_seed: cfg.drift_seed,
+        },
+    };
+    let bytes = profile.to_bytes();
+    let profile = CalibProfile::from_bytes(&bytes).expect("profile round-trips");
+    assert_eq!(profile.to_bytes(), bytes, "profile wire format is byte-stable");
+
+    // 4. Replay the identical workload with the profile installed.
+    let (replayed, _) = run_arm(cfg, Some(&profile), false);
+
+    // 5. Swap arm: install mid-run; nothing may drop.
+    let pool = ArchSpec::pool_presets(cfg.devices);
+    let (mut swap, _) = EventCluster::swappable(pool.clone(), engine_config(cfg), false);
+    swap.set_ground_truth(GroundTruth::drift(&pool, cfg.drift_seed));
+    swap.load(calib_load(cfg));
+    swap.run_steps(cfg.requests as u64 / 2);
+    let swap_version = profile.install(swap.share().calib());
+    let swap_report = swap.run();
+    let swap_completed = swap_report
+        .outcomes
+        .iter()
+        .filter(|o| matches!(o, ReqOutcome::Done { .. }))
+        .count();
+
+    CalibBenchReport {
+        cfg: cfg.clone(),
+        record: arm_from(&recording),
+        replay: arm_from(&replayed),
+        fit_arches: fit.arches.len(),
+        fit_corrected: fit.arches.iter().filter(|a| !a.correction.is_identity()).count(),
+        fit_cases: fit.cases,
+        fit_err_before_us: fit.mean_err_before_us(),
+        fit_err_after_us: fit.mean_err_after_us(),
+        retrain_accepted,
+        retrain_signatures: signatures,
+        retrain_label_flips: label_flips,
+        regret_before_us: regret.0,
+        regret_after_us: regret.1,
+        forest_before,
+        forest_after,
+        profile_bytes: bytes.len(),
+        swap_version,
+        swap_completed,
+        swap_dropped: cfg.requests - swap_completed,
+    }
+}
+
+fn render_arm(out: &mut String, label: &str, a: &CalibArm) {
+    out.push_str(&format!(
+        "  \"{label}\": {{\n    \"decisions\": {},\n    \"mean_abs_err_us\": {:.4},\n    \
+         \"witness_mismatches\": {}\n  }},\n",
+        a.decisions, a.mean_abs_err_us, a.witness_mismatches
+    ));
+}
+
+fn render_forest(out: &mut String, label: &str, s: &ForestShape) {
+    let hist: Vec<String> = s.depth_histogram.iter().map(|n| n.to_string()).collect();
+    out.push_str(&format!(
+        "  \"{label}\": {{\n    \"trees\": {},\n    \"total_nodes\": {},\n    \
+         \"max_depth\": {},\n    \"depth_histogram\": [{}],\n    \"splits_m\": {},\n    \
+         \"splits_n\": {},\n    \"splits_k\": {},\n    \"splits_b\": {}\n  }},\n",
+        s.trees,
+        s.total_nodes,
+        s.max_depth,
+        hist.join(", "),
+        s.feature_splits[0],
+        s.feature_splits[1],
+        s.feature_splits[2],
+        s.feature_splits[3],
+    ));
+}
+
+/// Serialize the report as the tracked JSON schema.
+pub fn render_json(r: &CalibBenchReport) -> String {
+    let mut out = format!(
+        "{{\n  \"bench\": \"calibrate\",\n  \"devices\": {},\n  \"requests\": {},\n  \
+         \"seed\": {},\n  \"drift_seed\": {},\n",
+        r.cfg.devices, r.cfg.requests, r.cfg.seed, r.cfg.drift_seed
+    );
+    render_arm(&mut out, "record", &r.record);
+    out.push_str(&format!(
+        "  \"fit\": {{\n    \"arches\": {},\n    \"corrected\": {},\n    \"cases\": {},\n    \
+         \"err_before_us\": {:.4},\n    \"err_after_us\": {:.4}\n  }},\n",
+        r.fit_arches, r.fit_corrected, r.fit_cases, r.fit_err_before_us, r.fit_err_after_us
+    ));
+    out.push_str(&format!(
+        "  \"retrain\": {{\n    \"accepted\": {},\n    \"signatures\": {},\n    \
+         \"label_flips\": {},\n    \"regret_before_us\": {:.4},\n    \
+         \"regret_after_us\": {:.4}\n  }},\n",
+        r.retrain_accepted,
+        r.retrain_signatures,
+        r.retrain_label_flips,
+        r.regret_before_us,
+        r.regret_after_us
+    ));
+    render_forest(&mut out, "forest_before", &r.forest_before);
+    render_forest(&mut out, "forest_after", &r.forest_after);
+    out.push_str(&format!(
+        "  \"profile\": {{\n    \"version\": {},\n    \"bytes\": {}\n  }},\n",
+        PROFILE_VERSION, r.profile_bytes
+    ));
+    render_arm(&mut out, "replay", &r.replay);
+    out.push_str(&format!(
+        "  \"swap\": {{\n    \"installed_version\": {},\n    \"completed\": {},\n    \
+         \"dropped\": {}\n  }},\n",
+        r.swap_version, r.swap_completed, r.swap_dropped
+    ));
+    out.push_str(&format!("  \"err_reduction_pct\": {:.2}\n}}\n", r.err_reduction_pct()));
+    out
+}
+
+/// Path of the tracked report at the repo root.
+pub fn report_path() -> PathBuf {
+    crate::bench_json_path("calibrate")
+}
+
+/// Path of the checked-in golden schema the gate diffs against.
+pub fn golden_schema_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../scripts/BENCH_calibrate.schema")
+}
+
+/// Run the full tracked configuration (or a flag-adjusted one) and
+/// write `BENCH_calibrate.json`.
+pub fn run_and_write(cfg: &CalibBenchConfig) -> (CalibBenchReport, PathBuf) {
+    let report = run_calib_bench(cfg);
+    let path = crate::write_bench_json("calibrate", &render_json(&report));
+    (report, path)
+}
+
+/// Run the smoke configuration and write
+/// `target/experiments/BENCH_calibrate_smoke.json`, leaving the tracked
+/// root report to full runs only.
+pub fn run_and_write_smoke() -> (CalibBenchReport, PathBuf) {
+    let report = run_calib_bench(&CalibBenchConfig::smoke());
+    let path = crate::experiments_dir().join("BENCH_calibrate_smoke.json");
+    std::fs::write(&path, render_json(&report)).expect("write BENCH_calibrate_smoke.json");
+    (report, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_loop_reduces_error_and_drops_nothing() {
+        let r = run_calib_bench(&CalibBenchConfig::smoke());
+        assert_eq!(r.record.witness_mismatches, 0);
+        assert_eq!(r.replay.witness_mismatches, 0);
+        assert!(r.record.mean_abs_err_us > 0.0, "drift must show up as error");
+        assert!(
+            r.replay.mean_abs_err_us < r.record.mean_abs_err_us,
+            "calibration must strictly reduce placement error ({} -> {})",
+            r.record.mean_abs_err_us,
+            r.replay.mean_abs_err_us
+        );
+        assert!(r.fit_corrected > 0, "a drifted pool needs at least one correction");
+        assert_eq!(r.swap_dropped, 0, "mid-run install dropped requests");
+        assert_eq!(r.swap_version, 1);
+        assert!(r.profile_bytes > 0);
+    }
+
+    #[test]
+    fn workload_has_enough_distinct_signatures_to_retrain() {
+        let sigs: std::collections::BTreeSet<String> =
+            calib_mixes().iter().map(|m| format!("{:?}", m.shapes)).collect();
+        assert!(
+            sigs.len() >= ctb_calib::retrain::MIN_SIGNATURES,
+            "only {} distinct signatures",
+            sigs.len()
+        );
+    }
+
+    #[test]
+    fn json_schema_has_stable_keys() {
+        let arm = CalibArm { decisions: 0, mean_abs_err_us: 0.0, witness_mismatches: 0 };
+        let shape = ForestShape {
+            trees: 0,
+            total_nodes: 0,
+            max_depth: 0,
+            depth_histogram: vec![0],
+            feature_splits: vec![0; 4],
+        };
+        let r = CalibBenchReport {
+            cfg: CalibBenchConfig::default(),
+            record: arm.clone(),
+            replay: arm,
+            fit_arches: 0,
+            fit_corrected: 0,
+            fit_cases: 0,
+            fit_err_before_us: 0.0,
+            fit_err_after_us: 0.0,
+            retrain_accepted: false,
+            retrain_signatures: 0,
+            retrain_label_flips: 0,
+            regret_before_us: 0.0,
+            regret_after_us: 0.0,
+            forest_before: shape.clone(),
+            forest_after: shape,
+            profile_bytes: 0,
+            swap_version: 0,
+            swap_completed: 0,
+            swap_dropped: 0,
+        };
+        let json = render_json(&r);
+        let golden = std::fs::read_to_string(golden_schema_path())
+            .expect("golden schema checked in");
+        let golden: Vec<String> = golden.lines().map(str::to_string).collect();
+        assert_eq!(
+            crate::obs_bench::key_paths(&json),
+            golden,
+            "BENCH_calibrate.json schema drifted; update scripts/BENCH_calibrate.schema deliberately"
+        );
+    }
+
+    #[test]
+    fn report_path_is_the_repo_root() {
+        let p = report_path();
+        assert!(p.ends_with("BENCH_calibrate.json"));
+        assert!(p.parent().unwrap().join("Cargo.toml").exists());
+    }
+}

@@ -6,6 +6,7 @@
 //! `target/experiments/`.
 
 pub mod ablations;
+pub mod calib_bench;
 pub mod calibrate;
 pub mod chaos_bench;
 pub mod cluster_bench;

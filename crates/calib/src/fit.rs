@@ -1,0 +1,301 @@
+//! Per-arch least-squares fitting of cost-model corrections.
+//!
+//! Each recorded [`PlacementDecision`] contributes one row: the raw
+//! analytical-model prediction `model_us`, the §5 feature quadruple of
+//! its shapes, and the time execution actually charged. Per
+//! architecture the calibrator solves the ridge-regularized normal
+//! equations for the affine map `actual ≈ φ(model, features) · c`
+//! (see [`ctb_sim::correction`] for φ), then keeps the best of three
+//! candidates under in-sample mean absolute error:
+//!
+//! * **identity** — the pass-through (never worse than the status quo),
+//! * **scale-only** — `actual ≈ s · model`, the one-parameter fit that
+//!   captures uniform clock/bandwidth drift and cannot overfit,
+//! * **affine** — the full 6-coefficient φ fit.
+//!
+//! Keeping the argmin means a calibration pass can never *increase*
+//! in-sample error; on a deterministic replay of the same workload the
+//! corrected model is therefore no worse per arch, and strictly better
+//! whenever real drift exists.
+
+use ctb_cluster::PlacementDecision;
+use ctb_core::selector::features;
+use ctb_sim::{phi, CorrectionSet, CostCorrection, PHI_LEN};
+use std::collections::BTreeMap;
+
+/// One regression row: raw model prediction, selector features of the
+/// shapes, measured execution time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FitCase {
+    pub model_us: f64,
+    pub features: Vec<f64>,
+    pub actual_us: f64,
+}
+
+impl FitCase {
+    /// Build the row a decision contributes.
+    pub fn from_decision(d: &PlacementDecision) -> Self {
+        FitCase { model_us: d.model_us, features: features(&d.shapes), actual_us: d.actual_us }
+    }
+}
+
+/// What the fit did for one architecture.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArchFit {
+    pub arch: String,
+    /// Rows that went into the fit.
+    pub cases: usize,
+    /// Mean |model − actual| before correction, µs.
+    pub err_before_us: f64,
+    /// Mean |corrected − actual| under the chosen correction, µs
+    /// (in-sample).
+    pub err_after_us: f64,
+    /// `"identity"`, `"scale"` or `"affine"` — which candidate won.
+    pub kind: &'static str,
+    pub correction: CostCorrection,
+}
+
+/// The whole calibration pass: one correction per recorded arch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FitSummary {
+    pub arches: Vec<ArchFit>,
+    /// Total rows across arches.
+    pub cases: usize,
+}
+
+impl FitSummary {
+    /// Case-weighted mean absolute error before any correction, µs.
+    pub fn mean_err_before_us(&self) -> f64 {
+        weighted_mean(&self.arches, |a| a.err_before_us)
+    }
+
+    /// Case-weighted in-sample mean absolute error after, µs.
+    pub fn mean_err_after_us(&self) -> f64 {
+        weighted_mean(&self.arches, |a| a.err_after_us)
+    }
+
+    /// The corrections as an installable set (identity winners are
+    /// omitted — absent arches already pass through bit-for-bit).
+    pub fn correction_set(&self) -> CorrectionSet {
+        let mut set = CorrectionSet::identity();
+        for a in &self.arches {
+            if !a.correction.is_identity() {
+                set.insert(&a.arch, a.correction.clone());
+            }
+        }
+        set
+    }
+}
+
+fn weighted_mean(arches: &[ArchFit], f: impl Fn(&ArchFit) -> f64) -> f64 {
+    let total: usize = arches.iter().map(|a| a.cases).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    arches.iter().map(|a| f(a) * a.cases as f64).sum::<f64>() / total as f64
+}
+
+/// Mean |correction(model) − actual| over `cases`, µs.
+fn mean_abs_err(cases: &[FitCase], c: &CostCorrection) -> f64 {
+    if cases.is_empty() {
+        return 0.0;
+    }
+    cases
+        .iter()
+        .map(|r| (c.apply(r.model_us, &r.features) - r.actual_us).abs())
+        .sum::<f64>()
+        / cases.len() as f64
+}
+
+/// Solve the symmetric system `a · x = b` by Gaussian elimination with
+/// partial pivoting; `None` when (numerically) singular.
+fn solve(mut a: [[f64; PHI_LEN]; PHI_LEN], mut b: [f64; PHI_LEN]) -> Option<[f64; PHI_LEN]> {
+    for col in 0..PHI_LEN {
+        let pivot = (col..PHI_LEN)
+            .max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))
+            .expect("non-empty range");
+        if a[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        let upper = a[col];
+        for row in (col + 1)..PHI_LEN {
+            let f = a[row][col] / upper[col];
+            for (dst, src) in a[row][col..].iter_mut().zip(&upper[col..]) {
+                *dst -= f * src;
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    let mut x = [0.0; PHI_LEN];
+    for col in (0..PHI_LEN).rev() {
+        let mut acc = b[col];
+        for k in (col + 1)..PHI_LEN {
+            acc -= a[col][k] * x[k];
+        }
+        x[col] = acc / a[col][col];
+    }
+    Some(x)
+}
+
+/// The full affine candidate: ridge-regularized normal equations over
+/// every φ row. `None` when the system is singular even with the ridge.
+fn fit_affine(cases: &[FitCase]) -> Option<CostCorrection> {
+    if cases.len() < PHI_LEN {
+        return None;
+    }
+    let mut xtx = [[0.0f64; PHI_LEN]; PHI_LEN];
+    let mut xty = [0.0f64; PHI_LEN];
+    for r in cases {
+        let p = phi(r.model_us, &r.features);
+        for i in 0..PHI_LEN {
+            for j in 0..PHI_LEN {
+                xtx[i][j] += p[i] * p[j];
+            }
+            xty[i] += p[i] * r.actual_us;
+        }
+    }
+    // Ridge scaled to the diagonal so conditioning is unit-free.
+    let scale = (0..PHI_LEN).map(|i| xtx[i][i]).fold(0.0f64, f64::max).max(1.0);
+    for (i, row) in xtx.iter_mut().enumerate() {
+        row[i] += 1e-8 * scale;
+    }
+    solve(xtx, xty).map(|coeffs| CostCorrection { coeffs })
+}
+
+/// The scale-only candidate: `actual ≈ s · model` with
+/// `s = Σ model·actual / Σ model²`.
+fn fit_scale(cases: &[FitCase]) -> Option<CostCorrection> {
+    let num: f64 = cases.iter().map(|r| r.model_us * r.actual_us).sum();
+    let den: f64 = cases.iter().map(|r| r.model_us * r.model_us).sum();
+    if den <= 0.0 || !num.is_finite() {
+        return None;
+    }
+    let mut coeffs = [0.0; PHI_LEN];
+    coeffs[1] = num / den;
+    Some(CostCorrection { coeffs })
+}
+
+/// Fit one architecture's rows: best of identity / scale / affine by
+/// in-sample mean absolute error (ties keep the simpler model).
+pub fn fit_arch(arch: &str, cases: &[FitCase]) -> ArchFit {
+    let identity = CostCorrection::identity();
+    let err_before = mean_abs_err(cases, &identity);
+    let mut best = (err_before, "identity", identity);
+    for (kind, cand) in
+        [("scale", fit_scale(cases)), ("affine", fit_affine(cases))]
+    {
+        if let Some(c) = cand {
+            let err = mean_abs_err(cases, &c);
+            if err.is_finite() && err < best.0 {
+                best = (err, kind, c);
+            }
+        }
+    }
+    ArchFit {
+        arch: arch.to_string(),
+        cases: cases.len(),
+        err_before_us: err_before,
+        err_after_us: best.0,
+        kind: best.1,
+        correction: best.2,
+    }
+}
+
+/// Group decisions by architecture (sorted by name for determinism) and
+/// fit each group.
+pub fn fit_decisions(decisions: &[PlacementDecision]) -> FitSummary {
+    let mut by_arch: BTreeMap<&str, Vec<FitCase>> = BTreeMap::new();
+    for d in decisions {
+        by_arch.entry(d.arch).or_default().push(FitCase::from_decision(d));
+    }
+    let arches: Vec<ArchFit> =
+        by_arch.iter().map(|(arch, cases)| fit_arch(arch, cases)).collect();
+    FitSummary { cases: decisions.len(), arches }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows(f: impl Fn(f64, &[f64]) -> f64) -> Vec<FitCase> {
+        let mut rows = Vec::new();
+        for i in 0..40 {
+            let model = 5.0 + 3.0 * i as f64;
+            let features = vec![
+                16.0 + i as f64,
+                24.0 + 2.0 * i as f64,
+                32.0 + (i % 7) as f64,
+                1.0 + (i % 4) as f64,
+            ];
+            let actual = f(model, &features);
+            rows.push(FitCase { model_us: model, features, actual_us: actual });
+        }
+        rows
+    }
+
+    #[test]
+    fn exact_affine_relation_is_recovered() {
+        let cases = rows(|m, f| 2.0 + 1.3 * m + 0.01 * f[0] - 0.02 * f[1] + 0.005 * f[3]);
+        let fit = fit_arch("X", &cases);
+        assert_eq!(fit.kind, "affine");
+        // The ridge term biases the exact solution by ~1e-5 µs.
+        assert!(fit.err_after_us < 1e-3, "err {}", fit.err_after_us);
+        assert!(fit.err_before_us > 1.0);
+    }
+
+    #[test]
+    fn pure_scale_drift_is_fixed_by_any_candidate() {
+        let cases = rows(|m, _| 1.17 * m);
+        let fit = fit_arch("X", &cases);
+        assert!(fit.err_after_us < 1e-6, "err {}", fit.err_after_us);
+        assert!((fit.correction.apply(100.0, &[0.0; 4]) - 117.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn perfect_model_keeps_the_identity() {
+        let cases = rows(|m, _| m);
+        let fit = fit_arch("X", &cases);
+        assert_eq!(fit.kind, "identity");
+        assert!(fit.correction.is_identity());
+        assert_eq!(fit.err_before_us, 0.0);
+    }
+
+    #[test]
+    fn too_few_rows_fall_back_without_panicking() {
+        let cases = rows(|m, _| 1.5 * m);
+        let fit = fit_arch("X", &cases[..2]);
+        // Affine needs >= PHI_LEN rows; scale still nails pure drift.
+        assert!(fit.err_after_us < 1e-9);
+        assert_eq!(fit.kind, "scale");
+    }
+
+    #[test]
+    fn summary_groups_by_arch_and_weights_means() {
+        use ctb_matrix::GemmShape;
+        use std::sync::Arc;
+        let shapes: Arc<[GemmShape]> = vec![GemmShape::new(32, 32, 64)].into();
+        let mk = |arch: &'static str, model: f64, actual: f64, id: u64| PlacementDecision {
+            id,
+            device: 0,
+            arch,
+            shapes: Arc::clone(&shapes),
+            model_us: model,
+            predicted_us: model,
+            actual_us: actual,
+        };
+        let decisions: Vec<_> = (0..12)
+            .map(|i| mk("A", 10.0 + i as f64, 1.2 * (10.0 + i as f64), i))
+            .chain((0..12).map(|i| mk("B", 10.0 + i as f64, 10.0 + i as f64, 100 + i)))
+            .collect();
+        let s = fit_decisions(&decisions);
+        assert_eq!(s.cases, 24);
+        assert_eq!(s.arches.len(), 2);
+        assert_eq!(s.arches[0].arch, "A");
+        assert!(s.mean_err_after_us() < s.mean_err_before_us());
+        let set = s.correction_set();
+        assert!(set.get("A").is_some(), "drifted arch gets a correction");
+        assert!(set.get("B").is_none(), "perfect arch stays pass-through");
+    }
+}

@@ -1,0 +1,51 @@
+//! Trace-driven cost-model calibration and online forest retraining.
+//!
+//! The paper's coordinated tiling/batching decisions all flow through
+//! the analytical cost model (Eqs 2–4) and the forest selector (§5).
+//! Both are fit once against synthetic parameters and never corrected —
+//! yet the serving stack already records both sides of every placement
+//! decision (`ctb-cluster`'s [`PlacementDecision`] log plus the ctb-obs
+//! plan/exec spans), and `ClusterStats` reports predicted-vs-actual
+//! placement error. This crate closes that loop, the feedback
+//! architecture of the Ada Lovelace ML-analytical study
+//! (arXiv 2411.16954) and tritonBLAS (arXiv 2512.04226):
+//!
+//! 1. **Offline calibration** ([`fit`]) — replay a recorded trace and
+//!    fit per-`ArchSpec` least-squares correction coefficients over the
+//!    affine feature map `φ(model_us, features)` of
+//!    [`ctb_sim::correction`]. The fit never regresses: per arch the
+//!    calibrator keeps the best of {identity, scale-only, full affine}
+//!    under in-sample mean absolute error.
+//! 2. **Trace-labeled forest retraining** ([`retrain`]) — convert the
+//!    recorded decisions into ctb-forest training cases (the shapes the
+//!    deployment actually served, labeled by the *corrected* cost
+//!    model) and retrain the §5 selector against them instead of the
+//!    synthetic-only sampling of `OnlineSelector::train_default`.
+//! 3. **A versioned [`CalibProfile`]** ([`profile`]) — corrections +
+//!    optional retrained forest, serialized through ctb-savestate's
+//!    codec (typed errors, byte-stable round-trip) so a profile can be
+//!    shipped to a running fleet.
+//! 4. **Online hot-swap** — a profile [`install`](CalibProfile::install)s
+//!    into the `Arc`-swappable `CalibHandle` every
+//!    [`PlanShare`](ctb_core::PlanShare) owns; `serve` and cluster
+//!    traffic picks it up without a restart (see `ctb_core::hotswap`
+//!    for the ownership rules, and this crate's `tests/hotswap.rs` for
+//!    the zero-drop / bitwise-exact swap-under-load proof).
+//!
+//! The end-to-end pass is wired as `reproduce calibrate` →
+//! `BENCH_calibrate.json`: record (drifted ground truth) → fit →
+//! retrain → install → replay, reporting mean placement error before
+//! and after.
+
+pub mod fit;
+pub mod profile;
+pub mod retrain;
+pub mod trace;
+
+pub use fit::{fit_decisions, ArchFit, FitCase, FitSummary};
+pub use profile::{CalibProfile, ProfileMeta, PROFILE_VERSION};
+pub use retrain::{forest_shape, retrain_selector, ForestShape, RetrainReport};
+pub use trace::{CalibError, TraceDataset};
+
+pub use ctb_cluster::{GroundTruth, PlacementDecision};
+pub use ctb_sim::{CorrectionSet, CostCorrection};

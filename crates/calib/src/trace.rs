@@ -1,0 +1,182 @@
+//! Trace ingestion: from a recorded engine run to a validated dataset.
+//!
+//! A calibration recording is an [`EngineReport`] whose
+//! `decisions` log was enabled ([`EventCluster::record_decisions`])
+//! while a ground-truth pool supplied real execution times. Ingestion
+//! validates the log (finite, positive times; non-empty) and — when the
+//! run was instrumented — reconciles it against the ctb-obs trace: the
+//! audited plan/exec span counts must be consistent with the number of
+//! decisions recorded, so a truncated or mixed-up trace is rejected
+//! before it can poison a fit.
+//!
+//! [`EventCluster::record_decisions`]: ctb_cluster::EventCluster::record_decisions
+
+use ctb_cluster::{EngineReport, PlacementDecision};
+use ctb_obs::audit::TraceCounts;
+use ctb_obs::SpanKind;
+use std::fmt;
+
+/// Why a recording could not be ingested.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CalibError {
+    /// The recording holds no decisions (log not enabled, or no
+    /// requests completed).
+    EmptyTrace,
+    /// A decision carries a non-finite or non-positive time.
+    BadDecision { id: u64, why: String },
+    /// The obs trace disagrees with the decision log.
+    TraceMismatch(String),
+}
+
+impl fmt::Display for CalibError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CalibError::EmptyTrace => {
+                write!(f, "recording holds no placement decisions to calibrate against")
+            }
+            CalibError::BadDecision { id, why } => {
+                write!(f, "decision {id} is unusable: {why}")
+            }
+            CalibError::TraceMismatch(why) => write!(f, "obs trace mismatch: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for CalibError {}
+
+/// A validated calibration dataset.
+#[derive(Debug, Clone)]
+pub struct TraceDataset {
+    pub decisions: Vec<PlacementDecision>,
+    /// Distinct architecture names, sorted.
+    pub arches: Vec<&'static str>,
+}
+
+impl TraceDataset {
+    /// Validate `report`'s decision log; with `counts` (the
+    /// [`TraceAudit`](ctb_obs::TraceAudit) tally of the run's obs
+    /// trace) also reconcile it against the recorded spans.
+    pub fn from_recording(
+        report: &EngineReport,
+        counts: Option<&TraceCounts>,
+    ) -> Result<TraceDataset, CalibError> {
+        TraceDataset::from_decisions(&report.decisions, report.witnesses, counts)
+    }
+
+    /// [`TraceDataset::from_recording`] over a bare decision log plus
+    /// the run's witness count.
+    pub fn from_decisions(
+        decisions: &[PlacementDecision],
+        witnesses: usize,
+        counts: Option<&TraceCounts>,
+    ) -> Result<TraceDataset, CalibError> {
+        if decisions.is_empty() {
+            return Err(CalibError::EmptyTrace);
+        }
+        for d in decisions {
+            for (what, v) in
+                [("model_us", d.model_us), ("predicted_us", d.predicted_us), ("actual_us", d.actual_us)]
+            {
+                if !v.is_finite() || v <= 0.0 {
+                    return Err(CalibError::BadDecision {
+                        id: d.id,
+                        why: format!("{what} = {v}"),
+                    });
+                }
+            }
+        }
+        if let Some(c) = counts {
+            // Every decision is one completed placement; routed counts
+            // initial placements plus re-routes, so it bounds the log.
+            if c.routed < decisions.len() {
+                return Err(CalibError::TraceMismatch(format!(
+                    "{} decisions recorded but the trace routed only {} batches",
+                    decisions.len(),
+                    c.routed
+                )));
+            }
+            // An instrumented planning phase leaves Plan spans; a trace
+            // with none cannot belong to this run.
+            if c.span_count(SpanKind::Plan) == 0 {
+                return Err(CalibError::TraceMismatch(
+                    "trace holds no Plan spans; was it recorded from this run?".into(),
+                ));
+            }
+            // Witnesses execute for real inside an Exec span; a run
+            // configured with witnesses must show them.
+            if witnesses > 0 && c.span_count(SpanKind::Exec) < witnesses {
+                return Err(CalibError::TraceMismatch(format!(
+                    "{witnesses} witnesses executed but the trace closed only {} Exec spans",
+                    c.span_count(SpanKind::Exec)
+                )));
+            }
+        }
+        let mut arches: Vec<&'static str> = decisions.iter().map(|d| d.arch).collect();
+        arches.sort_unstable();
+        arches.dedup();
+        Ok(TraceDataset { decisions: decisions.to_vec(), arches })
+    }
+
+    /// Mean |predicted − actual| over the recording, µs — the number
+    /// the calibration pass is trying to shrink.
+    pub fn mean_abs_err_us(&self) -> f64 {
+        if self.decisions.is_empty() {
+            return 0.0;
+        }
+        self.decisions.iter().map(|d| d.error_us().abs()).sum::<f64>()
+            / self.decisions.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decision(id: u64, actual: f64) -> PlacementDecision {
+        use ctb_matrix::GemmShape;
+        PlacementDecision {
+            id,
+            device: 0,
+            arch: "Tesla V100",
+            shapes: vec![GemmShape::new(8, 8, 8)].into(),
+            model_us: 10.0,
+            predicted_us: 10.0,
+            actual_us: actual,
+        }
+    }
+
+    #[test]
+    fn empty_log_is_rejected() {
+        match TraceDataset::from_decisions(&[], 0, None) {
+            Err(CalibError::EmptyTrace) => {}
+            other => panic!("expected EmptyTrace, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_finite_times_are_rejected_with_the_offender() {
+        let log = vec![decision(1, 12.0), decision(2, f64::NAN)];
+        match TraceDataset::from_decisions(&log, 0, None) {
+            Err(CalibError::BadDecision { id: 2, .. }) => {}
+            other => panic!("expected BadDecision for id 2, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn valid_log_ingests_and_summarizes() {
+        let log = vec![decision(1, 12.0), decision(2, 9.0)];
+        let ds = TraceDataset::from_decisions(&log, 0, None).expect("ingests");
+        assert_eq!(ds.arches, vec!["Tesla V100"]);
+        assert_eq!(ds.mean_abs_err_us(), 1.5);
+    }
+
+    #[test]
+    fn trace_counts_must_cover_the_decision_log() {
+        let log = vec![decision(1, 12.0), decision(2, 9.0)];
+        let counts = TraceCounts { routed: 1, ..TraceCounts::default() };
+        match TraceDataset::from_decisions(&log, 0, Some(&counts)) {
+            Err(CalibError::TraceMismatch(_)) => {}
+            other => panic!("expected TraceMismatch, got {other:?}"),
+        }
+    }
+}

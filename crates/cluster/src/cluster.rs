@@ -576,12 +576,19 @@ impl Drop for Cluster {
 fn predict_us(dev: &Device, shapes: &[GemmShape]) -> Result<f64, String> {
     let plan = dev.session.plan(shapes)?;
     let fw = dev.session.framework();
-    Ok(dev.session.sim_memo().simulate_solution(
+    let model = dev.session.sim_memo().simulate_solution(
         fw.arch(),
         shapes,
         &plan.solution,
         plan.heuristic,
         fw.thresholds(),
+    );
+    // Identity (never-calibrated) handles return `model` bit-for-bit,
+    // so uncalibrated pools keep exact prediction == execution parity.
+    Ok(dev.session.share().calib().correct(
+        fw.arch().name,
+        model,
+        &ctb_core::selector::features(shapes),
     ))
 }
 

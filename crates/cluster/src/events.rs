@@ -37,9 +37,13 @@
 //! byte-identical trace (`tests/determinism.rs`).
 
 use crate::cluster::{ClusterConfig, StealPolicy};
+use crate::drift::{GroundTruth, PlacementDecision};
 use crate::placer::{self, Candidate};
 use crate::stats::{ClusterInner, ClusterStats, DeviceStats};
-use ctb_core::{AdmissionPolicy, CacheStats, Framework, PlanShare, PlanShareConfig, Session};
+use ctb_core::{
+    AdmissionPolicy, BatchingPolicy, CacheStats, Framework, FrameworkConfig, PlanShare,
+    PlanShareConfig, Session,
+};
 use ctb_gpu_specs::ArchSpec;
 use ctb_matrix::{bitwise_mismatch, GemmBatch, GemmShape};
 use ctb_obs::{Obs, ObsClock, PointKind, SimClock, SpanKind};
@@ -538,6 +542,9 @@ pub struct EngineReport {
     pub horizon: SimTime,
     /// Per-request outcomes when [`EventConfig::record_outcomes`] set.
     pub outcomes: Vec<ReqOutcome>,
+    /// Completed placements when [`EventCluster::record_decisions`] was
+    /// enabled — the offline calibrator's training trace.
+    pub decisions: Vec<PlacementDecision>,
 }
 
 /// Why a placement attempt found no home (mirrors the threaded
@@ -606,6 +613,32 @@ pub struct EventCluster {
     pending_arrivals: usize,
     /// Requests admitted but not yet terminal.
     open_jobs: usize,
+    /// "True silicon" specs for calibration recording runs
+    /// ([`EventCluster::set_ground_truth`]); `None` (the default)
+    /// charges predicted time at completion, keeping placement error
+    /// zero by construction. Never serialized — ground-truth runs
+    /// refuse to checkpoint.
+    ground_truth: Option<GroundTruth>,
+    /// Memoized true-arch execution time per (class name, signature);
+    /// only populated under a ground-truth pool. Bypasses the SimMemo
+    /// deliberately: drifted specs share names with their nominal
+    /// presets, so the memo's context key cannot tell them apart.
+    actuals: HashMap<(&'static str, Arc<[GemmShape]>), f64>,
+    /// Raw (uncorrected) model prediction per (class name, signature) —
+    /// what `predictions` held before the installed correction was
+    /// applied; kept for [`PlacementDecision::model_us`].
+    model_us: HashMap<(&'static str, Arc<[GemmShape]>), f64>,
+    /// When `Some`, completions append a [`PlacementDecision`]
+    /// ([`EventCluster::record_decisions`]). Never serialized.
+    decisions: Option<Vec<PlacementDecision>>,
+    /// Calibration-handle version the prediction cache was computed
+    /// under; a mismatch on lookup clears the cache.
+    calib_version: u64,
+    /// Device sessions run [`BatchingPolicy::Swappable`]
+    /// ([`EventCluster::swappable`]). Never serialized — the blob
+    /// format carries no policy, so swappable engines refuse to
+    /// checkpoint.
+    swappable: bool,
 }
 
 impl EventCluster {
@@ -619,7 +652,7 @@ impl EventCluster {
         cfg: EventConfig,
         faults: Vec<Option<Arc<FaultInjector>>>,
     ) -> Self {
-        EventCluster::build(pool, cfg, faults, None, None)
+        EventCluster::build(pool, cfg, faults, None, None, false)
     }
 
     /// Build with a fresh [`SimClock`]-backed [`Obs`] installed; the
@@ -632,7 +665,34 @@ impl EventCluster {
     ) -> (Self, Arc<Obs>) {
         let clock = Arc::new(SimClock::new());
         let obs = Arc::new(Obs::sim(Arc::clone(&clock)));
-        let eng = EventCluster::build(pool, cfg, faults, Some(Arc::clone(&obs)), Some(clock));
+        let eng =
+            EventCluster::build(pool, cfg, faults, Some(Arc::clone(&obs)), Some(clock), false);
+        (eng, obs)
+    }
+
+    /// Build with every device session on the
+    /// [`BatchingPolicy::Swappable`] policy — the hot-swap seam ctb-calib
+    /// installs retrained selectors through. At calibration version 0
+    /// (nothing installed) a swappable session plans bit-for-bit like
+    /// the default best-of-both engine, so before/after comparisons stay
+    /// apples-to-apples. Pass `instrument: true` to also get the
+    /// [`SimClock`]-backed [`Obs`] bus the record pass feeds the
+    /// calibrator. Swappable engines are runtime-only: they refuse to
+    /// checkpoint (the blob format does not carry the policy, so a
+    /// restored engine could not replay the same planning fingerprints).
+    pub fn swappable(
+        pool: Vec<ArchSpec>,
+        cfg: EventConfig,
+        instrument: bool,
+    ) -> (Self, Option<Arc<Obs>>) {
+        let n = pool.len();
+        let (obs, clock) = if instrument {
+            let clock = Arc::new(SimClock::new());
+            (Some(Arc::new(Obs::sim(Arc::clone(&clock)))), Some(clock))
+        } else {
+            (None, None)
+        };
+        let eng = EventCluster::build(pool, cfg, vec![None; n], obs.clone(), clock, true);
         (eng, obs)
     }
 
@@ -642,6 +702,7 @@ impl EventCluster {
         faults: Vec<Option<Arc<FaultInjector>>>,
         obs: Option<Arc<Obs>>,
         clock: Option<Arc<SimClock>>,
+        swappable: bool,
     ) -> Self {
         assert!(!pool.is_empty(), "a cluster needs at least one device");
         assert_eq!(pool.len(), faults.len(), "one fault schedule slot per device");
@@ -663,7 +724,18 @@ impl EventCluster {
                     }
                 };
                 class_of.push(class);
-                let s = Session::with_share(Framework::new(arch), Arc::clone(&share));
+                let fw = if swappable {
+                    Framework::with_config(
+                        arch,
+                        FrameworkConfig {
+                            batching: BatchingPolicy::Swappable,
+                            ..FrameworkConfig::default()
+                        },
+                    )
+                } else {
+                    Framework::new(arch)
+                };
+                let s = Session::with_share(fw, Arc::clone(&share));
                 let session = Arc::new(match &obs {
                     Some(o) => s.with_obs(Arc::clone(o)),
                     None => s,
@@ -718,6 +790,12 @@ impl EventCluster {
             witness_mismatches: 0,
             pending_arrivals: 0,
             open_jobs: 0,
+            ground_truth: None,
+            actuals: HashMap::new(),
+            model_us: HashMap::new(),
+            decisions: None,
+            calib_version: 0,
+            swappable,
         }
     }
 
@@ -731,6 +809,24 @@ impl EventCluster {
 
     pub fn observer(&self) -> Option<&Arc<Obs>> {
         self.obs.as_ref()
+    }
+
+    /// Attach a "true silicon" pool for a calibration recording run:
+    /// placement keeps predicting with the nominal analytical model,
+    /// but completions charge the time the planned kernel takes on the
+    /// drifted spec — so `mean_abs_placement_err_us` measures real
+    /// model error instead of being zero by construction. Ground-truth
+    /// runs cannot be checkpointed ([`checkpoint`](Self::checkpoint)
+    /// panics): the pool is runtime-only state.
+    pub fn set_ground_truth(&mut self, truth: GroundTruth) {
+        self.ground_truth = Some(truth);
+    }
+
+    /// Record one [`PlacementDecision`] per completed request into the
+    /// next [`EngineReport`] — the offline calibrator's training trace.
+    /// Recording runs cannot be checkpointed.
+    pub fn record_decisions(&mut self, on: bool) {
+        self.decisions = if on { Some(Vec::new()) } else { None };
     }
 
     /// Schedule one request to arrive at `at`. Returns its job id.
@@ -842,6 +938,7 @@ impl EventCluster {
             witness_mismatches: self.witness_mismatches,
             horizon: self.now,
             outcomes: std::mem::take(&mut self.outcomes),
+            decisions: self.decisions.as_mut().map(std::mem::take).unwrap_or_default(),
         }
     }
 
@@ -1008,6 +1105,14 @@ impl EventCluster {
     /// class — the same plan + `simulate_solution` number the threaded
     /// `predict_us` computes, shared across all devices of the class.
     fn predict_cached(&mut self, dev_idx: usize, shapes: &Arc<[GemmShape]>) -> Result<f64, String> {
+        // Cached values include the installed correction, so a profile
+        // install (version bump on the share's CalibHandle) invalidates
+        // the whole cache.
+        let version = self.share.calib().version();
+        if version != self.calib_version {
+            self.predictions.clear();
+            self.calib_version = version;
+        }
         let class = self.class_of[dev_idx];
         let rep = self.class_rep[class];
         let name = self.devices[rep].arch().name;
@@ -1015,7 +1120,7 @@ impl EventCluster {
             return r.clone();
         }
         let session = &self.devices[rep].session;
-        let r = session.plan(shapes).map(|plan| {
+        let raw = session.plan(shapes).map(|plan| {
             let fw = session.framework();
             session.sim_memo().simulate_solution(
                 fw.arch(),
@@ -1025,6 +1130,14 @@ impl EventCluster {
                 fw.thresholds(),
             )
         });
+        let r = match raw {
+            Ok(model) => {
+                self.model_us.insert((name, Arc::clone(shapes)), model);
+                // Identity state (version 0) returns `model` bit-for-bit.
+                Ok(self.share.calib().correct(name, model, &ctb_core::selector::features(shapes)))
+            }
+            Err(e) => Err(e),
+        };
         self.predictions.insert((name, Arc::clone(shapes)), r.clone());
         r
     }
@@ -1231,8 +1344,13 @@ impl EventCluster {
         };
         let exec_ns = match fate {
             // Never zero, so a completion cannot share its timestamp
-            // with the placement that caused it.
-            Fate::Complete => ((job.predicted_us * 1_000.0).round() as u64).max(1),
+            // with the placement that caused it. Under a ground-truth
+            // pool the device occupies its true (drifted) time, not the
+            // predicted one.
+            Fate::Complete => {
+                let us = self.charged_us(device, &job);
+                ((us * 1_000.0).round() as u64).max(1)
+            }
             // Failures surface almost immediately; the threaded engine
             // charges no simulated time for them either.
             Fate::PlanFailed | Fate::Panicked => 1,
@@ -1242,14 +1360,53 @@ impl EventCluster {
         self.timeline.schedule(done, Ev::ExecDone { device });
     }
 
+    /// The simulated time a completing job occupies `device`: the
+    /// placer's prediction normally (zero placement error by
+    /// construction), the true-arch simulation when a ground-truth pool
+    /// is attached.
+    fn charged_us(&mut self, device: usize, job: &EvJob) -> f64 {
+        if self.ground_truth.is_none() {
+            return job.predicted_us;
+        }
+        self.actual_us(device, &job.shapes)
+    }
+
+    /// Memoized "what the true silicon takes" for `shapes` on
+    /// `device`'s arch class. Simulates the *planned* kernel directly on
+    /// the drifted spec — deliberately outside the SimMemo, whose
+    /// context key is the arch name and so cannot distinguish nominal
+    /// from drifted. Classes the pool does not drift charge the nominal
+    /// simulation (the model is their truth).
+    fn actual_us(&mut self, device: usize, shapes: &Arc<[GemmShape]>) -> f64 {
+        let class = self.class_of[device];
+        let rep = self.class_rep[class];
+        let name = self.devices[rep].arch().name;
+        if let Some(&us) = self.actuals.get(&(name, Arc::clone(shapes))) {
+            return us;
+        }
+        let plan = self.devices[rep]
+            .session
+            .plan(shapes)
+            .expect("ground-truth timing is only charged for placed jobs, whose plan is warm");
+        let truth = self.ground_truth.as_ref().expect("checked by charged_us");
+        let spec = truth.spec(name).unwrap_or_else(|| self.devices[rep].arch());
+        let us =
+            ctb_sim::simulate(spec, &ctb_sim::LaunchSequence::Single(plan.kernel.clone())).total_us;
+        self.actuals.insert((name, Arc::clone(shapes)), us);
+        us
+    }
+
     /// Coordinated completion. Witnesses execute for real and are
     /// bitwise-checked; everyone else completes by accounting, charging
     /// the simulated time the placer predicted — which is the identical
     /// number `SimReport::total_us` would report, because both read the
     /// same memo entry. That shared source of truth is why
-    /// `mean_abs_placement_err_us` stays 0 on both engines.
+    /// `mean_abs_placement_err_us` stays 0 on both engines. A
+    /// ground-truth pool replaces only the *charged time* with the
+    /// true-arch simulation (making the error real); witness execution
+    /// and its bitwise check are timing-independent and unchanged.
     fn complete_job(&mut self, device: usize, job: EvJob) {
-        let executed_us = if job.witness {
+        let model_time = if job.witness {
             self.witnesses += 1;
             let batch = GemmBatch::random(&job.shapes, WITNESS_ALPHA, WITNESS_BETA, job.seed);
             // Plan first (warm cache), then the Exec span — the same
@@ -1275,6 +1432,27 @@ impl EventCluster {
             }
             job.predicted_us
         };
+        let executed_us = if self.ground_truth.is_some() {
+            self.actual_us(device, &job.shapes)
+        } else {
+            model_time
+        };
+        if let Some(log) = &mut self.decisions {
+            let name = self.devices[device].arch().name;
+            log.push(PlacementDecision {
+                id: job.id,
+                device,
+                arch: name,
+                shapes: Arc::clone(&job.shapes),
+                model_us: self
+                    .model_us
+                    .get(&(name, Arc::clone(&job.shapes)))
+                    .copied()
+                    .unwrap_or(job.predicted_us),
+                predicted_us: job.predicted_us,
+                actual_us: executed_us,
+            });
+        }
         let dev = &mut self.devices[device];
         dev.breaker.record_success();
         dev.backlog_us -= job.predicted_us;
@@ -1823,7 +2001,25 @@ fn load_stats(r: &mut Reader<'_>, s: &ClusterInner) -> Result<(), SavestateError
 impl EventCluster {
     /// Serialize the engine's complete state at the current event
     /// boundary into a versioned blob.
+    ///
+    /// # Panics
+    ///
+    /// Calibration runs are not checkpointable: a ground-truth pool,
+    /// an open decision log, or an installed calibration profile are
+    /// runtime-only state the pinned blob format deliberately excludes
+    /// (a restored engine could not replay the same charged times or
+    /// corrected predictions). Record and calibrate first, checkpoint
+    /// after.
     pub fn checkpoint(&self) -> Vec<u8> {
+        assert!(
+            self.ground_truth.is_none()
+                && self.decisions.is_none()
+                && !self.swappable
+                && self.share.calib().version() == 0,
+            "calibration runs are not checkpointable: detach the ground-truth pool, stop \
+             decision recording, use a non-swappable engine and leave the share's \
+             CalibHandle at version 0 before checkpointing"
+        );
         let mut w = Writer::with_header();
         save_cfg(&mut w, &self.cfg);
         w.bool(self.obs.is_some());
@@ -2126,6 +2322,12 @@ impl EventCluster {
             witness_mismatches,
             pending_arrivals,
             open_jobs,
+            ground_truth: None,
+            actuals: HashMap::new(),
+            model_us: HashMap::new(),
+            decisions: None,
+            calib_version: 0,
+            swappable: false,
         };
         for id in 0..eng.devices.len() {
             if eng.devices[id].alive {

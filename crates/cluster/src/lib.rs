@@ -37,6 +37,7 @@
 //! ```
 
 mod cluster;
+pub mod drift;
 pub mod events;
 pub mod placer;
 mod stats;
@@ -44,6 +45,7 @@ mod stats;
 pub use cluster::{
     BatchTicket, Cluster, ClusterConfig, ClusterError, ClusterResult, StealPolicy,
 };
+pub use drift::{GroundTruth, PlacementDecision};
 pub use events::{
     EngineReport, EventCluster, EventConfig, LoadGen, PlacementMode, ReqOutcome, ShapeMix,
     SimTime, Timeline, WITNESS_ALPHA, WITNESS_BETA,

@@ -22,6 +22,13 @@ pub enum BatchingPolicy {
     /// The random-forest on-line selector — the paper's recommendation
     /// when shapes vary between calls.
     Forest(OnlineSelector),
+    /// Hot-swappable selector: the session consults its share's
+    /// [`CalibHandle`](crate::CalibHandle) per plan and passes the
+    /// selector's choice in as a heuristic override. With no profile
+    /// installed (or when `Framework::plan` is called standalone,
+    /// outside a session) this behaves exactly like
+    /// [`BestOfBoth`](BatchingPolicy::BestOfBoth).
+    Swappable,
 }
 
 /// Framework configuration.
@@ -128,7 +135,7 @@ impl Framework {
 
     /// Phase 1 + 2: produce the execution plan for a batch of shapes.
     pub fn plan(&self, shapes: &[GemmShape]) -> Result<ExecutionPlan, String> {
-        self.plan_inner(shapes, None)
+        self.plan_inner(shapes, None, None)
     }
 
     /// [`Framework::plan`] with a simulation memo: best-of-both
@@ -140,10 +147,29 @@ impl Framework {
         shapes: &[GemmShape],
         memo: &SimMemo,
     ) -> Result<ExecutionPlan, String> {
-        self.plan_inner(shapes, Some(memo))
+        self.plan_inner(shapes, Some(memo), None)
     }
 
-    fn plan_inner(&self, shapes: &[GemmShape], memo: Option<&SimMemo>) -> Result<ExecutionPlan, String> {
+    /// [`Framework::plan_memoized`] with an optional heuristic override
+    /// for the [`BatchingPolicy::Swappable`] policy — the hot-swap seam
+    /// through which a session injects its calibration handle's current
+    /// selector choice. Ignored under every other policy (those remain
+    /// fully determined by the framework's own configuration).
+    pub fn plan_memoized_with(
+        &self,
+        shapes: &[GemmShape],
+        memo: &SimMemo,
+        heuristic_override: Option<BatchingHeuristic>,
+    ) -> Result<ExecutionPlan, String> {
+        self.plan_inner(shapes, Some(memo), heuristic_override)
+    }
+
+    fn plan_inner(
+        &self,
+        shapes: &[GemmShape],
+        memo: Option<&SimMemo>,
+        heuristic_override: Option<BatchingHeuristic>,
+    ) -> Result<ExecutionPlan, String> {
         if shapes.is_empty() {
             return Err("empty batch".into());
         }
@@ -157,22 +183,24 @@ impl Framework {
             }
             None => simulated_us(&self.arch, &self.thresholds, shapes, h),
         };
+        // Try both heuristics (§5) plus the degenerate
+        // one-tile-per-block scheme (what threshold batching
+        // produces with no TLP headroom), keeping the fastest.
+        let best_of_both = || {
+            [
+                BatchingHeuristic::Threshold,
+                BatchingHeuristic::Binary,
+                BatchingHeuristic::OneTilePerBlock,
+            ]
+            .into_iter()
+            .min_by(|&x, &y| candidate_us(x).total_cmp(&candidate_us(y)))
+            .expect("non-empty candidate list")
+        };
         let heuristic = match &self.config.batching {
             BatchingPolicy::Fixed(h) => *h,
             BatchingPolicy::Forest(selector) => selector.select_shapes(shapes),
-            BatchingPolicy::BestOfBoth => {
-                // Try both heuristics (§5) plus the degenerate
-                // one-tile-per-block scheme (what threshold batching
-                // produces with no TLP headroom), keeping the fastest.
-                [
-                    BatchingHeuristic::Threshold,
-                    BatchingHeuristic::Binary,
-                    BatchingHeuristic::OneTilePerBlock,
-                ]
-                .into_iter()
-                .min_by(|&x, &y| candidate_us(x).total_cmp(&candidate_us(y)))
-                .expect("non-empty candidate list")
-            }
+            BatchingPolicy::BestOfBoth => best_of_both(),
+            BatchingPolicy::Swappable => heuristic_override.unwrap_or_else(best_of_both),
         };
         let (solution, plan) = plan_with_heuristic(shapes, &self.thresholds, heuristic);
         plan.validate(shapes, &solution)?;

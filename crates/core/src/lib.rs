@@ -23,6 +23,7 @@ pub mod admission;
 pub mod autotune;
 pub mod dynamic;
 pub mod framework;
+pub mod hotswap;
 pub mod interface;
 pub mod lowering;
 pub mod memo;
@@ -31,6 +32,7 @@ pub mod session;
 pub mod splitk;
 
 pub use framework::{BatchingPolicy, ExecutionPlan, Framework, FrameworkConfig, RunOutcome};
+pub use hotswap::{CalibHandle, CalibState};
 pub use interface::{execute_plan, execute_plan_unpacked};
 pub use memo::SimMemo;
 pub use lowering::{lower_plan, tile_pass};

@@ -10,6 +10,7 @@
 
 use crate::admission::{AdmissionPolicy, AdmissionStats, BloomGate};
 use crate::framework::{BatchingPolicy, ExecutionPlan, Framework, RunOutcome};
+use crate::hotswap::CalibHandle;
 use crate::memo::{fnv1a, SimMemo};
 use ctb_matrix::{GemmBatch, GemmShape};
 use ctb_obs::{Obs, PointKind, SpanKind};
@@ -62,6 +63,13 @@ pub struct PlanShare {
     admitted: AtomicUsize,
     denied: AtomicUsize,
     sim_memo: SimMemo,
+    /// Hot-swappable calibration state consulted by
+    /// [`BatchingPolicy::Swappable`] sessions and by predictors that
+    /// correct analytical-model estimates. Runtime-only: never
+    /// serialized — [`PlanShare::save`]/[`PlanShare::restore_with_sessions`]
+    /// rebuild shares at calibration version 0 and the operator
+    /// re-installs a profile afterwards.
+    calib: CalibHandle,
 }
 
 /// Construction-time layout + admission configuration for [`PlanShare`].
@@ -146,7 +154,14 @@ impl PlanShare {
             admitted: AtomicUsize::new(0),
             denied: AtomicUsize::new(0),
             sim_memo: SimMemo::default(),
+            calib: CalibHandle::new(),
         }
+    }
+
+    /// The hot-swap calibration handle shared by every attached session
+    /// (see [`crate::hotswap`] for the ownership rules).
+    pub fn calib(&self) -> &CalibHandle {
+        &self.calib
     }
 
     /// The candidate-simulation memo shared by every attached session.
@@ -373,6 +388,17 @@ fn planning_fingerprint(framework: &Framework) -> u64 {
             h = fnv1a(h, &[3]);
             h = fnv1a(h, &FOREST_NONCE.fetch_add(1, Ordering::Relaxed).to_le_bytes());
         }
+        BatchingPolicy::Swappable => {
+            // Shareable *within* a calibration epoch: sessions on the
+            // same share read the same CalibHandle, so at any given
+            // version they resolve the same selector and may answer
+            // each other's lookups. The epoch itself is mixed into the
+            // per-lookup key (not this base fingerprint) by
+            // `Session::plan_inner`; only version-0 keys are eligible
+            // for savestate restore — the event engine refuses to
+            // checkpoint mid-calibration for exactly this reason.
+            h = fnv1a(h, &[4]);
+        }
     }
     h
 }
@@ -469,8 +495,26 @@ impl Session {
         // Span covers the whole lookup-or-plan; the guard's drop emits
         // the end even on the early returns.
         let _plan_span = self.obs.as_deref().map(|o| o.span(SpanKind::Plan));
-        let key = (self.fp, shapes.to_vec());
-        let key_hash = plan_key_hash(self.fp, shapes);
+        // Swappable sessions resolve their planning context through the
+        // share's calibration handle. One snapshot covers the whole
+        // decision (key derivation *and* selector consultation), so a
+        // concurrent profile install can never produce a plan cached
+        // under one epoch but chosen by another.
+        let calib = matches!(self.framework.config().batching, BatchingPolicy::Swappable)
+            .then(|| self.share.calib.snapshot());
+        let fp = match &calib {
+            // Mix the epoch into the key so version N entries never
+            // answer version N+1 lookups (the retrained selector may
+            // legitimately choose a different plan). Version 0 keeps
+            // the base fingerprint: pristine Swappable sessions stay
+            // bit-compatible with their savestate-restorable keys.
+            Some(c) if c.version > 0 => {
+                crate::admission::mix(self.fp ^ c.version.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            }
+            _ => self.fp,
+        };
+        let key = (fp, shapes.to_vec());
+        let key_hash = plan_key_hash(fp, shapes);
         let shard = self.share.shard_for(key_hash);
         if let Some(plan) = shard.lock().map.get(&key) {
             self.stats.lock().hits += 1;
@@ -492,7 +536,10 @@ impl Session {
             // The cold path is the paper's expensive phase: candidate
             // tiling enumeration + batching coordination + simulation.
             let _autotune = self.obs.as_deref().map(|o| o.span(SpanKind::Autotune));
-            match self.framework.plan_memoized(shapes, &self.share.sim_memo) {
+            let heuristic_override =
+                calib.as_ref().and_then(|c| c.selector.as_deref()).map(|s| s.select_shapes(shapes));
+            match self.framework.plan_memoized_with(shapes, &self.share.sim_memo, heuristic_override)
+            {
                 Ok(plan) => Arc::new(plan),
                 Err(m) => {
                     self.plan_failures.fetch_add(1, Ordering::Relaxed);

@@ -199,6 +199,39 @@ impl RandomForest {
     pub fn n_classes(&self) -> usize {
         self.n_classes
     }
+
+    /// Total nodes across every tree (splits + leaves) — the forest's
+    /// memory-footprint proxy.
+    pub fn total_nodes(&self) -> usize {
+        self.trees.iter().map(|t| t.n_nodes()).sum()
+    }
+
+    /// Deepest leaf of any tree, in comparisons from the root.
+    pub fn max_depth(&self) -> usize {
+        self.trees.iter().map(|t| t.max_depth()).max().unwrap_or(0)
+    }
+
+    /// Leaf-depth histogram over every tree: `hist[d]` = number of
+    /// leaves at depth `d`, forest-wide. Length is `max_depth() + 1`
+    /// (empty for an empty forest).
+    pub fn depth_histogram(&self) -> Vec<usize> {
+        let mut hist = Vec::new();
+        for tree in &self.trees {
+            tree.leaf_depth_histogram_into(&mut hist);
+        }
+        hist
+    }
+
+    /// How many split nodes test each feature, forest-wide. The result
+    /// has at least `n_features` entries (zeros for never-split
+    /// features), longer only if a tree references a higher index.
+    pub fn feature_split_counts(&self, n_features: usize) -> Vec<usize> {
+        let mut counts = vec![0usize; n_features];
+        for tree in &self.trees {
+            tree.feature_split_counts_into(&mut counts);
+        }
+        counts
+    }
 }
 
 #[cfg(test)]
@@ -297,5 +330,36 @@ mod tests {
     #[should_panic(expected = "empty training set")]
     fn empty_training_panics() {
         let _ = RandomForest::fit(&[], &[], 2, &ForestConfig::default());
+    }
+
+    #[test]
+    fn introspection_is_consistent_with_structure() {
+        let (samples, labels) = synthetic(400, 21);
+        let forest = RandomForest::fit(&samples, &labels, 2, &ForestConfig::default());
+        let hist = forest.depth_histogram();
+        // Histogram length is max depth + 1, bounded by the config.
+        assert_eq!(hist.len(), forest.max_depth() + 1);
+        assert!(forest.max_depth() <= ForestConfig::default().max_depth);
+        // Leaves = splits + trees in a binary arena: every tree has
+        // exactly one more leaf than split nodes.
+        let leaves: usize = hist.iter().sum();
+        let splits: usize = forest.feature_split_counts(4).iter().sum();
+        assert_eq!(leaves, splits + forest.n_trees());
+        assert_eq!(forest.total_nodes(), leaves + splits);
+        // The synthetic rule only tests K (2) and B (3); those features
+        // should attract more splits than M/N combined.
+        let c = forest.feature_split_counts(4);
+        assert_eq!(c.len(), 4);
+        assert!(c[2] + c[3] > c[0] + c[1], "split counts {c:?}");
+    }
+
+    #[test]
+    fn single_leaf_forest_has_depth_zero() {
+        let samples = vec![vec![1.0, 2.0]; 8];
+        let labels = vec![1usize; 8];
+        let forest = RandomForest::fit(&samples, &labels, 2, &ForestConfig::default());
+        assert_eq!(forest.max_depth(), 0);
+        assert_eq!(forest.depth_histogram(), vec![forest.n_trees()]);
+        assert_eq!(forest.feature_split_counts(2), vec![0, 0]);
     }
 }

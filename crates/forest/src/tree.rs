@@ -230,6 +230,62 @@ impl DecisionTree {
         self.n_classes
     }
 
+    /// Total nodes in the arena (splits + leaves).
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Deepest leaf, in split comparisons from the root (a pure-leaf
+    /// tree has depth 0).
+    pub fn max_depth(&self) -> usize {
+        self.walk_leaves(&mut |_depth| {})
+    }
+
+    /// Accumulate this tree's leaf depths into `hist` (index = depth,
+    /// value = leaf count), growing it as needed.
+    pub fn leaf_depth_histogram_into(&self, hist: &mut Vec<usize>) {
+        self.walk_leaves(&mut |depth| {
+            if hist.len() <= depth {
+                hist.resize(depth + 1, 0);
+            }
+            hist[depth] += 1;
+        });
+    }
+
+    /// Accumulate how many split nodes test each feature into `counts`
+    /// (index = feature), growing it as needed.
+    pub fn feature_split_counts_into(&self, counts: &mut Vec<usize>) {
+        for node in &self.nodes {
+            if let Node::Split { feature, .. } = node {
+                if counts.len() <= *feature {
+                    counts.resize(*feature + 1, 0);
+                }
+                counts[*feature] += 1;
+            }
+        }
+    }
+
+    /// Depth-first walk calling `on_leaf(depth)` per leaf; returns the
+    /// maximum leaf depth. Iterative (explicit stack) so pathological
+    /// trees cannot overflow the call stack.
+    fn walk_leaves(&self, on_leaf: &mut dyn FnMut(usize)) -> usize {
+        let mut max = 0;
+        let mut stack = vec![(self.root(), 0usize)];
+        while let Some((n, depth)) = stack.pop() {
+            match &self.nodes[n] {
+                Node::Leaf { .. } => {
+                    max = max.max(depth);
+                    on_leaf(depth);
+                }
+                Node::Split { left, right, .. } => {
+                    stack.push((*left, depth + 1));
+                    stack.push((*right, depth + 1));
+                }
+            }
+        }
+        max
+    }
+
     pub(crate) fn nodes(&self) -> &[Node] {
         &self.nodes
     }

@@ -26,12 +26,14 @@
 //! * **Launch overhead** — serial kernel launches cost ~5 µs each;
 //!   streams overlap execution but still serialise launches.
 
+pub mod correction;
 pub mod cost;
 pub mod engine;
 pub mod report;
 pub mod streams;
 pub mod timeline;
 
+pub use correction::{phi, CorrectionSet, CostCorrection, MIN_CORRECTED_US, PHI_LEN};
 pub use cost::{BlockWork, KernelDesc, LaunchSequence, TilePass};
 pub use engine::{simulate, simulate_kernel};
 pub use report::{BoundBreakdown, KernelReport, SimReport};

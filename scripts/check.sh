@@ -68,6 +68,12 @@ cargo run -q -p ctb-bench --bin reproduce --release -- replay --smoke
 echo "== storm harness smoke (plan-cache admission under distinct-shape storm) + BENCH_storm schema gate =="
 cargo run -q -p ctb-bench --bin reproduce --release -- storm --smoke
 
+echo "== calibration suite (offline fit + retrain + hot-swap under load) =="
+cargo test -q -p ctb-calib
+
+echo "== calibration loop smoke (record -> fit -> replay -> swap) + BENCH_calibrate schema gate =="
+cargo run -q -p ctb-bench --bin reproduce --release -- calibrate --smoke
+
 echo "== cluster demo compiles against the release profile =="
 cargo build --release --example cluster_demo
 
@@ -91,5 +97,8 @@ cargo clippy -p ctb-obs --all-targets -- -D warnings
 
 echo "== cargo clippy -p ctb-savestate --all-targets -- -D warnings =="
 cargo clippy -p ctb-savestate --all-targets -- -D warnings
+
+echo "== cargo clippy -p ctb-calib --all-targets -- -D warnings =="
+cargo clippy -p ctb-calib --all-targets -- -D warnings
 
 echo "check.sh: all gates passed"

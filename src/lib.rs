@@ -17,6 +17,7 @@
 pub use ctb_baselines as baselines;
 pub use ctb_batching as batching;
 pub use ctb_bench as bench;
+pub use ctb_calib as calib;
 pub use ctb_cluster as cluster;
 pub use ctb_convnet as convnet;
 pub use ctb_core as core;
@@ -32,6 +33,7 @@ pub use ctb_tiling as tiling;
 pub mod prelude {
     pub use ctb_baselines::{cke, cublas_like, default_serial, magma_vbatch};
     pub use ctb_batching::{BatchPlan, BatchingHeuristic};
+    pub use ctb_calib::{fit_decisions, CalibProfile, GroundTruth, TraceDataset};
     pub use ctb_cluster::{
         Cluster, ClusterConfig, ClusterStats, EventCluster, EventConfig, LoadGen, PlacementMode,
         SimTime, StealPolicy,
