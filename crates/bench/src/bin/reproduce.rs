@@ -10,7 +10,8 @@
 //! `fig10`, `googlenet`, `fig11`, `tlp`, `ablate`, `fans`, `splitk`)
 //! print the paper's row/series layout and mirror CSV under
 //! `target/experiments/`; the serving harnesses (`perf`, `serve`,
-//! `chaos`, `cluster`, `obs`, `replay`, `storm`, `calibrate`)
+//! `chaos`, `cluster`, `obs`, `replay`, `storm`, `calibrate`,
+//! `locality`)
 //! additionally write a tracked `BENCH_<name>.json` at the repository
 //! root, and those with a checked-in golden schema diff the exported
 //! key set against `scripts/BENCH_<name>.schema` and fail on drift.
@@ -58,6 +59,10 @@ checked-in scripts/BENCH_<name>.schema also gate on schema drift):
                       retrain selector -> hot-swap replay (gates on strictly
                       lower placement error)
       --devices N --requests N --seed S --drift-seed S --smoke
+  locality            locality-aware vs locality-blind placement on a drifted
+                      multi-chiplet pool (gates on strictly less remote
+                      operand traffic)
+      --devices N --requests N --seed S --drift-seed S --smoke
 
 flags: --help | -h | help    print this listing
 "
@@ -90,6 +95,7 @@ fn main() {
         "replay" => run_replay(&args[1..]),
         "storm" => run_storm(&arch, &args[1..]),
         "calibrate" => run_calibrate_loop(&args[1..]),
+        "locality" => run_locality(&args[1..]),
         "all" => {
             run_tables();
             run_motivation(&arch);
@@ -213,6 +219,96 @@ fn run_calibrate_loop(args: &[String]) {
         std::process::exit(1);
     }
     schema_gate("BENCH_calibrate.json", &calib_bench::golden_schema_path(), &path);
+}
+
+/// Parse `--flag value` pairs for the locality differential.
+fn locality_config(args: &[String]) -> (ctb_bench::locality_bench::LocalityBenchConfig, bool) {
+    use ctb_bench::locality_bench::LocalityBenchConfig;
+    let mut cfg = LocalityBenchConfig::default();
+    let mut smoke = false;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| {
+                    eprintln!("flag {name} needs a value");
+                    std::process::exit(2);
+                })
+                .as_str()
+        };
+        match flag.as_str() {
+            "--devices" => cfg.devices = value("--devices").parse().expect("usize devices"),
+            "--requests" => cfg.requests = value("--requests").parse().expect("usize requests"),
+            "--seed" => cfg.seed = value("--seed").parse().expect("u64 seed"),
+            "--drift-seed" => {
+                cfg.drift_seed = value("--drift-seed").parse().expect("u64 drift seed");
+            }
+            "--smoke" => smoke = true,
+            other => {
+                eprintln!(
+                    "unknown locality flag '{other}'; expected --devices N, --requests N, \
+                     --seed S, --drift-seed S, --smoke"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    if smoke {
+        cfg = LocalityBenchConfig::smoke();
+    }
+    (cfg, smoke)
+}
+
+fn run_locality(args: &[String]) {
+    use ctb_bench::locality_bench;
+    let (cfg, smoke) = locality_config(args);
+    println!(
+        "== locality differential: aware vs blind placement on a drifted multi-chiplet pool{} ==",
+        if smoke { " (smoke)" } else { "" }
+    );
+    let (r, path) = if smoke {
+        locality_bench::run_and_write_smoke()
+    } else {
+        locality_bench::run_and_write(&cfg)
+    };
+    println!(
+        "   pool: {} x MCM-GPU 4-die (drift seed {}) | {} requests (seed {:#x})",
+        r.cfg.devices, r.cfg.drift_seed, r.cfg.requests, r.cfg.seed
+    );
+    for (label, a) in [("aware", &r.aware), ("blind", &r.blind)] {
+        println!(
+            "   {label}: {} completed | {} landings ({} hits / {} misses, hit rate {:>5.1}%) | \
+             {:>12} remote bytes | makespan {:>12.1} sim us | {} witness mismatches",
+            a.completed,
+            a.routed + a.steals,
+            a.residency_hits,
+            a.residency_misses,
+            100.0 * a.hit_rate(),
+            a.remote_operand_bytes,
+            a.makespan_sim_us,
+            a.witness_mismatches
+        );
+    }
+    println!(
+        "   aware vs blind: {:.1}% fewer remote placements | {:.1}% less interposer traffic",
+        r.miss_reduction_pct(),
+        r.remote_bytes_reduction_pct()
+    );
+    println!("(json: {})", path.display());
+    if !r.gate_passed() {
+        eprintln!(
+            "locality regression: aware arm must strictly reduce remote traffic with exact \
+             results (misses {} vs {}, bytes {} vs {}, mismatches {}+{})",
+            r.aware.residency_misses,
+            r.blind.residency_misses,
+            r.aware.remote_operand_bytes,
+            r.blind.remote_operand_bytes,
+            r.aware.witness_mismatches,
+            r.blind.witness_mismatches
+        );
+        std::process::exit(1);
+    }
+    schema_gate("BENCH_locality.json", &locality_bench::golden_schema_path(), &path);
 }
 
 fn run_perf(arch: &ArchSpec) {
@@ -874,7 +970,7 @@ fn run_custom(arch: &ArchSpec, path: Option<&str>) {
         .filter(|l| !l.is_empty() && !l.starts_with('#'))
         .map(|l| {
             let dims: Vec<usize> = l
-                .split(|c: char| c == ',' || c == 'x')
+                .split([',', 'x'])
                 .map(|d| d.trim().parse().unwrap_or_else(|_| panic!("bad line '{l}'")))
                 .collect();
             assert_eq!(dims.len(), 3, "expected three dimensions in '{l}'");

@@ -13,6 +13,7 @@ pub mod cluster_bench;
 pub mod fans;
 pub mod figures;
 pub mod googlenet_exp;
+pub mod locality_bench;
 pub mod motivation;
 pub mod obs_bench;
 pub mod perf;

@@ -1,0 +1,340 @@
+//! `reproduce locality` — locality-aware vs locality-blind placement on
+//! a drifted multi-chiplet pool.
+//!
+//! One seeded open-loop workload runs twice over the same pool of
+//! multi-chiplet devices (MCM-GPU 4-die presets: four HBM stacks behind
+//! an interposer, so a placement away from a batch's operand home pays
+//! a real staging cost). The **aware** arm ranks candidates with the
+//! locality routing penalty; the **blind** arm is the backlog-only
+//! placer. Everything else — arrivals, seeds, drift, witnesses,
+//! residency *bookkeeping* — is identical, so the remote-traffic gap
+//! between the arms is attributable to the ranking change alone.
+//!
+//! The run is gated: the aware arm must take strictly fewer remote
+//! placements *and* charge strictly fewer remote operand bytes, with
+//! zero witness mismatches in both arms (`reproduce locality` exits
+//! non-zero otherwise). Full runs land in `BENCH_locality.json` at the
+//! repository root (`--smoke` writes
+//! `target/experiments/BENCH_locality_smoke.json`) and the key set is
+//! diffed against `scripts/BENCH_locality.schema`.
+
+use ctb_cluster::{
+    EventCluster, EventConfig, GroundTruth, LoadGen, LocalityPolicy, ReqOutcome, ShapeMix,
+};
+use ctb_gpu_specs::ArchSpec;
+use ctb_matrix::GemmShape;
+use ctb_obs::TraceAudit;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Workload knobs; both arms replay the same seeded stream over the
+/// same drifted pool.
+#[derive(Debug, Clone)]
+pub struct LocalityBenchConfig {
+    /// Identical multi-chiplet devices in the pool (an MCM node).
+    pub devices: usize,
+    /// Requests per arm.
+    pub requests: usize,
+    /// Load-stream seed.
+    pub seed: u64,
+    /// Ground-truth drift seed (how each device class's true silicon
+    /// diverges from the nominal spec the model sees).
+    pub drift_seed: u64,
+    /// Mean inter-arrival gap of the Poisson arrivals, ns. Kept well
+    /// under the per-batch service time so the pool stays contended —
+    /// the regime where a backlog-only ranking migrates signatures.
+    pub mean_interarrival_ns: f64,
+    /// Execute a correctness witness every N completions.
+    pub witness_every: usize,
+}
+
+impl Default for LocalityBenchConfig {
+    fn default() -> Self {
+        LocalityBenchConfig {
+            devices: 4,
+            requests: 2_000,
+            seed: 0x10CA_117E,
+            drift_seed: 23,
+            mean_interarrival_ns: 60_000.0,
+            witness_every: 16,
+        }
+    }
+}
+
+impl LocalityBenchConfig {
+    /// Scaled-down configuration for the CI gate: same differential, an
+    /// order of magnitude fewer requests.
+    pub fn smoke() -> Self {
+        LocalityBenchConfig { devices: 3, requests: 240, witness_every: 32, ..Default::default() }
+    }
+}
+
+/// What one arm of the differential measured.
+#[derive(Debug, Clone)]
+pub struct LocalityArm {
+    /// Requests that completed (vs rejected under overload).
+    pub completed: usize,
+    /// Placement landings (including re-routes).
+    pub routed: usize,
+    /// Work-stealing landings.
+    pub steals: usize,
+    /// Landings on the device already holding the operands.
+    pub residency_hits: usize,
+    /// Landings that staged operands across the interposer.
+    pub residency_misses: usize,
+    /// Remote share of the operand bytes those misses moved.
+    pub remote_operand_bytes: u64,
+    /// Pool makespan in simulated µs.
+    pub makespan_sim_us: f64,
+    /// Correctness witnesses that diverged (must be 0).
+    pub witness_mismatches: usize,
+}
+
+impl LocalityArm {
+    /// Fraction of landings that found their operands resident.
+    pub fn hit_rate(&self) -> f64 {
+        let landings = self.residency_hits + self.residency_misses;
+        if landings == 0 {
+            return 0.0;
+        }
+        self.residency_hits as f64 / landings as f64
+    }
+}
+
+/// The tracked report: one aware arm, one blind arm, same workload.
+#[derive(Debug, Clone)]
+pub struct LocalityBenchReport {
+    pub cfg: LocalityBenchConfig,
+    pub aware: LocalityArm,
+    pub blind: LocalityArm,
+}
+
+impl LocalityBenchReport {
+    /// Remote-traffic reduction of aware vs blind, percent.
+    pub fn remote_bytes_reduction_pct(&self) -> f64 {
+        if self.blind.remote_operand_bytes == 0 {
+            return 0.0;
+        }
+        100.0
+            * (1.0
+                - self.aware.remote_operand_bytes as f64 / self.blind.remote_operand_bytes as f64)
+    }
+
+    /// Remote-placement (residency-miss) reduction, percent.
+    pub fn miss_reduction_pct(&self) -> f64 {
+        if self.blind.residency_misses == 0 {
+            return 0.0;
+        }
+        100.0 * (1.0 - self.aware.residency_misses as f64 / self.blind.residency_misses as f64)
+    }
+
+    /// The gate `reproduce locality` enforces: strictly fewer remote
+    /// placements, strictly fewer remote bytes, zero mismatches.
+    pub fn gate_passed(&self) -> bool {
+        self.aware.residency_misses < self.blind.residency_misses
+            && self.aware.remote_operand_bytes < self.blind.remote_operand_bytes
+            && self.aware.witness_mismatches == 0
+            && self.blind.witness_mismatches == 0
+    }
+}
+
+/// The locality workload: a handful of recurring batch signatures (the
+/// serving regime residency can exploit) with enough classes that the
+/// backlog argmin keeps interleaving them across devices.
+fn locality_mixes() -> Vec<ShapeMix> {
+    fn sig(shapes: &[GemmShape]) -> Arc<[GemmShape]> {
+        shapes.into()
+    }
+    vec![
+        ShapeMix { name: "attention", shapes: sig(&[GemmShape::new(96, 96, 384); 2]), weight: 22 },
+        ShapeMix { name: "mlp-up", shapes: sig(&[GemmShape::new(128, 256, 128); 2]), weight: 18 },
+        ShapeMix { name: "mlp-down", shapes: sig(&[GemmShape::new(256, 64, 256)]), weight: 16 },
+        ShapeMix {
+            name: "ragged",
+            shapes: sig(&[GemmShape::new(48, 64, 96), GemmShape::new(16, 32, 640)]),
+            weight: 16,
+        },
+        ShapeMix { name: "tile-row", shapes: sig(&[GemmShape::new(128, 32, 32); 4]), weight: 14 },
+        ShapeMix { name: "square", shapes: sig(&[GemmShape::new(96, 96, 96); 3]), weight: 14 },
+    ]
+}
+
+/// The multi-chiplet pool both arms place onto: `devices` identical
+/// MCM-GPU 4-die presets. Identical replicas are the common node
+/// layout, and they put the ranking decision in sharpest relief — the
+/// cost model predicts the same time everywhere, so the blind argmin is
+/// pure backlog-chasing while the aware one can prefer the operand
+/// home.
+pub fn locality_pool(devices: usize) -> Vec<ArchSpec> {
+    (0..devices).map(|_| ArchSpec::mcm_gpu_4die()).collect()
+}
+
+fn engine_config(cfg: &LocalityBenchConfig, locality: LocalityPolicy) -> EventConfig {
+    EventConfig { witness_every: cfg.witness_every, locality, ..EventConfig::default() }
+}
+
+/// Run one arm: same pool, same drift, same load — only the ranking
+/// policy differs. Instrumented; the trace must audit clean and
+/// reconcile with the residency counters.
+fn run_arm(cfg: &LocalityBenchConfig, locality: LocalityPolicy) -> LocalityArm {
+    let pool = locality_pool(cfg.devices);
+    let n = pool.len();
+    let truth = GroundTruth::drift(&pool, cfg.drift_seed);
+    let (mut eng, obs) =
+        EventCluster::with_instrumentation(pool, engine_config(cfg, locality), vec![None; n]);
+    eng.set_ground_truth(truth);
+    eng.load(LoadGen::new(cfg.seed, cfg.mean_interarrival_ns, cfg.requests, locality_mixes()));
+    let report = eng.run();
+    let counts = TraceAudit::new(obs.events()).check().expect("locality trace audits clean");
+    assert_eq!(counts.residency_hits, report.stats.residency_hits, "hit events reconcile");
+    assert_eq!(counts.residency_misses, report.stats.residency_misses, "miss events reconcile");
+    let completed =
+        report.outcomes.iter().filter(|o| matches!(o, ReqOutcome::Done { .. })).count();
+    LocalityArm {
+        completed,
+        routed: report.stats.routed,
+        steals: report.stats.steals,
+        residency_hits: report.stats.residency_hits,
+        residency_misses: report.stats.residency_misses,
+        remote_operand_bytes: report.stats.remote_operand_bytes,
+        makespan_sim_us: report.stats.makespan_sim_us,
+        witness_mismatches: report.witness_mismatches,
+    }
+}
+
+/// Both arms of the differential.
+pub fn run_locality_bench(cfg: &LocalityBenchConfig) -> LocalityBenchReport {
+    let aware = run_arm(cfg, LocalityPolicy::default());
+    let blind = run_arm(cfg, LocalityPolicy::blind());
+    LocalityBenchReport { cfg: cfg.clone(), aware, blind }
+}
+
+fn render_arm(out: &mut String, label: &str, a: &LocalityArm) {
+    out.push_str(&format!(
+        "  \"{label}\": {{\n    \"completed\": {},\n    \"routed\": {},\n    \"steals\": {},\n    \
+         \"residency_hits\": {},\n    \"residency_misses\": {},\n    \"hit_rate\": {:.4},\n    \
+         \"remote_operand_bytes\": {},\n    \"makespan_sim_us\": {:.1},\n    \
+         \"witness_mismatches\": {}\n  }},\n",
+        a.completed,
+        a.routed,
+        a.steals,
+        a.residency_hits,
+        a.residency_misses,
+        a.hit_rate(),
+        a.remote_operand_bytes,
+        a.makespan_sim_us,
+        a.witness_mismatches
+    ));
+}
+
+/// Serialize the report as the tracked JSON schema.
+pub fn render_json(r: &LocalityBenchReport) -> String {
+    let mut out = format!(
+        "{{\n  \"bench\": \"locality\",\n  \"devices\": {},\n  \"requests\": {},\n  \
+         \"seed\": {},\n  \"drift_seed\": {},\n  \"mean_interarrival_ns\": {:.1},\n",
+        r.cfg.devices, r.cfg.requests, r.cfg.seed, r.cfg.drift_seed, r.cfg.mean_interarrival_ns
+    );
+    render_arm(&mut out, "aware", &r.aware);
+    render_arm(&mut out, "blind", &r.blind);
+    out.push_str(&format!(
+        "  \"miss_reduction_pct\": {:.2},\n  \"remote_bytes_reduction_pct\": {:.2},\n  \
+         \"gate_passed\": {}\n}}\n",
+        r.miss_reduction_pct(),
+        r.remote_bytes_reduction_pct(),
+        r.gate_passed()
+    ));
+    out
+}
+
+/// Path of the tracked report at the repo root.
+pub fn report_path() -> PathBuf {
+    crate::bench_json_path("locality")
+}
+
+/// Path of the checked-in golden schema the gate diffs against.
+pub fn golden_schema_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../scripts/BENCH_locality.schema")
+}
+
+/// Run the full tracked configuration (or a flag-adjusted one) and
+/// write `BENCH_locality.json`.
+pub fn run_and_write(cfg: &LocalityBenchConfig) -> (LocalityBenchReport, PathBuf) {
+    let report = run_locality_bench(cfg);
+    let path = crate::write_bench_json("locality", &render_json(&report));
+    (report, path)
+}
+
+/// Run the smoke configuration and write
+/// `target/experiments/BENCH_locality_smoke.json`, leaving the tracked
+/// root report to full runs only.
+pub fn run_and_write_smoke() -> (LocalityBenchReport, PathBuf) {
+    let report = run_locality_bench(&LocalityBenchConfig::smoke());
+    let path = crate::experiments_dir().join("BENCH_locality_smoke.json");
+    std::fs::write(&path, render_json(&report)).expect("write BENCH_locality_smoke.json");
+    (report, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_differential_passes_its_own_gate() {
+        let r = run_locality_bench(&LocalityBenchConfig::smoke());
+        assert_eq!(r.aware.witness_mismatches, 0);
+        assert_eq!(r.blind.witness_mismatches, 0);
+        assert_eq!(r.aware.completed, r.cfg.requests, "aware arm dropped requests");
+        assert_eq!(r.blind.completed, r.cfg.requests, "blind arm dropped requests");
+        assert!(r.blind.remote_operand_bytes > 0, "the pool never crossed the interposer");
+        assert!(
+            r.gate_passed(),
+            "aware must strictly reduce remote traffic: misses {} vs {}, bytes {} vs {}",
+            r.aware.residency_misses,
+            r.blind.residency_misses,
+            r.aware.remote_operand_bytes,
+            r.blind.remote_operand_bytes
+        );
+    }
+
+    #[test]
+    fn pool_is_multi_chiplet_throughout() {
+        for spec in locality_pool(4) {
+            assert!(!spec.topology.is_unified(), "{} must be multi-chiplet", spec.name);
+        }
+    }
+
+    #[test]
+    fn json_schema_has_stable_keys() {
+        let arm = LocalityArm {
+            completed: 0,
+            routed: 0,
+            steals: 0,
+            residency_hits: 0,
+            residency_misses: 0,
+            remote_operand_bytes: 0,
+            makespan_sim_us: 0.0,
+            witness_mismatches: 0,
+        };
+        let r = LocalityBenchReport {
+            cfg: LocalityBenchConfig::default(),
+            aware: arm.clone(),
+            blind: arm,
+        };
+        let json = render_json(&r);
+        let golden =
+            std::fs::read_to_string(golden_schema_path()).expect("golden schema checked in");
+        let golden: Vec<String> = golden.lines().map(str::to_string).collect();
+        assert_eq!(
+            crate::obs_bench::key_paths(&json),
+            golden,
+            "BENCH_locality.json schema drifted; update scripts/BENCH_locality.schema deliberately"
+        );
+    }
+
+    #[test]
+    fn report_path_is_the_repo_root() {
+        let p = report_path();
+        assert!(p.ends_with("BENCH_locality.json"));
+        assert!(p.parent().unwrap().join("Cargo.toml").exists());
+    }
+}

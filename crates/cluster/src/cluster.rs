@@ -43,9 +43,9 @@
 //! [`ClusterStats`]. Re-routes racing a shutdown resolve inline through
 //! the degraded path instead of being dropped.
 
-use crate::placer::{self, Candidate};
+use crate::placer::{self, Candidate, LocalityPolicy};
 use crate::stats::{AtomicF64, ClusterInner, ClusterStats, DeviceStats};
-use ctb_core::{CacheStats, Framework, PlanShare, Session};
+use ctb_core::{CacheStats, Framework, OperandHome, PlanShare, Session};
 use ctb_gpu_specs::ArchSpec;
 use ctb_matrix::{GemmBatch, GemmShape, MatF32};
 use ctb_obs::{Obs, PointKind, SpanKind};
@@ -102,6 +102,9 @@ pub struct ClusterConfig {
     /// failures, breaker drains, kills) before it falls back to the
     /// inline degraded baseline.
     pub max_reroutes: u32,
+    /// Locality-aware candidate ranking. On by default; a no-op on
+    /// single-chiplet pools (the penalty is exactly zero there).
+    pub locality: LocalityPolicy,
 }
 
 impl Default for ClusterConfig {
@@ -112,6 +115,7 @@ impl Default for ClusterConfig {
             steal: StealPolicy::default(),
             breaker: BreakerPolicy::default(),
             max_reroutes: 3,
+            locality: LocalityPolicy::default(),
         }
     }
 }
@@ -603,6 +607,12 @@ fn try_place(
     // One Place span per placement attempt; the per-device predictions
     // inside it nest their own Plan spans on the same thread.
     let _place = shared.obs().map(|o| o.span(SpanKind::Place));
+    // One residency snapshot covers the whole slate, so every candidate
+    // is judged against the same operand home (and both engines, seeing
+    // the same snapshot in the same order, rank identically).
+    let sig = ctb_core::shape_sig_hash(&job.batch.shapes);
+    let op_bytes = ctb_core::operand_bytes(&job.batch.shapes);
+    let home = shared.share.residency_of(sig);
     let mut candidates = Vec::with_capacity(shared.devices.len());
     let mut plan_err = None;
     for dev in &shared.devices {
@@ -614,6 +624,7 @@ fn try_place(
                 device: dev.id,
                 backlog_us: dev.backlog_us.load().max(0.0),
                 predicted_us,
+                penalty_us: locality_penalty(shared, dev, home, op_bytes),
             }),
             Err(m) => plan_err = Some(m),
         }
@@ -641,6 +652,12 @@ fn try_place(
         }
         job.predicted_us = c.predicted_us;
         dev.backlog_us.add(c.predicted_us);
+        // Claim residency *before* the push: once the job is in the
+        // queue a worker may pop it, fail it, and re-route it — and that
+        // re-route's own claim must observe this landing first, or the
+        // operand home ends up ordered by thread scheduling instead of
+        // by the job's causal chain.
+        let claim = claim_residency(shared, c.device, sig, op_bytes);
         match dev.queue.try_push(job) {
             Ok(()) => {
                 dev.placements.fetch_add(1, Ordering::Relaxed);
@@ -648,9 +665,11 @@ fn try_place(
                 if let Some(o) = shared.obs() {
                     o.point(PointKind::Routed { device: c.device });
                 }
+                commit_residency(shared, c.device, &claim);
                 return Ok(());
             }
             Err((kind, j)) => {
+                shared.share.restore_residency(sig, claim.prev);
                 dev.backlog_us.add(-c.predicted_us);
                 any_full |= kind == PushError::Full;
                 job = j;
@@ -658,6 +677,81 @@ fn try_place(
         }
     }
     Err(Box::new(PlaceFail { job, any_full, plan_err: None }))
+}
+
+/// The locality routing penalty `dev` bids with when `home` is the
+/// current operand residency of the batch's signature: zero when the
+/// policy is blind, when the operands are already resident on `dev`, or
+/// when `dev` is monolithic — otherwise the interposer-crossing cost of
+/// staging the remote share of `op_bytes` onto it.
+fn locality_penalty(
+    shared: &Shared,
+    dev: &Device,
+    home: Option<OperandHome>,
+    op_bytes: u64,
+) -> f64 {
+    if !shared.cfg.locality.enabled {
+        return 0.0;
+    }
+    if home.is_some_and(|h| h.device == dev.id) {
+        return 0.0;
+    }
+    let topo = &dev.arch().topology;
+    ctb_sim::locality_penalty_us(topo, ctb_sim::remote_operand_bytes(topo, op_bytes))
+}
+
+/// The map half of a residency landing, taken before the job is
+/// published to a queue (see the call site in [`try_place`]) and either
+/// committed by [`commit_residency`] or rolled back with
+/// [`ctb_core::PlanShare::restore_residency`].
+struct ResidencyClaim {
+    /// The operands were already on the landing device.
+    hit: bool,
+    /// The home to restore if the push is refused.
+    prev: Option<OperandHome>,
+    /// Remote share of the operand footprint charged on a miss.
+    remote_bytes: u64,
+}
+
+/// Residency accounting at the moment a placement (or steal) lands on
+/// `device`: a hit when the operands were already there, otherwise a
+/// miss that moves the operand home to `device`. Mutates only the
+/// shared map — deciding the hit and moving the home is one atomic step
+/// under the map lock's critical section ordering, so re-routes always
+/// classify against the landing that caused them. Runs under *both*
+/// policies — the blind arm pays the same bookkeeping so the locality
+/// bench compares like with like.
+fn claim_residency(shared: &Shared, device: usize, sig: u64, op_bytes: u64) -> ResidencyClaim {
+    let topo = &shared.devices[device].arch().topology;
+    let prev = shared.share.residency_of(sig);
+    let hit = prev.is_some_and(|h| h.device == device);
+    if !hit {
+        shared.share.note_residency(sig, OperandHome { device, chiplet: topo.home_chiplet(sig) });
+    }
+    ResidencyClaim {
+        hit,
+        prev,
+        remote_bytes: if hit { 0 } else { ctb_sim::remote_operand_bytes(topo, op_bytes) },
+    }
+}
+
+/// Second half of a residency landing: the counters and trace points
+/// for a claim whose push succeeded. Totals are order-independent, so
+/// this may run after the queue push without re-introducing the
+/// scheduling race the claim step avoids.
+fn commit_residency(shared: &Shared, device: usize, claim: &ResidencyClaim) {
+    if claim.hit {
+        shared.stats.residency_hits.fetch_add(1, Ordering::Relaxed);
+        if let Some(o) = shared.obs() {
+            o.point(PointKind::ResidencyHit { device });
+        }
+        return;
+    }
+    shared.stats.residency_misses.fetch_add(1, Ordering::Relaxed);
+    shared.stats.remote_operand_bytes.fetch_add(claim.remote_bytes, Ordering::Relaxed);
+    if let Some(o) = shared.obs() {
+        o.point(PointKind::ResidencyMiss { device });
+    }
 }
 
 /// Move the job to another device after a failure on `from` (or a
@@ -849,6 +943,17 @@ fn try_steal(shared: &Shared, thief_idx: usize) -> bool {
     if let Some(o) = shared.obs() {
         o.point(PointKind::Steal { to: thief_idx, from: victim_idx });
     }
+    // The steal physically moves the operands: account the transfer and
+    // re-home the signature on the thief. The job is already claimed
+    // (popped) here, so claim and commit run back-to-back — no queue
+    // push can interleave another landing for this chain in between.
+    let claim = claim_residency(
+        shared,
+        thief_idx,
+        ctb_core::shape_sig_hash(&shapes),
+        ctb_core::operand_bytes(&shapes),
+    );
+    commit_residency(shared, thief_idx, &claim);
     run_job(shared, thief_idx, job);
     true
 }

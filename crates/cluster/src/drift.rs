@@ -102,7 +102,14 @@ impl GroundTruth {
             }
             let mut spec = nominal.clone();
             spec.clock_ghz *= 0.85 + 0.12 * u01(mix(h ^ 1));
-            spec.mem_bandwidth_gbps *= 0.80 + 0.15 * u01(mix(h ^ 2));
+            let bw = 0.80 + 0.15 * u01(mix(h ^ 2));
+            spec.mem_bandwidth_gbps *= bw;
+            // The bus degrades as a whole: local and remote shares scale
+            // by the same factor, so the topology split tracks the
+            // drifted aggregate bandwidth (up to f64 rounding of the
+            // two products).
+            spec.topology.local_bandwidth_gbps *= bw;
+            spec.topology.remote_bandwidth_gbps *= bw;
             spec.global_mem_latency =
                 ((spec.global_mem_latency as f64) * (1.05 + 0.30 * u01(mix(h ^ 3)))).round() as u32;
             spec.kernel_launch_overhead_us *= 1.0 + 0.5 * u01(mix(h ^ 4));
@@ -141,6 +148,29 @@ mod tests {
             assert!(truth.mem_bandwidth_gbps < nominal.mem_bandwidth_gbps);
             assert!(truth.global_mem_latency > nominal.global_mem_latency);
             assert!(truth.kernel_launch_overhead_us >= nominal.kernel_launch_overhead_us);
+        }
+    }
+
+    #[test]
+    fn drift_scales_chiplet_topology_with_the_bus() {
+        let pool = ArchSpec::chiplet_pool_presets(3);
+        let gt = GroundTruth::drift(&pool, 11);
+        for (truth, nominal) in gt.specs().iter().zip(&pool) {
+            assert_eq!(truth.topology.chiplets, nominal.topology.chiplets);
+            assert_eq!(
+                truth.topology.interposer_latency_us,
+                nominal.topology.interposer_latency_us,
+                "drift degrades bandwidth, not the interposer wire"
+            );
+            assert!(truth.topology.local_bandwidth_gbps < nominal.topology.local_bandwidth_gbps);
+            if !nominal.topology.is_unified() {
+                assert!(
+                    truth.topology.remote_bandwidth_gbps < nominal.topology.remote_bandwidth_gbps
+                );
+            }
+            // The split tracks the drifted aggregate (f64 rounding aside).
+            let sum = truth.topology.total_bandwidth_gbps();
+            assert!((sum - truth.mem_bandwidth_gbps).abs() < 1e-9 * sum.max(1.0));
         }
     }
 

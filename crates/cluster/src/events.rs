@@ -38,11 +38,11 @@
 
 use crate::cluster::{ClusterConfig, StealPolicy};
 use crate::drift::{GroundTruth, PlacementDecision};
-use crate::placer::{self, Candidate};
+use crate::placer::{self, Candidate, LocalityPolicy};
 use crate::stats::{ClusterInner, ClusterStats, DeviceStats};
 use ctb_core::{
-    AdmissionPolicy, BatchingPolicy, CacheStats, Framework, FrameworkConfig, PlanShare,
-    PlanShareConfig, Session,
+    AdmissionPolicy, BatchingPolicy, CacheStats, Framework, FrameworkConfig, OperandHome,
+    PlanShare, PlanShareConfig, Session,
 };
 use ctb_gpu_specs::ArchSpec;
 use ctb_matrix::{bitwise_mismatch, GemmBatch, GemmShape};
@@ -377,6 +377,10 @@ pub struct EventConfig {
     /// of the checkpoint (v2), so a restored engine rebuilds the same
     /// cache geometry the blob's gate and shard images describe.
     pub share: PlanShareConfig,
+    /// Whether placement ranks candidates with the locality routing
+    /// penalty (same semantics as [`ClusterConfig::locality`]). Part of
+    /// the checkpoint (v3), so a restored engine re-ranks identically.
+    pub locality: LocalityPolicy,
 }
 
 impl Default for EventConfig {
@@ -396,6 +400,7 @@ impl From<&ClusterConfig> for EventConfig {
             placement: PlacementMode::Exact,
             record_outcomes: true,
             share: PlanShareConfig::default(),
+            locality: c.locality,
         }
     }
 }
@@ -602,6 +607,11 @@ pub struct EventCluster {
     /// exact scan so the open-window sidelining semantics stay
     /// bit-for-bit with the threaded engine.
     breaker_active: bool,
+    /// Any device in the pool is multi-chiplet. With locality enabled
+    /// such a pool always places through the exact scan: the index
+    /// orders devices by backlog alone and cannot see the per-device
+    /// residency penalty.
+    has_chiplets: bool,
     gen: Option<LoadGen>,
     now: SimTime,
     next_job_id: u64,
@@ -767,6 +777,7 @@ impl EventCluster {
         for (id, class) in class_of.iter().enumerate() {
             index[*class].push(Reverse((0u64, id)));
         }
+        let has_chiplets = devices.iter().any(|d| !d.arch().topology.is_unified());
         EventCluster {
             cfg,
             devices,
@@ -781,6 +792,7 @@ impl EventCluster {
             class_rep,
             index,
             breaker_active: false,
+            has_chiplets,
             gen: None,
             now: SimTime::ZERO,
             next_job_id: 0,
@@ -1146,6 +1158,12 @@ impl EventCluster {
         if self.breaker_active || exclude.is_some() {
             return false;
         }
+        // Locality-aware placement over a chiplet pool needs the full
+        // slate: the penalty depends on which device holds the operands,
+        // which the backlog-keyed class index cannot express.
+        if self.cfg.locality.enabled && self.has_chiplets {
+            return false;
+        }
         match self.cfg.placement {
             PlacementMode::Exact => false,
             PlacementMode::Indexed => true,
@@ -1197,6 +1215,8 @@ impl EventCluster {
         let obs_arc = self.obs.clone();
         let _place = obs_arc.as_ref().map(|o| o.span(SpanKind::Place));
         let shapes = job.shapes.clone();
+        let sig = ctb_core::shape_sig_hash(&shapes);
+        let op_bytes = ctb_core::operand_bytes(&shapes);
         let mut plan_err: Option<String> = None;
         let mut best: Option<Candidate> = None;
         for class in 0..self.class_rep.len() {
@@ -1219,7 +1239,10 @@ impl EventCluster {
                 self.index[class].pop();
             };
             let Some((key, device)) = head else { continue };
-            let cand = Candidate { device, backlog_us: f64::from_bits(key), predicted_us };
+            // `use_index` keeps this path off locality-relevant pools,
+            // so the penalty here is identically zero.
+            let cand =
+                Candidate { device, backlog_us: f64::from_bits(key), predicted_us, penalty_us: 0.0 };
             let better = match &best {
                 None => true,
                 Some(b) => cand
@@ -1239,7 +1262,7 @@ impl EventCluster {
         self.devices[c.device].backlog_us += c.predicted_us;
         match self.devices[c.device].queue.try_push(job) {
             Ok(()) => {
-                self.finish_placement(c.device);
+                self.finish_placement(c.device, sig, op_bytes);
                 IndexedPlace::Placed(c.device)
             }
             Err((_kind, j)) => {
@@ -1259,6 +1282,13 @@ impl EventCluster {
         let obs_arc = self.obs.clone();
         let _place = obs_arc.as_ref().map(|o| o.span(SpanKind::Place));
         let shapes = job.shapes.clone();
+        // One residency snapshot per placement slate, read before any
+        // candidate is scored — the same read-once discipline as the
+        // threaded `try_place`, so both engines rank from identical
+        // residency state.
+        let sig = ctb_core::shape_sig_hash(&shapes);
+        let op_bytes = ctb_core::operand_bytes(&shapes);
+        let home = self.share.residency_of(sig);
         let mut candidates = Vec::with_capacity(self.devices.len());
         let mut plan_err = None;
         for i in 0..self.devices.len() {
@@ -1270,6 +1300,7 @@ impl EventCluster {
                     device: i,
                     backlog_us: self.devices[i].backlog(),
                     predicted_us,
+                    penalty_us: self.locality_penalty(i, home, op_bytes),
                 }),
                 Err(m) => plan_err = Some(m),
             }
@@ -1288,7 +1319,7 @@ impl EventCluster {
             self.devices[c.device].backlog_us += c.predicted_us;
             match self.devices[c.device].queue.try_push(job) {
                 Ok(()) => {
-                    self.finish_placement(c.device);
+                    self.finish_placement(c.device, sig, op_bytes);
                     return Ok(c.device);
                 }
                 Err((kind, j)) => {
@@ -1301,13 +1332,54 @@ impl EventCluster {
         Err(Box::new(PlaceFail { job, any_full, plan_err: None }))
     }
 
-    fn finish_placement(&mut self, device: usize) {
+    fn finish_placement(&mut self, device: usize, sig: u64, op_bytes: u64) {
         self.devices[device].placements += 1;
         self.stats.routed.fetch_add(1, Ordering::Relaxed);
         if let Some(o) = self.obs() {
             o.point(PointKind::Routed { device });
         }
+        self.account_residency(device, sig, op_bytes);
         self.index_touch(device);
+    }
+
+    /// The locality routing penalty for placing this batch on `device`,
+    /// given the residency snapshot `home` — a mirror of the threaded
+    /// engine's `locality_penalty`. Zero for the resident device, for
+    /// monolithic topologies, and under a blind policy; never folded
+    /// into `predicted_us`.
+    fn locality_penalty(&self, device: usize, home: Option<OperandHome>, op_bytes: u64) -> f64 {
+        if !self.cfg.locality.enabled {
+            return 0.0;
+        }
+        if home.is_some_and(|h| h.device == device) {
+            return 0.0;
+        }
+        let topo = &self.devices[device].arch().topology;
+        ctb_sim::locality_penalty_us(topo, ctb_sim::remote_operand_bytes(topo, op_bytes))
+    }
+
+    /// Residency accounting at a landing (placement or steal): hit when
+    /// the batch's operands already live on `device`, otherwise a miss
+    /// that charges the remote share of the operand bytes and re-homes
+    /// the signature on `device` (last writer wins). Runs under aware
+    /// *and* blind policies — the bench arms differ only in ranking.
+    fn account_residency(&mut self, device: usize, sig: u64, op_bytes: u64) {
+        let topo = self.devices[device].arch().topology;
+        if self.share.residency_of(sig).is_some_and(|h| h.device == device) {
+            self.stats.residency_hits.fetch_add(1, Ordering::Relaxed);
+            if let Some(o) = self.obs() {
+                o.point(PointKind::ResidencyHit { device });
+            }
+            return;
+        }
+        self.stats.residency_misses.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .remote_operand_bytes
+            .fetch_add(ctb_sim::remote_operand_bytes(&topo, op_bytes), Ordering::Relaxed);
+        if let Some(o) = self.obs() {
+            o.point(PointKind::ResidencyMiss { device });
+        }
+        self.share.note_residency(sig, OperandHome { device, chiplet: topo.home_chiplet(sig) });
     }
 
     // -- execution --------------------------------------------------------
@@ -1650,6 +1722,13 @@ impl EventCluster {
         if let Some(o) = self.obs() {
             o.point(PointKind::Steal { to: thief_idx, from: victim_idx });
         }
+        // A steal moves the operands with the work: the thief becomes
+        // the holder, same as the threaded engine.
+        self.account_residency(
+            thief_idx,
+            ctb_core::shape_sig_hash(&shapes),
+            ctb_core::operand_bytes(&shapes),
+        );
         self.index_touch(thief_idx);
         self.start_job(thief_idx, job);
         true
@@ -1825,6 +1904,8 @@ fn save_cfg(w: &mut Writer, c: &EventConfig) {
             w.u32(slots_log2);
         }
     }
+    // v3: locality-aware ranking flag.
+    w.bool(c.locality.enabled);
 }
 
 fn load_cfg(r: &mut Reader<'_>) -> Result<EventConfig, SavestateError> {
@@ -1857,6 +1938,7 @@ fn load_cfg(r: &mut Reader<'_>) -> Result<EventConfig, SavestateError> {
                 t => return Err(SavestateError::Corrupt(format!("bad admission tag {t}"))),
             },
         },
+        locality: LocalityPolicy { enabled: r.bool()? },
     })
 }
 
@@ -1965,6 +2047,10 @@ fn save_stats(w: &mut Writer, s: &ClusterInner) {
     for v in lat {
         w.f64(v);
     }
+    // v3: residency accounting.
+    w.len_prefix(s.residency_hits.load(Ordering::Relaxed));
+    w.len_prefix(s.residency_misses.load(Ordering::Relaxed));
+    w.u64(s.remote_operand_bytes.load(Ordering::Relaxed));
 }
 
 fn load_stats(r: &mut Reader<'_>, s: &ClusterInner) -> Result<(), SavestateError> {
@@ -1985,6 +2071,9 @@ fn load_stats(r: &mut Reader<'_>, s: &ClusterInner) -> Result<(), SavestateError
     s.err_abs_sum_us.set(r.f64()?);
     s.err_count.store(r.len_prefix()?, Ordering::Relaxed);
     s.set_latencies(r.seq(|r| r.f64())?);
+    s.residency_hits.store(r.len_prefix()?, Ordering::Relaxed);
+    s.residency_misses.store(r.len_prefix()?, Ordering::Relaxed);
+    s.remote_operand_bytes.store(r.u64()?, Ordering::Relaxed);
     Ok(())
 }
 
@@ -2085,6 +2174,13 @@ impl EventCluster {
             w.len_prefix(s.hits);
             w.len_prefix(s.misses);
             w.len_prefix(d.session.plan_failures());
+            // v3: chiplet topology, validated against the restore pool
+            // so a resumed run ranks with the same locality penalties.
+            let topo = d.arch().topology;
+            w.u32(topo.chiplets);
+            w.f64(topo.local_bandwidth_gbps);
+            w.f64(topo.remote_bandwidth_gbps);
+            w.f64(topo.interposer_latency_us);
         }
         // -- timeline (pending events + tie-break counter)
         self.timeline.save_with(&mut w, save_ev);
@@ -2147,13 +2243,15 @@ impl EventCluster {
     ) -> Result<(Self, Option<Arc<Obs>>), SavestateError> {
         let (mut r, version) = Reader::with_header(bytes)?;
         // v2 extended the embedded `PlanShare` image (shard layout,
-        // capacity bound, admission gate), so a v1 checkpoint no longer
-        // describes a decodable engine. `import_jobs` still accepts v1
-        // exports — the job layout is unchanged.
-        if version < 2 {
+        // capacity bound, admission gate); v3 added chiplet topology,
+        // the locality ranking flag, operand residency and its
+        // counters. Either way an older checkpoint no longer describes
+        // a decodable engine. `import_jobs` still accepts older exports
+        // — the job layout is unchanged.
+        if version < 3 {
             return Err(SavestateError::Mismatch(format!(
-                "cluster checkpoint format v{version} predates the sharded \
-                 plan-cache layout (v2); re-checkpoint with the current engine"
+                "cluster checkpoint format v{version} predates the chiplet-topology \
+                 and residency layout (v3); re-checkpoint with the current engine"
             )));
         }
         let cfg = load_cfg(&mut r)?;
@@ -2241,6 +2339,18 @@ impl EventCluster {
             let misses = r.len_prefix()?;
             let plan_failures = r.len_prefix()?;
             session_stats.push((hits, misses, plan_failures));
+            let topo = ctb_gpu_specs::ChipletTopology {
+                chiplets: r.u32()?,
+                local_bandwidth_gbps: r.f64()?,
+                remote_bandwidth_gbps: r.f64()?,
+                interposer_latency_us: r.f64()?,
+            };
+            let pool_topo = session.framework().arch().topology;
+            if topo != pool_topo {
+                return Err(SavestateError::Mismatch(format!(
+                    "device {id}: checkpoint topology {topo:?}, restore pool has {pool_topo:?}"
+                )));
+            }
             devices.push(EvDevice {
                 id,
                 session,
@@ -2299,6 +2409,7 @@ impl EventCluster {
         // semantically invisible, so one fresh entry per alive device
         // reproduces the same argmin choices.
         let index = (0..class_rep.len()).map(|_| BinaryHeap::new()).collect();
+        let has_chiplets = devices.iter().any(|d| !d.arch().topology.is_unified());
         let mut eng = EventCluster {
             cfg,
             devices,
@@ -2313,6 +2424,7 @@ impl EventCluster {
             class_rep,
             index,
             breaker_active,
+            has_chiplets,
             gen,
             now,
             next_job_id,

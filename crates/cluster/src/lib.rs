@@ -50,5 +50,5 @@ pub use events::{
     EngineReport, EventCluster, EventConfig, LoadGen, PlacementMode, ReqOutcome, ShapeMix,
     SimTime, Timeline, WITNESS_ALPHA, WITNESS_BETA,
 };
-pub use placer::{choose, steal_beneficial, Candidate};
+pub use placer::{choose, steal_beneficial, Candidate, LocalityPolicy};
 pub use stats::{AtomicF64, ClusterInner, ClusterStats, DeviceStats};

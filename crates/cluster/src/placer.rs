@@ -7,6 +7,32 @@
 //! slices in, index out) makes it exhaustively testable without spinning
 //! up a cluster.
 
+/// Whether placement folds the locality routing penalty into candidate
+/// ranking. Enabled by default — the penalty is *exactly* `0.0` on
+/// single-chiplet pools (see `ctb_sim::locality_penalty_us`), so the
+/// default changes nothing until a multi-chiplet device enters the
+/// pool. The locality-blind arm of `reproduce locality` disables it to
+/// measure what the penalty buys; residency and remote-traffic
+/// *accounting* stay on either way so the arms are comparable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LocalityPolicy {
+    pub enabled: bool,
+}
+
+impl Default for LocalityPolicy {
+    fn default() -> Self {
+        LocalityPolicy { enabled: true }
+    }
+}
+
+impl LocalityPolicy {
+    /// The locality-blind policy (pre-chiplet behaviour, and the
+    /// baseline arm of the locality bench).
+    pub fn blind() -> Self {
+        LocalityPolicy { enabled: false }
+    }
+}
+
 /// One device's bid for a batch, as seen at placement time.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Candidate {
@@ -18,6 +44,14 @@ pub struct Candidate {
     /// Simulated microseconds the batch itself would take on the
     /// device, from the per-arch cost model (memoized).
     pub predicted_us: f64,
+    /// Locality routing penalty, µs: the interposer-crossing cost of
+    /// staging the batch's operands onto this device when they are not
+    /// already resident there. Exactly `0.0` for resident devices, for
+    /// monolithic topologies, and under a blind [`LocalityPolicy`] —
+    /// and *never* part of [`Candidate::predicted_us`], so the charged
+    /// execution time (and the zero-placement-error invariant) is
+    /// untouched by locality: the penalty only re-ranks candidates.
+    pub penalty_us: f64,
 }
 
 impl Candidate {
@@ -26,32 +60,35 @@ impl Candidate {
     pub fn completion_us(&self) -> f64 {
         self.backlog_us + self.predicted_us
     }
+
+    /// Ranking score: completion plus the locality routing penalty.
+    /// With a zero penalty this is bitwise `completion_us()` (adding
+    /// `0.0` to a non-negative finite f64 is the identity), which is
+    /// what pins single-chiplet pools to the historical decisions.
+    pub fn score_us(&self) -> f64 {
+        self.completion_us() + self.penalty_us
+    }
 }
 
-/// Pick the device with the earliest predicted completion time.
+/// Pick the device with the earliest penalty-adjusted completion time.
 /// Ties break toward the lower device id (pools are fastest-first, so
 /// ties prefer the stronger device); an empty slate returns `None`.
 pub fn choose(candidates: &[Candidate]) -> Option<usize> {
     candidates
         .iter()
-        .min_by(|a, b| {
-            a.completion_us()
-                .total_cmp(&b.completion_us())
-                .then(a.device.cmp(&b.device))
-        })
+        .min_by(|a, b| a.score_us().total_cmp(&b.score_us()).then(a.device.cmp(&b.device)))
         .map(|c| c.device)
 }
 
-/// Order a full candidate slate best-first: ascending predicted
+/// Order a full candidate slate best-first: ascending penalty-adjusted
 /// completion, ties toward the lower device id. `rank(..)[0]` agrees
 /// with [`choose`]; the tail is the spill-down order a placer walks
 /// when better queues are full or sidelined. Both the threaded and the
 /// discrete-event cluster engines place through this one ranking, which
 /// is what makes their decisions comparable in the lockstep suite.
 pub fn rank(mut candidates: Vec<Candidate>) -> Vec<Candidate> {
-    candidates.sort_by(|a, b| {
-        a.completion_us().total_cmp(&b.completion_us()).then(a.device.cmp(&b.device))
-    });
+    candidates
+        .sort_by(|a, b| a.score_us().total_cmp(&b.score_us()).then(a.device.cmp(&b.device)));
     candidates
 }
 
@@ -77,7 +114,11 @@ mod tests {
     use super::*;
 
     fn c(device: usize, backlog_us: f64, predicted_us: f64) -> Candidate {
-        Candidate { device, backlog_us, predicted_us }
+        Candidate { device, backlog_us, predicted_us, penalty_us: 0.0 }
+    }
+
+    fn cp(device: usize, backlog_us: f64, predicted_us: f64, penalty_us: f64) -> Candidate {
+        Candidate { device, backlog_us, predicted_us, penalty_us }
     }
 
     #[test]
@@ -121,6 +162,40 @@ mod tests {
         let tied = rank(vec![c(3, 0.0, 10.0), c(1, 5.0, 5.0), c(2, 10.0, 0.0)]);
         let order: Vec<usize> = tied.iter().map(|x| x.device).collect();
         assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn zero_penalty_scoring_is_bitwise_completion() {
+        // penalty 0.0 leaves score == completion down to the bits, so a
+        // single-chiplet pool ranks exactly as the pre-locality placer.
+        for cand in [c(0, 0.1 + 0.2, 17.3), c(1, 1e9, 5e-3), c(2, 0.0, 0.0)] {
+            assert_eq!(cand.score_us().to_bits(), cand.completion_us().to_bits());
+        }
+    }
+
+    #[test]
+    fn penalty_re_ranks_without_touching_predictions() {
+        // Device 0 completes sooner, but its operands are remote; the
+        // resident device 1 wins once the crossing cost outweighs the
+        // completion gap.
+        let slate = vec![cp(0, 0.0, 10.0, 6.0), cp(1, 0.0, 12.0, 0.0)];
+        assert_eq!(choose(&slate), Some(1));
+        // A small penalty that doesn't close the gap changes nothing.
+        let slate = vec![cp(0, 0.0, 10.0, 1.0), cp(1, 0.0, 12.0, 0.0)];
+        assert_eq!(choose(&slate), Some(0));
+        // Ties on score still break toward the lower id.
+        let slate = vec![cp(1, 0.0, 12.0, 0.0), cp(0, 0.0, 10.0, 2.0)];
+        assert_eq!(choose(&slate), Some(0));
+        // And rank orders the spill by the same score.
+        let ranked = rank(vec![cp(0, 0.0, 10.0, 6.0), cp(1, 0.0, 12.0, 0.0), cp(2, 0.0, 11.0, 9.0)]);
+        let order: Vec<usize> = ranked.iter().map(|x| x.device).collect();
+        assert_eq!(order, vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn locality_policy_defaults_on_and_blind_disables() {
+        assert!(LocalityPolicy::default().enabled);
+        assert!(!LocalityPolicy::blind().enabled);
     }
 
     #[test]

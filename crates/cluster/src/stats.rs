@@ -119,6 +119,15 @@ pub struct ClusterStats {
     pub p50_wall_us: f64,
     /// 95th-percentile end-to-end batch latency, wall µs.
     pub p95_wall_us: f64,
+    /// Placements onto the device already holding the batch's operands
+    /// (the locality penalty was waived).
+    pub residency_hits: usize,
+    /// Placements that had to stage operands onto a non-resident device.
+    pub residency_misses: usize,
+    /// Operand bytes charged as interposer crossings over the whole
+    /// run: the figure `reproduce locality` gates on (aware < blind,
+    /// strictly). Zero on single-chiplet pools by construction.
+    pub remote_operand_bytes: u64,
 }
 
 impl ClusterStats {
@@ -160,6 +169,9 @@ pub struct ClusterInner {
     pub plan_failures: AtomicUsize,
     pub breaker_trips: AtomicUsize,
     pub kills: AtomicUsize,
+    pub residency_hits: AtomicUsize,
+    pub residency_misses: AtomicUsize,
+    pub remote_operand_bytes: AtomicU64,
     pub err_abs_sum_us: AtomicF64,
     pub err_count: AtomicUsize,
     latencies_us: Mutex<Vec<f64>>,
@@ -225,6 +237,9 @@ impl ClusterInner {
             sim_memo,
             p50_wall_us: ServeStats::percentile(&lat, 0.50),
             p95_wall_us: ServeStats::percentile(&lat, 0.95),
+            residency_hits: self.residency_hits.load(Ordering::Relaxed),
+            residency_misses: self.residency_misses.load(Ordering::Relaxed),
+            remote_operand_bytes: self.remote_operand_bytes.load(Ordering::Relaxed),
         }
     }
 }

@@ -134,6 +134,9 @@ fn assert_stats_match(threaded: &ClusterStats, event: &ClusterStats) {
     assert_eq!(threaded.kills, event.kills, "kills");
     assert_eq!(threaded.makespan_sim_us, event.makespan_sim_us, "makespan_sim_us");
     assert_eq!(threaded.total_sim_us, event.total_sim_us, "total_sim_us");
+    assert_eq!(threaded.residency_hits, event.residency_hits, "residency_hits");
+    assert_eq!(threaded.residency_misses, event.residency_misses, "residency_misses");
+    assert_eq!(threaded.remote_operand_bytes, event.remote_operand_bytes, "remote_operand_bytes");
     assert_eq!(
         threaded.mean_abs_placement_err_us, event.mean_abs_placement_err_us,
         "placement error"
@@ -168,20 +171,25 @@ fn audit_event_trace(obs: &ctb_obs::Obs, stats: &ClusterStats) {
     assert_eq!(counts.breaker_trips, stats.breaker_trips, "breaker events");
     assert_eq!(counts.plan_cache_hits, stats.plan_cache.hits, "cache-hit events");
     assert_eq!(counts.plan_cache_misses, stats.plan_cache.misses, "cache-miss events");
+    assert_eq!(counts.residency_hits, stats.residency_hits, "residency-hit events");
+    assert_eq!(counts.residency_misses, stats.residency_misses, "residency-miss events");
 }
 
-/// Run one schedule on both engines and compare everything comparable.
-fn lockstep(
+/// Run one schedule on both engines (over `pool_fn`'s device pool) and
+/// compare everything comparable. Returns the reconciled stats for
+/// schedule-specific activity assertions.
+fn lockstep_on(
+    pool_fn: fn() -> Vec<ArchSpec>,
     cfg: ClusterConfig,
     n: usize,
     threaded_faults: Vec<Option<Arc<FaultInjector>>>,
     event_faults: Vec<Option<Arc<FaultInjector>>>,
     kill_first: Option<usize>,
-) {
+) -> ClusterStats {
     quiet_injected_panics();
 
     // Threaded side, serial closed loop.
-    let cluster = Cluster::with_faults(pool(), cfg.clone(), threaded_faults.clone());
+    let cluster = Cluster::with_faults(pool_fn(), cfg.clone(), threaded_faults.clone());
     if let Some(dev) = kill_first {
         cluster.kill_device(dev);
     }
@@ -191,7 +199,7 @@ fn lockstep(
     // Event side, same schedule, instrumented (the audit rides along).
     let ev_cfg = EventConfig::from(&cfg);
     let (mut eng, obs) =
-        EventCluster::with_instrumentation(pool(), ev_cfg, event_faults.clone());
+        EventCluster::with_instrumentation(pool_fn(), ev_cfg, event_faults.clone());
     if let Some(dev) = kill_first {
         eng.kill_at(SimTime::ZERO, dev);
     }
@@ -215,6 +223,18 @@ fn lockstep(
             _ => panic!("schedule shape mismatch"),
         }
     }
+    report.stats
+}
+
+/// [`lockstep_on`] over the default Table 1 pair.
+fn lockstep(
+    cfg: ClusterConfig,
+    n: usize,
+    threaded_faults: Vec<Option<Arc<FaultInjector>>>,
+    event_faults: Vec<Option<Arc<FaultInjector>>>,
+    kill_first: Option<usize>,
+) {
+    lockstep_on(pool, cfg, n, threaded_faults, event_faults, kill_first);
 }
 
 fn injector(cfg: FaultConfig) -> Arc<FaultInjector> {
@@ -283,4 +303,40 @@ fn lockstep_fault_free_routing_and_makespan() {
     // No faults at all: the purest placement-parity check, with the
     // simulated busy time reconciling exactly.
     lockstep(ClusterConfig::default(), 18, vec![None, None], vec![None, None], None);
+}
+
+#[test]
+fn lockstep_multi_chiplet_chaos_with_locality() {
+    // The locality-era chaos schedule: a B200 / H100 / MCM-GPU pool
+    // (two of the three devices multi-chiplet) with locality-aware
+    // ranking on (the default) and injected panics + plan failures
+    // forcing re-routes across the interposer boundary. Both engines
+    // must agree on every placement, every steal, and every residency
+    // hit/miss — the penalty is computed from the same residency
+    // snapshot on both sides.
+    let cfg = ClusterConfig {
+        breaker: BreakerPolicy { trip_threshold: 4, open_batches: 4 },
+        max_reroutes: 2,
+        ..ClusterConfig::default()
+    };
+    assert!(cfg.locality.enabled, "locality ranking defaults on");
+    let schedule = || {
+        vec![
+            None,
+            Some(injector(FaultConfig::new(0xC419).exec_panic(250))),
+            Some(injector(FaultConfig::new(0x1E7).plan_fail(150).exec_panic(100))),
+        ]
+    };
+    let stats = lockstep_on(
+        || ArchSpec::chiplet_pool_presets(3),
+        cfg,
+        30,
+        schedule(),
+        schedule(),
+        None,
+    );
+    // The schedule must actually exercise the locality machinery.
+    assert!(stats.residency_misses > 0, "no operands were ever staged");
+    assert!(stats.residency_hits > 0, "no placement ever re-used a resident device");
+    assert!(stats.remote_operand_bytes > 0, "chiplet pool never charged remote traffic");
 }

@@ -18,14 +18,19 @@
 //! save → load → save byte-identically at every crash point.
 //!
 //! The suite also pins the golden on-disk fixture
-//! (`tests/fixtures/savestate_v2.bin`) for format-version discipline —
+//! (`tests/fixtures/savestate_v3.bin`) for format-version discipline —
 //! since v2 the embedded `PlanShare` image carries the shard layout,
 //! the optional capacity bound and the Bloom admission gate, and one
 //! crash-swept schedule runs with a `SeenTwice` gate over a bounded
 //! sharded cache so the gate's tag slots and the shard maps round-trip
-//! under fire. The suite further exercises queue migration between two
-//! engine instances (`halt_and_export` → `import_jobs`, zero drops)
-//! and round-trips randomized mid-run states under proptest.
+//! under fire; since v3 the blob additionally carries each device's
+//! chiplet topology, the locality-ranking flag, the operand-residency
+//! map and the residency counters, and one crash-swept schedule runs
+//! locality-aware placement over a multi-chiplet pool so all of it
+//! replays under fire. The suite further exercises queue migration
+//! between two engine instances (`halt_and_export` → `import_jobs`,
+//! zero drops) and round-trips randomized mid-run states under
+//! proptest.
 
 use ctb_cluster::{ClusterConfig, EventCluster, EventConfig, ReqOutcome, SimTime, StealPolicy};
 use ctb_core::{AdmissionPolicy, PlanShareConfig};
@@ -69,6 +74,10 @@ struct Schedule {
     /// Plan-cache shard/capacity/admission layout (default = 16 shards,
     /// unbounded, admit-all — the pre-v2 behaviour).
     share: PlanShareConfig,
+    /// Device pool the schedule runs (and restores) over; the default
+    /// Table 1 pair for most schedules, a multi-chiplet pool for the
+    /// v3 locality coverage.
+    pool: fn() -> Vec<ArchSpec>,
 }
 
 fn breaker_opens_mid_load() -> Schedule {
@@ -81,6 +90,7 @@ fn breaker_opens_mid_load() -> Schedule {
         faults: || vec![injector(FaultConfig::new(0xA11CE).plan_fail(1000)), None],
         kill_first: None,
         share: PlanShareConfig::default(),
+        pool,
     }
 }
 
@@ -94,6 +104,7 @@ fn exec_panic_storm() -> Schedule {
         faults: || vec![injector(FaultConfig::new(0x5EED).exec_panic(400)), None],
         kill_first: None,
         share: PlanShareConfig::default(),
+        pool,
     }
 }
 
@@ -107,6 +118,7 @@ fn kill_device_routes_to_survivor() -> Schedule {
         faults: || vec![None, None],
         kill_first: Some(0),
         share: PlanShareConfig::default(),
+        pool,
     }
 }
 
@@ -130,6 +142,7 @@ fn chaos_on_every_device() -> Schedule {
         },
         kill_first: None,
         share: PlanShareConfig::default(),
+        pool,
     }
 }
 
@@ -140,6 +153,7 @@ fn fault_free() -> Schedule {
         faults: || vec![None, None],
         kill_first: None,
         share: PlanShareConfig::default(),
+        pool,
     }
 }
 
@@ -160,6 +174,24 @@ fn bloom_gated_bounded_cache() -> Schedule {
             capacity_per_shard: Some(8),
             admission: AdmissionPolicy::SeenTwice { seed: 0xCAFE, slots_log2: 6 },
         },
+        pool,
+    }
+}
+
+/// The v3 coverage schedule: locality-aware placement over a
+/// multi-chiplet pool (B200 2-die, H100, MCM-GPU 4-die) with stealing
+/// under a light panic storm. Mid-run checkpoints embed a populated
+/// operand-residency map, non-zero residency counters and per-device
+/// chiplet topologies, and the crash sweep proves the resumed engine
+/// re-ranks with the identical locality penalties.
+fn locality_on_chiplet_pool() -> Schedule {
+    Schedule {
+        cfg: ClusterConfig::default(),
+        n: 24,
+        faults: || vec![None, injector(FaultConfig::new(0x10CA1).exec_panic(200)), None],
+        kill_first: None,
+        share: PlanShareConfig::default(),
+        pool: || ArchSpec::chiplet_pool_presets(3),
     }
 }
 
@@ -168,7 +200,7 @@ fn bloom_gated_bounded_cache() -> Schedule {
 fn build(s: &Schedule) -> (EventCluster, Arc<Obs>) {
     let mut ev_cfg = EventConfig::from(&s.cfg);
     ev_cfg.share = s.share;
-    let (mut eng, obs) = EventCluster::with_instrumentation(pool(), ev_cfg, (s.faults)());
+    let (mut eng, obs) = EventCluster::with_instrumentation((s.pool)(), ev_cfg, (s.faults)());
     if let Some(dev) = s.kill_first {
         eng.kill_at(SimTime::ZERO, dev);
     }
@@ -210,7 +242,7 @@ fn resume_from(s: &Schedule, offset: u64) -> Fingerprint {
     assert_eq!(eng.run_steps(offset), offset, "offset beyond schedule length");
     let blob = eng.checkpoint();
     drop(eng); // the "crash"
-    let (restored, obs) = EventCluster::restore(pool(), &blob).expect("checkpoint restores");
+    let (restored, obs) = EventCluster::restore((s.pool)(), &blob).expect("checkpoint restores");
     let obs = obs.expect("instrumented checkpoint hands back its obs");
     assert_eq!(blob, restored.checkpoint(), "save -> load -> save must be byte-identical");
     finish(restored, &obs)
@@ -273,6 +305,23 @@ fn crash_restore_chaos_on_every_device() {
 #[test]
 fn crash_restore_fault_free() {
     differential(fault_free());
+}
+
+/// Chiplet topology + residency under fire: every crash point must
+/// round-trip the residency map, its counters and the per-device
+/// topologies byte-identically, and the resumed run's locality-aware
+/// placements must match the uninterrupted run's exactly.
+#[test]
+fn crash_restore_locality_on_chiplet_pool() {
+    let s = locality_on_chiplet_pool();
+    // The schedule must actually hit and miss residency, or the sweep
+    // proves nothing about the v3 payload.
+    let (eng, obs) = build(&s);
+    let baseline = finish(eng, &obs);
+    assert!(baseline.stats.residency_misses > 0, "schedule never staged operands");
+    assert!(baseline.stats.residency_hits > 0, "schedule never re-used a resident device");
+    assert!(baseline.stats.remote_operand_bytes > 0, "chiplet pool never charged remote bytes");
+    differential(s);
 }
 
 /// Bloom gate + bounded shards under fire: every crash point must
@@ -364,7 +413,7 @@ fn halted_device_queue_migrates_to_peer_engine_with_zero_drops() {
 // -- golden fixture + format-version discipline -----------------------------
 
 fn fixture_path() -> std::path::PathBuf {
-    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/savestate_v2.bin")
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/savestate_v3.bin")
 }
 
 /// The fixture's construction: the exec-panic storm checkpointed 40
@@ -424,8 +473,8 @@ fn newer_format_version_fails_typed_not_panicking() {
 /// Version skew the other way: a v1 checkpoint predates the sharded
 /// plan-cache image, so the cluster restore rejects it with a typed
 /// [`SavestateError::Mismatch`] instead of misparsing the payload.
-/// (`import_jobs` still accepts v1 exports — the job layout did not
-/// change in v2.)
+/// (`import_jobs` still accepts v1 exports — the job layout has not
+/// changed since.)
 #[test]
 fn v1_checkpoint_is_rejected_with_typed_mismatch() {
     let mut bytes = fixture_bytes();
@@ -434,6 +483,22 @@ fn v1_checkpoint_is_rejected_with_typed_mismatch() {
         panic!("v1-stamped checkpoint restored successfully");
     };
     assert!(matches!(err, SavestateError::Mismatch(_)), "got {err:?}");
+}
+
+/// A v2 checkpoint predates the chiplet-topology / locality / residency
+/// layout, so the cluster restore rejects it the same typed way rather
+/// than misparsing the device records.
+#[test]
+fn v2_checkpoint_is_rejected_with_typed_mismatch() {
+    let mut bytes = fixture_bytes();
+    bytes[MAGIC.len()..MAGIC.len() + 4].copy_from_slice(&2u32.to_le_bytes());
+    let Err(err) = EventCluster::restore(pool(), &bytes) else {
+        panic!("v2-stamped checkpoint restored successfully");
+    };
+    assert!(matches!(err, SavestateError::Mismatch(_)), "got {err:?}");
+    if let Err(SavestateError::Mismatch(msg)) = EventCluster::restore(pool(), &bytes) {
+        assert!(msg.contains("v2"), "message should name the stale version: {msg}");
+    }
 }
 
 /// Truncation anywhere in the blob is a typed `Corrupt`, not a panic.

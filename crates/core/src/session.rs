@@ -63,6 +63,15 @@ pub struct PlanShare {
     admitted: AtomicUsize,
     denied: AtomicUsize,
     sim_memo: SimMemo,
+    /// Operand residency: which device (and which chiplet on it)
+    /// currently holds the warm plan *and* the operand tiles for a
+    /// shape signature. Written by cluster placers on every placement
+    /// and steal; read by the locality-aware candidate ranking to
+    /// waive the interposer penalty for the resident device. Keyed by
+    /// [`shape_sig_hash`] — deliberately fingerprint-free, because
+    /// residency is a property of the bytes on the device, not of the
+    /// planning context.
+    residency: Mutex<HashMap<u64, OperandHome>>,
     /// Hot-swappable calibration state consulted by
     /// [`BatchingPolicy::Swappable`] sessions and by predictors that
     /// correct analytical-model estimates. Runtime-only: never
@@ -109,6 +118,30 @@ struct Shard {
 type PlanKey = (u64, Vec<GemmShape>);
 type PlanMap = HashMap<PlanKey, Arc<ExecutionPlan>>;
 
+/// Where a shape signature's operands currently live: a device in the
+/// pool and the home chiplet the device's topology assigns them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OperandHome {
+    /// Pool index of the holding device.
+    pub device: usize,
+    /// Home chiplet on that device (always 0 on monolithic parts).
+    pub chiplet: u32,
+}
+
+/// Stable hash of a shape signature, used as the residency key and as
+/// the input to [`ChipletTopology::home_chiplet`](ctb_gpu_specs::ChipletTopology::home_chiplet).
+/// FNV-1a over every `(m, n, k)` with a full-avalanche finalizer, so it
+/// is identical across engines, processes, and savestate restores.
+pub fn shape_sig_hash(shapes: &[GemmShape]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325;
+    for s in shapes {
+        h = fnv1a(h, &(s.m as u64).to_le_bytes());
+        h = fnv1a(h, &(s.n as u64).to_le_bytes());
+        h = fnv1a(h, &(s.k as u64).to_le_bytes());
+    }
+    crate::admission::mix(h)
+}
+
 /// Hash of a plan-cache key, used for shard selection and as the Bloom
 /// doorkeeper key. FNV-1a over the fingerprint and every shape, so it
 /// is stable across processes (savestate replay lands keys in the same
@@ -124,6 +157,20 @@ fn plan_key_hash(fp: u64, shapes: &[GemmShape]) -> u64 {
     // shape dims); the shard index is taken from the low bits, so
     // finalize with a full-avalanche mix.
     crate::admission::mix(h)
+}
+
+/// Total operand footprint of a shape signature in bytes: for each
+/// GEMM, the f32 A (m×k), B (k×n) and C (m×n) tiles. This is the
+/// footprint the locality model splits into local and remote shares
+/// when the operands are not already resident on the placing device.
+pub fn operand_bytes(shapes: &[GemmShape]) -> u64 {
+    shapes
+        .iter()
+        .map(|s| {
+            let (m, n, k) = (s.m as u64, s.n as u64, s.k as u64);
+            4 * (m * k + k * n + m * n)
+        })
+        .sum()
 }
 
 impl Default for PlanShare {
@@ -154,8 +201,42 @@ impl PlanShare {
             admitted: AtomicUsize::new(0),
             denied: AtomicUsize::new(0),
             sim_memo: SimMemo::default(),
+            residency: Mutex::new(HashMap::new()),
             calib: CalibHandle::new(),
         }
+    }
+
+    /// Record that `sig`'s operands now live at `home` (placement or a
+    /// successful steal moved them there). Last writer wins — exactly
+    /// the semantics of the bytes on the device.
+    pub fn note_residency(&self, sig: u64, home: OperandHome) {
+        self.residency.lock().insert(sig, home);
+    }
+
+    /// Where `sig`'s operands currently live, if anywhere.
+    pub fn residency_of(&self, sig: u64) -> Option<OperandHome> {
+        self.residency.lock().get(&sig).copied()
+    }
+
+    /// Roll back a residency move: restore `sig`'s previous home, or
+    /// forget the signature entirely when it had none. Placement engines
+    /// claim residency *before* a queue push (so a racing re-route sees
+    /// the landing) and call this when the push is refused.
+    pub fn restore_residency(&self, sig: u64, prev: Option<OperandHome>) {
+        let mut map = self.residency.lock();
+        match prev {
+            Some(home) => {
+                map.insert(sig, home);
+            }
+            None => {
+                map.remove(&sig);
+            }
+        }
+    }
+
+    /// Number of shape signatures with a recorded operand home.
+    pub fn residency_len(&self) -> usize {
+        self.residency.lock().len()
     }
 
     /// The hot-swap calibration handle shared by every attached session
@@ -270,6 +351,18 @@ impl PlanShare {
         }
         w.u64(self.admitted.load(Ordering::Relaxed) as u64);
         w.u64(self.denied.load(Ordering::Relaxed) as u64);
+        // v3 section: operand residency, sig-sorted for byte stability.
+        let residency = self.residency.lock();
+        let mut homes: Vec<(u64, OperandHome)> =
+            residency.iter().map(|(sig, home)| (*sig, *home)).collect();
+        drop(residency);
+        homes.sort_by_key(|(sig, _)| *sig);
+        w.len_prefix(homes.len());
+        for (sig, home) in homes {
+            w.u64(sig);
+            w.u64(home.device as u64);
+            w.u64(u64::from(home.chiplet));
+        }
     }
 
     /// Restore a blob written by [`PlanShare::save`] into this share.
@@ -357,6 +450,16 @@ impl PlanShare {
         }
         self.admitted.store(r.u64()? as usize, Ordering::Relaxed);
         self.denied.store(r.u64()? as usize, Ordering::Relaxed);
+        // v3 section: operand residency.
+        let homes = r.seq(|r| {
+            let sig = r.u64()?;
+            let device = r.u64()? as usize;
+            let chiplet = r.u64()? as u32;
+            Ok((sig, OperandHome { device, chiplet }))
+        })?;
+        let mut residency = self.residency.lock();
+        residency.clear();
+        residency.extend(homes);
         Ok(())
     }
 }
@@ -1020,6 +1123,51 @@ mod tests {
             admission: AdmissionPolicy::SeenTwice { seed: 1, slots_log2: 4 },
         });
         assert!(matches!(err, ctb_savestate::SavestateError::Mismatch(_)), "gate presence pinned");
+    }
+
+    #[test]
+    fn residency_tracks_last_writer_and_round_trips_through_savestate() {
+        let share = Arc::new(PlanShare::new());
+        let s = Session::with_share(Framework::new(ArchSpec::volta_v100()), Arc::clone(&share));
+        s.plan(&shapes()).unwrap();
+        let sig = shape_sig_hash(&shapes());
+        assert_eq!(share.residency_of(sig), None, "planning alone does not place operands");
+        share.note_residency(sig, OperandHome { device: 2, chiplet: 1 });
+        assert_eq!(share.residency_of(sig), Some(OperandHome { device: 2, chiplet: 1 }));
+        // A steal moves the operands: last writer wins.
+        share.note_residency(sig, OperandHome { device: 0, chiplet: 3 });
+        assert_eq!(share.residency_of(sig), Some(OperandHome { device: 0, chiplet: 3 }));
+        share.note_residency(0xDEAD, OperandHome { device: 1, chiplet: 0 });
+        assert_eq!(share.residency_len(), 2);
+
+        let mut w = ctb_savestate::Writer::new();
+        share.save(&mut w);
+        let bytes = w.into_bytes();
+        let share2 = Arc::new(PlanShare::new());
+        let r2 = Session::with_share(Framework::new(ArchSpec::volta_v100()), Arc::clone(&share2));
+        let mut rd = ctb_savestate::Reader::new(&bytes);
+        share2.restore_with_sessions(&mut rd, &[&r2]).unwrap();
+        rd.expect_end().unwrap();
+        assert_eq!(share2.residency_len(), 2);
+        assert_eq!(share2.residency_of(sig), Some(OperandHome { device: 0, chiplet: 3 }));
+        assert_eq!(share2.residency_of(0xDEAD), Some(OperandHome { device: 1, chiplet: 0 }));
+        // Byte stability: save(restored) == save(original).
+        let mut w2 = ctb_savestate::Writer::new();
+        share2.save(&mut w2);
+        assert_eq!(w2.into_bytes(), bytes);
+    }
+
+    #[test]
+    fn shape_sig_hash_is_order_sensitive_and_stable() {
+        let sig = shape_sig_hash(&shapes());
+        assert_eq!(sig, shape_sig_hash(&shapes()), "deterministic");
+        let mut rev = shapes();
+        rev.reverse();
+        assert_ne!(sig, shape_sig_hash(&rev), "order is part of the signature");
+        // Golden footprint: 48·96 + 96·64 + 48·64 + 16·128 + 128·32 + 16·32
+        // f32 elements = 4·(4608+6144+3072+2048+4096+512) bytes.
+        assert_eq!(operand_bytes(&shapes()), 4 * (4608 + 6144 + 3072 + 2048 + 4096 + 512));
+        assert_eq!(operand_bytes(&[]), 0);
     }
 
     #[test]

@@ -10,7 +10,8 @@ use serde::{Deserialize, Serialize};
 
 /// GPU micro-architecture generation. Maxwell/Pascal/Volta are the
 /// paper's platforms; Turing and Ampere are post-paper extension
-/// presets.
+/// presets; Hopper and Blackwell are the tile-centric / multi-chiplet
+/// generations behind the locality presets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum ArchFamily {
     Maxwell,
@@ -18,6 +19,8 @@ pub enum ArchFamily {
     Volta,
     Turing,
     Ampere,
+    Hopper,
+    Blackwell,
 }
 
 impl std::fmt::Display for ArchFamily {
@@ -28,6 +31,104 @@ impl std::fmt::Display for ArchFamily {
             ArchFamily::Volta => write!(f, "Volta"),
             ArchFamily::Turing => write!(f, "Turing"),
             ArchFamily::Ampere => write!(f, "Ampere"),
+            ArchFamily::Hopper => write!(f, "Hopper"),
+            ArchFamily::Blackwell => write!(f, "Blackwell"),
+        }
+    }
+}
+
+/// Chiplet-level memory topology of one device.
+///
+/// Monolithic GPUs (everything up to and including Hopper here) expose
+/// one flat HBM pool: `unified` — a single chiplet owning the full
+/// bandwidth, with no interposer to cross. Multi-chiplet parts
+/// (Blackwell-style dual-die, MCM-GPU research designs) split the
+/// aggregate bandwidth into a *local* share (an SM reading HBM attached
+/// to its own chiplet) and a *remote* share (reads that cross the
+/// interposer), and every crossing pays a fixed latency. The invariant
+/// `local + remote == ArchSpec::mem_bandwidth_gbps` holds exactly for
+/// every preset (the splits are constructed as `total·f` and
+/// `total − total·f`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChipletTopology {
+    /// Number of compute chiplets (dies) behind one device. `1` means a
+    /// monolithic part: no interposer, no remote region.
+    pub chiplets: u32,
+    /// Aggregate bandwidth (GB/s) of chiplet-local HBM accesses.
+    pub local_bandwidth_gbps: f64,
+    /// Aggregate bandwidth (GB/s) available across the interposer.
+    /// `0.0` on monolithic parts.
+    pub remote_bandwidth_gbps: f64,
+    /// Fixed latency (µs) added to an operand fetch that crosses the
+    /// interposer at least once.
+    pub interposer_latency_us: f64,
+}
+
+impl ChipletTopology {
+    /// The flat-memory topology of a monolithic GPU: one chiplet, the
+    /// whole bandwidth local, nothing remote, no crossing latency.
+    pub fn unified(total_bandwidth_gbps: f64) -> Self {
+        ChipletTopology {
+            chiplets: 1,
+            local_bandwidth_gbps: total_bandwidth_gbps,
+            remote_bandwidth_gbps: 0.0,
+            interposer_latency_us: 0.0,
+        }
+    }
+
+    /// A multi-chiplet split of `total_bandwidth_gbps`: `local_fraction`
+    /// of it is chiplet-local, the exact remainder crosses the
+    /// interposer (so the two shares always sum to the total
+    /// bit-exactly).
+    pub fn split(
+        chiplets: u32,
+        total_bandwidth_gbps: f64,
+        local_fraction: f64,
+        interposer_latency_us: f64,
+    ) -> Self {
+        assert!(chiplets >= 2, "a split topology needs at least two chiplets");
+        assert!((0.0..=1.0).contains(&local_fraction), "local fraction must be in [0, 1]");
+        let local = total_bandwidth_gbps * local_fraction;
+        ChipletTopology {
+            chiplets,
+            local_bandwidth_gbps: local,
+            remote_bandwidth_gbps: total_bandwidth_gbps - local,
+            interposer_latency_us,
+        }
+    }
+
+    /// `true` for monolithic (single-chiplet) parts.
+    pub fn is_unified(&self) -> bool {
+        self.chiplets <= 1
+    }
+
+    /// `local + remote` — must equal the owning spec's
+    /// `mem_bandwidth_gbps`.
+    pub fn total_bandwidth_gbps(&self) -> f64 {
+        self.local_bandwidth_gbps + self.remote_bandwidth_gbps
+    }
+
+    /// The chiplet a shape signature's operands call home on this
+    /// topology — the tile-to-chiplet affinity function. Deterministic
+    /// in the signature hash, so every engine (and every restored
+    /// engine) agrees on it.
+    pub fn home_chiplet(&self, sig_hash: u64) -> u32 {
+        if self.chiplets <= 1 {
+            0
+        } else {
+            (sig_hash % u64::from(self.chiplets)) as u32
+        }
+    }
+
+    /// The fraction of an operand footprint that crosses the interposer
+    /// when the operands are *not* already resident on this device:
+    /// striped HBM leaves `1/chiplets` of the footprint local to the
+    /// consuming chiplet and the rest remote. `0.0` on monolithic parts.
+    pub fn remote_fraction(&self) -> f64 {
+        if self.chiplets <= 1 {
+            0.0
+        } else {
+            (self.chiplets - 1) as f64 / self.chiplets as f64
         }
     }
 }
@@ -79,6 +180,10 @@ pub struct ArchSpec {
     pub block_dispatch_cycles: u32,
     /// Warp-instruction issue slots per SM per cycle (warp schedulers).
     pub issue_width: u32,
+    /// Chiplet-level memory topology. [`ChipletTopology::unified`] for
+    /// every monolithic preset (all of Table 1), a real split for the
+    /// multi-chiplet presets.
+    pub topology: ChipletTopology,
 }
 
 impl ArchSpec {
@@ -134,6 +239,7 @@ impl ArchSpec {
             kernel_launch_overhead_us: 5.0,
             block_dispatch_cycles: 200,
             issue_width: 4,
+            topology: ChipletTopology::unified(900.0),
         }
     }
 
@@ -159,6 +265,7 @@ impl ArchSpec {
             kernel_launch_overhead_us: 5.5,
             block_dispatch_cycles: 220,
             issue_width: 4,
+            topology: ChipletTopology::unified(732.0),
         }
     }
 
@@ -184,6 +291,7 @@ impl ArchSpec {
             kernel_launch_overhead_us: 5.5,
             block_dispatch_cycles: 220,
             issue_width: 4,
+            topology: ChipletTopology::unified(484.0),
         }
     }
 
@@ -209,6 +317,7 @@ impl ArchSpec {
             kernel_launch_overhead_us: 5.5,
             block_dispatch_cycles: 220,
             issue_width: 4,
+            topology: ChipletTopology::unified(548.0),
         }
     }
 
@@ -234,6 +343,7 @@ impl ArchSpec {
             kernel_launch_overhead_us: 6.0,
             block_dispatch_cycles: 240,
             issue_width: 4,
+            topology: ChipletTopology::unified(160.0),
         }
     }
 
@@ -259,6 +369,7 @@ impl ArchSpec {
             kernel_launch_overhead_us: 6.0,
             block_dispatch_cycles: 240,
             issue_width: 4,
+            topology: ChipletTopology::unified(336.0),
         }
     }
 
@@ -285,6 +396,7 @@ impl ArchSpec {
             kernel_launch_overhead_us: 5.0,
             block_dispatch_cycles: 200,
             issue_width: 4,
+            topology: ChipletTopology::unified(320.0),
         }
     }
 
@@ -310,6 +422,94 @@ impl ArchSpec {
             kernel_launch_overhead_us: 4.0,
             block_dispatch_cycles: 180,
             issue_width: 4,
+            topology: ChipletTopology::unified(1555.0),
+        }
+    }
+
+    /// H100 (Hopper, SXM) — the tile-centric generation preset. Still
+    /// monolithic (one chiplet, flat HBM3), so its topology is unified;
+    /// it anchors the fast end of the chiplet pool.
+    pub fn hopper_h100() -> Self {
+        ArchSpec {
+            name: "H100",
+            family: ArchFamily::Hopper,
+            sms: 132,
+            fp32_lanes_per_sm: 128,
+            clock_ghz: 1.83,
+            regfile_per_sm: 65_536,
+            max_regs_per_thread: 255,
+            smem_per_sm: 228 * 1024,
+            max_smem_per_block: 227 * 1024,
+            max_threads_per_sm: 2048,
+            max_blocks_per_sm: 32,
+            max_threads_per_block: 1024,
+            warp_size: 32,
+            mem_bandwidth_gbps: 3350.0,
+            global_mem_latency: 380,
+            shared_mem_latency: 17,
+            kernel_launch_overhead_us: 3.5,
+            block_dispatch_cycles: 170,
+            issue_width: 4,
+            topology: ChipletTopology::unified(3350.0),
+        }
+    }
+
+    /// B200 (Blackwell, SXM) — dual-die: two compute chiplets behind
+    /// one device, 75 % of the aggregate bandwidth chiplet-local, the
+    /// rest crossing the die-to-die interposer at a ~2.5 µs operand
+    /// re-staging cost.
+    pub fn blackwell_b200() -> Self {
+        ArchSpec {
+            name: "B200",
+            family: ArchFamily::Blackwell,
+            sms: 192,
+            fp32_lanes_per_sm: 128,
+            clock_ghz: 1.80,
+            regfile_per_sm: 65_536,
+            max_regs_per_thread: 255,
+            smem_per_sm: 228 * 1024,
+            max_smem_per_block: 227 * 1024,
+            max_threads_per_sm: 2048,
+            max_blocks_per_sm: 32,
+            max_threads_per_block: 1024,
+            warp_size: 32,
+            mem_bandwidth_gbps: 8000.0,
+            global_mem_latency: 370,
+            shared_mem_latency: 17,
+            kernel_launch_overhead_us: 3.5,
+            block_dispatch_cycles: 170,
+            issue_width: 4,
+            topology: ChipletTopology::split(2, 8000.0, 0.75, 2.5),
+        }
+    }
+
+    /// A 4-die MCM-GPU research design in the spirit of the
+    /// multi-chiplet GEMM locality literature: four modest chiplets on
+    /// one interposer, only 60 % of the bandwidth local, and a fatter
+    /// crossing cost — the preset that makes locality-blind placement
+    /// visibly expensive.
+    pub fn mcm_gpu_4die() -> Self {
+        ArchSpec {
+            name: "MCM-GPU 4-die",
+            family: ArchFamily::Blackwell,
+            sms: 128,
+            fp32_lanes_per_sm: 64,
+            clock_ghz: 1.40,
+            regfile_per_sm: 65_536,
+            max_regs_per_thread: 255,
+            smem_per_sm: 128 * 1024,
+            max_smem_per_block: 96 * 1024,
+            max_threads_per_sm: 2048,
+            max_blocks_per_sm: 32,
+            max_threads_per_block: 1024,
+            warp_size: 32,
+            mem_bandwidth_gbps: 3000.0,
+            global_mem_latency: 420,
+            shared_mem_latency: 20,
+            kernel_launch_overhead_us: 4.5,
+            block_dispatch_cycles: 200,
+            issue_width: 4,
+            topology: ChipletTopology::split(4, 3000.0, 0.6, 4.0),
         }
     }
 
@@ -348,6 +548,24 @@ impl ArchSpec {
     /// well-defined.
     pub fn pool_presets(n: usize) -> Vec<ArchSpec> {
         let mut order = ArchSpec::all_presets();
+        order.sort_by(|a, b| b.peak_gflops().total_cmp(&a.peak_gflops()));
+        (0..n).map(|i| order[i % order.len()].clone()).collect()
+    }
+
+    /// The tile-centric / multi-chiplet presets (Hopper and newer),
+    /// kept apart from the Table 1 set so the paper-reproduction pools
+    /// and goldens never change underneath the figures.
+    pub fn chiplet_presets() -> Vec<ArchSpec> {
+        vec![ArchSpec::hopper_h100(), ArchSpec::blackwell_b200(), ArchSpec::mcm_gpu_4die()]
+    }
+
+    /// A heterogeneous pool of `n` modern devices, fastest first by
+    /// peak FP32 throughput (B200, H100, MCM-GPU 4-die), cycling when
+    /// `n > 3` — the chiplet-era analogue of [`ArchSpec::pool_presets`]
+    /// and the canonical pool for locality experiments: it always mixes
+    /// monolithic and multi-chiplet devices.
+    pub fn chiplet_pool_presets(n: usize) -> Vec<ArchSpec> {
+        let mut order = ArchSpec::chiplet_presets();
         order.sort_by(|a, b| b.peak_gflops().total_cmp(&a.peak_gflops()));
         (0..n).map(|i| order[i % order.len()].clone()).collect()
     }
@@ -496,5 +714,97 @@ mod tests {
             assert_eq!(a.sms, pool[i % 6].sms);
             assert_eq!(a.clock_ghz, pool[i % 6].clock_ghz);
         }
+    }
+
+    #[test]
+    fn every_preset_topology_bandwidth_split_sums_to_spec_total() {
+        // The locality model's core invariant: local + remote bandwidth
+        // equals the spec's aggregate bandwidth *exactly* (the splits
+        // are constructed as total·f and total − total·f, so this holds
+        // bit-for-bit, not just within an epsilon).
+        let mut everything = ArchSpec::all_presets();
+        everything.extend(ArchSpec::extension_presets());
+        everything.extend(ArchSpec::chiplet_presets());
+        assert_eq!(everything.len(), 11);
+        for a in &everything {
+            assert_eq!(
+                a.topology.total_bandwidth_gbps(),
+                a.mem_bandwidth_gbps,
+                "{}: topology bandwidth split does not sum to the spec total",
+                a.name
+            );
+            assert!(a.topology.chiplets >= 1);
+            assert!(a.topology.local_bandwidth_gbps > 0.0);
+            assert!(a.topology.remote_bandwidth_gbps >= 0.0);
+            assert!(a.topology.interposer_latency_us >= 0.0);
+        }
+    }
+
+    #[test]
+    fn table1_and_extension_presets_are_unified() {
+        // Everything up to Ampere is monolithic: one chiplet, zero
+        // remote bandwidth, zero crossing latency, zero remote
+        // fraction. This is what pins single-chiplet pools to today's
+        // placement decisions bitwise.
+        let mut flat = ArchSpec::all_presets();
+        flat.extend(ArchSpec::extension_presets());
+        flat.push(ArchSpec::hopper_h100());
+        for a in &flat {
+            assert!(a.topology.is_unified(), "{} should be monolithic", a.name);
+            assert_eq!(a.topology.chiplets, 1);
+            assert_eq!(a.topology.remote_bandwidth_gbps, 0.0);
+            assert_eq!(a.topology.interposer_latency_us, 0.0);
+            assert_eq!(a.topology.remote_fraction(), 0.0);
+            assert_eq!(a.topology.home_chiplet(u64::MAX), 0);
+        }
+    }
+
+    #[test]
+    fn multi_chiplet_presets_have_real_splits() {
+        for a in [ArchSpec::blackwell_b200(), ArchSpec::mcm_gpu_4die()] {
+            assert!(!a.topology.is_unified(), "{} should be multi-chiplet", a.name);
+            assert!(a.topology.chiplets >= 2);
+            assert!(a.topology.remote_bandwidth_gbps > 0.0);
+            assert!(a.topology.interposer_latency_us > 0.0);
+            assert!(a.topology.remote_fraction() > 0.0 && a.topology.remote_fraction() < 1.0);
+            // Affinity is deterministic and lands on a real chiplet.
+            for sig in [0u64, 1, 7, u64::MAX] {
+                let home = a.topology.home_chiplet(sig);
+                assert!(home < a.topology.chiplets);
+                assert_eq!(home, a.topology.home_chiplet(sig));
+            }
+        }
+    }
+
+    #[test]
+    fn chiplet_pool_presets_are_fastest_first_and_cycle() {
+        // Golden cycle for the locality pool: B200, H100, MCM-GPU 4-die
+        // by descending peak GFLOPS, repeating — and every pool of n ≥ 2
+        // contains at least one multi-chiplet device, so locality
+        // experiments on this pool are never vacuous.
+        let pool = ArchSpec::chiplet_pool_presets(7);
+        let names: Vec<_> = pool.iter().map(|a| a.name).collect();
+        assert_eq!(
+            names,
+            ["B200", "H100", "MCM-GPU 4-die", "B200", "H100", "MCM-GPU 4-die", "B200"],
+            "chiplet pool drifted from the golden fastest-first cycle"
+        );
+        for w in pool[..3].windows(2) {
+            assert!(w[0].peak_gflops() >= w[1].peak_gflops());
+        }
+        assert!(pool.iter().any(|a| !a.topology.is_unified()));
+        assert!(pool.iter().any(|a| a.topology.is_unified()));
+        assert!(ArchSpec::chiplet_pool_presets(0).is_empty());
+    }
+
+    #[test]
+    fn split_topology_construction_is_exact() {
+        let t = ChipletTopology::split(4, 3000.0, 0.6, 4.0);
+        assert_eq!(t.local_bandwidth_gbps + t.remote_bandwidth_gbps, 3000.0);
+        assert_eq!(t.chiplets, 4);
+        assert_eq!(t.remote_fraction(), 0.75);
+        let u = ChipletTopology::unified(900.0);
+        assert_eq!(u.total_bandwidth_gbps(), 900.0);
+        assert!(u.is_unified());
     }
 }

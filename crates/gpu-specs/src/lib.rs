@@ -15,6 +15,6 @@ pub mod arch;
 pub mod occupancy;
 pub mod thresholds;
 
-pub use arch::{ArchFamily, ArchSpec};
+pub use arch::{ArchFamily, ArchSpec, ChipletTopology};
 pub use occupancy::{BlockFootprint, Occupancy};
 pub use thresholds::Thresholds;

@@ -61,6 +61,10 @@ pub struct TraceCounts {
     pub batch_done: usize,
     pub batch_done_degraded: usize,
     pub batch_done_abandoned: usize,
+    /// Placements (and steals) that landed on the operand-resident device.
+    pub residency_hits: usize,
+    /// Placements (and steals) that staged operands onto a new device.
+    pub residency_misses: usize,
     /// Completed span count per kind name.
     pub spans: BTreeMap<&'static str, usize>,
 }
@@ -300,6 +304,8 @@ impl TraceAudit {
                     c.batch_done_abandoned += 1;
                 }
             }
+            PointKind::ResidencyHit { .. } => c.residency_hits += 1,
+            PointKind::ResidencyMiss { .. } => c.residency_misses += 1,
         }
     }
 }

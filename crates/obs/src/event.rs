@@ -123,6 +123,12 @@ pub enum PointKind {
     Kill { device: usize },
     /// Terminal (cluster): batch finished on `device`.
     BatchDone { req: u64, device: usize, degraded: bool, abandoned: bool },
+    /// Cluster: a placement (or steal) landed on the device already
+    /// holding the batch's operands — no interposer staging.
+    ResidencyHit { device: usize },
+    /// Cluster: a placement (or steal) had to stage operands onto a
+    /// non-resident device; the remote share crossed the interposer.
+    ResidencyMiss { device: usize },
 }
 
 impl PointKind {
@@ -147,12 +153,14 @@ impl PointKind {
             PointKind::Reroute { .. } => "reroute",
             PointKind::Kill { .. } => "kill",
             PointKind::BatchDone { .. } => "batch_done",
+            PointKind::ResidencyHit { .. } => "residency_hit",
+            PointKind::ResidencyMiss { .. } => "residency_miss",
         }
     }
 
     /// Names of every point kind, in a fixed order (JSON schema
     /// stability — exports emit all of them even when zero).
-    pub const ALL_NAMES: [&'static str; 18] = [
+    pub const ALL_NAMES: [&'static str; 20] = [
         "admit",
         "reject",
         "retry",
@@ -171,6 +179,8 @@ impl PointKind {
         "reroute",
         "kill",
         "batch_done",
+        "residency_hit",
+        "residency_miss",
     ];
 }
 
@@ -337,6 +347,14 @@ impl ctb_savestate::Savestate for Event {
                     // Appended after the cluster tags so every tag
                     // value stays stable across format versions.
                     PointKind::PlanCacheDenied => w.u8(17),
+                    PointKind::ResidencyHit { device } => {
+                        w.u8(18);
+                        w.u64(device as u64);
+                    }
+                    PointKind::ResidencyMiss { device } => {
+                        w.u8(19);
+                        w.u64(device as u64);
+                    }
                 }
             }
         }
@@ -383,6 +401,8 @@ impl ctb_savestate::Savestate for Event {
                     abandoned: r.bool()?,
                 },
                 17 => PointKind::PlanCacheDenied,
+                18 => PointKind::ResidencyHit { device: r.u64()? as usize },
+                19 => PointKind::ResidencyMiss { device: r.u64()? as usize },
                 t => return Err(SavestateError::Corrupt(format!("bad point tag {t}"))),
             }),
             t => return Err(SavestateError::Corrupt(format!("bad event-kind tag {t}"))),
@@ -413,6 +433,8 @@ mod tests {
             PointKind::ALL_NAMES[17]
         );
         assert_eq!(PointKind::PlanCacheDenied.name(), PointKind::ALL_NAMES[12]);
+        assert_eq!(PointKind::ResidencyHit { device: 0 }.name(), PointKind::ALL_NAMES[18]);
+        assert_eq!(PointKind::ResidencyMiss { device: 0 }.name(), PointKind::ALL_NAMES[19]);
     }
 
     #[test]
@@ -452,6 +474,8 @@ mod tests {
             EventKind::Point(PointKind::Reroute { from: 0 }),
             EventKind::Point(PointKind::Kill { device: 9 }),
             EventKind::Point(PointKind::BatchDone { req: 8, device: 1, degraded: false, abandoned: true }),
+            EventKind::Point(PointKind::ResidencyHit { device: 4 }),
+            EventKind::Point(PointKind::ResidencyMiss { device: 5 }),
         ]);
         for (i, kind) in kinds.into_iter().enumerate() {
             let e = Event { seq: i as u64, t_us: 1000 + i as u64, worker: (i % 3) as u32, kind };

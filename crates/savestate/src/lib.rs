@@ -30,10 +30,12 @@ pub const MAGIC: [u8; 4] = *b"CTBS";
 ///
 /// History: v1 was the original cluster checkpoint layout; v2 extended
 /// the embedded `PlanShare` image with the shard layout, the optional
-/// per-shard capacity bound and the Bloom admission gate, so v1 blobs
-/// no longer decode (the cluster restore rejects them with a typed
-/// [`SavestateError::Mismatch`]).
-pub const FORMAT_VERSION: u32 = 2;
+/// per-shard capacity bound and the Bloom admission gate; v3 added
+/// per-device chiplet topology, the locality-ranking flag, the operand
+/// residency map and its counters. Each extension changed the layout
+/// in place, so older blobs no longer decode (the cluster restore
+/// rejects them with a typed [`SavestateError::Mismatch`]).
+pub const FORMAT_VERSION: u32 = 3;
 
 /// Cap on speculative pre-allocation while decoding length-prefixed
 /// containers. Real lengths above this are still decoded — the vector

@@ -29,11 +29,13 @@
 pub mod correction;
 pub mod cost;
 pub mod engine;
+pub mod locality;
 pub mod report;
 pub mod streams;
 pub mod timeline;
 
 pub use correction::{phi, CorrectionSet, CostCorrection, MIN_CORRECTED_US, PHI_LEN};
+pub use locality::{locality_penalty_us, remote_operand_bytes};
 pub use cost::{BlockWork, KernelDesc, LaunchSequence, TilePass};
 pub use engine::{simulate, simulate_kernel};
 pub use report::{BoundBreakdown, KernelReport, SimReport};

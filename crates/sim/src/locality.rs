@@ -1,0 +1,157 @@
+//! Locality cost term for multi-chiplet devices.
+//!
+//! Multi-chiplet GPUs split HBM across an interposer: operands that are
+//! not already resident on the placing device have to be re-staged over
+//! the remote-bandwidth share, and pay a fixed interposer-crossing
+//! latency on top. This module prices that crossing as a *routing
+//! penalty* — it re-ranks placement candidates but is never folded into
+//! the predicted (and later charged) execution time, which is what
+//! keeps the cluster's zero-placement-error invariant intact.
+//!
+//! Like [`CostCorrection::identity`](crate::CostCorrection::identity),
+//! the degenerate case short-circuits: a monolithic topology (or a zero
+//! remote footprint) returns *exactly* `0.0`, so adding the term to a
+//! candidate score on a single-chiplet pool is a bitwise no-op
+//! (`x + 0.0 == x` for the non-negative finite scores the placer
+//! produces).
+
+use ctb_gpu_specs::ChipletTopology;
+
+/// Extra microseconds a placement pays when `remote_bytes` of its
+/// operand footprint must cross the interposer of `topo`.
+///
+/// `remote_bytes / remote_bandwidth` is the transfer term (GB/s ×
+/// 1e9 B/s, so `bytes / (gbps · 1e3)` lands in µs) and
+/// `interposer_latency_us` is the fixed crossing cost. Exactly `0.0`
+/// when the topology is unified or nothing crosses.
+pub fn locality_penalty_us(topo: &ChipletTopology, remote_bytes: u64) -> f64 {
+    if topo.is_unified() || remote_bytes == 0 {
+        return 0.0;
+    }
+    let transfer_us = remote_bytes as f64 / (topo.remote_bandwidth_gbps * 1.0e3);
+    transfer_us + topo.interposer_latency_us
+}
+
+/// The remote share of an operand footprint on `topo` when the operands
+/// are not resident: HBM striping leaves `1/chiplets` local to the
+/// consuming chiplet and the rest across the interposer. `0` on
+/// monolithic parts.
+pub fn remote_operand_bytes(topo: &ChipletTopology, operand_bytes: u64) -> u64 {
+    if topo.is_unified() {
+        0
+    } else {
+        (operand_bytes as f64 * topo.remote_fraction()) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CorrectionSet, CostCorrection};
+    use proptest::prelude::*;
+
+    fn split_topo() -> impl Strategy<Value = ChipletTopology> {
+        (2u32..=8, 100.0f64..10_000.0, 0.05f64..0.95, 0.0f64..16.0)
+            .prop_map(|(c, total, f, lat)| ChipletTopology::split(c, total, f, lat))
+    }
+
+    #[test]
+    fn unified_topology_is_exactly_free() {
+        let u = ChipletTopology::unified(900.0);
+        assert_eq!(locality_penalty_us(&u, 0), 0.0);
+        assert_eq!(locality_penalty_us(&u, u64::MAX), 0.0);
+        assert_eq!(remote_operand_bytes(&u, u64::MAX), 0);
+    }
+
+    #[test]
+    fn split_topology_prices_the_crossing() {
+        // 4 dies, 3000 GB/s total, 60% local => 1200 GB/s remote.
+        // 1.2 MB remote = 1.2e6 / (1200 * 1e3) = 1.0 us + 4.0 us fixed.
+        let t = ChipletTopology::split(4, 3000.0, 0.6, 4.0);
+        let p = locality_penalty_us(&t, 1_200_000);
+        assert!((p - 5.0).abs() < 1e-9, "penalty = {p}");
+        // remote_fraction = 3/4 of the footprint crosses.
+        assert_eq!(remote_operand_bytes(&t, 4096), 3072);
+    }
+
+    proptest! {
+        /// More remote traffic never predicts cheaper placement.
+        #[test]
+        fn penalty_is_monotone_in_remote_bytes(
+            topo in split_topo(),
+            a in 0u64..1 << 40,
+            b in 0u64..1 << 40,
+        ) {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(locality_penalty_us(&topo, lo) <= locality_penalty_us(&topo, hi));
+        }
+
+        /// Zero-crossing at single-chiplet topologies: the term is
+        /// bitwise zero no matter the footprint, so score = score + 0.0
+        /// leaves candidate ordering untouched.
+        #[test]
+        fn penalty_zero_crosses_at_unified(
+            total in 1.0f64..10_000.0,
+            bytes in 0u64..u64::MAX,
+            score in 0.0f64..1e12,
+        ) {
+            let u = ChipletTopology::unified(total);
+            let p = locality_penalty_us(&u, bytes);
+            prop_assert_eq!(p.to_bits(), 0.0f64.to_bits());
+            prop_assert_eq!((score + p).to_bits(), score.to_bits());
+        }
+
+        /// Positive whenever something actually crosses a real split.
+        #[test]
+        fn penalty_is_positive_for_real_crossings(
+            topo in split_topo(),
+            bytes in 1u64..1 << 40,
+        ) {
+            prop_assert!(locality_penalty_us(&topo, bytes) > 0.0);
+        }
+
+        /// `CorrectionSet` composition leaves the locality term intact:
+        /// the penalty is added *after* the corrected model cost, so
+        /// installing or clearing a correction changes the base cost but
+        /// never the locality increment.
+        #[test]
+        fn correction_composition_leaves_locality_term_intact(
+            topo in split_topo(),
+            bytes in 0u64..1 << 40,
+            model_us in 1.0f64..1e6,
+            bias in -0.5f64..0.5,
+            gain in 0.5f64..1.5,
+        ) {
+            let features = [96.0, 96.0, 192.0, 4.0];
+            let mut coeffs = [0.0; crate::PHI_LEN];
+            coeffs[0] = bias;
+            coeffs[1] = gain;
+            let mut set = CorrectionSet::identity();
+            set.insert("B200", CostCorrection { coeffs });
+
+            // The locality term is computed independently of the
+            // correction machinery: installing a correction cannot
+            // change a single bit of it.
+            let before = locality_penalty_us(&topo, bytes);
+            let corrected_base = set.correct("B200", model_us, &features);
+            let after = locality_penalty_us(&topo, bytes);
+            prop_assert_eq!(before.to_bits(), after.to_bits());
+
+            // Added after the (corrected) base cost, the term never
+            // makes a candidate cheaper — corrections rescale the base,
+            // the locality increment survives on top.
+            prop_assert!(corrected_base + before >= corrected_base);
+            prop_assert!(model_us + before >= model_us);
+
+            // And the identity correction composes to a bitwise no-op:
+            // score(identity-corrected) == score(uncorrected), bits and
+            // all, penalty included.
+            let mut id = CorrectionSet::identity();
+            id.insert("B200", CostCorrection::identity());
+            prop_assert_eq!(
+                (id.correct("B200", model_us, &features) + before).to_bits(),
+                (model_us + before).to_bits()
+            );
+        }
+    }
+}

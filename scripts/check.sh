@@ -59,6 +59,12 @@ cargo test -q -p ctb-cluster --test savestate
 echo "== savestate regression corpus (pinned crash-boundary cases) =="
 cargo test -q -p ctb-cluster --test savestate regression_corpus_replays_recorded_boundary_cases
 
+echo "== differential locality suite (aware vs blind on multi-chiplet pools) =="
+cargo test -q -p ctb-cluster --test locality
+
+echo "== locality differential smoke (aware vs blind traffic gate) + BENCH_locality schema gate =="
+cargo run -q -p ctb-bench --bin reproduce --release -- locality --smoke
+
 echo "== cluster smoke sweep (256 devices / 100k requests) + BENCH_cluster schema gate =="
 cargo run -q -p ctb-bench --bin reproduce --release -- cluster --smoke
 
@@ -100,5 +106,14 @@ cargo clippy -p ctb-savestate --all-targets -- -D warnings
 
 echo "== cargo clippy -p ctb-calib --all-targets -- -D warnings =="
 cargo clippy -p ctb-calib --all-targets -- -D warnings
+
+echo "== cargo clippy -p ctb-gpu-specs --all-targets -- -D warnings =="
+cargo clippy -p ctb-gpu-specs --all-targets -- -D warnings
+
+echo "== cargo clippy -p ctb-sim --all-targets -- -D warnings =="
+cargo clippy -p ctb-sim --all-targets -- -D warnings
+
+echo "== cargo clippy -p ctb-bench --all-targets -- -D warnings =="
+cargo clippy -p ctb-bench --all-targets -- -D warnings
 
 echo "check.sh: all gates passed"
